@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: replication factor and compression effort.
+ *
+ * The paper fixes 3-way replication and leaves compression effort as a
+ * per-service policy decision (Section 2.2.1: more idle CPU or more
+ * latency tolerance => spend more compression time for better ratio).
+ * This sweep quantifies both knobs on SmartDS-1 and CPU-only:
+ * replication sets the TX amplification that caps SmartDS's per-port
+ * intake, while effort trades middle-tier compute (CPU-only) against
+ * storage/network bytes.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace smartds;
+using namespace smartds::bench;
+using middletier::Design;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: replication factor and compression effort\n\n");
+
+    Table rep("Replication-factor sweep (SmartDS-1, effort 1)");
+    rep.header({"replicas", "tput(Gbps)", "avg(us)", "ratio"});
+    for (unsigned r : {1u, 2u, 3u}) {
+        auto config = saturating(Design::SmartDs, 2, 1);
+        config.replication = r;
+        const auto result = workload::runWriteExperiment(config);
+        rep.row({fmt(r), fmt(result.throughputGbps, 1),
+                 fmt(result.avgLatencyUs, 1),
+                 fmt(result.meanCompressionRatio, 3)});
+    }
+    rep.print();
+    rep.writeCsv("results/ablation_replication.csv");
+    std::printf("\n");
+
+    Table eff("Compression-effort sweep (3-way replication)");
+    eff.header({"design", "effort", "tput(Gbps)", "avg(us)", "ratio",
+                "stored-bytes/4KiB"});
+    for (int effort : {1, 3, 6}) {
+        for (Design d : {Design::CpuOnly, Design::SmartDs}) {
+            auto config = d == Design::CpuOnly
+                              ? saturating(Design::CpuOnly, 48)
+                              : saturating(Design::SmartDs, 2, 1);
+            config.effort = effort;
+            const auto r = workload::runWriteExperiment(config);
+            eff.row({middletier::designName(d), fmt(effort),
+                     fmt(r.throughputGbps, 1), fmt(r.avgLatencyUs, 1),
+                     fmt(r.meanCompressionRatio, 3),
+                     fmt(r.meanCompressionRatio * 4096.0, 0)});
+        }
+    }
+    eff.print();
+    eff.writeCsv("results/ablation_effort.csv");
+
+    std::printf("\nHigher effort shrinks stored bytes (and SmartDS's TX "
+                "amplification, raising its intake ceiling) but costs "
+                "CPU-only software throughput; SmartDS's hardware "
+                "engines absorb the deeper match search.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the figure benchmarks: standard saturating and
+ * moderate-load experiment configurations per design.
+ */
+
+#ifndef SMARTDS_BENCH_BENCH_COMMON_H_
+#define SMARTDS_BENCH_BENCH_COMMON_H_
+
+#include "workload/experiment.h"
+
+namespace smartds::bench {
+
+/** Saturating configuration (throughput measurements). */
+inline workload::ExperimentConfig
+saturating(middletier::Design design, unsigned cores, unsigned ports = 1)
+{
+    workload::ExperimentConfig config;
+    config.design = design;
+    config.cores = cores;
+    config.ports = ports;
+    config.warmup = 4 * ticksPerMillisecond;
+    config.window = 12 * ticksPerMillisecond;
+    return config;
+}
+
+/**
+ * Moderate-load configuration (latency measurements): enough in-flight
+ * requests to keep the pipeline busy without building unbounded queues,
+ * scaled to the configuration's capacity.
+ */
+inline workload::ExperimentConfig
+moderate(middletier::Design design, unsigned cores, unsigned ports = 1)
+{
+    workload::ExperimentConfig config = saturating(design, cores, ports);
+    config.outstandingPerClient = 2;
+    switch (design) {
+      case middletier::Design::CpuOnly:
+        // ~1 request in flight per serving core.
+        config.clients = std::max(1u, cores / 2);
+        break;
+      case middletier::Design::Accelerator:
+        config.clients = 6;
+        break;
+      case middletier::Design::Bf2:
+        config.clients = 5;
+        break;
+      case middletier::Design::SmartDs:
+        config.clients = 8 * ports;
+        break;
+    }
+    return config;
+}
+
+} // namespace smartds::bench
+
+#endif // SMARTDS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension: sensitivity of AAMS to the I/O block size.
+ *
+ * SmartDS's premise (Section 4) is that "the I/O size in the middle tier
+ * is relatively large (e.g., 4 KB): the majority of the network message
+ * needs heavy computation, while only a small part (e.g., 64 bytes)
+ * requires flexible processing." This sweep quantifies that premise: as
+ * blocks shrink toward the header size, per-request software costs and
+ * header DMA dominate and the split's advantage narrows; as blocks grow,
+ * the CPU-only tier's compression wall steepens and SmartDS's advantage
+ * widens until the line rate caps both.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace smartds;
+using namespace smartds::bench;
+using middletier::Design;
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension: block-size sensitivity of the message "
+                "split\n\n");
+
+    Table table("Header split vs block size (saturating load)");
+    table.header({"block", "CPU-only-48", "SmartDS-1/2c", "SmartDS-1/8c",
+                  "best-vs-CPU", "SmartDS hdr-PCIe"});
+
+    for (Bytes block : {Bytes{512}, Bytes{1024}, Bytes{4096},
+                        Bytes{16384}, Bytes{65536}}) {
+        auto cpu_config = saturating(Design::CpuOnly, 48);
+        cpu_config.blockBytes = block;
+        const auto cpu = workload::runWriteExperiment(cpu_config);
+
+        // Small blocks need proportionally more in-flight requests to
+        // keep the pipeline full: scale workers and clients with the
+        // message rate so the sweep measures the architecture, not the
+        // pipeline depth.
+        const unsigned workers =
+            block < 4096 ? static_cast<unsigned>(128 * 4096 / block) : 128;
+        auto sd2_config = saturating(Design::SmartDs, 2);
+        sd2_config.blockBytes = block;
+        sd2_config.workersPerPort = workers;
+        sd2_config.clients = block < 4096 ? 48 : 0;
+        const auto sd2 = workload::runWriteExperiment(sd2_config);
+
+        // Small blocks make the 2-core header budget the bottleneck;
+        // show how many cores buy the message rate back.
+        auto sd8_config = sd2_config;
+        sd8_config.cores = 8;
+        const auto sd8 = workload::runWriteExperiment(sd8_config);
+
+        const auto it = sd2.usageGbps.find("pcie.smartds.h2d");
+        const double hdr_pcie =
+            it == sd2.usageGbps.end() ? 0.0 : it->second;
+        const double best =
+            std::max(sd2.throughputGbps, sd8.throughputGbps);
+        std::string label = block >= 1024
+                                ? fmt(block / 1024) + " KiB"
+                                : fmt(block) + " B";
+        table.row({label, fmt(cpu.throughputGbps, 1),
+                   fmt(sd2.throughputGbps, 1), fmt(sd8.throughputGbps, 1),
+                   fmt(best / cpu.throughputGbps, 2) + "x",
+                   fmt(hdr_pcie, 2)});
+    }
+    table.print();
+    table.writeCsv("results/ext_block_size.csv");
+
+    std::printf(
+        "\nHeader handling is deliberately not offloaded (that is the "
+        "flexible part), so at small blocks the message rate is bound by "
+        "host cores on every design: two cores no longer suffice for "
+        "SmartDS, and the split's advantage narrows toward parity even "
+        "with more cores. At the middle tier's actual 4+ KiB blocks the "
+        "payload dominates and two cores per port drive the line - the "
+        "regime the paper targets (Section 4).\n");
+    return 0;
+}

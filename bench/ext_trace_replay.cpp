@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Extension: production-like bursty traffic, replayed open loop.
+ *
+ * Closed-loop clients (the Fig 7 methodology) cap the queue at the
+ * in-flight budget; production traffic does not wait. This bench
+ * synthesizes a bursty trace (on/off modulated arrivals, 4x rate in
+ * bursts, hot-skewed addresses) and replays it open loop at the same
+ * offered rate against the CPU-only and SmartDS tiers: the design with
+ * headroom absorbs the bursts; the one running near its wall watches
+ * queues (and tails) explode.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "corpus/corpus.h"
+#include "mem/memory_system.h"
+#include "middletier/cpu_only_server.h"
+#include "middletier/smartds_server.h"
+#include "net/fabric.h"
+#include "storage/storage_server.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace smartds;
+using middletier::Design;
+
+struct Run
+{
+    double offeredGbps;
+    double avgUs;
+    double p99Us;
+    double p999Us;
+    bool finished;
+};
+
+Run
+replay(Design design, double rate_per_second)
+{
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "mem", {});
+    std::vector<std::unique_ptr<storage::StorageServer>> pool;
+    middletier::ServerConfig sc;
+    for (int i = 0; i < 6; ++i) {
+        pool.push_back(std::make_unique<storage::StorageServer>(
+            fabric, "st" + std::to_string(i)));
+        sc.storageNodes.push_back(pool.back()->nodeId());
+    }
+
+    // CPU-only uses the whole 48-core host; SmartDS uses two of its six
+    // ports (4 cores) — the headroom a multi-port card keeps in the same
+    // box is exactly what absorbs bursts.
+    std::unique_ptr<middletier::MiddleTierServer> server;
+    if (design == Design::CpuOnly) {
+        sc.cores = 48;
+        server = std::make_unique<middletier::CpuOnlyServer>(fabric,
+                                                             memory, sc);
+    } else {
+        sc.cores = 4;
+        middletier::SmartDsServer::SmartDsConfig sd;
+        sd.ports = 2;
+        server = std::make_unique<middletier::SmartDsServer>(
+            fabric, memory, sc, sd);
+    }
+
+    static const corpus::SyntheticCorpus corpus(2u << 20, 42);
+    static const corpus::RatioSampler ratios(corpus, 4096, 1, 256, 7);
+
+    workload::TraceSynthesis synth;
+    synth.records = 60000;
+    synth.meanRatePerSecond = rate_per_second;
+    synth.burstFraction = 0.2;
+    const auto trace = workload::synthesizeTrace(synth);
+
+    // Spread the trace's VMs across the tier's front ports (the storage
+    // agent routes each VM to one port).
+    workload::ClientMetrics metrics;
+    std::uint64_t tags = 1;
+    std::vector<std::unique_ptr<workload::TraceReplayer>> replayers;
+    const unsigned ports = server->frontPorts();
+    for (unsigned p = 0; p < ports; ++p) {
+        std::vector<workload::TraceRecord> shard;
+        for (const auto &rec : trace)
+            if (rec.vmId % ports == p)
+                shard.push_back(rec);
+        workload::TraceReplayer::Config rc;
+        rc.target = server->frontNode(p);
+        rc.targetQp = server->frontQp(p);
+        rc.ratios = &ratios;
+        rc.tagCounter = &tags;
+        rc.metrics = &metrics;
+        replayers.push_back(std::make_unique<workload::TraceReplayer>(
+            fabric, "replay" + std::to_string(p), shard, rc));
+    }
+    sim.run();
+
+    Run r;
+    r.offeredGbps = toGbps(rate_per_second * 4096.0);
+    r.avgUs = metrics.latency.avgUs();
+    r.p99Us = metrics.latency.p99Us();
+    r.p999Us = metrics.latency.p999Us();
+    r.finished = true;
+    for (const auto &rep : replayers)
+        r.finished = r.finished && rep->finished();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Extension: open-loop bursty trace replay "
+                "(on/off bursts at 4x, hot-skewed addresses)\n\n");
+
+    Table table("Trace replay: latency vs offered rate");
+    table.header({"design", "offered(Gbps)", "avg(us)", "p99(us)",
+                  "p999(us)"});
+    for (double rate : {0.6e6, 1.0e6, 1.4e6}) {
+        for (Design design : {Design::CpuOnly, Design::SmartDs}) {
+            const Run r = replay(design, rate);
+            table.row({middletier::designName(design),
+                       fmt(r.offeredGbps, 1), fmt(r.avgUs, 1),
+                       fmt(r.p99Us, 1), fmt(r.p999Us, 1)});
+        }
+        table.separator();
+    }
+    table.print();
+    table.writeCsv("results/ext_trace_replay.csv");
+
+    std::printf("\nAt rates where bursts exceed a design's ceiling, its "
+                "open-loop tails grow by orders of magnitude; provisioning "
+                "against traces therefore needs the headroom SmartDS's "
+                "higher per-server ceiling provides.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Figure 7: throughput and average/p99/p999 latency of the
+ * four middle-tier designs while serving 4 KiB write requests with 3-way
+ * replication, as a function of the cores the design may use.
+ *
+ * Expected shapes (paper Section 5.2):
+ *  - CPU-only ramps nearly linearly and needs all 48 logical cores to
+ *    approach the peak the other designs reach with two cores.
+ *  - Acc and SmartDS-1 peak with two cores (compression is offloaded).
+ *  - BF2 is capped by its ~40 Gbps on-card compression engine.
+ *  - At low load, BF2 has the lowest average latency (no host hop), Acc
+ *    the highest (two extra PCIe data movements + notifications), and
+ *    SmartDS sits at CPU-only's level; CPU-only latency rises with core
+ *    count (SMT pairing + memory/PCIe pressure at higher throughput).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace smartds;
+using namespace smartds::bench;
+using middletier::Design;
+
+void
+runRow(Table &tput, Table &lat, const char *label, Design design,
+       unsigned cores, unsigned ports)
+{
+    const auto sat =
+        workload::runWriteExperiment(saturating(design, cores, ports));
+    const auto mod =
+        workload::runWriteExperiment(moderate(design, cores, ports));
+    tput.row({label, fmt(cores), fmt(sat.throughputGbps, 1),
+              fmt(sat.avgLatencyUs, 1), fmt(sat.p99LatencyUs, 1),
+              fmt(sat.p999LatencyUs, 1)});
+    lat.row({label, fmt(cores), fmt(mod.throughputGbps, 1),
+             fmt(mod.avgLatencyUs, 1), fmt(mod.p99LatencyUs, 1),
+             fmt(mod.p999LatencyUs, 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 7: throughput and latency of serving write "
+                "requests\n\n");
+
+    Table tput("Fig 7a + loaded latency - saturating load");
+    tput.header({"design", "cores", "tput(Gbps)", "avg(us)", "p99(us)",
+                 "p999(us)"});
+    Table lat("Fig 7b-d - latency at moderate load");
+    lat.header({"design", "cores", "tput(Gbps)", "avg(us)", "p99(us)",
+                "p999(us)"});
+
+    for (unsigned cores : {2u, 4u, 8u, 16u, 24u, 32u, 40u, 48u})
+        runRow(tput, lat, "CPU-only", Design::CpuOnly, cores, 1);
+    tput.separator();
+    lat.separator();
+    for (unsigned cores : {1u, 2u, 4u})
+        runRow(tput, lat, "Acc", Design::Accelerator, cores, 1);
+    tput.separator();
+    lat.separator();
+    for (unsigned cores : {1u, 2u, 4u, 8u})
+        runRow(tput, lat, "BF2", Design::Bf2, cores, 2);
+    tput.separator();
+    lat.separator();
+    for (unsigned cores : {1u, 2u, 4u})
+        runRow(tput, lat, "SmartDS-1", Design::SmartDs, cores, 1);
+
+    tput.print();
+    tput.writeCsv("results/fig07_throughput.csv");
+    std::printf("\n");
+    lat.print();
+    lat.writeCsv("results/fig07_latency.csv");
+
+    // Headline comparison at each design's peak configuration.
+    const auto cpu = workload::runWriteExperiment(
+        saturating(Design::CpuOnly, 48));
+    const auto sd = workload::runWriteExperiment(
+        saturating(Design::SmartDs, 2));
+    std::printf("\nAt peak: CPU-only %.1f Gbps vs SmartDS-1 %.1f Gbps; "
+                "latency reduction avg %.1fx p99 %.1fx p999 %.1fx\n"
+                "(paper: avg 2.6x, p99 3.4x, p999 3.5x at comparable "
+                "throughput)\n",
+                cpu.throughputGbps, sd.throughputGbps,
+                cpu.avgLatencyUs / sd.avgLatencyUs,
+                cpu.p99LatencyUs / sd.p99LatencyUs,
+                cpu.p999LatencyUs / sd.p999LatencyUs);
+    return 0;
+}

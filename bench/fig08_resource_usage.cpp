@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Figure 8: host memory bandwidth (8a) and CPU PCIe link
+ * bandwidth (8b) occupied by each design while serving write requests.
+ *
+ * Expected shapes (paper Section 5.2):
+ *  - CPU-only consumes nearly equal memory read and write bandwidth,
+ *    growing with core count; its NIC's H2D PCIe direction approaches
+ *    the PCIe 3.0 x16 achievable bandwidth at peak.
+ *  - Acc w/ DDIO consumes mostly memory *write* bandwidth (NIC-written
+ *    payloads spill from the DDIO ways; the FPGA's reads hit the LLC);
+ *    disabling DDIO makes read bandwidth jump. Its NIC PCIe link
+ *    saturates and the FPGA link carries the payload twice more.
+ *  - SmartDS occupies only ~2% of PCIe and almost no memory bandwidth:
+ *    payloads never leave the card.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace smartds;
+using namespace smartds::bench;
+using middletier::Design;
+
+double
+usage(const workload::ExperimentResult &r, const char *key)
+{
+    const auto it = r.usageGbps.find(key);
+    return it == r.usageGbps.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8: host memory and CPU PCIe link bandwidth "
+                "usage\n\n");
+
+    Table mem("Fig 8a - host memory bandwidth occupation (Gbps)");
+    mem.header({"design", "cores", "tput(Gbps)", "mem.read", "mem.write"});
+    Table pcie("Fig 8b - CPU PCIe link bandwidth (Gbps)");
+    pcie.header({"design", "cores", "tput(Gbps)", "nic.h2d", "nic.d2h",
+                 "fpga/sd.h2d", "fpga/sd.d2h"});
+
+    for (unsigned cores : {8u, 16u, 24u, 32u, 48u}) {
+        const auto r = workload::runWriteExperiment(
+            saturating(Design::CpuOnly, cores));
+        mem.row({"CPU-only", fmt(cores), fmt(r.throughputGbps, 1),
+                 fmt(usage(r, "mem.read"), 1),
+                 fmt(usage(r, "mem.write"), 1)});
+        pcie.row({"CPU-only", fmt(cores), fmt(r.throughputGbps, 1),
+                  fmt(usage(r, "pcie.nic.h2d"), 1),
+                  fmt(usage(r, "pcie.nic.d2h"), 1), "-", "-"});
+    }
+    mem.separator();
+    pcie.separator();
+
+    for (bool ddio : {true, false}) {
+        for (unsigned cores : {1u, 2u, 4u}) {
+            auto config = saturating(Design::Accelerator, cores);
+            config.ddio = ddio;
+            const auto r = workload::runWriteExperiment(config);
+            const std::string label = ddio ? "Acc w/DDIO" : "Acc w/oDDIO";
+            mem.row({label, fmt(cores), fmt(r.throughputGbps, 1),
+                     fmt(usage(r, "mem.read"), 1),
+                     fmt(usage(r, "mem.write"), 1)});
+            pcie.row({label, fmt(cores), fmt(r.throughputGbps, 1),
+                      fmt(usage(r, "pcie.nic.h2d"), 1),
+                      fmt(usage(r, "pcie.nic.d2h"), 1),
+                      fmt(usage(r, "pcie.fpga.h2d"), 1),
+                      fmt(usage(r, "pcie.fpga.d2h"), 1)});
+        }
+        mem.separator();
+        pcie.separator();
+    }
+
+    {
+        const auto r = workload::runWriteExperiment(
+            saturating(Design::SmartDs, 2));
+        mem.row({"SmartDS-1", "2", fmt(r.throughputGbps, 1),
+                 fmt(usage(r, "mem.read"), 1),
+                 fmt(usage(r, "mem.write"), 1)});
+        pcie.row({"SmartDS-1", "2", fmt(r.throughputGbps, 1), "-", "-",
+                  fmt(usage(r, "pcie.smartds.h2d"), 1),
+                  fmt(usage(r, "pcie.smartds.d2h"), 1)});
+    }
+
+    mem.print();
+    mem.writeCsv("results/fig08a_memory.csv");
+    std::printf("\n");
+    pcie.print();
+    pcie.writeCsv("results/fig08b_pcie.csv");
+
+    std::printf("\nSmartDS occupies ~2%% of one PCIe 3.0 x16 direction "
+                "(achievable ~104 Gbps) at full port rate; CPU-only's "
+                "NIC H2D approaches the PCIe limit at peak (paper Fig "
+                "8b).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 10: the effect of the number of networking ports.
+ *
+ * Paper (Section 5.4): SmartDS throughput scales linearly with ports —
+ * SmartDS-4 reaches ~4x the SmartDS-1 maximum (i.e. ~4.3x the CPU-only
+ * middle tier) — while average and tail latencies stay flat, and the
+ * host memory/PCIe footprint stays a small fraction of one link because
+ * only headers cross to the host (two CPU cores per port suffice).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace smartds;
+using namespace smartds::bench;
+using middletier::Design;
+
+double
+usage(const workload::ExperimentResult &r, const char *key)
+{
+    const auto it = r.usageGbps.find(key);
+    return it == r.usageGbps.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 10: effect of the number of network ports\n\n");
+
+    Table table("Fig 10a-c - SmartDS port scaling");
+    table.header({"ports", "cores", "tput(Gbps)", "scale", "avg(us)",
+                  "p99(us)", "p999(us)", "mem(Gbps)", "pcie.h2d(Gbps)",
+                  "pcie.d2h(Gbps)"});
+
+    double base = 0.0;
+    for (unsigned ports : {1u, 2u, 4u, 6u}) {
+        const unsigned cores = 2 * ports; // two cores per port (5.5)
+        const auto r = workload::runWriteExperiment(
+            saturating(Design::SmartDs, cores, ports));
+        if (ports == 1)
+            base = r.throughputGbps;
+        table.row({fmt(ports), fmt(cores), fmt(r.throughputGbps, 1),
+                   fmt(r.throughputGbps / base, 2),
+                   fmt(r.avgLatencyUs, 1), fmt(r.p99LatencyUs, 1),
+                   fmt(r.p999LatencyUs, 1),
+                   fmt(usage(r, "mem.read") + usage(r, "mem.write"), 1),
+                   fmt(usage(r, "pcie.smartds.h2d"), 2),
+                   fmt(usage(r, "pcie.smartds.d2h"), 2)});
+    }
+    table.print();
+    table.writeCsv("results/fig10_multiport.csv");
+
+    const auto cpu = workload::runWriteExperiment(
+        saturating(Design::CpuOnly, 48));
+    const auto sd4 = workload::runWriteExperiment(
+        saturating(Design::SmartDs, 8, 4));
+    std::printf("\nSmartDS-4 achieves %.1fx the CPU-only middle tier "
+                "(paper: up to 4.3x).\n",
+                sd4.throughputGbps / cpu.throughputGbps);
+    return 0;
+}

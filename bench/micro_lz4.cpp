@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Microbenchmarks of the functional LZ4 codec on the synthetic corpus
+ * (google-benchmark): compression/decompression throughput per profile
+ * and effort, plus the achieved ratios. These are the *functional*
+ * numbers of this host; the simulator's software-compression *rate* is
+ * calibrated to the paper's platform (2.1 Gbps/logical core at 2.2 GHz)
+ * in common/calibration.h.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "corpus/corpus.h"
+#include "lz4/lz4.h"
+
+namespace {
+
+using namespace smartds;
+
+const std::vector<std::uint8_t> &
+profileData(corpus::Profile p)
+{
+    static std::map<corpus::Profile, std::vector<std::uint8_t>> cache;
+    auto it = cache.find(p);
+    if (it == cache.end()) {
+        Rng rng(2024);
+        it = cache.emplace(p, corpus::generate(p, 1u << 20, rng)).first;
+    }
+    return it->second;
+}
+
+void
+compressProfile(benchmark::State &state, corpus::Profile profile,
+                int effort)
+{
+    const auto &data = profileData(profile);
+    std::vector<std::uint8_t> out(lz4::maxCompressedSize(4096));
+    std::size_t offset = 0;
+    std::size_t compressed_total = 0;
+    std::size_t original_total = 0;
+    for (auto _ : state) {
+        const auto n = lz4::compress(data.data() + offset, 4096,
+                                     out.data(), out.size(), effort);
+        benchmark::DoNotOptimize(n);
+        compressed_total += n.value_or(4096);
+        original_total += 4096;
+        offset = (offset + 4096) % (data.size() - 4096);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(original_total));
+    state.counters["ratio"] = static_cast<double>(compressed_total) /
+                              static_cast<double>(original_total);
+}
+
+void
+decompressProfile(benchmark::State &state, corpus::Profile profile)
+{
+    const auto &data = profileData(profile);
+    // Pre-compress a set of blocks.
+    std::vector<std::vector<std::uint8_t>> blocks;
+    for (std::size_t off = 0; off + 4096 <= data.size() && blocks.size() < 64;
+         off += 4096) {
+        std::vector<std::uint8_t> block(data.begin() + off,
+                                        data.begin() + off + 4096);
+        blocks.push_back(lz4::compress(block, 1));
+    }
+    std::vector<std::uint8_t> out(4096);
+    std::size_t i = 0;
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        const auto n = lz4::decompress(blocks[i].data(), blocks[i].size(),
+                                       out.data(), out.size());
+        benchmark::DoNotOptimize(n);
+        bytes += n.value_or(0);
+        i = (i + 1) % blocks.size();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(compressProfile, text_e1, corpus::Profile::Text, 1);
+BENCHMARK_CAPTURE(compressProfile, text_e6, corpus::Profile::Text, 6);
+BENCHMARK_CAPTURE(compressProfile, xml_e1, corpus::Profile::Xml, 1);
+BENCHMARK_CAPTURE(compressProfile, database_e1, corpus::Profile::Database,
+                  1);
+BENCHMARK_CAPTURE(compressProfile, executable_e1,
+                  corpus::Profile::Executable, 1);
+BENCHMARK_CAPTURE(compressProfile, scientific_e1,
+                  corpus::Profile::Scientific, 1);
+BENCHMARK_CAPTURE(compressProfile, imaging_e1, corpus::Profile::Imaging, 1);
+
+BENCHMARK_CAPTURE(decompressProfile, text, corpus::Profile::Text);
+BENCHMARK_CAPTURE(decompressProfile, xml, corpus::Profile::Xml);
+BENCHMARK_CAPTURE(decompressProfile, executable,
+                  corpus::Profile::Executable);
+BENCHMARK_CAPTURE(decompressProfile, imaging, corpus::Profile::Imaging);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Microbenchmarks of the simulation kernel itself (google-benchmark):
+ * event throughput, coroutine switch cost, resource-model overheads.
+ * Useful for judging how much simulated time a given experiment budget
+ * buys — the figure sweeps execute millions of these primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/awaitables.h"
+#include "sim/bandwidth_server.h"
+#include "sim/fair_share.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace smartds;
+using namespace smartds::time_literals;
+
+void
+eventScheduleAndRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule(static_cast<Tick>(i) * 10_ns,
+                         [&sink]() { ++sink; });
+        sim.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void
+coroutineDelayChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int sink = 0;
+        for (int p = 0; p < 50; ++p) {
+            sim::spawn(sim, [](sim::Simulator &s, int *out) -> sim::Process {
+                for (int i = 0; i < 20; ++i)
+                    co_await sim::delay(s, 100_ns);
+                ++*out;
+            }(sim, &sink));
+        }
+        sim.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 50 * 20);
+}
+
+void
+bandwidthServerTransfers(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        sim::BandwidthServer server(sim, "s", 12.5e9);
+        int done = 0;
+        for (int i = 0; i < 1000; ++i)
+            server.transfer(4096, [&done]() { ++done; });
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void
+fairShareContendedTransfers(benchmark::State &state)
+{
+    const auto flows = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        sim::FairShareResource res(sim, "mem", 120e9);
+        int done = 0;
+        std::vector<sim::FairShareResource::Flow *> fs;
+        for (std::size_t f = 0; f < flows; ++f)
+            fs.push_back(res.createFlow("f" + std::to_string(f)));
+        for (int i = 0; i < 200; ++i)
+            fs[static_cast<std::size_t>(i) % flows]->transfer(
+                4096, [&done]() { ++done; });
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+
+} // namespace
+
+BENCHMARK(eventScheduleAndRun);
+BENCHMARK(coroutineDelayChain);
+BENCHMARK(bandwidthServerTransfers);
+BENCHMARK(fairShareContendedTransfers)->Arg(2)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table 3: FPGA resource consumption of the "Acc" baseline
+ * and the SmartDS-1/2/4/6 configurations, from the component-level
+ * resource budget (each port adds an extended RoCE stack, Split and
+ * Assemble modules, an LZ4 engine and an HBM crossbar share).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "smartds/resource_model.h"
+
+int
+main()
+{
+    using namespace smartds;
+    using namespace smartds::device;
+
+    std::printf("Table 3: FPGA resource consumption\n"
+                "(paper: Acc 112K/109K/172; SmartDS-1 157K/143K/292; "
+                "linear per port up to 941K/857K/1752 for 6 ports)\n\n");
+
+    const ResourceVec cap = vcu128Capacity();
+
+    Table table("Table 3 - FPGA resource consumption");
+    table.header({"Name", "LUTs (K)", "REGs (K)", "BRAMs"});
+
+    auto row = [&](const char *name, const ResourceVec &r) {
+        const ResourceVec pct = utilizationPercent(r, cap);
+        table.row({name,
+                   fmt(r.lutK, 0) + " (" + fmt(pct.lutK, 1) + "%)",
+                   fmt(r.regK, 0) + " (" + fmt(pct.regK, 1) + "%)",
+                   fmt(r.bram, 0) + " (" + fmt(pct.bram, 1) + "%)"});
+    };
+    row("\"Acc\"", accResources());
+    for (unsigned ports : {1u, 2u, 4u, 6u}) {
+        const std::string name =
+            "\"SmartDS-" + std::to_string(ports) + "\"";
+        row(name.c_str(), smartdsResources(ports));
+    }
+    table.print();
+    table.writeCsv("results/table3_resources.csv");
+
+    Table parts("Per-port component budget");
+    parts.header({"Component", "LUTs (K)", "REGs (K)", "BRAMs"});
+    for (const auto &c : smartdsPortComponents())
+        parts.row({c.name, fmt(c.cost.lutK, 1), fmt(c.cost.regK, 1),
+                   fmt(c.cost.bram, 0)});
+    std::printf("\n");
+    parts.print();
+    parts.writeCsv("results/table3_components.csv");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Example: end-to-end data integrity for disaggregated storage.
+ *
+ * Production block stores checksum everything. This example shows the
+ * integrity toolchain this library provides around the SmartDS datapath:
+ *
+ *  1. Blocks written through the card are framed for storage in the LZ4
+ *     frame format (magic, block checksums, content checksum).
+ *  2. The card's scrubbing engine (dev_func with EngineOp::Checksum)
+ *     verifies a stored payload against the header's xxHash32 without
+ *     the payload ever visiting the host.
+ *  3. A deliberately corrupted frame is detected on read-back.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "corpus/corpus.h"
+#include "lz4/frame.h"
+#include "mem/memory_system.h"
+#include "net/fabric.h"
+#include "sim/process.h"
+#include "smartds/device.h"
+
+using namespace smartds;
+using device::SmartDsDevice;
+
+int
+main()
+{
+    std::printf("Data integrity: frames, checksums and the scrubbing "
+                "engine\n\n");
+
+    corpus::SyntheticCorpus corpus(4u << 20, 77);
+    Rng rng(3);
+
+    // --- 1. Frame a set of blocks the way storage would persist them ----
+    const auto object = corpus.sampleBlock(256 * 1024, rng);
+    lz4::FrameOptions options;
+    options.blockSize = 64 * 1024;
+    const auto frame = lz4::compressFrame(object, options);
+    std::printf("framed    : %zu KiB object -> %zu KiB frame "
+                "(block+content checksums included)\n",
+                object.size() / 1024, frame.size() / 1024);
+
+    const auto restored = lz4::decompressFrame(frame);
+    if (!restored || *restored != object) {
+        std::printf("FAILED: frame round trip\n");
+        return 1;
+    }
+    std::printf("verified  : frame decompresses byte-exactly\n");
+
+    // --- 2. Corruption is detected, never silently returned -------------
+    auto corrupted = frame;
+    corrupted[corrupted.size() / 2] ^= 0x20;
+    if (lz4::decompressFrame(corrupted)) {
+        std::printf("FAILED: corruption was not detected\n");
+        return 1;
+    }
+    std::printf("detected  : a flipped bit in the stored frame is caught "
+                "on read-back\n");
+
+    // --- 3. On-card scrubbing: checksum a payload without the host ------
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "host-mem", {});
+    SmartDsDevice::Config config;
+    config.functional = true;
+    SmartDsDevice dev(fabric, "smartds", &memory, config);
+
+    const auto block = corpus.sampleBlock(4096, rng);
+    auto buf = dev.devAlloc(4096);
+    std::memcpy(buf->bytes()->data(), block.data(), 4096);
+    buf->content.size = 4096;
+    auto scratch = dev.devAlloc(16);
+
+    auto e = dev.devFunc(buf, 4096, scratch, 16, 0,
+                         device::EngineOp::Checksum);
+    sim.run();
+    const std::uint32_t expected = xxhash32(block);
+    if (!e.completion.done() || e.completion.value() != expected) {
+        std::printf("FAILED: scrub engine checksum mismatch\n");
+        return 1;
+    }
+    std::printf("scrubbed  : on-card engine computed xxHash32 %08x, "
+                "matching the header's checksum, in %.2f us of device "
+                "time\n",
+                expected, toMicroseconds(sim.now()));
+    std::printf("\nAll integrity checks passed.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Example: a cloud block-storage write tier under mixed tenant traffic.
+ *
+ * The workload the paper's introduction motivates: many VMs writing
+ * 4 KiB blocks through one middle-tier server, 3-way replicated to a
+ * pool of storage servers, with a slice of latency-sensitive traffic
+ * (e.g. database redo logs) that the middle tier forwards uncompressed
+ * (Listing 1's is_latency_important branch). Compares the SmartDS tier
+ * against the CPU-only tier at the same offered load and prints the
+ * figures an operator would look at: throughput, latency percentiles,
+ * host-resource footprint, and stored-byte amplification.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "workload/experiment.h"
+
+using namespace smartds;
+
+namespace {
+
+double
+usage(const workload::ExperimentResult &r, const char *key)
+{
+    const auto it = r.usageGbps.find(key);
+    return it == r.usageGbps.end() ? 0.0 : it->second;
+}
+
+workload::ExperimentResult
+runTier(middletier::Design design, unsigned cores,
+        double latency_sensitive)
+{
+    workload::ExperimentConfig config;
+    config.design = design;
+    config.cores = cores;
+    config.warmup = 4 * ticksPerMillisecond;
+    config.window = 12 * ticksPerMillisecond;
+    config.latencySensitiveFraction = latency_sensitive;
+    return workload::runWriteExperiment(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Write path: one middle-tier server, 4 KiB writes, "
+                "3-way replication, 10%% latency-sensitive traffic\n\n");
+
+    const double ls_fraction = 0.10;
+    const auto smartds =
+        runTier(middletier::Design::SmartDs, 2, ls_fraction);
+    const auto cpu = runTier(middletier::Design::CpuOnly, 48, ls_fraction);
+
+    Table table("Middle-tier comparison under mixed tenant traffic");
+    table.header({"tier", "cores", "tput(Gbps)", "avg(us)", "p99(us)",
+                  "p999(us)", "host-mem(Gbps)", "pcie(Gbps)"});
+    table.row({"SmartDS-1", "2", fmt(smartds.throughputGbps, 1),
+               fmt(smartds.avgLatencyUs, 1), fmt(smartds.p99LatencyUs, 1),
+               fmt(smartds.p999LatencyUs, 1),
+               fmt(usage(smartds, "mem.read") + usage(smartds, "mem.write"),
+                   1),
+               fmt(usage(smartds, "pcie.smartds.h2d") +
+                       usage(smartds, "pcie.smartds.d2h"),
+                   1)});
+    table.row({"CPU-only", "48", fmt(cpu.throughputGbps, 1),
+               fmt(cpu.avgLatencyUs, 1), fmt(cpu.p99LatencyUs, 1),
+               fmt(cpu.p999LatencyUs, 1),
+               fmt(usage(cpu, "mem.read") + usage(cpu, "mem.write"), 1),
+               fmt(usage(cpu, "pcie.nic.h2d") + usage(cpu, "pcie.nic.d2h"),
+                   1)});
+    table.print();
+
+    std::printf(
+        "\nSame service from 2 cores instead of 48: the %u freed cores "
+        "can run maintenance (LSM compaction, scrubbing, snapshots) "
+        "without touching the datapath's memory bandwidth.\n"
+        "Mean block compression ratio on the corpus: %.2f -> each 4 KiB "
+        "write stores ~%.0f bytes per replica.\n",
+        46, smartds.meanCompressionRatio,
+        smartds.meanCompressionRatio * 4096.0);
+    return 0;
+}

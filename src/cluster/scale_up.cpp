@@ -1,0 +1,50 @@
+#include "cluster/scale_up.h"
+
+#include <algorithm>
+
+namespace smartds::cluster {
+
+ScaleUpReport
+evaluateScaleUp(const ScaleUpInputs &inputs, unsigned cards)
+{
+    ScaleUpReport report;
+    report.cards = cards;
+    report.totalGbps = inputs.perCardGbps * cards;
+    report.hostMemoryGbps = inputs.hostMemoryPerCardGbps * cards;
+
+    const unsigned max_cards =
+        inputs.cardsPerSwitch * inputs.switchesPerServer;
+    const unsigned cards_on_fullest_switch =
+        std::min(inputs.cardsPerSwitch,
+                 cards <= max_cards ? (cards + inputs.switchesPerServer - 1) /
+                                          inputs.switchesPerServer
+                                    : inputs.cardsPerSwitch);
+    report.pciePerSwitchGbps =
+        inputs.pciePerCardGbps * cards_on_fullest_switch;
+    report.coresNeeded = cards * inputs.portsPerCard * inputs.coresPerPort;
+
+    report.memoryFeasible =
+        report.hostMemoryGbps <= inputs.hostMemoryBudgetGbps &&
+        cards <= max_cards;
+    report.pcieFeasible = report.pciePerSwitchGbps <= inputs.pcieRootGbps;
+    report.coresFeasible = report.coresNeeded <= inputs.hostCores;
+    report.serverReduction =
+        inputs.cpuOnlyGbps > 0.0 ? report.totalGbps / inputs.cpuOnlyGbps
+                                 : 0.0;
+    return report;
+}
+
+unsigned
+maxFeasibleCards(const ScaleUpInputs &inputs)
+{
+    const unsigned slots = inputs.cardsPerSwitch * inputs.switchesPerServer;
+    unsigned best = 0;
+    for (unsigned cards = 1; cards <= slots; ++cards) {
+        const ScaleUpReport r = evaluateScaleUp(inputs, cards);
+        if (r.memoryFeasible && r.pcieFeasible && r.coresFeasible)
+            best = cards;
+    }
+    return best;
+}
+
+} // namespace smartds::cluster

@@ -1,0 +1,86 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace smartds {
+
+namespace {
+
+constexpr std::uint32_t prime1 = 0x9e3779b1u;
+constexpr std::uint32_t prime2 = 0x85ebca77u;
+constexpr std::uint32_t prime3 = 0xc2b2ae3du;
+constexpr std::uint32_t prime4 = 0x27d4eb2fu;
+constexpr std::uint32_t prime5 = 0x165667b1u;
+
+inline std::uint32_t
+rotl(std::uint32_t x, int r)
+{
+    return (x << r) | (x >> (32 - r));
+}
+
+inline std::uint32_t
+read32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+round(std::uint32_t acc, std::uint32_t input)
+{
+    acc += input * prime2;
+    acc = rotl(acc, 13);
+    acc *= prime1;
+    return acc;
+}
+
+} // namespace
+
+std::uint32_t
+xxhash32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    const std::uint8_t *p = data;
+    const std::uint8_t *const end = data + size;
+    std::uint32_t h;
+
+    if (size >= 16) {
+        std::uint32_t v1 = seed + prime1 + prime2;
+        std::uint32_t v2 = seed + prime2;
+        std::uint32_t v3 = seed;
+        std::uint32_t v4 = seed - prime1;
+        const std::uint8_t *const limit = end - 16;
+        do {
+            v1 = round(v1, read32(p));
+            v2 = round(v2, read32(p + 4));
+            v3 = round(v3, read32(p + 8));
+            v4 = round(v4, read32(p + 12));
+            p += 16;
+        } while (p <= limit);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    } else {
+        h = seed + prime5;
+    }
+
+    h += static_cast<std::uint32_t>(size);
+
+    while (p + 4 <= end) {
+        h += read32(p) * prime3;
+        h = rotl(h, 17) * prime4;
+        p += 4;
+    }
+    while (p < end) {
+        h += *p * prime5;
+        h = rotl(h, 11) * prime1;
+        ++p;
+    }
+
+    h ^= h >> 15;
+    h *= prime2;
+    h ^= h >> 13;
+    h *= prime3;
+    h ^= h >> 16;
+    return h;
+}
+
+} // namespace smartds

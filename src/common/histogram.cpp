@@ -1,0 +1,149 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace smartds {
+
+LogHistogram::LogHistogram(unsigned sub_bucket_bits)
+    : subBucketBits_(sub_bucket_bits), subBuckets_(1ULL << sub_bucket_bits)
+{
+    SMARTDS_ASSERT(sub_bucket_bits >= 1 && sub_bucket_bits <= 12,
+                   "sub_bucket_bits out of range");
+    // One linear region for values < subBuckets_, then one octave of
+    // subBuckets_/2 buckets for each further doubling up to 2^64.
+    const unsigned octaves = 64 - subBucketBits_;
+    counts_.assign(subBuckets_ + octaves * (subBuckets_ / 2), 0);
+}
+
+unsigned
+LogHistogram::bucketIndex(std::uint64_t value) const
+{
+    if (value < subBuckets_)
+        return static_cast<unsigned>(value);
+    const unsigned msb = 63 - std::countl_zero(value);
+    const unsigned octave = msb - (subBucketBits_ - 1); // >= 1
+    // Position of the value within its octave, quantised to half the
+    // sub-bucket count (the top bit is implied).
+    const unsigned within = static_cast<unsigned>(
+        (value >> (msb - (subBucketBits_ - 1))) - (subBuckets_ / 2));
+    return static_cast<unsigned>(subBuckets_ +
+                                 (octave - 1) * (subBuckets_ / 2) + within);
+}
+
+std::uint64_t
+LogHistogram::bucketLow(unsigned index) const
+{
+    if (index < subBuckets_)
+        return index;
+    const unsigned rest = index - static_cast<unsigned>(subBuckets_);
+    const unsigned octave = rest / (subBuckets_ / 2) + 1;
+    const unsigned within = rest % (subBuckets_ / 2);
+    const unsigned msb = octave + (subBucketBits_ - 1);
+    return (subBuckets_ / 2 + within) << (msb - (subBucketBits_ - 1));
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(unsigned index) const
+{
+    if (index < subBuckets_)
+        return index;
+    const unsigned rest = index - static_cast<unsigned>(subBuckets_);
+    const unsigned octave = rest / (subBuckets_ / 2) + 1;
+    const unsigned within = rest % (subBuckets_ / 2);
+    const unsigned msb = octave + (subBucketBits_ - 1);
+    const std::uint64_t step = 1ULL << (msb - (subBucketBits_ - 1));
+    return ((subBuckets_ / 2 + within) << (msb - (subBucketBits_ - 1))) +
+           step - 1;
+}
+
+void
+LogHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LogHistogram::record(std::uint64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    counts_[bucketIndex(value)] += count;
+    total_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    SMARTDS_ASSERT(subBucketBits_ == other.subBucketBits_,
+                   "merging histograms with different geometry");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.total_) {
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+}
+
+void
+LogHistogram::reset()
+{
+    counts_.assign(counts_.size(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+double
+LogHistogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t
+LogHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    if (q <= 0.0)
+        return minValue();
+    if (q >= 1.0)
+        return maxValue();
+    const double target = q * static_cast<double>(total_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const double next = seen + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            const double frac =
+                (target - seen) / static_cast<double>(counts_[i]);
+            const std::uint64_t lo = bucketLow(static_cast<unsigned>(i));
+            const std::uint64_t hi = bucketHigh(static_cast<unsigned>(i));
+            std::uint64_t v = lo + static_cast<std::uint64_t>(
+                                       frac * static_cast<double>(hi - lo));
+            // Interpolation within the final bucket can overshoot the
+            // largest recorded value; clamp to the observed range.
+            if (v > max_)
+                v = max_;
+            if (v < min_)
+                v = min_;
+            return v;
+        }
+        seen = next;
+    }
+    return maxValue();
+}
+
+} // namespace smartds

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Latency measurement helper combining a log histogram with exact
+ * mean/min/max, reporting in the units the paper's figures use.
+ */
+
+#ifndef SMARTDS_COMMON_LATENCY_RECORDER_H_
+#define SMARTDS_COMMON_LATENCY_RECORDER_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/running_stats.h"
+#include "common/time.h"
+
+namespace smartds {
+
+/**
+ * Records per-request latencies (in ticks) and reports average, p50, p99
+ * and p999 in microseconds, matching Figures 7 and 9 of the paper.
+ */
+class LatencyRecorder
+{
+  public:
+    /** Record one latency sample, in ticks. */
+    void
+    record(Tick latency)
+    {
+        hist_.record(latency);
+        exact_.add(static_cast<double>(latency));
+    }
+
+    /** Remove all samples (e.g. at the end of warmup). */
+    void
+    reset()
+    {
+        hist_.reset();
+        exact_.reset();
+    }
+
+    std::uint64_t count() const { return hist_.count(); }
+
+    double avgUs() const { return exact_.mean() / 1e6; }
+    double minUs() const { return exact_.min() / 1e6; }
+    double maxUs() const { return exact_.max() / 1e6; }
+    double p50Us() const { return toMicroseconds(hist_.p50()); }
+    double p99Us() const { return toMicroseconds(hist_.p99()); }
+    double p999Us() const { return toMicroseconds(hist_.p999()); }
+
+    const LogHistogram &histogram() const { return hist_; }
+
+  private:
+    LogHistogram hist_;
+    RunningStats exact_;
+};
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_LATENCY_RECORDER_H_

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Status-message and error-handling helpers, following the gem5 idiom:
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              user input — a bug in this library. Aborts.
+ *  - fatal():  the run cannot continue because of user input (bad
+ *              configuration, invalid argument). Exits with code 1.
+ *  - warn():   something is suspicious but the run continues.
+ *  - inform(): plain status output.
+ *
+ * All take printf-style format strings. The verbosity of inform() can be
+ * silenced globally (benchmarks print their own tables).
+ */
+
+#ifndef SMARTDS_COMMON_LOGGING_H_
+#define SMARTDS_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace smartds {
+
+/** Print an informational message (suppressed when quiet mode is set). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation (a bug) and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Suppress (or re-enable) inform() output. */
+void setQuiet(bool quiet);
+
+/** @return whether inform() output is currently suppressed. */
+bool quiet();
+
+/**
+ * Assert an invariant that must hold independent of user input.
+ * Unlike assert(), this is active in all build types.
+ */
+#define SMARTDS_ASSERT(cond, fmt, ...)                                       \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::smartds::panic("assertion '%s' failed at %s:%d: " fmt, #cond, \
+                             __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+        }                                                                    \
+    } while (0)
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_LOGGING_H_

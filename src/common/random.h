@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component takes an explicit seed so that simulations are
+ * reproducible run-to-run. The generator is xoshiro256**, seeded through
+ * SplitMix64 per the reference recommendation; it is fast enough to sit on
+ * the corpus-generation fast path.
+ */
+
+#ifndef SMARTDS_COMMON_RANDOM_H_
+#define SMARTDS_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace smartds {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ * Satisfies the UniformRandomBitGenerator requirements so it can also be
+ * used with <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) { reseed(seed); }
+
+    /** Re-initialise the state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // here: the bias is < 2^-64 * bound, immaterial for simulation.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(operator()()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        return -mean * std::log(u);
+    }
+
+    /**
+     * Zipf-like rank selection over @p n items with skew @p s, via
+     * rejection-inversion would be overkill; a simple cumulative-free
+     * power-law transform is sufficient for block-address skew.
+     */
+    std::uint64_t
+    zipfApprox(std::uint64_t n, double s)
+    {
+        const double u = uniform();
+        const double v = std::pow(u, s + 1.0);
+        auto idx = static_cast<std::uint64_t>(v * static_cast<double>(n));
+        return idx >= n ? n - 1 : idx;
+    }
+
+    /** Derive an independent child generator (for per-flow streams). */
+    Rng
+    fork()
+    {
+        return Rng(operator()() ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_RANDOM_H_

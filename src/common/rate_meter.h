@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Byte-rate measurement over an explicit measurement window.
+ *
+ * Benchmarks open a window after warmup and close it at the end of the
+ * measured phase; the meter then reports average bandwidth over exactly
+ * that interval. Bytes recorded outside an open window are ignored, which
+ * makes warmup exclusion trivial.
+ */
+
+#ifndef SMARTDS_COMMON_RATE_METER_H_
+#define SMARTDS_COMMON_RATE_METER_H_
+
+#include "common/time.h"
+#include "common/units.h"
+
+namespace smartds {
+
+/** Accumulates bytes between open() and close() and reports the rate. */
+class RateMeter
+{
+  public:
+    /** Begin (or restart) the measurement window at time @p now. */
+    void
+    open(Tick now)
+    {
+        openTick_ = now;
+        closeTick_ = 0;
+        bytes_ = 0;
+        openFlag_ = true;
+    }
+
+    /** End the measurement window at time @p now. */
+    void
+    close(Tick now)
+    {
+        if (!openFlag_)
+            return;
+        closeTick_ = now;
+        openFlag_ = false;
+    }
+
+    /** Record @p n bytes at the current time (only counted when open). */
+    void
+    add(Bytes n)
+    {
+        if (openFlag_)
+            bytes_ += n;
+    }
+
+    bool isOpen() const { return openFlag_; }
+    Bytes bytes() const { return bytes_; }
+
+    /** Window duration in ticks (0 if never opened/closed). */
+    Tick
+    window() const
+    {
+        return closeTick_ > openTick_ ? closeTick_ - openTick_ : 0;
+    }
+
+    /** Average rate over the closed window, bytes per second. */
+    BytesPerSecond
+    rate() const
+    {
+        const Tick w = window();
+        if (w == 0)
+            return 0.0;
+        return static_cast<double>(bytes_) / toSeconds(w);
+    }
+
+    /** Average rate in Gbit/s, the unit the paper's figures use. */
+    double rateGbps() const { return toGbps(rate()); }
+
+  private:
+    Tick openTick_ = 0;
+    Tick closeTick_ = 0;
+    Bytes bytes_ = 0;
+    bool openFlag_ = false;
+};
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_RATE_METER_H_

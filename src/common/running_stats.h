@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ */
+
+#ifndef SMARTDS_COMMON_RUNNING_STATS_H_
+#define SMARTDS_COMMON_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace smartds {
+
+/**
+ * Accumulates count, mean, variance, min and max of a stream of doubles
+ * in O(1) space. Numerically stable (Welford).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    /** Merge another accumulator into this one (parallel-friendly). */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double n1 = static_cast<double>(count_);
+        const double n2 = static_cast<double>(other.count_);
+        const double delta = other.mean_ - mean_;
+        mean_ += delta * n2 / (n1 + n2);
+        m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+        count_ += other.count_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+    /** Reset to empty. */
+    void reset() { *this = RunningStats(); }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_RUNNING_STATS_H_

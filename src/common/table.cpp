@@ -1,0 +1,175 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace smartds {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    headerCells_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::separator()
+{
+    rows_.emplace_back(); // empty row marks a separator
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths over header + all rows.
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(headerCells_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+
+    auto emit = [&out, &widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out << "  ";
+            out << cells[i];
+            if (i + 1 < cells.size())
+                out << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        out << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    total = total > 2 ? total - 2 : total;
+
+    if (!headerCells_.empty()) {
+        emit(headerCells_);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_) {
+        if (r.empty())
+            out << std::string(total, '-') << '\n';
+        else
+            emit(r);
+    }
+    return out.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out << ',';
+            // Quote cells containing commas or quotes.
+            if (cells[i].find_first_of(",\"\n") != std::string::npos) {
+                out << '"';
+                for (char c : cells[i]) {
+                    if (c == '"')
+                        out << '"';
+                    out << c;
+                }
+                out << '"';
+            } else {
+                out << cells[i];
+            }
+        }
+        out << '\n';
+    };
+    if (!headerCells_.empty())
+        emit(headerCells_);
+    for (const auto &r : rows_) {
+        if (!r.empty())
+            emit(r);
+    }
+    return out.str();
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not write CSV to '%s'", path.c_str());
+        return false;
+    }
+    out << renderCsv();
+    return static_cast<bool>(out);
+}
+
+void
+Table::print() const
+{
+    const std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmt(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+fmt(std::int64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+}
+
+std::string
+fmt(int value)
+{
+    return fmt(static_cast<std::int64_t>(value));
+}
+
+std::string
+fmt(unsigned value)
+{
+    return fmt(static_cast<std::uint64_t>(value));
+}
+
+} // namespace smartds

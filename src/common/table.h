@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal aligned-column table printer used by the benchmark harnesses to
+ * emit paper-style rows (figures/tables) on stdout.
+ */
+
+#ifndef SMARTDS_COMMON_TABLE_H_
+#define SMARTDS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace smartds {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ * Numeric cells should be pre-formatted by the caller (see fmt() helpers).
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a separator line. */
+    void separator();
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Render to a string (for tests). */
+    std::string render() const;
+
+    /** Render as CSV (header + rows; separators skipped). */
+    std::string renderCsv() const;
+
+    /**
+     * Write the CSV rendering to @p path, creating parent directories.
+     * Benchmarks use this to drop plottable data beside the console
+     * tables. @return false (with a warning) if the file can't be
+     * written.
+     */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headerCells_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmt(double value, int decimals = 2);
+
+/** Format an unsigned integer. */
+std::string fmt(std::uint64_t value);
+
+/** Format a signed integer. */
+std::string fmt(std::int64_t value);
+
+/** Format an int (disambiguation overload). */
+std::string fmt(int value);
+
+/** Format an unsigned (disambiguation overload). */
+std::string fmt(unsigned value);
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_TABLE_H_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Simulated-time definitions shared by every module.
+ *
+ * The simulator counts time in integer picoseconds. Picosecond resolution
+ * keeps divisions of byte counts by multi-hundred-gigabit rates exact enough
+ * that rounding never reorders events, while a 64-bit tick still covers
+ * more than 100 days of simulated time.
+ */
+
+#ifndef SMARTDS_COMMON_TIME_H_
+#define SMARTDS_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace smartds {
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference, for intervals that may be negative. */
+using TickDelta = std::int64_t;
+
+constexpr Tick ticksPerPicosecond = 1;
+constexpr Tick ticksPerNanosecond = 1000;
+constexpr Tick ticksPerMicrosecond = 1000 * ticksPerNanosecond;
+constexpr Tick ticksPerMillisecond = 1000 * ticksPerMicrosecond;
+constexpr Tick ticksPerSecond = 1000 * ticksPerMillisecond;
+
+/** Convert ticks to double-precision seconds (for reporting only). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Convert ticks to double-precision microseconds (for reporting only). */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerMicrosecond);
+}
+
+/** Convert ticks to double-precision nanoseconds (for reporting only). */
+constexpr double
+toNanoseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNanosecond);
+}
+
+/** Convert double-precision seconds to ticks. */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond));
+}
+
+namespace time_literals {
+
+constexpr Tick operator""_ps(unsigned long long v) { return v; }
+constexpr Tick operator""_ns(unsigned long long v)
+{
+    return v * ticksPerNanosecond;
+}
+constexpr Tick operator""_us(unsigned long long v)
+{
+    return v * ticksPerMicrosecond;
+}
+constexpr Tick operator""_ms(unsigned long long v)
+{
+    return v * ticksPerMillisecond;
+}
+constexpr Tick operator""_s(unsigned long long v)
+{
+    return v * ticksPerSecond;
+}
+
+} // namespace time_literals
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_TIME_H_

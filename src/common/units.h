@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Byte-count and bandwidth units.
+ *
+ * Bandwidth is expressed in bytes per second as a double; network rates in
+ * the literature are quoted in Gbit/s, so conversion helpers are provided.
+ * All sizes are plain byte counts (std::uint64_t).
+ */
+
+#ifndef SMARTDS_COMMON_UNITS_H_
+#define SMARTDS_COMMON_UNITS_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace smartds {
+
+/** A size in bytes. */
+using Bytes = std::uint64_t;
+
+/** A bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+constexpr Bytes kibibytes(std::uint64_t v) { return v * 1024ULL; }
+constexpr Bytes mebibytes(std::uint64_t v) { return v * 1024ULL * 1024ULL; }
+constexpr Bytes gibibytes(std::uint64_t v)
+{
+    return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+namespace size_literals {
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return kibibytes(v); }
+constexpr Bytes operator""_MiB(unsigned long long v) { return mebibytes(v); }
+constexpr Bytes operator""_GiB(unsigned long long v) { return gibibytes(v); }
+
+} // namespace size_literals
+
+/** Convert a rate quoted in Gbit/s into bytes per second. */
+constexpr BytesPerSecond
+gbps(double gigabits_per_second)
+{
+    return gigabits_per_second * 1e9 / 8.0;
+}
+
+/** Convert a rate quoted in GiB/s (power-of-two) into bytes per second. */
+constexpr BytesPerSecond
+gibps(double gibibytes_per_second)
+{
+    return gibibytes_per_second * 1024.0 * 1024.0 * 1024.0;
+}
+
+/** Convert bytes per second into Gbit/s for reporting. */
+constexpr double
+toGbps(BytesPerSecond bps)
+{
+    return bps * 8.0 / 1e9;
+}
+
+/** Convert bytes per second into GB/s (decimal) for reporting. */
+constexpr double
+toGBps(BytesPerSecond bps)
+{
+    return bps / 1e9;
+}
+
+/**
+ * Time needed to move @p bytes at @p rate, rounded up to a whole tick.
+ * A zero or negative rate is treated as instantaneous by callers that have
+ * already validated the rate; this helper clamps to at least one tick for
+ * any non-zero payload so events always make forward progress.
+ */
+constexpr Tick
+transferTicks(Bytes bytes, BytesPerSecond rate)
+{
+    if (bytes == 0)
+        return 0;
+    const double seconds = static_cast<double>(bytes) / rate;
+    const double ticks = seconds * static_cast<double>(ticksPerSecond);
+    const Tick t = static_cast<Tick>(ticks);
+    return t == 0 ? 1 : t;
+}
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_UNITS_H_

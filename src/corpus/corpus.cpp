@@ -1,0 +1,363 @@
+#include "corpus/corpus.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "lz4/lz4.h"
+
+namespace smartds::corpus {
+
+namespace {
+
+// ------------------------------------------------------------------ Text
+
+const char *const vocabulary[] = {
+    "the",      "of",        "and",      "a",         "to",       "in",
+    "he",       "was",       "that",     "it",        "his",      "her",
+    "with",     "as",        "had",      "for",       "she",      "not",
+    "at",       "but",       "be",       "on",        "they",     "have",
+    "him",      "which",     "said",     "from",      "all",      "this",
+    "when",     "were",      "would",    "there",     "been",     "their",
+    "one",      "could",     "very",     "an",        "some",     "them",
+    "more",     "out",       "into",     "man",       "up",       "time",
+    "little",   "about",     "storage",  "request",   "server",   "memory",
+    "network",  "compress",  "message",  "latency",   "cloud",    "virtual",
+    "machine",  "segment",   "chunk",    "header",    "payload",  "through",
+    "whatever", "certainly", "together", "character", "business", "morning",
+};
+constexpr std::size_t vocabularySize =
+    sizeof(vocabulary) / sizeof(vocabulary[0]);
+
+std::vector<std::uint8_t>
+generateText(std::size_t size, Rng &rng)
+{
+    // Recurring stock phrases model the multi-word repetition real prose
+    // has (names, idioms) that single-word sampling misses.
+    static const char *const phrases[] = {
+        "the middle tier server ",
+        "it was the best of times ",
+        "in the course of the morning ",
+        "as a matter of fact ",
+    };
+    std::vector<std::uint8_t> out;
+    out.reserve(size + 32);
+    std::size_t words_in_sentence = 0;
+    while (out.size() < size) {
+        if (words_in_sentence > 0 && rng.chance(0.12)) {
+            const char *phrase = phrases[rng.below(4)];
+            while (*phrase)
+                out.push_back(static_cast<std::uint8_t>(*phrase++));
+            words_in_sentence += 4;
+            continue;
+        }
+        const std::size_t idx = rng.zipfApprox(vocabularySize, 1.0);
+        const char *word = vocabulary[idx];
+        const std::size_t len = std::strlen(word);
+        if (words_in_sentence == 0 && !out.empty())
+            out.push_back(' ');
+        for (std::size_t i = 0; i < len; ++i) {
+            char c = word[i];
+            if (words_in_sentence == 0 && i == 0)
+                c = static_cast<char>(c - 'a' + 'A');
+            out.push_back(static_cast<std::uint8_t>(c));
+        }
+        ++words_in_sentence;
+        if (words_in_sentence > 6 && rng.chance(0.18)) {
+            out.push_back('.');
+            out.push_back(rng.chance(0.1) ? '\n' : ' ');
+            words_in_sentence = 0;
+        } else {
+            out.push_back(rng.chance(0.05) ? ',' : ' ');
+            if (out.back() == ',')
+                out.push_back(' ');
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+// ------------------------------------------------------------------- XML
+
+const char *const xmlTags[] = {"record", "molecule", "atom",  "bond",
+                               "entry",  "property", "value", "name",
+                               "item",   "field"};
+constexpr std::size_t xmlTagCount = sizeof(xmlTags) / sizeof(xmlTags[0]);
+
+std::vector<std::uint8_t>
+generateXml(std::size_t size, Rng &rng)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(size + 64);
+    auto append = [&out](const char *s) {
+        while (*s)
+            out.push_back(static_cast<std::uint8_t>(*s++));
+    };
+    append("<?xml version=\"1.0\"?>\n<dataset>\n");
+    while (out.size() < size) {
+        const char *tag = xmlTags[rng.below(xmlTagCount)];
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "  <%s id=\"%03llu\" type=\"%c\" unit=\"mol\">"
+                      "%llu.%llu</%s>\n",
+                      tag,
+                      static_cast<unsigned long long>(rng.below(100)),
+                      static_cast<char>('A' + rng.below(3)),
+                      static_cast<unsigned long long>(rng.below(10)),
+                      static_cast<unsigned long long>(rng.below(10)), tag);
+        append(buf);
+    }
+    out.resize(size);
+    return out;
+}
+
+// -------------------------------------------------------------- Database
+
+std::vector<std::uint8_t>
+generateDatabase(std::size_t size, Rng &rng)
+{
+    // Fixed 64-byte records: id (8B ascending), low-cardinality category
+    // bytes, a few correlated counters and a short fixed-alphabet string —
+    // the shape of osdb-like row storage.
+    std::vector<std::uint8_t> out;
+    out.reserve(size + 64);
+    std::uint64_t id = 100000;
+    while (out.size() < size) {
+        std::uint8_t rec[64] = {};
+        std::memcpy(rec, &id, sizeof(id));
+        ++id;
+        rec[8] = static_cast<std::uint8_t>(rng.below(8));    // category
+        rec[9] = static_cast<std::uint8_t>(rng.below(4));    // region
+        rec[10] = static_cast<std::uint8_t>(rng.below(2));   // flag
+        const std::uint32_t qty = static_cast<std::uint32_t>(rng.below(500));
+        std::memcpy(rec + 12, &qty, sizeof(qty));
+        const std::uint32_t price = qty * 99 + 1000;
+        std::memcpy(rec + 16, &price, sizeof(price));
+        static const char names[4][12] = {"WIDGET-STD ", "WIDGET-PRO ",
+                                          "GADGET-MINI", "GADGET-MAX "};
+        std::memcpy(rec + 20, names[rng.below(4)], 11);
+        // Trailing padding stays zero (very compressible, like real rows).
+        out.insert(out.end(), rec, rec + sizeof(rec));
+    }
+    out.resize(size);
+    return out;
+}
+
+// ------------------------------------------------------------ Executable
+
+std::vector<std::uint8_t>
+generateExecutable(std::size_t size, Rng &rng)
+{
+    // Instruction-like stream: common opcode bytes with operand bytes of
+    // mixed entropy, function prologues repeating every so often, and
+    // embedded pointer-table runs. Tuned to land near mozilla/ooffice
+    // block ratios (~0.65-0.8).
+    static const std::uint8_t prologue[] = {0x55, 0x48, 0x89, 0xe5, 0x41,
+                                            0x57, 0x41, 0x56, 0x53, 0x50};
+    std::vector<std::uint8_t> out;
+    out.reserve(size + 32);
+    while (out.size() < size) {
+        const double what = rng.uniform();
+        if (what < 0.12) {
+            out.insert(out.end(), prologue, prologue + sizeof(prologue));
+        } else if (what < 0.26) {
+            // Pointer table: consecutive addresses, high bytes constant.
+            std::uint64_t base = 0x00007f0000400000ULL + rng.below(1u << 20);
+            for (int i = 0; i < 8 && out.size() < size; ++i) {
+                std::uint64_t ptr = base + static_cast<std::uint64_t>(i) * 16;
+                const auto *p = reinterpret_cast<const std::uint8_t *>(&ptr);
+                out.insert(out.end(), p, p + 8);
+            }
+        } else {
+            // A short "instruction": opcode from a small set + operands.
+            static const std::uint8_t opcodes[] = {0x48, 0x8b, 0x89, 0xe8,
+                                                   0xff, 0x83, 0xc3, 0x74,
+                                                   0x75, 0x0f, 0x31, 0x85};
+            out.push_back(opcodes[rng.below(sizeof(opcodes))]);
+            const unsigned operands = 1 + static_cast<unsigned>(rng.below(4));
+            for (unsigned i = 0; i < operands; ++i) {
+                out.push_back(rng.chance(0.5)
+                                  ? static_cast<std::uint8_t>(rng.below(16))
+                                  : static_cast<std::uint8_t>(rng.below(256)));
+            }
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+// ------------------------------------------------------------ Scientific
+
+std::vector<std::uint8_t>
+generateScientific(std::size_t size, Rng &rng)
+{
+    // sao-like star-catalogue records: double-precision values whose
+    // exponent bytes repeat but whose mantissa bytes are noise; barely
+    // compressible (~0.9).
+    std::vector<std::uint8_t> out;
+    out.reserve(size + 32);
+    double ra = 0.0;
+    while (out.size() < size) {
+        ra += rng.uniform() * 1e-3;
+        const double dec = (rng.uniform() - 0.5) * 3.14159;
+        const float mag = static_cast<float>(5.0 + rng.uniform() * 10.0);
+        const std::uint32_t cat = static_cast<std::uint32_t>(rng.below(16));
+        const auto *p1 = reinterpret_cast<const std::uint8_t *>(&ra);
+        const auto *p2 = reinterpret_cast<const std::uint8_t *>(&dec);
+        const auto *p3 = reinterpret_cast<const std::uint8_t *>(&mag);
+        const auto *p4 = reinterpret_cast<const std::uint8_t *>(&cat);
+        out.insert(out.end(), p1, p1 + 8);
+        out.insert(out.end(), p2, p2 + 8);
+        out.insert(out.end(), p3, p3 + 4);
+        out.insert(out.end(), p4, p4 + 4);
+    }
+    out.resize(size);
+    return out;
+}
+
+// --------------------------------------------------------------- Imaging
+
+std::vector<std::uint8_t>
+generateImaging(std::size_t size, Rng &rng)
+{
+    // x-ray-like: 12-bit samples in 16-bit words with heavy sensor noise;
+    // nearly incompressible (~0.98+).
+    std::vector<std::uint8_t> out;
+    out.reserve(size + 2);
+    std::uint32_t level = 2048;
+    while (out.size() < size) {
+        // Smooth base signal plus wide-band noise.
+        level = (level * 15 + 1800 + static_cast<std::uint32_t>(rng.below(500))) / 16;
+        const std::uint16_t sample = static_cast<std::uint16_t>(
+            (level + rng.below(1024)) & 0x0fff);
+        out.push_back(static_cast<std::uint8_t>(sample & 0xff));
+        out.push_back(static_cast<std::uint8_t>(sample >> 8));
+    }
+    out.resize(size);
+    return out;
+}
+
+} // namespace
+
+const std::vector<Profile> &
+allProfiles()
+{
+    static const std::vector<Profile> profiles = {
+        Profile::Text,       Profile::Xml,        Profile::Database,
+        Profile::Executable, Profile::Scientific, Profile::Imaging,
+    };
+    return profiles;
+}
+
+const char *
+profileName(Profile p)
+{
+    switch (p) {
+      case Profile::Text:
+        return "text";
+      case Profile::Xml:
+        return "xml";
+      case Profile::Database:
+        return "database";
+      case Profile::Executable:
+        return "executable";
+      case Profile::Scientific:
+        return "scientific";
+      case Profile::Imaging:
+        return "imaging";
+    }
+    panic("unknown corpus profile");
+}
+
+std::vector<std::uint8_t>
+generate(Profile p, std::size_t size, Rng &rng)
+{
+    switch (p) {
+      case Profile::Text:
+        return generateText(size, rng);
+      case Profile::Xml:
+        return generateXml(size, rng);
+      case Profile::Database:
+        return generateDatabase(size, rng);
+      case Profile::Executable:
+        return generateExecutable(size, rng);
+      case Profile::Scientific:
+        return generateScientific(size, rng);
+      case Profile::Imaging:
+        return generateImaging(size, rng);
+    }
+    panic("unknown corpus profile");
+}
+
+SyntheticCorpus::SyntheticCorpus(std::size_t total_bytes, std::uint64_t seed)
+{
+    // Mixture approximating the Silesia composition by data kind.
+    struct Part
+    {
+        Profile profile;
+        double weight;
+    };
+    static const Part parts[] = {
+        {Profile::Text, 0.34},     {Profile::Xml, 0.17},
+        {Profile::Database, 0.16}, {Profile::Executable, 0.17},
+        {Profile::Scientific, 0.08}, {Profile::Imaging, 0.08},
+    };
+    Rng rng(seed);
+    data_.reserve(total_bytes);
+    for (const auto &part : parts) {
+        const auto n = static_cast<std::size_t>(
+            part.weight * static_cast<double>(total_bytes));
+        const auto chunk = generate(part.profile, n, rng);
+        data_.insert(data_.end(), chunk.begin(), chunk.end());
+    }
+    // Round up to the requested size with text.
+    if (data_.size() < total_bytes) {
+        const auto chunk = generate(Profile::Text,
+                                    total_bytes - data_.size(), rng);
+        data_.insert(data_.end(), chunk.begin(), chunk.end());
+    }
+    data_.resize(total_bytes);
+}
+
+const std::uint8_t *
+SyntheticCorpus::sampleBlockPtr(std::size_t block_size, Rng &rng) const
+{
+    SMARTDS_ASSERT(block_size > 0 && block_size <= data_.size(),
+                   "block size %zu vs corpus %zu", block_size, data_.size());
+    const std::size_t blocks = data_.size() / block_size;
+    const std::size_t idx = rng.below(blocks);
+    return data_.data() + idx * block_size;
+}
+
+std::vector<std::uint8_t>
+SyntheticCorpus::sampleBlock(std::size_t block_size, Rng &rng) const
+{
+    const std::uint8_t *p = sampleBlockPtr(block_size, rng);
+    return std::vector<std::uint8_t>(p, p + block_size);
+}
+
+RatioSampler::RatioSampler(const SyntheticCorpus &corpus,
+                           std::size_t block_size, int effort,
+                           std::size_t samples, std::uint64_t seed)
+{
+    SMARTDS_ASSERT(samples > 0, "need at least one sample");
+    Rng rng(seed);
+    ratios_.reserve(samples);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const std::uint8_t *block = corpus.sampleBlockPtr(block_size, rng);
+        const double r = lz4::compressionRatio(block, block_size, effort);
+        ratios_.push_back(r);
+        sum += r;
+    }
+    mean_ = sum / static_cast<double>(samples);
+}
+
+double
+RatioSampler::sample(Rng &rng) const
+{
+    return ratios_[rng.below(ratios_.size())];
+}
+
+} // namespace smartds::corpus

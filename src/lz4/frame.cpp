@@ -1,0 +1,200 @@
+#include "lz4/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "lz4/lz4.h"
+
+namespace smartds::lz4 {
+
+namespace {
+
+// FLG bits (version 01 in the top bits).
+constexpr std::uint8_t flgVersion = 0x40;      // version 01
+constexpr std::uint8_t flgBlockIndep = 0x20;   // independent blocks
+constexpr std::uint8_t flgBlockChecksum = 0x10;
+constexpr std::uint8_t flgContentChecksum = 0x04;
+
+/** High bit of the on-wire block size: block stored uncompressed. */
+constexpr std::uint32_t uncompressedBit = 0x80000000u;
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+bool
+get32(const std::vector<std::uint8_t> &in, std::size_t &at,
+      std::uint32_t *v)
+{
+    if (at + 4 > in.size())
+        return false;
+    *v = static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+    at += 4;
+    return true;
+}
+
+/** Encode the BD byte's block-maximum-size field (4..7). */
+std::uint8_t
+bdFor(std::size_t block_size)
+{
+    if (block_size <= 64 * 1024)
+        return 4 << 4;
+    if (block_size <= 256 * 1024)
+        return 5 << 4;
+    if (block_size <= 1024 * 1024)
+        return 6 << 4;
+    return 7 << 4;
+}
+
+std::size_t
+maxBlockFromBd(std::uint8_t bd)
+{
+    switch ((bd >> 4) & 0x7) {
+      case 4:
+        return 64 * 1024;
+      case 5:
+        return 256 * 1024;
+      case 6:
+        return 1024 * 1024;
+      case 7:
+        return 4 * 1024 * 1024;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+compressFrame(const std::vector<std::uint8_t> &src, FrameOptions options)
+{
+    SMARTDS_ASSERT(options.blockSize >= 1024, "block size too small");
+    std::vector<std::uint8_t> out;
+    out.reserve(src.size() / 2 + 64);
+
+    put32(out, frameMagic);
+    std::uint8_t flg = flgVersion | flgBlockIndep;
+    if (options.blockChecksums)
+        flg |= flgBlockChecksum;
+    if (options.contentChecksum)
+        flg |= flgContentChecksum;
+    const std::uint8_t bd = bdFor(options.blockSize);
+    out.push_back(flg);
+    out.push_back(bd);
+    // Header checksum: second byte of xxh32 over FLG+BD (per spec).
+    const std::uint8_t hdr[2] = {flg, bd};
+    out.push_back(static_cast<std::uint8_t>((xxhash32(hdr, 2) >> 8) &
+                                            0xff));
+
+    std::vector<std::uint8_t> scratch;
+    for (std::size_t off = 0; off < src.size();
+         off += options.blockSize) {
+        const std::size_t n =
+            std::min(options.blockSize, src.size() - off);
+        scratch.resize(maxCompressedSize(n));
+        const auto compressed = compress(src.data() + off, n,
+                                         scratch.data(), scratch.size(),
+                                         options.effort);
+        SMARTDS_ASSERT(compressed.has_value(), "block compression failed");
+        const bool store_raw = *compressed >= n;
+        const std::uint8_t *data = store_raw ? src.data() + off
+                                             : scratch.data();
+        const std::uint32_t stored =
+            static_cast<std::uint32_t>(store_raw ? n : *compressed);
+        put32(out, stored | (store_raw ? uncompressedBit : 0));
+        out.insert(out.end(), data, data + stored);
+        if (options.blockChecksums)
+            put32(out, xxhash32(data, stored));
+    }
+
+    put32(out, 0); // EndMark
+    if (options.contentChecksum)
+        put32(out, xxhash32(src.data(), src.size()));
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>>
+decompressFrame(const std::vector<std::uint8_t> &frame)
+{
+    std::size_t at = 0;
+    std::uint32_t magic = 0;
+    if (!get32(frame, at, &magic) || magic != frameMagic)
+        return std::nullopt;
+    if (at + 3 > frame.size())
+        return std::nullopt;
+    const std::uint8_t flg = frame[at++];
+    const std::uint8_t bd = frame[at++];
+    const std::uint8_t hc = frame[at++];
+    if ((flg & 0xc0) != flgVersion)
+        return std::nullopt; // unsupported version
+    const std::uint8_t hdr[2] = {flg, bd};
+    if (hc != ((xxhash32(hdr, 2) >> 8) & 0xff))
+        return std::nullopt; // corrupted descriptor
+    const bool block_checksums = flg & flgBlockChecksum;
+    const bool content_checksum = flg & flgContentChecksum;
+    const std::size_t max_block = maxBlockFromBd(bd);
+    if (max_block == 0)
+        return std::nullopt;
+
+    std::vector<std::uint8_t> out;
+    std::vector<std::uint8_t> scratch(max_block);
+    while (true) {
+        std::uint32_t word = 0;
+        if (!get32(frame, at, &word))
+            return std::nullopt;
+        if (word == 0)
+            break; // EndMark
+        const bool raw = word & uncompressedBit;
+        const std::size_t stored = word & ~uncompressedBit;
+        if (stored > maxCompressedSize(max_block) ||
+            at + stored > frame.size())
+            return std::nullopt;
+        const std::uint8_t *data = frame.data() + at;
+        at += stored;
+        if (block_checksums) {
+            std::uint32_t want = 0;
+            if (!get32(frame, at, &want))
+                return std::nullopt;
+            if (xxhash32(data, stored) != want)
+                return std::nullopt;
+        }
+        if (raw) {
+            if (stored > max_block)
+                return std::nullopt;
+            out.insert(out.end(), data, data + stored);
+        } else {
+            const auto n =
+                decompress(data, stored, scratch.data(), scratch.size());
+            if (!n)
+                return std::nullopt;
+            out.insert(out.end(), scratch.begin(),
+                       scratch.begin() + static_cast<long>(*n));
+        }
+    }
+    if (content_checksum) {
+        std::uint32_t want = 0;
+        if (!get32(frame, at, &want))
+            return std::nullopt;
+        if (xxhash32(out.data(), out.size()) != want)
+            return std::nullopt;
+    }
+    return out;
+}
+
+bool
+validateFrame(const std::vector<std::uint8_t> &frame)
+{
+    return decompressFrame(frame).has_value();
+}
+
+} // namespace smartds::lz4

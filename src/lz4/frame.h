@@ -1,0 +1,58 @@
+/**
+ * @file
+ * LZ4 frame format (container) over the block codec.
+ *
+ * What the storage tier would actually persist: a self-describing frame
+ * with magic number, descriptor flags, per-block sizes, optional xxHash32
+ * block checksums and a content checksum — so corruption anywhere in a
+ * stored object is detected on read-back. Follows the LZ4 frame layout
+ * (magic 0x184D2204, FLG/BD/HC descriptor, block section with the
+ * high-bit "uncompressed" marker, EndMark, content checksum).
+ */
+
+#ifndef SMARTDS_LZ4_FRAME_H_
+#define SMARTDS_LZ4_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartds::lz4 {
+
+/** Frame-level options. */
+struct FrameOptions
+{
+    /** Independent-block size the content is chopped into. */
+    std::size_t blockSize = 64 * 1024;
+    /** Append an xxHash32 of each block's stored bytes. */
+    bool blockChecksums = true;
+    /** Append an xxHash32 of the whole original content. */
+    bool contentChecksum = true;
+    /** Match-search effort of the block codec. */
+    int effort = 1;
+};
+
+/** Frame magic number (little-endian on the wire). */
+constexpr std::uint32_t frameMagic = 0x184D2204u;
+
+/** Compress @p src into a self-describing frame. */
+std::vector<std::uint8_t>
+compressFrame(const std::vector<std::uint8_t> &src,
+              FrameOptions options = FrameOptions{});
+
+/**
+ * Decompress a frame produced by compressFrame (or a compatible
+ * encoder). Fully validated: bad magic, truncated sections, oversized
+ * blocks, or any checksum mismatch yield std::nullopt.
+ */
+std::optional<std::vector<std::uint8_t>>
+decompressFrame(const std::vector<std::uint8_t> &frame);
+
+/** Quick validity check without producing the content. */
+bool validateFrame(const std::vector<std::uint8_t> &frame);
+
+} // namespace smartds::lz4
+
+#endif // SMARTDS_LZ4_FRAME_H_

@@ -1,0 +1,392 @@
+#include "lz4/lz4.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace smartds::lz4 {
+
+namespace {
+
+// Format constants.
+constexpr std::size_t lastLiterals = 5;  // final bytes must be literals
+constexpr std::size_t mfLimit = 12;      // no match may start after n-12
+constexpr unsigned tokenLiteralMax = 15; // 4-bit literal-length field
+constexpr unsigned tokenMatchMax = 15;   // 4-bit match-length field
+
+inline std::uint32_t
+read32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+hash32(std::uint32_t v, unsigned bits)
+{
+    return (v * 2654435761u) >> (32 - bits);
+}
+
+/** Length of the common prefix of [a, limit) and [b, ...). */
+inline std::size_t
+matchLength(const std::uint8_t *a, const std::uint8_t *b,
+            const std::uint8_t *a_limit)
+{
+    const std::uint8_t *start = a;
+    while (a + 8 <= a_limit) {
+        std::uint64_t va, vb;
+        std::memcpy(&va, a, 8);
+        std::memcpy(&vb, b, 8);
+        const std::uint64_t diff = va ^ vb;
+        if (diff != 0)
+            return static_cast<std::size_t>(a - start) +
+                   static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
+        a += 8;
+        b += 8;
+    }
+    while (a < a_limit && *a == *b) {
+        ++a;
+        ++b;
+    }
+    return static_cast<std::size_t>(a - start);
+}
+
+/** Emitter for the LZ4 sequence encoding, tracking output capacity. */
+class Writer
+{
+  public:
+    Writer(std::uint8_t *dst, std::size_t cap) : dst_(dst), cap_(cap) {}
+
+    bool overflowed() const { return overflow_; }
+    std::size_t size() const { return pos_; }
+
+    void
+    byte(std::uint8_t b)
+    {
+        if (pos_ >= cap_) {
+            overflow_ = true;
+            return;
+        }
+        dst_[pos_++] = b;
+    }
+
+    void
+    bytes(const std::uint8_t *src, std::size_t n)
+    {
+        if (pos_ + n > cap_) {
+            overflow_ = true;
+            return;
+        }
+        std::memcpy(dst_ + pos_, src, n);
+        pos_ += n;
+    }
+
+    /** Emit the 255-run extension encoding of @p value. */
+    void
+    extendedLength(std::size_t value)
+    {
+        while (value >= 255) {
+            byte(255);
+            value -= 255;
+        }
+        byte(static_cast<std::uint8_t>(value));
+    }
+
+    /**
+     * Emit one full sequence: token, literal run, offset, match extension.
+     * A match_len of 0 emits a literal-only final sequence.
+     */
+    void
+    sequence(const std::uint8_t *literals, std::size_t lit_len,
+             std::size_t offset, std::size_t match_len)
+    {
+        const unsigned lit_code =
+            lit_len >= tokenLiteralMax
+                ? tokenLiteralMax
+                : static_cast<unsigned>(lit_len);
+        unsigned match_code = 0;
+        if (match_len > 0) {
+            SMARTDS_ASSERT(match_len >= minMatch, "match below minMatch");
+            const std::size_t m = match_len - minMatch;
+            match_code = m >= tokenMatchMax ? tokenMatchMax
+                                            : static_cast<unsigned>(m);
+        }
+        byte(static_cast<std::uint8_t>((lit_code << 4) | match_code));
+        if (lit_code == tokenLiteralMax)
+            extendedLength(lit_len - tokenLiteralMax);
+        bytes(literals, lit_len);
+        if (match_len > 0) {
+            byte(static_cast<std::uint8_t>(offset & 0xff));
+            byte(static_cast<std::uint8_t>(offset >> 8));
+            if (match_code == tokenMatchMax)
+                extendedLength(match_len - minMatch - tokenMatchMax);
+        }
+    }
+
+  private:
+    std::uint8_t *dst_;
+    std::size_t cap_;
+    std::size_t pos_ = 0;
+    bool overflow_ = false;
+};
+
+/** Hash-chain match finder; depth 1 behaves like the classic fast path. */
+class MatchFinder
+{
+  public:
+    MatchFinder(const std::uint8_t *src, std::size_t n, int effort)
+        : src_(src), n_(n)
+    {
+        // Effort widens both the hash table and the chain search.
+        hashBits_ = effort <= 1 ? 13 : 15;
+        attempts_ = 1u << (effort - 1); // 1, 2, 4, ... 256
+        head_.assign(1u << hashBits_, empty);
+        if (effort > 1)
+            prev_.assign(n, empty);
+        chained_ = effort > 1;
+    }
+
+    /** Record position @p pos in the index. */
+    void
+    insert(std::size_t pos)
+    {
+        if (pos + minMatch > n_)
+            return;
+        const std::uint32_t h = hash32(read32(src_ + pos), hashBits_);
+        if (chained_)
+            prev_[pos] = head_[h];
+        head_[h] = static_cast<std::uint32_t>(pos);
+    }
+
+    /**
+     * Find the best match for @p pos within the offset window.
+     * @return match length (0 if none) and sets @p match_pos.
+     */
+    std::size_t
+    find(std::size_t pos, const std::uint8_t *limit, std::size_t *match_pos)
+    {
+        const std::uint32_t h = hash32(read32(src_ + pos), hashBits_);
+        std::uint32_t cand = head_[h];
+        std::size_t best_len = 0;
+        unsigned tries = attempts_;
+        while (cand != empty && tries-- > 0) {
+            const std::size_t cpos = cand;
+            if (cpos >= pos)
+                break;
+            if (pos - cpos > maxOffset)
+                break;
+            if (read32(src_ + cpos) == read32(src_ + pos)) {
+                const std::size_t len = matchLength(src_ + pos, src_ + cpos,
+                                                    limit);
+                if (len >= minMatch && len > best_len) {
+                    best_len = len;
+                    *match_pos = cpos;
+                }
+            }
+            if (!chained_)
+                break;
+            cand = prev_[cpos];
+        }
+        return best_len;
+    }
+
+  private:
+    static constexpr std::uint32_t empty = 0xffffffffu;
+
+    const std::uint8_t *src_;
+    std::size_t n_;
+    unsigned hashBits_;
+    unsigned attempts_;
+    bool chained_;
+    std::vector<std::uint32_t> head_;
+    std::vector<std::uint32_t> prev_;
+};
+
+} // namespace
+
+std::optional<std::size_t>
+compress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
+         std::size_t dst_cap, int effort)
+{
+    SMARTDS_ASSERT(effort >= minEffort && effort <= maxEffort,
+                   "effort %d out of range", effort);
+    Writer out(dst, dst_cap);
+    if (src_size == 0) {
+        // A zero-length block is a single empty literal-only sequence.
+        out.byte(0);
+        if (out.overflowed())
+            return std::nullopt;
+        return out.size();
+    }
+
+    if (src_size < mfLimit + 1) {
+        // Too short to hold any match: literal-only block.
+        out.sequence(src, src_size, 0, 0);
+        if (out.overflowed())
+            return std::nullopt;
+        return out.size();
+    }
+
+    MatchFinder finder(src, src_size, effort);
+    const std::uint8_t *const match_limit = src + src_size - lastLiterals;
+    const std::size_t last_match_start = src_size - mfLimit;
+
+    std::size_t anchor = 0;
+    std::size_t pos = 0;
+    // Skip-acceleration: after repeated match failures the scan stride
+    // grows, so incompressible data passes through quickly.
+    unsigned misses = 0;
+
+    while (pos < last_match_start) {
+        std::size_t match_pos = 0;
+        const std::size_t len = finder.find(pos, match_limit, &match_pos);
+        if (len == 0) {
+            finder.insert(pos);
+            ++misses;
+            pos += 1 + (misses >> 6);
+            continue;
+        }
+        misses = 0;
+        out.sequence(src + anchor, pos - anchor, pos - match_pos, len);
+        if (out.overflowed())
+            return std::nullopt;
+        // Index the interior of the match sparsely (every other byte is
+        // enough to keep the ratio while staying fast), then continue
+        // right after it.
+        const std::size_t end = pos + len;
+        finder.insert(pos);
+        for (std::size_t p = pos + 2; p + minMatch <= end && p < last_match_start;
+             p += 2)
+            finder.insert(p);
+        pos = end;
+        anchor = end;
+        if (pos >= last_match_start)
+            break;
+    }
+
+    // Final literal-only sequence covering everything from the anchor.
+    out.sequence(src + anchor, src_size - anchor, 0, 0);
+    if (out.overflowed())
+        return std::nullopt;
+    return out.size();
+}
+
+std::optional<std::size_t>
+decompress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
+           std::size_t dst_cap)
+{
+    std::size_t ip = 0;
+    std::size_t op = 0;
+
+    while (ip < src_size) {
+        const std::uint8_t token = src[ip++];
+        // --- literal run -----------------------------------------------
+        std::size_t lit_len = token >> 4;
+        if (lit_len == tokenLiteralMax) {
+            std::uint8_t b;
+            do {
+                if (ip >= src_size)
+                    return std::nullopt;
+                b = src[ip++];
+                lit_len += b;
+            } while (b == 255);
+        }
+        if (ip + lit_len > src_size || op + lit_len > dst_cap)
+            return std::nullopt;
+        std::memcpy(dst + op, src + ip, lit_len);
+        ip += lit_len;
+        op += lit_len;
+
+        if (ip == src_size) {
+            // Literal-only final sequence: done.
+            return op;
+        }
+
+        // --- match ------------------------------------------------------
+        if (ip + 2 > src_size)
+            return std::nullopt;
+        const std::size_t offset =
+            static_cast<std::size_t>(src[ip]) |
+            (static_cast<std::size_t>(src[ip + 1]) << 8);
+        ip += 2;
+        if (offset == 0 || offset > op)
+            return std::nullopt;
+
+        std::size_t match_len = (token & 0x0f);
+        if (match_len == tokenMatchMax) {
+            std::uint8_t b;
+            do {
+                if (ip >= src_size)
+                    return std::nullopt;
+                b = src[ip++];
+                match_len += b;
+            } while (b == 255);
+        }
+        match_len += minMatch;
+        if (op + match_len > dst_cap)
+            return std::nullopt;
+
+        // Overlapping copies must run byte-forward (offset may be < len).
+        const std::uint8_t *from = dst + op - offset;
+        std::uint8_t *to = dst + op;
+        for (std::size_t i = 0; i < match_len; ++i)
+            to[i] = from[i];
+        op += match_len;
+    }
+    // Ran out of input without a terminating literal-only sequence.
+    return std::nullopt;
+}
+
+std::vector<std::uint8_t>
+compress(const std::vector<std::uint8_t> &src, int effort)
+{
+    std::vector<std::uint8_t> out(maxCompressedSize(src.size()));
+    const auto n = compress(src.data(), src.size(), out.data(), out.size(),
+                            effort);
+    SMARTDS_ASSERT(n.has_value(), "maxCompressedSize() was insufficient");
+    out.resize(*n);
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>>
+decompress(const std::vector<std::uint8_t> &src, std::size_t decompressed_size)
+{
+    std::vector<std::uint8_t> out(decompressed_size);
+    const auto n = decompress(src.data(), src.size(), out.data(), out.size());
+    if (!n)
+        return std::nullopt;
+    out.resize(*n);
+    return out;
+}
+
+double
+compressionRatio(const std::uint8_t *src, std::size_t src_size, int effort)
+{
+    if (src_size == 0)
+        return 1.0;
+    std::vector<std::uint8_t> out(maxCompressedSize(src_size));
+    const auto n = compress(src, src_size, out.data(), out.size(), effort);
+    SMARTDS_ASSERT(n.has_value(), "maxCompressedSize() was insufficient");
+    const double ratio =
+        static_cast<double>(*n) / static_cast<double>(src_size);
+    // Stored blocks can expand slightly; the storage layer would keep the
+    // raw block instead, so the effective ratio is capped at 1.
+    return std::min(ratio, 1.0);
+}
+
+double
+effortSpeedFactor(int effort)
+{
+    SMARTDS_ASSERT(effort >= minEffort && effort <= maxEffort,
+                   "effort %d out of range", effort);
+    // Doubling the chain-search attempts costs roughly 35% throughput per
+    // step on mixed data; anchored at 1.0 for effort 1.
+    double factor = 1.0;
+    for (int e = 1; e < effort; ++e)
+        factor *= 0.65;
+    return factor;
+}
+
+} // namespace smartds::lz4

@@ -1,0 +1,31 @@
+#include "mem/memory_system.h"
+
+#include <cmath>
+#include <utility>
+
+namespace smartds::mem {
+
+MemorySystem::MemorySystem(sim::Simulator &sim, std::string name,
+                           Config config)
+    : sim_(sim), config_(config),
+      share_(sim, std::move(name), config.capacity)
+{
+}
+
+sim::FairShareResource::Flow *
+MemorySystem::createFlow(std::string name, double weight)
+{
+    return share_.createFlow(std::move(name), weight);
+}
+
+Tick
+MemorySystem::loadedLatency() const
+{
+    const double u = share_.averageUtilization();
+    const double extra =
+        static_cast<double>(config_.loadedExtraLatency) *
+        std::pow(u, config_.latencyExponent);
+    return config_.idleLatency + static_cast<Tick>(extra);
+}
+
+} // namespace smartds::mem

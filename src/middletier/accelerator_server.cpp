@@ -1,0 +1,204 @@
+#include "middletier/accelerator_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "lz4/lz4.h"
+#include "middletier/protocol.h"
+#include "sim/awaitables.h"
+
+namespace smartds::middletier {
+
+AcceleratorServer::AcceleratorServer(net::Fabric &fabric,
+                                     mem::MemorySystem &memory,
+                                     ServerConfig config)
+    : AcceleratorServer(fabric, memory, std::move(config), AccConfig{})
+{
+}
+
+AcceleratorServer::AcceleratorServer(net::Fabric &fabric,
+                                     mem::MemorySystem &memory,
+                                     ServerConfig config, AccConfig acc)
+    : sim_(fabric.simulator()), memory_(memory),
+      config_(std::move(config)), acc_(acc),
+      nic_(std::make_unique<nic::RdmaNic>(fabric, "acc.nic", &memory)),
+      cores_(sim_, "acc.cores", config_.cores),
+      rng_(config_.seed)
+{
+    fpgaPcie_ = std::make_unique<pcie::PcieLink>(sim_, "acc.fpga-pcie");
+    pcie::DmaEngine::Config fpga_dma;
+    fpga_dma.readWindowBytes = calibration::deviceDmaWindowBytes;
+    fpga_dma.writeWindowBytes = calibration::deviceDmaWindowBytes;
+    fpgaDma_ = std::make_unique<pcie::DmaEngine>(
+        sim_, "acc.fpga-dma", &memory,
+        std::vector<sim::BandwidthServer *>{&fpgaPcie_->h2d()},
+        std::vector<sim::BandwidthServer *>{&fpgaPcie_->d2h()}, fpga_dma);
+    engine_ = std::make_unique<sim::BandwidthServer>(
+        sim_, "acc.engine", acc_.engineRate, acc_.engineLatency);
+
+    rxWrite_ = memory.createFlow("acc.rx-write");
+    fpgaRead_ = memory.createFlow("acc.fpga-read");
+    fpgaWrite_ = memory.createFlow("acc.fpga-write");
+    txRead_ = memory.createFlow("acc.tx-read");
+
+    nic_->setRxDmaOptions({rxWrite_, false});
+    nic_->onHostReceive([this](net::Message msg) { dispatch(std::move(msg)); });
+}
+
+net::NodeId
+AcceleratorServer::frontNode(unsigned port) const
+{
+    SMARTDS_ASSERT(port == 0, "Acc server has a single NIC port");
+    return nic_->nodeId();
+}
+
+void
+AcceleratorServer::addUsageProbes(UsageProbes &probes)
+{
+    probes.add("mem.read", [this]() {
+        return fpgaRead_->deliveredBytes() + txRead_->deliveredBytes();
+    });
+    probes.add("mem.write", [this]() {
+        return rxWrite_->deliveredBytes() + fpgaWrite_->deliveredBytes();
+    });
+    probes.add("pcie.nic.h2d", [this]() {
+        return static_cast<double>(nic_->pcieLink().h2d().totalBytes());
+    });
+    probes.add("pcie.nic.d2h", [this]() {
+        return static_cast<double>(nic_->pcieLink().d2h().totalBytes());
+    });
+    probes.add("pcie.fpga.h2d", [this]() {
+        return static_cast<double>(fpgaPcie_->h2d().totalBytes());
+    });
+    probes.add("pcie.fpga.d2h", [this]() {
+        return static_cast<double>(fpgaPcie_->d2h().totalBytes());
+    });
+}
+
+void
+AcceleratorServer::dispatch(net::Message msg)
+{
+    switch (msg.kind) {
+      case net::MessageKind::WriteRequest:
+        sim::spawn(sim_, serveWrite(std::move(msg)));
+        break;
+      case net::MessageKind::WriteReplicaAck: {
+        const auto it = pendingAcks_.find(msg.tag);
+        SMARTDS_ASSERT(it != pendingAcks_.end(),
+                       "ack for unknown request tag");
+        it->second->arrive();
+        break;
+      }
+      default:
+        panic("Acc server: unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+sim::Process
+AcceleratorServer::serveWrite(net::Message msg)
+{
+    const Bytes payload = msg.payload.size;
+
+    // Determine the compression result (real codec when bytes present).
+    Bytes compressed = 0;
+    std::shared_ptr<const std::vector<std::uint8_t>> compressed_data;
+    if (msg.payload.data) {
+        std::vector<std::uint8_t> out(lz4::maxCompressedSize(payload));
+        const auto n =
+            lz4::compress(msg.payload.data->data(), msg.payload.data->size(),
+                          out.data(), out.size(), config_.effort);
+        SMARTDS_ASSERT(n.has_value(), "engine compression failed");
+        out.resize(*n);
+        compressed = *n;
+        compressed_data =
+            std::make_shared<const std::vector<std::uint8_t>>(std::move(out));
+    } else {
+        compressed = static_cast<Bytes>(static_cast<double>(payload) *
+                                        msg.payload.compressibility);
+        if (compressed == 0)
+            compressed = 1;
+    }
+
+    // --- CPU phase 1: parse the header, program the accelerator --------
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+    // Doorbell + descriptor fetch before the card can start its DMA.
+    co_await sim::delay(sim_, calibration::pcieIdleLatency);
+
+    // --- FPGA phase: DMA payload in, compress, DMA result back ----------
+    // With DDIO the payload was just DMA-written by the NIC and is still
+    // LLC-resident, so the FPGA's read needs no DRAM bandwidth; without
+    // DDIO it reads DRAM and stalls on loaded latency. The result write
+    // allocates in LLC but spills (the intermediate buffer working set is
+    // far larger than the DDIO ways), charging DRAM write bandwidth.
+    // DDIO hits require the NIC-written lines to still be LLC-resident;
+    // an antagonist loading the memory system also thrashes the cache,
+    // so the hit rate collapses with utilisation (Figure 9's Acc curve).
+    const double u = memory_.utilization();
+    const bool ddio_hit = acc_.ddio && !rng_.chance(u * u);
+
+    sim::Completion fetched(sim_);
+    pcie::DmaEngine::Options in;
+    in.memFlow = ddio_hit ? nullptr : fpgaRead_;
+    in.stallOnMemory = !ddio_hit;
+    fpgaDma_->read(payload, in,
+                   [fetched](Tick) mutable { fetched.complete(0); });
+    co_await fetched;
+
+    co_await sim::transferAsync(sim_, *engine_, payload);
+
+    sim::Completion written(sim_);
+    pcie::DmaEngine::Options out_opts;
+    out_opts.memFlow = fpgaWrite_;
+    out_opts.stallOnMemory = false;
+    fpgaDma_->write(compressed, out_opts,
+                    [written](Tick) mutable { written.complete(0); });
+    co_await written;
+
+    // --- CPU phase 2: completion handling, post the replicated sends ----
+    // Completion notification crosses PCIe before software observes it.
+    co_await sim::delay(sim_, calibration::pcieIdleLatency);
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+
+    const auto replicas = placeWrite(config_, msg, rng_);
+    auto acks = std::make_shared<sim::CountLatch>(sim_, config_.replication);
+    pendingAcks_[msg.tag] = acks;
+
+    for (unsigned r = 0; r < replicas.size(); ++r) {
+        net::Message replica;
+        replica.dst = replicas[r];
+        replica.kind = net::MessageKind::WriteReplica;
+        replica.headerBytes = StorageHeader::wireSize;
+        replica.tag = msg.tag;
+        replica.issueTick = msg.issueTick;
+        replica.payload.size = compressed;
+        replica.payload.compressed = true;
+        replica.payload.originalSize = payload;
+        replica.payload.compressibility = msg.payload.compressibility;
+        replica.payload.data = compressed_data;
+        replica.headerData = msg.headerData;
+        // With DDIO the FPGA's result write is still LLC-resident for the
+        // NIC's reads; without DDIO the first send fetches from DRAM.
+        pcie::DmaEngine::Options tx;
+        tx.memFlow = (!acc_.ddio && r == 0) ? txRead_ : nullptr;
+        tx.stallOnMemory = !acc_.ddio && r == 0;
+        nic_->setTxDmaOptions(tx);
+        nic_->sendFromHost(std::move(replica));
+    }
+    co_await acks->wait();
+    pendingAcks_.erase(msg.tag);
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::WriteReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    nic_->setTxDmaOptions({nullptr, false});
+    nic_->sendFromHost(std::move(reply));
+
+    noteCompleted(payload);
+}
+
+} // namespace smartds::middletier

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accelerator-enhanced middle-tier server (paper Figure 1b, Section 3.2).
+ *
+ * Like CPU-only, every message lands in host memory through the NIC; the
+ * host CPU then directs a PCIe-attached FPGA card (Alveo U280) to DMA the
+ * payload, compress it at 100 Gbps, and DMA the result back. Compression
+ * no longer consumes CPU cores, but the payload crosses PCIe twice more,
+ * and — depending on DDIO — host memory read or write bandwidth stays
+ * loaded (Figures 7-9).
+ */
+
+#ifndef SMARTDS_MIDDLETIER_ACCELERATOR_SERVER_H_
+#define SMARTDS_MIDDLETIER_ACCELERATOR_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "host/core_pool.h"
+#include "mem/memory_system.h"
+#include "middletier/server_base.h"
+#include "nic/rdma_nic.h"
+#include "sim/bandwidth_server.h"
+#include "sim/process.h"
+
+namespace smartds::middletier {
+
+/** The "Acc" baseline: NIC + discrete FPGA compression card. */
+class AcceleratorServer : public MiddleTierServer
+{
+  public:
+    struct AccConfig
+    {
+        /** Engine throughput on the U280 (paper: up to 100 Gbps). */
+        BytesPerSecond engineRate = calibration::smartdsEnginePerPort;
+        /** Engine fixed latency per block (FPGA pipeline). */
+        Tick engineLatency = calibration::fpgaEngineBlockLatency;
+        /** Whether Intel DDIO is enabled (Figure 8a's w/ vs w/o). */
+        bool ddio = true;
+    };
+
+    AcceleratorServer(net::Fabric &fabric, mem::MemorySystem &memory,
+                      ServerConfig config);
+    AcceleratorServer(net::Fabric &fabric, mem::MemorySystem &memory,
+                      ServerConfig config, AccConfig acc);
+
+    net::NodeId frontNode(unsigned port = 0) const override;
+    Design design() const override { return Design::Accelerator; }
+    void addUsageProbes(UsageProbes &probes) override;
+
+    nic::RdmaNic &nic() { return *nic_; }
+    pcie::PcieLink &fpgaLink() { return *fpgaPcie_; }
+    host::CorePool &cores() { return cores_; }
+
+  private:
+    void dispatch(net::Message msg);
+    sim::Process serveWrite(net::Message msg);
+
+    sim::Simulator &sim_;
+    mem::MemorySystem &memory_;
+    ServerConfig config_;
+    AccConfig acc_;
+    std::unique_ptr<nic::RdmaNic> nic_;
+    std::unique_ptr<pcie::PcieLink> fpgaPcie_;
+    std::unique_ptr<pcie::DmaEngine> fpgaDma_;
+    std::unique_ptr<sim::BandwidthServer> engine_;
+    host::CorePool cores_;
+    Rng rng_;
+
+    sim::FairShareResource::Flow *rxWrite_;
+    sim::FairShareResource::Flow *fpgaRead_;
+    sim::FairShareResource::Flow *fpgaWrite_;
+    sim::FairShareResource::Flow *txRead_;
+
+    std::unordered_map<std::uint64_t, std::shared_ptr<sim::CountLatch>>
+        pendingAcks_;
+};
+
+} // namespace smartds::middletier
+
+#endif // SMARTDS_MIDDLETIER_ACCELERATOR_SERVER_H_

@@ -1,0 +1,155 @@
+#include "middletier/bf2_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "middletier/protocol.h"
+#include "sim/awaitables.h"
+
+namespace smartds::middletier {
+
+Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config)
+    : Bf2Server(fabric, std::move(config), Bf2Config{})
+{
+}
+
+Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config, Bf2Config bf2)
+    : sim_(fabric.simulator()), config_(std::move(config)), bf2_(bf2),
+      devMemory_(sim_, "bf2.dram", bf2.memoryBandwidth),
+      arm_(sim_, "bf2.arm",
+           std::min(config_.cores, calibration::bf2ArmCores)),
+      rng_(config_.seed)
+{
+    for (unsigned i = 0; i < bf2_.ports; ++i) {
+        auto *port =
+            fabric.createPort("bf2.p" + std::to_string(i));
+        port->onReceive([this, i](net::Message msg) {
+            dispatch(i, std::move(msg));
+        });
+        ports_.push_back(port);
+    }
+    rxWrite_ = devMemory_.createFlow("bf2.rx-write");
+    engineRead_ = devMemory_.createFlow("bf2.engine-read");
+    engineWrite_ = devMemory_.createFlow("bf2.engine-write");
+    txRead_ = devMemory_.createFlow("bf2.tx-read");
+    engine_ = std::make_unique<sim::BandwidthServer>(
+        sim_, "bf2.engine", bf2_.engineRate, bf2_.engineLatency);
+    // BF2's software path is SmartDS-like (headers only, no payload
+    // touch), but runs on wimpy Arm cores.
+    armRequestCost_ = static_cast<Tick>(
+        static_cast<double>(calibration::smartdsHostRequestCost) *
+        bf2_.armSlowdown);
+}
+
+net::NodeId
+Bf2Server::frontNode(unsigned port) const
+{
+    SMARTDS_ASSERT(port < ports_.size(), "BF2 port index out of range");
+    return ports_[port]->id();
+}
+
+void
+Bf2Server::addUsageProbes(UsageProbes &probes)
+{
+    // BF2 touches neither host memory nor host PCIe; its own device DRAM
+    // traffic is reported under dev.* so benchmarks can show the 3.5x
+    // device-memory amplification of Section 3.4.
+    probes.add("mem.read", []() { return 0.0; });
+    probes.add("mem.write", []() { return 0.0; });
+    probes.add("dev.mem.read", [this]() {
+        return engineRead_->deliveredBytes() + txRead_->deliveredBytes();
+    });
+    probes.add("dev.mem.write", [this]() {
+        return rxWrite_->deliveredBytes() + engineWrite_->deliveredBytes();
+    });
+}
+
+void
+Bf2Server::dispatch(unsigned port, net::Message msg)
+{
+    switch (msg.kind) {
+      case net::MessageKind::WriteRequest: {
+        // The NIC DMA-writes the message into device DRAM first.
+        auto msg_ptr = std::make_shared<net::Message>(std::move(msg));
+        rxWrite_->transfer(msg_ptr->wireBytes(), [this, port, msg_ptr]() {
+            sim::spawn(sim_, serveWrite(port, std::move(*msg_ptr)));
+        });
+        break;
+      }
+      case net::MessageKind::WriteReplicaAck: {
+        const auto it = pendingAcks_.find(msg.tag);
+        SMARTDS_ASSERT(it != pendingAcks_.end(),
+                       "ack for unknown request tag");
+        it->second->arrive();
+        break;
+      }
+      default:
+        panic("BF2 server: unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+sim::Process
+Bf2Server::serveWrite(unsigned port, net::Message msg)
+{
+    const Bytes payload = msg.payload.size;
+    Bytes compressed = static_cast<Bytes>(static_cast<double>(payload) *
+                                          msg.payload.compressibility);
+    if (compressed == 0)
+        compressed = 1;
+
+    // --- Arm phase: parse the header, drive the engine ------------------
+    co_await arm_.executeAsync(armRequestCost_);
+
+    // --- Off-path engine: DRAM read -> compress -> DRAM write -----------
+    co_await sim::transferAsync(sim_, *engineRead_, payload);
+    co_await sim::transferAsync(sim_, *engine_, payload);
+    co_await sim::transferAsync(sim_, *engineWrite_, compressed);
+
+    // --- Replicate: each send re-reads the block from device DRAM -------
+    // (the narrow on-card DRAM is the 3.5x-traffic bottleneck of 3.4).
+    const auto replicas = placeWrite(config_, msg, rng_);
+    auto acks = std::make_shared<sim::CountLatch>(sim_, config_.replication);
+    pendingAcks_[msg.tag] = acks;
+
+    for (unsigned r = 0; r < replicas.size(); ++r) {
+        net::Message replica;
+        replica.dst = replicas[r];
+        replica.kind = net::MessageKind::WriteReplica;
+        replica.headerBytes = StorageHeader::wireSize;
+        replica.tag = msg.tag;
+        replica.issueTick = msg.issueTick;
+        replica.payload.size = compressed;
+        replica.payload.compressed = true;
+        replica.payload.originalSize = payload;
+        replica.payload.compressibility = msg.payload.compressibility;
+        replica.headerData = msg.headerData;
+
+        auto *out_port = ports_[(port + r) % ports_.size()];
+        sim::Completion read_done(sim_);
+        txRead_->transfer(compressed,
+                          [read_done]() mutable { read_done.complete(0); });
+        co_await read_done;
+        out_port->send(std::move(replica));
+    }
+    co_await acks->wait();
+    pendingAcks_.erase(msg.tag);
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::WriteReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    sim::Completion hdr_read(sim_);
+    txRead_->transfer(StorageHeader::wireSize,
+                      [hdr_read]() mutable { hdr_read.complete(0); });
+    co_await hdr_read;
+    ports_[port]->send(std::move(reply));
+
+    noteCompleted(payload);
+}
+
+} // namespace smartds::middletier

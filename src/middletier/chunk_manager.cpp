@@ -1,0 +1,94 @@
+#include "middletier/chunk_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::middletier {
+
+ChunkManager::ChunkManager(Config config,
+                           std::vector<net::NodeId> storage_nodes)
+    : config_(config), storageNodes_(std::move(storage_nodes)),
+      rng_(config.seed)
+{
+    SMARTDS_ASSERT(config_.chunkBytes > 0 &&
+                       config_.segmentBytes >= config_.chunkBytes,
+                   "segment must hold at least one chunk");
+    SMARTDS_ASSERT(storageNodes_.size() >= config_.replication,
+                   "need at least %u storage servers", config_.replication);
+}
+
+ChunkRef
+ChunkManager::locate(std::uint64_t vm_id, std::uint64_t byte_offset) const
+{
+    ChunkRef ref;
+    // Each VM's LBA space is carved into segments; the segment id folds
+    // in the owning VM so distinct disks never share a segment.
+    const std::uint64_t segment_index = byte_offset / config_.segmentBytes;
+    ref.segmentId = vm_id * 1000003ULL + segment_index;
+    ref.chunkIndex = static_cast<std::uint32_t>(
+        (byte_offset % config_.segmentBytes) / config_.chunkBytes);
+    return ref;
+}
+
+ChunkManager::ChunkState &
+ChunkManager::state(const ChunkRef &chunk)
+{
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end()) {
+        ChunkState fresh;
+        // Partial Fisher-Yates pick of `replication` distinct servers.
+        std::vector<net::NodeId> pool = storageNodes_;
+        for (unsigned i = 0; i < config_.replication; ++i) {
+            const std::size_t j = i + rng_.below(pool.size() - i);
+            std::swap(pool[i], pool[j]);
+            fresh.replicas.push_back(pool[i]);
+        }
+        it = chunks_.emplace(chunk, std::move(fresh)).first;
+    }
+    return it->second;
+}
+
+const std::vector<net::NodeId> &
+ChunkManager::replicas(const ChunkRef &chunk)
+{
+    return state(chunk).replicas;
+}
+
+bool
+ChunkManager::recordWrite(const ChunkRef &chunk)
+{
+    ChunkState &s = state(chunk);
+    ++s.writesSinceCompaction;
+    if (!s.compactionQueued &&
+        s.writesSinceCompaction >= config_.compactionThreshold) {
+        s.compactionQueued = true;
+        ++compactionsDue_;
+        return true;
+    }
+    return false;
+}
+
+unsigned
+ChunkManager::pendingWrites(const ChunkRef &chunk) const
+{
+    const auto it = chunks_.find(chunk);
+    return it == chunks_.end() ? 0 : it->second.writesSinceCompaction;
+}
+
+void
+ChunkManager::compacted(const ChunkRef &chunk)
+{
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end())
+        return;
+    if (it->second.compactionQueued) {
+        SMARTDS_ASSERT(compactionsDue_ > 0, "compaction accounting");
+        --compactionsDue_;
+    }
+    it->second.writesSinceCompaction = 0;
+    it->second.compactionQueued = false;
+}
+
+} // namespace smartds::middletier

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Segment/chunk management (paper Section 2.1).
+ *
+ * VMs organise virtual-disk data in logical block addressing (LBA). LBAs
+ * map to *segments* (e.g. 32 GiB), each managed by a middle-tier server,
+ * which divides them into *chunks* (e.g. 64 MiB); every I/O request
+ * targets a chunk. Writes to a chunk are appended (log-structured), the
+ * chunk's replica placement is decided once — "according to disk usage,
+ * distribution of switches, loads of storage servers, and disaster
+ * recovery strategy" — and reused for every write to that chunk, and once
+ * the number of writes in a chunk reaches a threshold the LSM-compaction
+ * maintenance service folds it (Section 2.2.3).
+ */
+
+#ifndef SMARTDS_MIDDLETIER_CHUNK_MANAGER_H_
+#define SMARTDS_MIDDLETIER_CHUNK_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "net/message.h"
+
+namespace smartds::middletier {
+
+/** Identifies one chunk of one virtual disk's segment space. */
+struct ChunkRef
+{
+    std::uint64_t segmentId = 0;
+    std::uint32_t chunkIndex = 0;
+
+    bool
+    operator==(const ChunkRef &o) const
+    {
+        return segmentId == o.segmentId && chunkIndex == o.chunkIndex;
+    }
+};
+
+struct ChunkRefHash
+{
+    std::size_t
+    operator()(const ChunkRef &c) const
+    {
+        return std::hash<std::uint64_t>()(c.segmentId * 131071u +
+                                          c.chunkIndex);
+    }
+};
+
+/** LBA -> segment -> chunk mapping plus per-chunk placement and state. */
+class ChunkManager
+{
+  public:
+    struct Config
+    {
+        /** Segment size (paper example: 32 GiB). */
+        Bytes segmentBytes = gibibytes(32);
+        /** Chunk size (paper example: 64 MiB). */
+        Bytes chunkBytes = mebibytes(64);
+        /** Replicas per chunk. */
+        unsigned replication = 3;
+        /** Writes per chunk before LSM compaction is due (2.2.3). */
+        unsigned compactionThreshold = 1024;
+        std::uint64_t seed = 1337;
+    };
+
+    ChunkManager(Config config, std::vector<net::NodeId> storage_nodes);
+
+    /** Map a (vm, LBA-byte-offset) to its chunk. */
+    ChunkRef locate(std::uint64_t vm_id, std::uint64_t byte_offset) const;
+
+    /**
+     * Replica placement for a chunk. Decided on first use (uniform over
+     * the storage pool here; production would weigh load and fault
+     * domains) and sticky thereafter — all writes of a chunk land on the
+     * same three servers.
+     */
+    const std::vector<net::NodeId> &replicas(const ChunkRef &chunk);
+
+    /**
+     * Record one write to @p chunk. @return true when this write crosses
+     * the compaction threshold (the caller queues maintenance work).
+     */
+    bool recordWrite(const ChunkRef &chunk);
+
+    /** Writes currently accumulated in @p chunk since last compaction. */
+    unsigned pendingWrites(const ChunkRef &chunk) const;
+
+    /** Mark @p chunk compacted (resets its write counter). */
+    void compacted(const ChunkRef &chunk);
+
+    /** Chunks whose compaction is due but not yet performed. */
+    std::uint64_t compactionsDue() const { return compactionsDue_; }
+
+    /** Distinct chunks touched so far. */
+    std::size_t chunksTracked() const { return chunks_.size(); }
+
+    const Config &config() const { return config_; }
+
+  private:
+    struct ChunkState
+    {
+        std::vector<net::NodeId> replicas;
+        unsigned writesSinceCompaction = 0;
+        bool compactionQueued = false;
+    };
+
+    ChunkState &state(const ChunkRef &chunk);
+
+    Config config_;
+    std::vector<net::NodeId> storageNodes_;
+    mutable Rng rng_;
+    std::unordered_map<ChunkRef, ChunkState, ChunkRefHash> chunks_;
+    std::uint64_t compactionsDue_ = 0;
+};
+
+} // namespace smartds::middletier
+
+#endif // SMARTDS_MIDDLETIER_CHUNK_MANAGER_H_

@@ -1,0 +1,270 @@
+#include "middletier/cpu_only_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "lz4/lz4.h"
+#include "middletier/protocol.h"
+#include "sim/awaitables.h"
+
+namespace smartds::middletier {
+
+CpuOnlyServer::CpuOnlyServer(net::Fabric &fabric, mem::MemorySystem &memory,
+                             ServerConfig config)
+    : sim_(fabric.simulator()), fabric_(fabric), memory_(memory),
+      config_(std::move(config)),
+      nic_(std::make_unique<nic::RdmaNic>(fabric, "cpuonly.nic", &memory)),
+      cores_(sim_, "cpuonly.cores", config_.cores),
+      rng_(config_.seed)
+{
+    const BytesPerSecond per_core =
+        host::perCoreCompressionRate(config_.cores) *
+        lz4::effortSpeedFactor(config_.effort);
+    compressTicksPerByte_ = transferTicks(1, per_core);
+
+    rxWrite_ = memory.createFlow("cpuonly.rx-write");
+    compressRead_ = memory.createFlow("cpuonly.compress-read");
+    compressWrite_ = memory.createFlow("cpuonly.compress-write");
+    txRead_ = memory.createFlow("cpuonly.tx-read");
+
+    // Received messages DMA into host memory (posted writes).
+    nic_->setRxDmaOptions({rxWrite_, false});
+    nic_->onHostReceive([this](net::Message msg) { dispatch(std::move(msg)); });
+}
+
+net::NodeId
+CpuOnlyServer::frontNode(unsigned port) const
+{
+    SMARTDS_ASSERT(port == 0, "CPU-only server has a single NIC port");
+    return nic_->nodeId();
+}
+
+void
+CpuOnlyServer::addUsageProbes(UsageProbes &probes)
+{
+    probes.add("mem.read", [this]() {
+        return compressRead_->deliveredBytes() + txRead_->deliveredBytes();
+    });
+    probes.add("mem.write", [this]() {
+        return rxWrite_->deliveredBytes() + compressWrite_->deliveredBytes();
+    });
+    probes.add("pcie.nic.h2d", [this]() {
+        return static_cast<double>(nic_->pcieLink().h2d().totalBytes());
+    });
+    probes.add("pcie.nic.d2h", [this]() {
+        return static_cast<double>(nic_->pcieLink().d2h().totalBytes());
+    });
+}
+
+void
+CpuOnlyServer::dispatch(net::Message msg)
+{
+    switch (msg.kind) {
+      case net::MessageKind::WriteRequest:
+        sim::spawn(sim_, serveWrite(std::move(msg)));
+        break;
+      case net::MessageKind::WriteReplicaAck: {
+        const auto it = pendingAcks_.find(msg.tag);
+        SMARTDS_ASSERT(it != pendingAcks_.end(),
+                       "ack for unknown request tag");
+        it->second->arrive();
+        break;
+      }
+      case net::MessageKind::ReadRequest:
+        sim::spawn(sim_, serveRead(std::move(msg)));
+        break;
+      case net::MessageKind::ReadFetchReply: {
+        const auto it = pendingFetches_.find(msg.tag);
+        SMARTDS_ASSERT(it != pendingFetches_.end(),
+                       "fetch reply for unknown tag");
+        sim::Completion done = it->second;
+        pendingFetches_.erase(it);
+        fetchReplies_[msg.tag] = std::move(msg);
+        done.complete(0);
+        break;
+      }
+      default:
+        panic("CPU-only server: unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+sim::Process
+CpuOnlyServer::serveWrite(net::Message msg)
+{
+    const Bytes payload = msg.payload.size;
+
+    // --- CPU phase: parse header, decide placement, compress ------------
+    // The core is held for the software time; concurrently the
+    // compression streams the block through host memory (read the input,
+    // write the compressed output). The phase ends when both are done.
+    // LZ4's software speed depends on content: match-heavy blocks copy,
+    // incompressible blocks skip-accelerate, and mixed blocks pay full
+    // search cost — scale the calibrated mean rate by compressibility so
+    // per-request times (and thus tails) vary the way real blocks do.
+    // Software on a busy SMT core also jitters with cache/TLB pressure;
+    // hardware engines do not (their pipelines are deterministic), which
+    // is one reason the paper's software tails fan out under load.
+    const double content_factor = 0.7 + 0.55 * msg.payload.compressibility;
+    const double smt_jitter = 0.9 + 0.35 * rng_.uniform();
+    // A core keeps only hostCoreMlp cache-line misses in flight, so under
+    // memory pressure its streaming bandwidth caps at mlp*64/latency and
+    // software compression becomes memory-latency-bound (Figure 9).
+    const double mem_bound_rate =
+        static_cast<double>(calibration::hostCoreMlp) * 64.0 /
+        toSeconds(memory_.loadedLatency());
+    const double nominal_rate =
+        1.0 / toSeconds(compressTicksPerByte_); // bytes/second
+    const double effective_rate = std::min(nominal_rate, mem_bound_rate);
+    const Tick compress_ticks = transferTicks(
+        payload, effective_rate / (content_factor * smt_jitter));
+    const Tick cpu_time =
+        calibration::hostPerRequestSoftwareCost + compress_ticks;
+
+    // Real compression when the request carries functional bytes;
+    // otherwise use the compressibility the corpus sampler attached.
+    Bytes compressed = 0;
+    std::shared_ptr<const std::vector<std::uint8_t>> compressed_data;
+    if (msg.payload.data) {
+        std::vector<std::uint8_t> out(lz4::maxCompressedSize(payload));
+        const auto n =
+            lz4::compress(msg.payload.data->data(), msg.payload.data->size(),
+                          out.data(), out.size(), config_.effort);
+        SMARTDS_ASSERT(n.has_value(), "software compression failed");
+        out.resize(*n);
+        compressed = *n;
+        compressed_data =
+            std::make_shared<const std::vector<std::uint8_t>>(std::move(out));
+    } else {
+        compressed = static_cast<Bytes>(static_cast<double>(payload) *
+                                        msg.payload.compressibility);
+        if (compressed == 0)
+            compressed = 1;
+    }
+
+    co_await cores_.acquire();
+    auto cpu = sim::timerAsync(sim_, cpu_time);
+    auto mem_in = sim::transferAsync(sim_, *compressRead_, payload);
+    auto mem_out = sim::transferAsync(sim_, *compressWrite_, compressed);
+    co_await cpu;
+    co_await mem_in;
+    co_await mem_out;
+    cores_.release();
+
+    // --- Replicate to the chosen storage servers ------------------------
+    const auto replicas = placeWrite(config_, msg, rng_);
+    auto acks = std::make_shared<sim::CountLatch>(sim_, config_.replication);
+    pendingAcks_[msg.tag] = acks;
+
+    for (unsigned r = 0; r < replicas.size(); ++r) {
+        net::Message replica;
+        replica.dst = replicas[r];
+        replica.kind = net::MessageKind::WriteReplica;
+        replica.headerBytes = StorageHeader::wireSize;
+        replica.tag = msg.tag;
+        replica.issueTick = msg.issueTick;
+        replica.payload.size = compressed;
+        replica.payload.compressed = true;
+        replica.payload.originalSize = payload;
+        replica.payload.compressibility = msg.payload.compressibility;
+        replica.payload.data = compressed_data;
+        replica.headerData = msg.headerData;
+        // The first replica read misses the LLC (the compressed block is
+        // fetched once from memory); the remaining sends hit.
+        pcie::DmaEngine::Options tx;
+        tx.memFlow = r == 0 ? txRead_ : nullptr;
+        tx.stallOnMemory = r == 0;
+        nic_->setTxDmaOptions(tx);
+        nic_->sendFromHost(std::move(replica));
+    }
+    co_await acks->wait();
+    pendingAcks_.erase(msg.tag);
+
+    // --- Acknowledge the VM ---------------------------------------------
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::WriteReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    nic_->setTxDmaOptions({nullptr, false});
+    nic_->sendFromHost(std::move(reply));
+
+    noteCompleted(payload);
+}
+
+sim::Process
+CpuOnlyServer::serveRead(net::Message msg)
+{
+    // Identify the block and fetch it from one storage server (Fig. 3b).
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+
+    const auto replicas = chooseReplicas(config_.storageNodes, 1, rng_);
+    net::Message fetch;
+    fetch.dst = replicas[0];
+    fetch.kind = net::MessageKind::ReadFetch;
+    fetch.headerBytes = StorageHeader::wireSize;
+    fetch.tag = msg.tag;
+    fetch.issueTick = msg.issueTick;
+    fetch.payload.size = msg.payload.size; // expected compressed size hint
+    fetch.payload.compressibility = msg.payload.compressibility;
+    fetch.payload.originalSize = msg.payload.originalSize;
+
+    sim::Completion fetched(sim_);
+    pendingFetches_.emplace(msg.tag, fetched);
+    nic_->setTxDmaOptions({nullptr, false});
+    nic_->sendFromHost(std::move(fetch));
+    co_await fetched;
+
+    auto it = fetchReplies_.find(msg.tag);
+    SMARTDS_ASSERT(it != fetchReplies_.end(), "lost fetch reply");
+    net::Message stored = std::move(it->second);
+    fetchReplies_.erase(it);
+
+    // Decompress in software (7x faster than compression per core).
+    const Bytes compressed = stored.payload.size;
+    const Bytes original =
+        stored.payload.originalSize ? stored.payload.originalSize
+                                    : compressed;
+    const Tick cpu_time =
+        calibration::hostPerRequestSoftwareCost +
+        compressTicksPerByte_ * original /
+            static_cast<Tick>(calibration::lz4DecompressSpeedup);
+
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    if (stored.payload.data) {
+        auto plain = lz4::decompress(*stored.payload.data, original);
+        SMARTDS_ASSERT(plain.has_value(), "software decompression failed");
+        plain_data = std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(*plain));
+    }
+
+    co_await cores_.acquire();
+    auto cpu = sim::timerAsync(sim_, cpu_time);
+    auto mem_in = sim::transferAsync(sim_, *compressRead_, compressed);
+    auto mem_out = sim::transferAsync(sim_, *compressWrite_, original);
+    co_await cpu;
+    co_await mem_in;
+    co_await mem_out;
+    cores_.release();
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::ReadReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    reply.payload.size = original;
+    reply.payload.data = plain_data;
+    reply.payload.compressibility = stored.payload.compressibility;
+    pcie::DmaEngine::Options tx;
+    tx.memFlow = txRead_;
+    tx.stallOnMemory = true;
+    nic_->setTxDmaOptions(tx);
+    nic_->sendFromHost(std::move(reply));
+}
+
+} // namespace smartds::middletier

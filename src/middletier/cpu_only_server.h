@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CPU-only middle-tier server (paper Figure 1a, Section 3.1).
+ *
+ * Every message lands in host memory in full via the NIC's DMA; host
+ * cores parse headers and run LZ4 in software; the compressed block is
+ * replicated to storage servers through the same NIC. Compression
+ * throughput per core and SMT pairing follow the paper's measurements, so
+ * this design needs nearly all 48 logical cores to approach line rate
+ * while saturating host memory and the NIC's PCIe link (Figures 7-8).
+ */
+
+#ifndef SMARTDS_MIDDLETIER_CPU_ONLY_SERVER_H_
+#define SMARTDS_MIDDLETIER_CPU_ONLY_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "host/core_pool.h"
+#include "mem/memory_system.h"
+#include "middletier/server_base.h"
+#include "nic/rdma_nic.h"
+#include "sim/process.h"
+
+namespace smartds::middletier {
+
+/** The traditional software middle tier. */
+class CpuOnlyServer : public MiddleTierServer
+{
+  public:
+    CpuOnlyServer(net::Fabric &fabric, mem::MemorySystem &memory,
+                  ServerConfig config);
+
+    net::NodeId frontNode(unsigned port = 0) const override;
+    Design design() const override { return Design::CpuOnly; }
+    void addUsageProbes(UsageProbes &probes) override;
+
+    nic::RdmaNic &nic() { return *nic_; }
+    host::CorePool &cores() { return cores_; }
+
+  private:
+    void dispatch(net::Message msg);
+    sim::Process serveWrite(net::Message msg);
+    sim::Process serveRead(net::Message msg);
+
+    sim::Simulator &sim_;
+    net::Fabric &fabric_;
+    mem::MemorySystem &memory_;
+    ServerConfig config_;
+    std::unique_ptr<nic::RdmaNic> nic_;
+    host::CorePool cores_;
+    Rng rng_;
+    /** Software compression time for one block on one configured core. */
+    Tick compressTicksPerByte_;
+
+    sim::FairShareResource::Flow *rxWrite_;
+    sim::FairShareResource::Flow *compressRead_;
+    sim::FairShareResource::Flow *compressWrite_;
+    sim::FairShareResource::Flow *txRead_;
+
+    /** Outstanding replica-ack joins, keyed by request tag. */
+    std::unordered_map<std::uint64_t, std::shared_ptr<sim::CountLatch>>
+        pendingAcks_;
+    /** Outstanding storage fetches (read path), keyed by tag. */
+    std::unordered_map<std::uint64_t, sim::Completion> pendingFetches_;
+    std::unordered_map<std::uint64_t, net::Message> fetchReplies_;
+};
+
+} // namespace smartds::middletier
+
+#endif // SMARTDS_MIDDLETIER_CPU_ONLY_SERVER_H_

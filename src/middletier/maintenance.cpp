@@ -1,0 +1,73 @@
+#include "middletier/maintenance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/awaitables.h"
+
+namespace smartds::middletier {
+
+MaintenanceService::MaintenanceService(sim::Simulator &sim,
+                                       const std::string &name,
+                                       host::CorePool &pool,
+                                       mem::MemorySystem &memory)
+    : MaintenanceService(sim, name, pool, memory, Config{})
+{
+}
+
+MaintenanceService::MaintenanceService(sim::Simulator &sim,
+                                       const std::string &name,
+                                       host::CorePool &pool,
+                                       mem::MemorySystem &memory,
+                                       Config config)
+    : sim_(sim), pool_(pool), config_(config), rng_(config.seed),
+      readFlow_(memory.createFlow(name + ".compact-read")),
+      writeFlow_(memory.createFlow(name + ".compact-write"))
+{
+    SMARTDS_ASSERT(config_.cores >= 1, "maintenance needs a core");
+    sim::spawn(sim_, loop());
+}
+
+sim::Process
+MaintenanceService::loop()
+{
+    while (running_) {
+        const Tick wait = static_cast<Tick>(rng_.exponential(
+            static_cast<double>(config_.meanInterval)));
+        co_await sim::delay(sim_, wait);
+        if (!running_)
+            break;
+
+        // Seize the burst's cores (they queue behind serving work when
+        // the pool is shared — and serving work then queues behind them).
+        const unsigned cores = std::min(config_.cores, pool_.cores());
+        for (unsigned c = 0; c < cores; ++c)
+            co_await pool_.acquire();
+
+        // Compaction streams the burst through memory: read the retained
+        // write buffers, merge, and write the compacted output. The
+        // cores are held for the processing time; the memory traffic
+        // shares bandwidth with the serving datapath.
+        const Tick processing = transferTicks(
+            config_.burstBytes,
+            config_.perCoreRate * static_cast<double>(cores));
+        auto compute = sim::timerAsync(sim_, processing);
+        auto mem_read =
+            sim::transferAsync(sim_, *readFlow_, config_.burstBytes);
+        auto mem_write = sim::transferAsync(
+            sim_, *writeFlow_,
+            static_cast<Bytes>(static_cast<double>(config_.burstBytes) *
+                               config_.rewriteFraction));
+        co_await compute;
+        co_await mem_read;
+        co_await mem_write;
+
+        for (unsigned c = 0; c < cores; ++c)
+            pool_.release();
+
+        ++bursts_;
+        bytesCompacted_ += config_.burstBytes;
+    }
+}
+
+} // namespace smartds::middletier

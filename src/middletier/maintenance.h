@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Middle-tier maintenance services (paper Section 2.2.3).
+ *
+ * Besides serving I/O, every middle-tier server runs maintenance: LSM-tree
+ * compaction over the write buffers it retains (~32 ms intermediate-buffer
+ * lifetime), disk garbage collection, fail-over handling and snapshots.
+ * These services periodically seize CPU cores and stream large buffers
+ * through host memory — the co-located interference that motivates the
+ * paper's performance-isolation argument (Section 5.3): on a CPU-only
+ * middle tier, maintenance competes with serving for both cores and
+ * memory bandwidth; with SmartDS, payloads are not in host memory and the
+ * serving path uses two cores, so maintenance runs beside it harmlessly.
+ */
+
+#ifndef SMARTDS_MIDDLETIER_MAINTENANCE_H_
+#define SMARTDS_MIDDLETIER_MAINTENANCE_H_
+
+#include <string>
+
+#include "common/calibration.h"
+#include "common/random.h"
+#include "host/core_pool.h"
+#include "mem/memory_system.h"
+#include "sim/process.h"
+
+namespace smartds::middletier {
+
+/** Periodic compaction/scrubbing bursts on a middle-tier host. */
+class MaintenanceService
+{
+  public:
+    struct Config
+    {
+        /** Mean interval between bursts (exponentially distributed). */
+        Tick meanInterval = 2 * ticksPerMillisecond;
+        /** Bytes compacted per burst (read + rewritten). */
+        Bytes burstBytes = 8u << 20;
+        /** Cores a burst occupies. */
+        unsigned cores = 4;
+        /** Per-core compaction processing rate. */
+        BytesPerSecond perCoreRate = gbps(8.0);
+        /** Fraction of the burst rewritten (compaction output). */
+        double rewriteFraction = 0.55;
+        std::uint64_t seed = 99;
+    };
+
+    /**
+     * @param sim    simulator
+     * @param name   diagnostic name
+     * @param pool   core pool the bursts run on (share the serving pool
+     *               to model co-located maintenance, or a dedicated pool
+     *               to model partitioned cores)
+     * @param memory host memory the compaction streams through
+     */
+    MaintenanceService(sim::Simulator &sim, const std::string &name,
+                       host::CorePool &pool, mem::MemorySystem &memory);
+    MaintenanceService(sim::Simulator &sim, const std::string &name,
+                       host::CorePool &pool, mem::MemorySystem &memory,
+                       Config config);
+
+    /** Bursts completed so far. */
+    std::uint64_t burstsCompleted() const { return bursts_; }
+
+    /** Bytes compacted so far. */
+    Bytes bytesCompacted() const { return bytesCompacted_; }
+
+    /** Stop after the current burst. */
+    void stop() { running_ = false; }
+
+  private:
+    sim::Process loop();
+
+    sim::Simulator &sim_;
+    host::CorePool &pool_;
+    Config config_;
+    Rng rng_;
+    sim::FairShareResource::Flow *readFlow_;
+    sim::FairShareResource::Flow *writeFlow_;
+    bool running_ = true;
+    std::uint64_t bursts_ = 0;
+    Bytes bytesCompacted_ = 0;
+};
+
+} // namespace smartds::middletier
+
+#endif // SMARTDS_MIDDLETIER_MAINTENANCE_H_

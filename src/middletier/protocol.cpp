@@ -1,0 +1,71 @@
+#include "middletier/protocol.h"
+
+#include <cstring>
+
+namespace smartds::middletier {
+
+namespace {
+
+template <typename T>
+void
+put(std::uint8_t *dst, std::size_t &at, T value)
+{
+    std::memcpy(dst + at, &value, sizeof(T));
+    at += sizeof(T);
+}
+
+template <typename T>
+T
+get(const std::uint8_t *src, std::size_t &at)
+{
+    T value;
+    std::memcpy(&value, src + at, sizeof(T));
+    at += sizeof(T);
+    return value;
+}
+
+} // namespace
+
+std::array<std::uint8_t, StorageHeader::wireSize>
+StorageHeader::encode() const
+{
+    std::array<std::uint8_t, wireSize> out{};
+    std::size_t at = 0;
+    put(out.data(), at, vmId);
+    put(out.data(), at, segmentId);
+    put(out.data(), at, blockOffset);
+    put(out.data(), at, tag);
+    put(out.data(), at, payloadSize);
+    put(out.data(), at, serviceType);
+    put(out.data(), at, blockChecksum);
+    put(out.data(), at, latencySensitive);
+    put(out.data(), at, compressionEffort);
+    return out;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>>
+StorageHeader::encodeShared() const
+{
+    const auto arr = encode();
+    return std::make_shared<const std::vector<std::uint8_t>>(arr.begin(),
+                                                             arr.end());
+}
+
+StorageHeader
+StorageHeader::decode(const std::uint8_t *data)
+{
+    StorageHeader h;
+    std::size_t at = 0;
+    h.vmId = get<std::uint64_t>(data, at);
+    h.segmentId = get<std::uint64_t>(data, at);
+    h.blockOffset = get<std::uint64_t>(data, at);
+    h.tag = get<std::uint64_t>(data, at);
+    h.payloadSize = get<std::uint32_t>(data, at);
+    h.serviceType = get<std::uint32_t>(data, at);
+    h.blockChecksum = get<std::uint32_t>(data, at);
+    h.latencySensitive = get<std::uint8_t>(data, at);
+    h.compressionEffort = get<std::uint8_t>(data, at);
+    return h;
+}
+
+} // namespace smartds::middletier

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The block-storage wire protocol between VMs, middle tier and storage.
+ *
+ * Per Section 2.2.1, a write request's network message comprises a block
+ * storage header — VM id, service type, block offset, segment id "and
+ * other relevant information" — followed by the data block. The header is
+ * 64 bytes on the wire (Section 4's "small part, e.g. 64 bytes"). The
+ * functional paths encode/decode this header for real; the timing paths
+ * only carry its size.
+ */
+
+#ifndef SMARTDS_MIDDLETIER_PROTOCOL_H_
+#define SMARTDS_MIDDLETIER_PROTOCOL_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/calibration.h"
+#include "common/units.h"
+
+namespace smartds::middletier {
+
+/** The 64-byte block-storage header. */
+struct StorageHeader
+{
+    static constexpr Bytes wireSize = calibration::storageHeaderBytes;
+
+    std::uint64_t vmId = 0;
+    std::uint64_t segmentId = 0;
+    std::uint64_t blockOffset = 0;
+    std::uint64_t tag = 0;          ///< request identity
+    std::uint32_t payloadSize = 0;  ///< data-block bytes
+    std::uint32_t serviceType = 0;  ///< workload class
+    std::uint32_t blockChecksum = 0; ///< xxHash32 of the (plain) block
+    std::uint8_t latencySensitive = 0; ///< skip compression when set
+    std::uint8_t compressionEffort = 1; ///< effort the tier should spend
+
+    /** Serialise to exactly wireSize bytes (little-endian, zero padded). */
+    std::array<std::uint8_t, wireSize> encode() const;
+
+    /** Encode into a fresh shared byte vector (for net::Message). */
+    std::shared_ptr<const std::vector<std::uint8_t>> encodeShared() const;
+
+    /** Parse from a buffer of at least wireSize bytes. */
+    static StorageHeader decode(const std::uint8_t *data);
+};
+
+} // namespace smartds::middletier
+
+#endif // SMARTDS_MIDDLETIER_PROTOCOL_H_

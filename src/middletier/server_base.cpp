@@ -1,0 +1,44 @@
+#include "middletier/server_base.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smartds::middletier {
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::CpuOnly:
+        return "CPU-only";
+      case Design::Accelerator:
+        return "Acc";
+      case Design::Bf2:
+        return "BF2";
+      case Design::SmartDs:
+        return "SmartDS";
+    }
+    panic("unknown design");
+}
+
+std::vector<net::NodeId>
+MiddleTierServer::chooseReplicas(const std::vector<net::NodeId> &candidates,
+                                 unsigned replication, Rng &rng)
+{
+    SMARTDS_ASSERT(candidates.size() >= replication,
+                   "need at least %u storage servers, have %zu", replication,
+                   candidates.size());
+    // Partial Fisher-Yates over a scratch copy of indices.
+    std::vector<net::NodeId> pool = candidates;
+    std::vector<net::NodeId> chosen;
+    chosen.reserve(replication);
+    for (unsigned i = 0; i < replication; ++i) {
+        const std::size_t j = i + rng.below(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+        chosen.push_back(pool[i]);
+    }
+    return chosen;
+}
+
+} // namespace smartds::middletier

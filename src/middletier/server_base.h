@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Common interface and shared machinery of the four middle-tier designs
+ * the paper compares: CPU-only, accelerator-enhanced ("Acc"), SoC-based
+ * SmartNIC ("BF2") and SmartDS.
+ */
+
+#ifndef SMARTDS_MIDDLETIER_SERVER_BASE_H_
+#define SMARTDS_MIDDLETIER_SERVER_BASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/calibration.h"
+#include "common/random.h"
+#include "middletier/chunk_manager.h"
+#include "net/fabric.h"
+
+namespace smartds::middletier {
+
+/** Middle-tier design being simulated. */
+enum class Design : std::uint8_t
+{
+    CpuOnly,
+    Accelerator,
+    Bf2,
+    SmartDs,
+};
+
+/** Human-readable design label matching the paper's figure legends. */
+const char *designName(Design d);
+
+/** Configuration shared by all designs. */
+struct ServerConfig
+{
+    /** Logical cores the design may use (CPU cores; Arm cores for BF2). */
+    unsigned cores = 2;
+    /** Candidate storage servers for replica placement. */
+    std::vector<net::NodeId> storageNodes;
+    /** Replication factor for writes (paper: 3). */
+    unsigned replication = calibration::replicationFactor;
+    /** Compression effort the tier applies when not latency sensitive. */
+    int effort = 1;
+    /** Seed for replica placement and jitter. */
+    std::uint64_t seed = 7;
+    /**
+     * Segment/chunk manager (Section 2.1). When set, replica placement
+     * is per-chunk and sticky, and per-chunk write counters feed the
+     * compaction bookkeeping; when null, placement is per-request
+     * uniform (the simpler model).
+     */
+    ChunkManager *chunkManager = nullptr;
+};
+
+/**
+ * Cumulative named counters a server exposes (bytes moved on memory
+ * flows, PCIe directions, ...). Benchmarks snapshot them at the start and
+ * end of the measurement window and report rates (Figure 8).
+ */
+struct UsageProbes
+{
+    struct Probe
+    {
+        std::string name;
+        std::function<double()> cumulativeBytes;
+    };
+    std::vector<Probe> probes;
+
+    void
+    add(std::string name, std::function<double()> fn)
+    {
+        probes.push_back({std::move(name), std::move(fn)});
+    }
+};
+
+/** Abstract middle-tier server. */
+class MiddleTierServer
+{
+  public:
+    virtual ~MiddleTierServer() = default;
+
+    /** Node id VMs address write requests to, per front-end port. */
+    virtual net::NodeId frontNode(unsigned port = 0) const = 0;
+
+    /** Number of front-end ports accepting VM traffic. */
+    virtual unsigned frontPorts() const { return 1; }
+
+    /** Queue pair VMs address on @p port (designs without QPs return 0). */
+    virtual net::QpId frontQp(unsigned port = 0) const
+    {
+        (void)port;
+        return 0;
+    }
+
+    virtual Design design() const = 0;
+
+    /** Register cumulative byte counters for usage reporting. */
+    virtual void addUsageProbes(UsageProbes &probes) = 0;
+
+    /** Write requests fully served (replicated + acknowledged). */
+    std::uint64_t requestsCompleted() const { return requestsCompleted_; }
+
+    /** Uncompressed payload bytes of served write requests. */
+    Bytes payloadBytesServed() const { return payloadBytesServed_; }
+
+  protected:
+    void
+    noteCompleted(Bytes payload_bytes)
+    {
+        ++requestsCompleted_;
+        payloadBytesServed_ += payload_bytes;
+    }
+
+    /**
+     * Choose @p replication distinct storage nodes (Section 2.2.1's
+     * placement decision; the model picks uniformly).
+     */
+    static std::vector<net::NodeId>
+    chooseReplicas(const std::vector<net::NodeId> &candidates,
+                   unsigned replication, Rng &rng);
+
+    /**
+     * Placement for one write: per-chunk sticky placement through the
+     * chunk manager when configured (also recording the write for
+     * compaction bookkeeping), uniform otherwise.
+     */
+    std::vector<net::NodeId>
+    placeWrite(const ServerConfig &config, const net::Message &msg,
+               Rng &rng)
+    {
+        if (config.chunkManager) {
+            const ChunkRef chunk =
+                config.chunkManager->locate(msg.vmId, msg.blockOffset);
+            config.chunkManager->recordWrite(chunk);
+            return config.chunkManager->replicas(chunk);
+        }
+        return chooseReplicas(config.storageNodes, config.replication,
+                              rng);
+    }
+
+  private:
+    std::uint64_t requestsCompleted_ = 0;
+    Bytes payloadBytesServed_ = 0;
+};
+
+} // namespace smartds::middletier
+
+#endif // SMARTDS_MIDDLETIER_SERVER_BASE_H_

@@ -1,0 +1,187 @@
+#include "middletier/smartds_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "lz4/lz4.h"
+#include "middletier/protocol.h"
+
+namespace smartds::middletier {
+
+using device::SmartDsDevice;
+
+SmartDsServer::SmartDsServer(net::Fabric &fabric, mem::MemorySystem &memory,
+                             ServerConfig config, SmartDsConfig smartds)
+    : sim_(fabric.simulator()), config_(std::move(config)),
+      smartds_(smartds),
+      cores_(sim_, "smartds.cores", config_.cores),
+      rng_(config_.seed)
+{
+    smartds_.device.ports = smartds_.ports;
+    smartds_.device.effort = config_.effort;
+    device_ = std::make_unique<SmartDsDevice>(fabric, "smartds", &memory,
+                                              smartds_.device);
+    for (unsigned p = 0; p < smartds_.ports; ++p) {
+        requestQps_.push_back(device_->createQp(p));
+        for (unsigned w = 0; w < smartds_.workersPerPort; ++w)
+            sim::spawn(sim_, worker(p));
+    }
+}
+
+net::NodeId
+SmartDsServer::frontNode(unsigned port) const
+{
+    return device_->nodeId(port);
+}
+
+net::QpId
+SmartDsServer::frontQp(unsigned port) const
+{
+    SMARTDS_ASSERT(port < requestQps_.size(), "port index out of range");
+    return requestQps_[port].local;
+}
+
+void
+SmartDsServer::addUsageProbes(UsageProbes &probes)
+{
+    probes.add("mem.read", [this]() {
+        auto *f = device_->headerReadFlow();
+        return f ? f->deliveredBytes() : 0.0;
+    });
+    probes.add("mem.write", [this]() {
+        auto *f = device_->headerWriteFlow();
+        return f ? f->deliveredBytes() : 0.0;
+    });
+    probes.add("pcie.smartds.h2d", [this]() {
+        return static_cast<double>(device_->pcieLink().h2d().totalBytes());
+    });
+    probes.add("pcie.smartds.d2h", [this]() {
+        return static_cast<double>(device_->pcieLink().d2h().totalBytes());
+    });
+}
+
+sim::Process
+SmartDsServer::worker(unsigned port)
+{
+    // --- Listing-1 setup: allocate buffers, connect queue pairs ---------
+    const Bytes max_block = smartds_.maxBlockBytes;
+    auto h_recv = device_->hostAlloc(StorageHeader::wireSize);
+    auto h_send = device_->hostAlloc(StorageHeader::wireSize);
+    auto h_ack = device_->hostAlloc(StorageHeader::wireSize);
+    auto d_recv = device_->devAlloc(max_block);
+    auto d_send = device_->devAlloc(lz4::maxCompressedSize(max_block));
+
+    // One storage-facing queue pair per worker (replica acks return on
+    // it) and one reply queue pair toward whichever VM sent the request.
+    SmartDsDevice::Qp storage_qp = device_->createQp(port);
+    SmartDsDevice::Qp reply_qp = device_->createQp(port);
+
+    const SmartDsDevice::Qp &request_qp = requestQps_[port];
+
+    while (true) {
+        // --- Receive: header to host memory, payload stays in HBM ------
+        auto recv = device_->mixedRecv(request_qp, h_recv,
+                                       StorageHeader::wireSize, d_recv,
+                                       max_block);
+        co_await recv.completion;
+        const Bytes payload_size = recv.size();
+        SMARTDS_ASSERT(recv.message, "recv completed without a message");
+        const net::Message &req = *recv.message;
+
+        // --- Host CPU: flexibly parse the header, prepare the send -----
+        co_await cores_.executeAsync(calibration::smartdsHostRequestCost);
+        bool latency_sensitive = req.latencySensitive;
+        std::uint64_t tag = req.tag;
+        if (device_->config().functional && h_recv->bytes()) {
+            const StorageHeader hdr =
+                StorageHeader::decode(h_recv->bytes()->data());
+            latency_sensitive = hdr.latencySensitive != 0;
+            tag = hdr.tag;
+            // host_fill_send_h_buf: the reply/replica header.
+            StorageHeader out = hdr;
+            out.payloadSize = static_cast<std::uint32_t>(payload_size);
+            const auto encoded = out.encode();
+            std::copy(encoded.begin(), encoded.end(),
+                      h_send->bytes()->begin());
+        }
+
+        if (req.kind == net::MessageKind::ReadRequest) {
+            // --- Read path (Fig. 3b): fetch, decompress on-card, reply -
+            device_->connect(storage_qp,
+                             chooseReplicas(config_.storageNodes, 1,
+                                            rng_)[0],
+                             0);
+            auto fetch_reply = device_->mixedRecv(
+                storage_qp, h_ack, StorageHeader::wireSize, d_send,
+                d_send->capacity());
+            auto fetch = device_->mixedSend(
+                storage_qp, h_send, StorageHeader::wireSize, nullptr, 0,
+                net::MessageKind::ReadFetch, tag, req.issueTick);
+            co_await fetch.completion;
+            co_await fetch_reply.completion;
+            const Bytes stored_size = fetch_reply.size();
+
+            auto plain = device_->devFunc(d_send, stored_size, d_recv,
+                                          d_recv->capacity(), port,
+                                          device::EngineOp::Decompress);
+            co_await plain.completion;
+
+            device_->connect(reply_qp, req.src, req.srcQp);
+            auto reply = device_->mixedSend(
+                reply_qp, h_send, StorageHeader::wireSize, d_recv,
+                plain.size(), net::MessageKind::ReadReply, tag,
+                req.issueTick);
+            co_await reply.completion;
+            continue;
+        }
+
+        // --- Write path (Listing 1) -------------------------------------
+        device::BufferRef send_buf = d_recv;
+        Bytes send_size = payload_size;
+        if (!latency_sensitive) {
+            auto compressed = device_->devFunc(d_recv, payload_size, d_send,
+                                               d_send->capacity(), port,
+                                               device::EngineOp::Compress);
+            co_await compressed.completion;
+            send_buf = d_send;
+            send_size = compressed.size();
+        }
+
+        const auto replicas = placeWrite(config_, req, rng_);
+        // Post the ack receives first, then fire the replicated sends.
+        std::vector<SmartDsDevice::Event> acks;
+        acks.reserve(replicas.size());
+        for (std::size_t r = 0; r < replicas.size(); ++r) {
+            acks.push_back(device_->mixedRecv(storage_qp, h_ack,
+                                              StorageHeader::wireSize,
+                                              nullptr, 0));
+        }
+        // Post all replica sends back to back (RDMA posts are
+        // asynchronous), then wait for the sends and the acks.
+        std::vector<SmartDsDevice::Event> sends;
+        sends.reserve(replicas.size());
+        for (std::size_t r = 0; r < replicas.size(); ++r) {
+            device_->connect(storage_qp, replicas[r], 0);
+            sends.push_back(device_->mixedSend(
+                storage_qp, h_send, StorageHeader::wireSize, send_buf,
+                send_size, net::MessageKind::WriteReplica, tag,
+                req.issueTick));
+        }
+        for (auto &sent : sends)
+            co_await sent.completion;
+        for (auto &ack : acks)
+            co_await ack.completion;
+
+        // --- Acknowledge the VM -----------------------------------------
+        device_->connect(reply_qp, req.src, req.srcQp);
+        auto reply = device_->mixedSend(reply_qp, h_send,
+                                        StorageHeader::wireSize, nullptr, 0,
+                                        net::MessageKind::WriteReply, tag,
+                                        req.issueTick);
+        co_await reply.completion;
+        noteCompleted(payload_size);
+    }
+}
+
+} // namespace smartds::middletier

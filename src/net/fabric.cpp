@@ -1,0 +1,90 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::net {
+
+Port::Port(sim::Simulator &sim, Fabric &fabric, std::string name, NodeId id,
+           BytesPerSecond line_rate, Framing framing)
+    : sim_(sim), fabric_(fabric), name_(std::move(name)), id_(id),
+      framing_(framing),
+      tx_(sim, name_ + ".tx", line_rate),
+      rx_(sim, name_ + ".rx", line_rate)
+{
+}
+
+void
+Port::send(Message msg, std::function<void()> on_sent)
+{
+    msg.src = id_;
+    const Bytes wire = framing_.wireBytes(msg.wireBytes());
+    txMeter_.add(msg.wireBytes());
+    tx_.transfer(wire, [this, msg = std::move(msg),
+                        on_sent = std::move(on_sent)]() mutable {
+        if (on_sent)
+            on_sent();
+        fabric_.route(std::move(msg));
+    });
+}
+
+void
+Port::onReceive(Handler handler)
+{
+    SMARTDS_ASSERT(!handler_, "port '%s' already has a receive handler",
+                   name_.c_str());
+    handler_ = std::move(handler);
+}
+
+void
+Port::arrive(Message msg)
+{
+    const Bytes wire = framing_.wireBytes(msg.wireBytes());
+    rxMeter_.add(msg.wireBytes());
+    rx_.transfer(wire, [this, msg = std::move(msg)]() mutable {
+        SMARTDS_ASSERT(handler_, "port '%s' received with no handler",
+                       name_.c_str());
+        handler_(std::move(msg));
+    });
+}
+
+Fabric::Fabric(sim::Simulator &sim, Tick one_way_delay)
+    : sim_(sim), delay_(one_way_delay)
+{
+}
+
+Port *
+Fabric::createPort(const std::string &name, BytesPerSecond line_rate,
+                   Framing framing)
+{
+    const NodeId id = nextId_++;
+    auto port = std::make_unique<Port>(sim_, *this, name, id, line_rate,
+                                       framing);
+    Port *raw = port.get();
+    ports_.emplace(id, std::move(port));
+    return raw;
+}
+
+Port *
+Fabric::port(NodeId id) const
+{
+    const auto it = ports_.find(id);
+    if (it == ports_.end())
+        fatal("no port with node id %u", id);
+    return it->second.get();
+}
+
+void
+Fabric::route(Message msg)
+{
+    const auto it = ports_.find(msg.dst);
+    if (it == ports_.end())
+        fatal("message to unknown node id %u", msg.dst);
+    Port *dst = it->second.get();
+    sim_.schedule(delay_, [dst, msg = std::move(msg)]() mutable {
+        dst->arrive(std::move(msg));
+    });
+}
+
+} // namespace smartds::net

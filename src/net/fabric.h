@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Network fabric: 100 GbE ports connected by a non-blocking switch.
+ *
+ * Each port serialises egress traffic at line rate and ingress traffic at
+ * line rate (modelling the receiver's MAC), with RoCE framing overhead
+ * charged per MTU-sized packet. The switch core is non-blocking (the
+ * datacenter fabrics in the paper's testbed are never the bottleneck), so
+ * contention appears exactly where it does in reality: at endpoint ports.
+ *
+ * Reliability is the transport's job (RoCE RC); the model delivers
+ * messages exactly once, in order per (src, dst) pair, which is the
+ * guarantee the middle-tier software relies on.
+ */
+
+#ifndef SMARTDS_NET_FABRIC_H_
+#define SMARTDS_NET_FABRIC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/calibration.h"
+#include "common/rate_meter.h"
+#include "common/time.h"
+#include "common/units.h"
+#include "net/message.h"
+#include "sim/bandwidth_server.h"
+#include "sim/simulator.h"
+
+namespace smartds::net {
+
+class Fabric;
+
+/** Per-MTU-packet framing overhead on the wire. */
+struct Framing
+{
+    /** Ethernet (incl. preamble/IFG) + IP + UDP + BTH + ICRC, bytes. */
+    Bytes perPacketOverhead = 82;
+    /** Path MTU. */
+    Bytes mtu = calibration::roceMtu;
+
+    /** Bytes a message of @p app_bytes occupies on the wire. */
+    Bytes
+    wireBytes(Bytes app_bytes) const
+    {
+        const Bytes packets = app_bytes == 0
+                                  ? 1
+                                  : (app_bytes + mtu - 1) / mtu;
+        return app_bytes + packets * perPacketOverhead;
+    }
+};
+
+/**
+ * One network port. Owns egress/ingress line-rate servers and delivers
+ * received messages to a handler installed by the owning NIC/device.
+ */
+class Port
+{
+  public:
+    using Handler = std::function<void(Message)>;
+
+    Port(sim::Simulator &sim, Fabric &fabric, std::string name, NodeId id,
+         BytesPerSecond line_rate = calibration::lineRate100G,
+         Framing framing = Framing{});
+
+    /**
+     * Send @p msg toward msg.dst. @p on_sent (optional) fires when the
+     * last byte has left this port (local send completion).
+     */
+    void send(Message msg, std::function<void()> on_sent = nullptr);
+
+    /** Install the receive handler (exactly one per port). */
+    void onReceive(Handler handler);
+
+    NodeId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** Meters observing application bytes (excl. framing). */
+    RateMeter &txMeter() { return txMeter_; }
+    RateMeter &rxMeter() { return rxMeter_; }
+
+    sim::BandwidthServer &txServer() { return tx_; }
+    sim::BandwidthServer &rxServer() { return rx_; }
+
+  private:
+    friend class Fabric;
+
+    /** Called by the fabric when a message arrives from the switch. */
+    void arrive(Message msg);
+
+    sim::Simulator &sim_;
+    Fabric &fabric_;
+    std::string name_;
+    NodeId id_;
+    Framing framing_;
+    sim::BandwidthServer tx_;
+    sim::BandwidthServer rx_;
+    RateMeter txMeter_;
+    RateMeter rxMeter_;
+    Handler handler_;
+};
+
+/** The switch connecting all ports; non-blocking core. */
+class Fabric
+{
+  public:
+    explicit Fabric(sim::Simulator &sim,
+                    Tick one_way_delay = calibration::networkOneWayDelay);
+
+    /** Create a port with a fresh node id. */
+    Port *createPort(const std::string &name,
+                     BytesPerSecond line_rate = calibration::lineRate100G,
+                     Framing framing = Framing{});
+
+    /** Look up a port by node id (fatal if unknown). */
+    Port *port(NodeId id) const;
+
+    Tick oneWayDelay() const { return delay_; }
+    sim::Simulator &simulator() { return sim_; }
+
+  private:
+    friend class Port;
+
+    /** Route @p msg from a sender's egress to the destination port. */
+    void route(Message msg);
+
+    sim::Simulator &sim_;
+    Tick delay_;
+    NodeId nextId_ = 1;
+    std::unordered_map<NodeId, std::unique_ptr<Port>> ports_;
+};
+
+} // namespace smartds::net
+
+#endif // SMARTDS_NET_FABRIC_H_

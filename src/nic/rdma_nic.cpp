@@ -1,0 +1,54 @@
+#include "nic/rdma_nic.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::nic {
+
+RdmaNic::RdmaNic(net::Fabric &fabric, const std::string &name,
+                 mem::MemorySystem *host_memory)
+    : RdmaNic(fabric, name, host_memory, Config{})
+{
+}
+
+RdmaNic::RdmaNic(net::Fabric &fabric, const std::string &name,
+                 mem::MemorySystem *host_memory, Config config)
+    : fabric_(fabric),
+      port_(fabric.createPort(name + ".port", config.lineRate)),
+      pcie_(fabric.simulator(), name + ".pcie", config.pcie),
+      dma_(fabric.simulator(), name + ".dma", host_memory,
+           {&pcie_.h2d()}, {&pcie_.d2h()}, config.dma)
+{
+    rxOptions_.stallOnMemory = false; // DMA writes are posted
+    port_->onReceive([this](net::Message msg) {
+        // Land the whole message in host memory before software sees it.
+        const Bytes bytes = msg.wireBytes();
+        dma_.write(bytes, rxOptions_,
+                   [this, msg = std::move(msg)](Tick) mutable {
+                       SMARTDS_ASSERT(handler_,
+                                      "NIC delivered with no host handler");
+                       handler_(std::move(msg));
+                   });
+    });
+}
+
+void
+RdmaNic::onHostReceive(std::function<void(net::Message)> handler)
+{
+    SMARTDS_ASSERT(!handler_, "NIC already has a host receive handler");
+    handler_ = std::move(handler);
+}
+
+void
+RdmaNic::sendFromHost(net::Message msg, std::function<void()> on_sent)
+{
+    const Bytes bytes = msg.wireBytes();
+    dma_.read(bytes, txOptions_,
+              [this, msg = std::move(msg),
+               on_sent = std::move(on_sent)](Tick) mutable {
+                  port_->send(std::move(msg), std::move(on_sent));
+              });
+}
+
+} // namespace smartds::nic

@@ -1,0 +1,247 @@
+#include "pcie/pcie.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::pcie {
+
+PcieLink::PcieLink(sim::Simulator &sim, const std::string &name)
+    : PcieLink(sim, name, Config{})
+{
+}
+
+PcieLink::PcieLink(sim::Simulator &sim, const std::string &name,
+                   Config config)
+    : h2d_(sim, name + ".h2d", config.bandwidth, config.baseLatency),
+      d2h_(sim, name + ".d2h", config.bandwidth, config.baseLatency)
+{
+}
+
+PcieSwitch::PcieSwitch(sim::Simulator &sim, const std::string &name)
+    : PcieSwitch(sim, name, PcieLink::Config{})
+{
+}
+
+PcieSwitch::PcieSwitch(sim::Simulator &sim, const std::string &name,
+                       PcieLink::Config root_config)
+    : sim_(sim), name_(name)
+{
+    // The root link adds no extra base latency of its own; the end-to-end
+    // idle latency is carried by the downstream link.
+    root_config.baseLatency = 0;
+    root_ = std::make_unique<PcieLink>(sim, name + ".root", root_config);
+}
+
+PcieLink &
+PcieSwitch::addDownstream(const std::string &name)
+{
+    return addDownstream(name, PcieLink::Config{});
+}
+
+PcieLink &
+PcieSwitch::addDownstream(const std::string &name, PcieLink::Config config)
+{
+    downstream_.push_back(
+        std::make_unique<PcieLink>(sim_, name_ + "." + name, config));
+    return *downstream_.back();
+}
+
+std::vector<sim::BandwidthServer *>
+PcieSwitch::h2dPath(std::size_t i)
+{
+    SMARTDS_ASSERT(i < downstream_.size(), "downstream index out of range");
+    return {&downstream_[i]->h2d(), &root_->h2d()};
+}
+
+std::vector<sim::BandwidthServer *>
+PcieSwitch::d2hPath(std::size_t i)
+{
+    SMARTDS_ASSERT(i < downstream_.size(), "downstream index out of range");
+    return {&downstream_[i]->d2h(), &root_->d2h()};
+}
+
+DmaEngine::DmaEngine(sim::Simulator &sim, std::string name,
+                     mem::MemorySystem *memory,
+                     std::vector<sim::BandwidthServer *> h2d_path,
+                     std::vector<sim::BandwidthServer *> d2h_path)
+    : DmaEngine(sim, std::move(name), memory, std::move(h2d_path),
+                std::move(d2h_path), Config{})
+{
+}
+
+DmaEngine::DmaEngine(sim::Simulator &sim, std::string name,
+                     mem::MemorySystem *memory,
+                     std::vector<sim::BandwidthServer *> h2d_path,
+                     std::vector<sim::BandwidthServer *> d2h_path,
+                     Config config)
+    : sim_(sim), name_(std::move(name)), memory_(memory),
+      h2dPath_(std::move(h2d_path)), d2hPath_(std::move(d2h_path)),
+      config_(config)
+{
+    SMARTDS_ASSERT(!h2dPath_.empty() && !d2hPath_.empty(),
+                   "DMA engine '%s' needs link paths", name_.c_str());
+    SMARTDS_ASSERT(config_.chunkBytes > 0, "chunk size must be positive");
+}
+
+void
+DmaEngine::read(Bytes bytes, Options options, std::function<void(Tick)> done)
+{
+    submit(bytes, true, options, std::move(done));
+}
+
+void
+DmaEngine::write(Bytes bytes, Options options,
+                 std::function<void(Tick)> done)
+{
+    submit(bytes, false, options, std::move(done));
+}
+
+void
+DmaEngine::submit(Bytes bytes, bool is_read, Options options,
+                  std::function<void(Tick)> done)
+{
+    auto job = std::make_shared<Job>();
+    job->remainingToIssue = bytes;
+    job->chunksOutstanding = 0;
+    job->start = sim_.now();
+    job->isRead = is_read;
+    job->options = options;
+    job->done = std::move(done);
+    if (bytes == 0) {
+        sim_.schedule(0, [job]() { job->done(0); });
+        return;
+    }
+    (is_read ? readQueue_ : writeQueue_).push_back(job);
+    pump();
+}
+
+void
+DmaEngine::pump()
+{
+    while (inflightReadBytes_ < config_.readWindowBytes &&
+           !readQueue_.empty()) {
+        auto job = readQueue_.front();
+        const Bytes chunk =
+            std::min<Bytes>(config_.chunkBytes, job->remainingToIssue);
+        job->remainingToIssue -= chunk;
+        ++job->chunksOutstanding;
+        if (job->remainingToIssue == 0)
+            readQueue_.pop_front();
+        inflightReadBytes_ += chunk;
+        startChunk(job, chunk);
+    }
+    while (inflightWriteBytes_ < config_.writeWindowBytes &&
+           !writeQueue_.empty()) {
+        auto job = writeQueue_.front();
+        const Bytes chunk =
+            std::min<Bytes>(config_.chunkBytes, job->remainingToIssue);
+        job->remainingToIssue -= chunk;
+        ++job->chunksOutstanding;
+        if (job->remainingToIssue == 0)
+            writeQueue_.pop_front();
+        inflightWriteBytes_ += chunk;
+        startChunk(job, chunk);
+    }
+}
+
+void
+DmaEngine::chainLinks(const std::vector<sim::BandwidthServer *> &path,
+                      std::size_t index, Bytes chunk,
+                      std::function<void()> done)
+{
+    if (index >= path.size()) {
+        done();
+        return;
+    }
+    // The path vectors are members and outlive every chunk; capture by
+    // pointer so the continuation does not hold a dangling reference to
+    // this function's parameter.
+    const auto *path_ptr = &path;
+    path[index]->transfer(chunk, [this, path_ptr, index, chunk,
+                                  done = std::move(done)]() mutable {
+        chainLinks(*path_ptr, index + 1, chunk, std::move(done));
+    });
+}
+
+void
+DmaEngine::startChunk(const std::shared_ptr<Job> &job, Bytes chunk)
+{
+    if (job->isRead) {
+        // A DMA read first fetches the data from host memory (or LLC on a
+        // DDIO hit), stalling on loaded latency, then crosses the links.
+        auto after_memory = [this, job, chunk]() {
+            chainLinks(h2dPath_, 0, chunk, [this, job, chunk]() {
+                finishChunk(job, chunk);
+            });
+        };
+        if (job->options.memFlow) {
+            const Tick stall =
+                job->options.stallOnMemory && memory_
+                    ? memory_->loadedLatency()
+                    : 0;
+            auto *flow = job->options.memFlow;
+            sim_.schedule(stall, [flow, chunk,
+                                  after_memory = std::move(after_memory)]() {
+                flow->transfer(chunk, std::move(after_memory));
+            });
+        } else {
+            after_memory();
+        }
+    } else {
+        // A DMA write crosses the links and completes for the caller on
+        // arrival (posted). The engine's buffer slot, however, is held
+        // until the write has drained into DRAM — write credits return
+        // only when memory accepts the data, which is how memory-side
+        // pressure throttles posted DMA streams (Figures 4 and 9).
+        chainLinks(d2hPath_, 0, chunk, [this, job, chunk]() {
+            completeJobChunk(job);
+            if (job->options.memFlow) {
+                const Tick stall = memory_ ? memory_->loadedLatency() : 0;
+                auto *flow = job->options.memFlow;
+                sim_.schedule(stall, [this, flow, chunk]() {
+                    flow->transfer(chunk, [this, chunk]() {
+                        releaseSlot(false, chunk);
+                    });
+                });
+            } else {
+                releaseSlot(false, chunk);
+            }
+        });
+    }
+}
+
+void
+DmaEngine::completeJobChunk(const std::shared_ptr<Job> &job)
+{
+    SMARTDS_ASSERT(job->chunksOutstanding > 0, "chunk accounting underflow");
+    --job->chunksOutstanding;
+    if (job->chunksOutstanding == 0 && job->remainingToIssue == 0) {
+        const Tick latency = sim_.now() - job->start;
+        job->done(latency);
+    }
+}
+
+void
+DmaEngine::releaseSlot(bool is_read, Bytes chunk)
+{
+    if (is_read) {
+        SMARTDS_ASSERT(inflightReadBytes_ >= chunk, "read window underflow");
+        inflightReadBytes_ -= chunk;
+    } else {
+        SMARTDS_ASSERT(inflightWriteBytes_ >= chunk,
+                       "write window underflow");
+        inflightWriteBytes_ -= chunk;
+    }
+    pump();
+}
+
+void
+DmaEngine::finishChunk(const std::shared_ptr<Job> &job, Bytes chunk)
+{
+    completeJobChunk(job);
+    releaseSlot(job->isRead, chunk);
+}
+
+} // namespace smartds::pcie

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Adapters that expose callback-style resources as awaitable Completions,
+ * so coroutine request flows can compose them with co_await.
+ */
+
+#ifndef SMARTDS_SIM_AWAITABLES_H_
+#define SMARTDS_SIM_AWAITABLES_H_
+
+#include "common/units.h"
+#include "sim/bandwidth_server.h"
+#include "sim/fair_share.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace smartds::sim {
+
+/** Transfer on a FIFO bandwidth server as an awaitable. */
+inline Completion
+transferAsync(Simulator &sim, BandwidthServer &server, Bytes bytes)
+{
+    Completion done(sim);
+    server.transfer(bytes, [done, bytes]() mutable { done.complete(bytes); });
+    return done;
+}
+
+/** Transfer on a fair-share flow as an awaitable. */
+inline Completion
+transferAsync(Simulator &sim, FairShareResource::Flow &flow, Bytes bytes)
+{
+    Completion done(sim);
+    flow.transfer(bytes, [done, bytes]() mutable { done.complete(bytes); });
+    return done;
+}
+
+/** A plain timer as an awaitable Completion (value 0). */
+inline Completion
+timerAsync(Simulator &sim, Tick duration)
+{
+    Completion done(sim);
+    sim.schedule(duration, [done]() mutable { done.complete(0); });
+    return done;
+}
+
+} // namespace smartds::sim
+
+#endif // SMARTDS_SIM_AWAITABLES_H_

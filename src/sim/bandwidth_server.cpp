@@ -1,0 +1,59 @@
+#include "sim/bandwidth_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::sim {
+
+BandwidthServer::BandwidthServer(Simulator &sim, std::string name,
+                                 BytesPerSecond rate, Tick base_latency)
+    : sim_(sim), name_(std::move(name)), rate_(rate),
+      baseLatency_(base_latency)
+{
+    SMARTDS_ASSERT(rate > 0.0, "bandwidth server '%s' needs a positive rate",
+                   name_.c_str());
+}
+
+Tick
+BandwidthServer::admit(Bytes bytes, Tick *queue_wait)
+{
+    const Tick now = sim_.now();
+    const Tick start = std::max(now, freeAt_);
+    const Tick service = transferTicks(bytes, rate_);
+    const Tick finish = start + service;
+    freeAt_ = finish;
+    busy_ += service;
+    totalBytes_ += bytes;
+    for (auto *m : meters_)
+        m->add(bytes);
+    if (queue_wait)
+        *queue_wait = start - now;
+    return finish + baseLatency_;
+}
+
+void
+BandwidthServer::transfer(Bytes bytes, std::function<void()> done)
+{
+    const Tick when = admit(bytes, nullptr);
+    sim_.scheduleAt(when, std::move(done));
+}
+
+void
+BandwidthServer::transferTimed(Bytes bytes,
+                               std::function<void(Tick)> done)
+{
+    Tick wait = 0;
+    const Tick when = admit(bytes, &wait);
+    sim_.scheduleAt(when, [wait, done = std::move(done)]() { done(wait); });
+}
+
+Tick
+BandwidthServer::backlog() const
+{
+    const Tick now = sim_.now();
+    return freeAt_ > now ? freeAt_ - now : 0;
+}
+
+} // namespace smartds::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FIFO bandwidth server: the basic pipe model for links and engines.
+ *
+ * A BandwidthServer serialises transfers at a fixed byte rate; a transfer
+ * completes after any queueing delay behind earlier transfers, its own
+ * serialisation time, and a fixed pipeline latency. This models PCIe link
+ * directions, Ethernet ports, compression engines and NVMe channels, where
+ * FIFO order and store-and-forward timing are the right abstraction.
+ */
+
+#ifndef SMARTDS_SIM_BANDWIDTH_SERVER_H_
+#define SMARTDS_SIM_BANDWIDTH_SERVER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rate_meter.h"
+#include "common/time.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace smartds::sim {
+
+/** A FIFO rate server with fixed pipeline latency. */
+class BandwidthServer
+{
+  public:
+    /**
+     * @param sim owning simulator
+     * @param name diagnostic name
+     * @param rate serialisation rate, bytes/second
+     * @param base_latency fixed pipeline latency added after serialisation
+     */
+    BandwidthServer(Simulator &sim, std::string name, BytesPerSecond rate,
+                    Tick base_latency = 0);
+
+    /**
+     * Enqueue a transfer of @p bytes; @p done fires when the last byte has
+     * been delivered (queueing + serialisation + pipeline latency).
+     */
+    void transfer(Bytes bytes, std::function<void()> done);
+
+    /**
+     * Enqueue a transfer and report the queueing delay it experienced to
+     * @p done (used by latency probes).
+     */
+    void transferTimed(Bytes bytes, std::function<void(Tick queue_wait)> done);
+
+    /** Attach a meter that accrues every byte entering the server. */
+    void attachMeter(RateMeter *meter) { meters_.push_back(meter); }
+
+    /** Current backlog: ticks until the server would go idle. */
+    Tick backlog() const;
+
+    /** Total ticks of busy time scheduled so far. */
+    Tick busyTicks() const { return busy_; }
+
+    /** Total bytes accepted so far. */
+    Bytes totalBytes() const { return totalBytes_; }
+
+    BytesPerSecond rate() const { return rate_; }
+    Tick baseLatency() const { return baseLatency_; }
+    const std::string &name() const { return name_; }
+
+    /** Change the serialisation rate (future transfers only). */
+    void setRate(BytesPerSecond rate) { rate_ = rate; }
+
+  private:
+    Tick admit(Bytes bytes, Tick *queue_wait);
+
+    Simulator &sim_;
+    std::string name_;
+    BytesPerSecond rate_;
+    Tick baseLatency_;
+    Tick freeAt_ = 0;
+    Tick busy_ = 0;
+    Bytes totalBytes_ = 0;
+    std::vector<RateMeter *> meters_;
+};
+
+} // namespace smartds::sim
+
+#endif // SMARTDS_SIM_BANDWIDTH_SERVER_H_

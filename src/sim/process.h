@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Coroutine-based process layer over the event kernel.
+ *
+ * Models with sequential logic (the middle-tier request loops, the example
+ * applications) read far more naturally as coroutines than as callback
+ * chains. A Process is a fire-and-forget coroutine owned by the simulator:
+ *
+ * @code
+ *   sim::Process serveOne(sim::Simulator &sim, ...)
+ *   {
+ *       co_await sim::delay(sim, 10_us);       // sleep
+ *       co_await completion;                   // wait for a Completion
+ *   }
+ *   sim::spawn(sim, serveOne(sim, ...));
+ * @endcode
+ *
+ * Completion mirrors the asynchronous events returned by the SmartDS API
+ * (Table 2 of the paper): it carries a 64-bit value (e.g. a byte count)
+ * and wakes every awaiting process when complete() is called.
+ */
+
+#ifndef SMARTDS_SIM_PROCESS_H_
+#define SMARTDS_SIM_PROCESS_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace smartds::sim {
+
+/**
+ * Fire-and-forget coroutine task. The coroutine frame destroys itself on
+ * completion; the returned object is only a token for spawn().
+ */
+class Process
+{
+  public:
+    struct promise_type
+    {
+        Process
+        get_return_object()
+        {
+            return Process(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void
+        unhandled_exception()
+        {
+            panic("unhandled exception escaped a sim::Process");
+        }
+    };
+
+    explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    std::coroutine_handle<promise_type>
+    release()
+    {
+        auto h = handle_;
+        handle_ = nullptr;
+        return h;
+    }
+
+  private:
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Start @p p at the current simulated time (next event slot). */
+inline void
+spawn(Simulator &sim, Process p)
+{
+    auto h = p.release();
+    SMARTDS_ASSERT(h, "spawning an empty process");
+    sim.schedule(0, [h]() { h.resume(); });
+}
+
+/** Awaitable that resumes the coroutine after @p d ticks. */
+class DelayAwaiter
+{
+  public:
+    DelayAwaiter(Simulator &sim, Tick d) : sim_(sim), delay_(d) {}
+
+    bool await_ready() const noexcept { return delay_ == 0; }
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        sim_.schedule(delay_, [h]() { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+
+  private:
+    Simulator &sim_;
+    Tick delay_;
+};
+
+/** Sleep for @p d ticks of simulated time. */
+inline DelayAwaiter
+delay(Simulator &sim, Tick d)
+{
+    return DelayAwaiter(sim, d);
+}
+
+/**
+ * A one-shot asynchronous completion carrying a 64-bit result value.
+ *
+ * Copies share state (shared_ptr semantics), so a Completion can be handed
+ * to both the producer (device model) and consumers (awaiting processes).
+ * Awaiting an already-complete Completion does not suspend.
+ */
+class Completion
+{
+  public:
+    Completion(Simulator &sim)
+        : state_(std::make_shared<State>(State{&sim, {}, 0, false}))
+    {
+    }
+
+    /** Mark complete with @p value and wake all waiters. */
+    void
+    complete(std::uint64_t value = 0)
+    {
+        SMARTDS_ASSERT(!state_->done, "double completion");
+        state_->done = true;
+        state_->value = value;
+        auto waiters = std::move(state_->waiters);
+        state_->waiters.clear();
+        for (auto h : waiters)
+            state_->sim->schedule(0, [h]() { h.resume(); });
+    }
+
+    bool done() const { return state_->done; }
+
+    /** Result value; only meaningful once done(). */
+    std::uint64_t value() const { return state_->value; }
+
+    // --- awaitable interface -------------------------------------------
+    bool await_ready() const noexcept { return state_->done; }
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        state_->waiters.push_back(h);
+    }
+    /** @return the completion value. */
+    std::uint64_t await_resume() const noexcept { return state_->value; }
+
+  private:
+    struct State
+    {
+        Simulator *sim;
+        std::vector<std::coroutine_handle<>> waiters;
+        std::uint64_t value;
+        bool done;
+    };
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Counting latch: wait until @p n arrivals. Used for "wait for all three
+ * replica acknowledgements" style joins.
+ */
+class CountLatch
+{
+  public:
+    CountLatch(Simulator &sim, unsigned n)
+        : completion_(sim), remaining_(n)
+    {
+        if (remaining_ == 0)
+            completion_.complete(0);
+    }
+
+    /** Record one arrival; completes the latch on the last one. */
+    void
+    arrive()
+    {
+        SMARTDS_ASSERT(remaining_ > 0, "latch arrive() past zero");
+        if (--remaining_ == 0)
+            completion_.complete(0);
+    }
+
+    /**
+     * Awaitable that resumes when the count reaches zero. Returned by
+     * value: a Completion copy shares state, so waiters stay valid even
+     * if the latch object itself is destroyed first.
+     */
+    Completion wait() const { return completion_; }
+
+  private:
+    Completion completion_;
+    unsigned remaining_;
+};
+
+} // namespace smartds::sim
+
+#endif // SMARTDS_SIM_PROCESS_H_

@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::sim {
+
+bool
+EventHandle::cancel()
+{
+    if (!state_ || state_->fired || state_->cancelled)
+        return false;
+    state_->cancelled = true;
+    return true;
+}
+
+bool
+EventHandle::pending() const
+{
+    return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle
+Simulator::schedule(Tick delay, std::function<void()> fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle
+Simulator::scheduleAt(Tick when, std::function<void()> fn)
+{
+    SMARTDS_ASSERT(when >= now_, "scheduling into the past (when=%llu now=%llu)",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(now_));
+    auto state = std::make_shared<EventHandle::State>();
+    queue_.push(Entry{when, nextSeq_++, std::move(fn), state});
+    return EventHandle(std::move(state));
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        // Copy out then pop so the callback may schedule freely.
+        Entry e = queue_.top();
+        queue_.pop();
+        if (e.state->cancelled)
+            continue;
+        now_ = e.when;
+        e.state->fired = true;
+        ++executed_;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+Simulator::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Tick
+Simulator::runUntil(Tick deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        if (!step())
+            break;
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+} // namespace smartds::sim

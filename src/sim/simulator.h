@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The kernel is a cancellable pending-event priority queue over integer
+ * picosecond ticks. Events scheduled for the same tick fire in scheduling
+ * order (a monotonic sequence number breaks ties), which keeps simulations
+ * deterministic.
+ */
+
+#ifndef SMARTDS_SIM_SIMULATOR_H_
+#define SMARTDS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace smartds::sim {
+
+class Simulator;
+
+/**
+ * Handle to a scheduled event; allows cancellation. Default-constructed
+ * handles are inert. Copies share the same underlying event.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. @return true if cancelled. */
+    bool cancel();
+
+    /** @return true if the event is still pending. */
+    bool pending() const;
+
+  private:
+    friend class Simulator;
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+    };
+    explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * The discrete-event simulator: a clock plus a pending-event queue.
+ *
+ * Components hold a reference to the Simulator, schedule callbacks, and
+ * query now(). One Simulator per experiment; no global state.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle schedule(Tick delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute tick @p when (must be >= now). */
+    EventHandle scheduleAt(Tick when, std::function<void()> fn);
+
+    /** Execute the next pending event. @return false if queue empty. */
+    bool step();
+
+    /** Run until the queue drains. @return the final time. */
+    Tick run();
+
+    /**
+     * Run until simulated time reaches @p deadline (events at exactly
+     * @p deadline still fire) or the queue drains. @return final time.
+     */
+    Tick runUntil(Tick deadline);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /** Number of events currently pending (including cancelled shells). */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<EventHandle::State> state;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+} // namespace smartds::sim
+
+#endif // SMARTDS_SIM_SIMULATOR_H_

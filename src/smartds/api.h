@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The SmartDS high-level API, named exactly as the paper's Table 2.
+ *
+ * This facade is what a middle-tier application programs against —
+ * Listing 1 of the paper transliterates to it almost token for token.
+ * The snake_case names deliberately mirror the paper's API table rather
+ * than this library's naming convention:
+ *
+ *   host_alloc(size)                 allocate host memory
+ *   dev_alloc(size)                  allocate SmartDS device memory
+ *   open_roce_instance(index)        get one RoCE instance's context
+ *   connect_qp(ctx, remote...)       connect a queue pair
+ *   dev_mixed_recv(qp, h, hs, d, ds) split receive
+ *   dev_mixed_send(qp, h, hs, d, ds) assembled send
+ *   dev_func(src, ss, dst, ds, eng)  invoke a hardware engine
+ *   poll(event)                      await an asynchronous event
+ *
+ * Everything returns the same asynchronous Event the device produces;
+ * poll() is awaitable from a sim::Process coroutine (the simulation's
+ * stand-in for the driver's blocking poll).
+ */
+
+#ifndef SMARTDS_SMARTDS_API_H_
+#define SMARTDS_SMARTDS_API_H_
+
+#include <memory>
+
+#include "smartds/device.h"
+
+namespace smartds::api {
+
+using Event = device::SmartDsDevice::Event;
+using Qp = device::SmartDsDevice::Qp;
+using Buffer = device::BufferRef;
+
+/** Engine selector (paper: the `engine` parameter of dev_func). */
+struct Engine
+{
+    unsigned port = 0;
+    device::EngineOp op = device::EngineOp::Compress;
+};
+
+/** The paper's named engines for instance 0. */
+constexpr Engine COMPRESS_ENGINE_0{0, device::EngineOp::Compress};
+constexpr Engine DECOMPRESS_ENGINE_0{0, device::EngineOp::Decompress};
+constexpr Engine SCRUB_ENGINE_0{0, device::EngineOp::Checksum};
+
+/** Engine selectors for an arbitrary RoCE instance. */
+constexpr Engine
+compress_engine(unsigned port)
+{
+    return Engine{port, device::EngineOp::Compress};
+}
+constexpr Engine
+decompress_engine(unsigned port)
+{
+    return Engine{port, device::EngineOp::Decompress};
+}
+
+/** Context of one RoCE instance (open_roce_instance's return value). */
+class RoceInstance
+{
+  public:
+    RoceInstance(device::SmartDsDevice &dev, unsigned index)
+        : dev_(dev), index_(index)
+    {
+    }
+
+    /** Network identity of this instance (what remote peers address). */
+    net::NodeId node_id() const { return dev_.nodeId(index_); }
+
+    unsigned index() const { return index_; }
+    device::SmartDsDevice &device() { return dev_; }
+
+  private:
+    device::SmartDsDevice &dev_;
+    unsigned index_;
+};
+
+/**
+ * A SmartDS session: owns the device and exposes the Table 2 calls.
+ * Thin by design — every call forwards to the device model, so the
+ * timing and functional behaviour are identical to driving the device
+ * directly.
+ */
+class Session
+{
+  public:
+    /** Bring up a SmartDS card in @p fabric. */
+    Session(net::Fabric &fabric, const std::string &name,
+            mem::MemorySystem *host_memory,
+            device::SmartDsDevice::Config config)
+        : dev_(std::make_unique<device::SmartDsDevice>(fabric, name,
+                                                       host_memory,
+                                                       config))
+    {
+        for (unsigned i = 0; i < dev_->ports(); ++i)
+            instances_.emplace_back(*dev_, i);
+    }
+
+    // ------------------------------------------------ Table 2, verbatim
+
+    /** Allocating size bytes buffer in the host memory. */
+    Buffer host_alloc(Bytes size) { return dev_->hostAlloc(size); }
+
+    /** Allocating size bytes buffer in the SmartDS's device memory. */
+    Buffer dev_alloc(Bytes size) { return dev_->devAlloc(size); }
+
+    /** Open one of the RoCE instances and return the context. */
+    RoceInstance &
+    open_roce_instance(unsigned instance_index)
+    {
+        SMARTDS_ASSERT(instance_index < instances_.size(),
+                       "no RoCE instance %u", instance_index);
+        return instances_[instance_index];
+    }
+
+    /** Connect a queue pair with a remote peer (Listing 1's connect_qp). */
+    Qp
+    connect_qp(RoceInstance &ctx, net::NodeId remote_node,
+               net::QpId remote_qp = 0)
+    {
+        Qp qp = dev_->createQp(ctx.index());
+        dev_->connect(qp, remote_node, remote_qp);
+        return qp;
+    }
+
+    /** Create an unconnected (receive-side) queue pair. */
+    Qp create_qp(RoceInstance &ctx) { return dev_->createQp(ctx.index()); }
+
+    /**
+     * Post a recv work request; the received RDMA message is split: the
+     * first h_size bytes to host memory h_buf, the rest to device
+     * memory d_buf. Returns an asynchronous event.
+     */
+    Event
+    dev_mixed_recv(const Qp &qp, Buffer h_buf, Bytes h_size, Buffer d_buf,
+                   Bytes d_size)
+    {
+        return dev_->mixedRecv(qp, std::move(h_buf), h_size,
+                               std::move(d_buf), d_size);
+    }
+
+    /**
+     * Post a send work request; SmartDS assembles h_size bytes from
+     * host memory and d_size bytes from device memory into one RDMA
+     * message. Returns an asynchronous event.
+     */
+    Event
+    dev_mixed_send(const Qp &qp, Buffer h_buf, Bytes h_size, Buffer d_buf,
+                   Bytes d_size,
+                   net::MessageKind kind = net::MessageKind::Raw,
+                   std::uint64_t tag = 0, Tick issue_tick = 0)
+    {
+        return dev_->mixedSend(qp, std::move(h_buf), h_size,
+                               std::move(d_buf), d_size, kind, tag,
+                               issue_tick);
+    }
+
+    /**
+     * Invoke @p engine: fetch src_size bytes from src in device memory,
+     * process, write the result into dest. Returns an asynchronous
+     * event that completes with the result size.
+     */
+    Event
+    dev_func(Buffer src, Bytes src_size, Buffer dest, Bytes dest_size,
+             Engine engine)
+    {
+        return dev_->devFunc(std::move(src), src_size, std::move(dest),
+                             dest_size, engine.port, engine.op);
+    }
+
+    device::SmartDsDevice &device() { return *dev_; }
+
+  private:
+    std::unique_ptr<device::SmartDsDevice> dev_;
+    std::vector<RoceInstance> instances_;
+};
+
+/**
+ * Poll the asynchronous event until it completes (awaitable):
+ * `co_await poll(e)` from a sim::Process. Returns the completion value
+ * (e.g. received payload size / engine output size).
+ */
+inline sim::Completion
+poll(const Event &event)
+{
+    return event.completion;
+}
+
+} // namespace smartds::api
+
+#endif // SMARTDS_SMARTDS_API_H_

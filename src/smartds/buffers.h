@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Host- and device-memory buffer handles for the SmartDS API.
+ *
+ * host_alloc()/dev_alloc() (paper Table 2) return references to these.
+ * In *functional* mode a buffer carries real bytes, so the split/assemble
+ * datapath and the hardware engines move and transform actual data that
+ * tests can verify byte-for-byte. In timing-only mode the bytes pointer is
+ * null and the buffer carries only metadata (content size, compressed
+ * flag, sampled compressibility) — enough to drive the timing model at
+ * millions of requests per second.
+ */
+
+#ifndef SMARTDS_SMARTDS_BUFFERS_H_
+#define SMARTDS_SMARTDS_BUFFERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartds::device {
+
+/** Where a buffer lives. */
+enum class MemorySpace : std::uint8_t
+{
+    Host,   ///< host DRAM, reachable over PCIe
+    Device, ///< SmartDS HBM
+};
+
+/** Metadata describing a buffer's current content. */
+struct BufferContent
+{
+    /** Valid bytes currently in the buffer. */
+    Bytes size = 0;
+    /** Whether the content is a compressed block. */
+    bool compressed = false;
+    /** Uncompressed size when compressed is true. */
+    Bytes originalSize = 0;
+    /** Compressibility of the (original) block, compressed/original. */
+    double compressibility = 1.0;
+};
+
+/** A buffer handle; share via BufferRef. */
+class Buffer
+{
+  public:
+    Buffer(MemorySpace space, std::uint64_t addr, Bytes capacity,
+           bool functional)
+        : space_(space), addr_(addr), capacity_(capacity)
+    {
+        if (functional)
+            bytes_ = std::make_unique<std::vector<std::uint8_t>>(capacity);
+    }
+
+    MemorySpace space() const { return space_; }
+    std::uint64_t addr() const { return addr_; }
+    Bytes capacity() const { return capacity_; }
+
+    /** Real backing bytes, or nullptr in timing-only mode. */
+    std::vector<std::uint8_t> *bytes() { return bytes_.get(); }
+    const std::vector<std::uint8_t> *bytes() const { return bytes_.get(); }
+
+    /** Mutable content descriptor (set by the datapath modules). */
+    BufferContent content;
+
+  private:
+    MemorySpace space_;
+    std::uint64_t addr_;
+    Bytes capacity_;
+    std::unique_ptr<std::vector<std::uint8_t>> bytes_;
+};
+
+using BufferRef = std::shared_ptr<Buffer>;
+
+} // namespace smartds::device
+
+#endif // SMARTDS_SMARTDS_BUFFERS_H_

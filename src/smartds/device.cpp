@@ -1,0 +1,426 @@
+#include "smartds/device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "lz4/lz4.h"
+
+namespace smartds::device {
+
+SmartDsDevice::SmartDsDevice(net::Fabric &fabric, const std::string &name,
+                             mem::MemorySystem *host_memory)
+    : SmartDsDevice(fabric, name, host_memory, Config{})
+{
+}
+
+SmartDsDevice::SmartDsDevice(net::Fabric &fabric, const std::string &name,
+                             mem::MemorySystem *host_memory, Config config)
+    : fabric_(fabric), sim_(fabric.simulator()), name_(name),
+      config_(config), hostMemory_(host_memory),
+      hbm_(sim_, name, config.hbmCapacity, config.hbmBandwidth,
+           config.functional),
+      pcie_(sim_, name + ".pcie", config.pcie),
+      dma_(sim_, name + ".dma", host_memory,
+           [this, &config] {
+               std::vector<sim::BandwidthServer *> path{&pcie_.h2d()};
+               path.insert(path.end(), config.h2dTail.begin(),
+                           config.h2dTail.end());
+               return path;
+           }(),
+           [this, &config] {
+               std::vector<sim::BandwidthServer *> path{&pcie_.d2h()};
+               path.insert(path.end(), config.d2hTail.begin(),
+                           config.d2hTail.end());
+               return path;
+           }(),
+           [&config] {
+               // SmartDS crosses PCIe only with 64-byte headers and
+               // descriptors; the hardware keeps hundreds of such small
+               // DMAs in flight. Give the header engine a roomy byte
+               // window so six ports' header traffic pipelines freely.
+               auto dma = config.dma;
+               dma.readWindowBytes =
+                   std::max<Bytes>(dma.readWindowBytes, 64 * 1024);
+               dma.writeWindowBytes =
+                   std::max<Bytes>(dma.writeWindowBytes, 64 * 1024);
+               return dma;
+           }())
+{
+    SMARTDS_ASSERT(config.ports >= 1 &&
+                       config.ports <= calibration::smartdsMaxPorts,
+                   "SmartDS supports 1..%u ports, got %u",
+                   calibration::smartdsMaxPorts, config.ports);
+    if (hostMemory_) {
+        hdrWrite_ = hostMemory_->createFlow(name + ".hdr-write");
+        hdrRead_ = hostMemory_->createFlow(name + ".hdr-read");
+    }
+    for (unsigned i = 0; i < config.ports; ++i) {
+        auto state = std::make_unique<PortState>();
+        const std::string pname = name + ".p" + std::to_string(i);
+        state->port = fabric.createPort(pname, config.lineRate);
+        state->compressEngine = std::make_unique<sim::BandwidthServer>(
+            sim_, pname + ".comp", config.engineRate, config.engineLatency);
+        state->decompressEngine = std::make_unique<sim::BandwidthServer>(
+            sim_, pname + ".decomp", config.engineRate,
+            config.engineLatency);
+        state->splitWrite = hbm_.createFlow(pname + ".split-w");
+        state->assembleRead = hbm_.createFlow(pname + ".assemble-r");
+        state->engineRead = hbm_.createFlow(pname + ".engine-r");
+        state->engineWrite = hbm_.createFlow(pname + ".engine-w");
+        state->port->onReceive([this, i](net::Message msg) {
+            onPortReceive(i, std::move(msg));
+        });
+        portStates_.push_back(std::move(state));
+    }
+}
+
+BufferRef
+SmartDsDevice::hostAlloc(Bytes size)
+{
+    const std::uint64_t addr = nextHostAddr_;
+    nextHostAddr_ += size;
+    return std::make_shared<Buffer>(MemorySpace::Host, addr, size,
+                                    config_.functional);
+}
+
+BufferRef
+SmartDsDevice::devAlloc(Bytes size)
+{
+    return hbm_.alloc(size);
+}
+
+net::NodeId
+SmartDsDevice::nodeId(unsigned port) const
+{
+    SMARTDS_ASSERT(port < portStates_.size(), "port index out of range");
+    return portStates_[port]->port->id();
+}
+
+SmartDsDevice::Qp
+SmartDsDevice::createQp(unsigned port)
+{
+    SMARTDS_ASSERT(port < portStates_.size(), "port index out of range");
+    Qp qp;
+    qp.port = port;
+    qp.local = portStates_[port]->nextQp++;
+    return qp;
+}
+
+void
+SmartDsDevice::connect(Qp &qp, net::NodeId remote_node, net::QpId remote_qp)
+{
+    qp.remoteNode = remote_node;
+    qp.remoteQp = remote_qp;
+}
+
+net::Port &
+SmartDsDevice::port(unsigned i)
+{
+    SMARTDS_ASSERT(i < portStates_.size(), "port index out of range");
+    return *portStates_[i]->port;
+}
+
+sim::BandwidthServer &
+SmartDsDevice::compressEngine(unsigned i)
+{
+    SMARTDS_ASSERT(i < portStates_.size(), "port index out of range");
+    return *portStates_[i]->compressEngine;
+}
+
+std::size_t
+SmartDsDevice::pendingMessages() const
+{
+    std::size_t n = 0;
+    for (const auto &state : portStates_)
+        for (const auto &[qp, q] : state->pendingMsgs)
+            n += q.size();
+    return n;
+}
+
+void
+SmartDsDevice::onPortReceive(unsigned port_index, net::Message msg)
+{
+    auto &state = *portStates_[port_index];
+    auto &queue = state.recvQueues[msg.dstQp];
+    if (queue.empty()) {
+        // No descriptor posted yet: the message waits in device memory
+        // (the RoCE stack has already landed it in HBM).
+        state.pendingMsgs[msg.dstQp].push_back(std::move(msg));
+        return;
+    }
+    RecvDescriptor desc = std::move(queue.front());
+    queue.pop_front();
+    performSplit(port_index, std::move(desc), std::move(msg));
+}
+
+void
+SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
+                            net::Message msg)
+{
+    auto &state = *portStates_[port_index];
+    const Bytes total = msg.wireBytes();
+    const Bytes host_part = std::min(desc.hSize, total);
+    const Bytes dev_part = total - host_part;
+    SMARTDS_ASSERT(dev_part <= desc.dSize,
+                   "split overflow: %llu payload bytes into %llu-byte "
+                   "device buffer",
+                   static_cast<unsigned long long>(dev_part),
+                   static_cast<unsigned long long>(desc.dSize));
+
+    // Functional data movement: header bytes into the host buffer,
+    // payload bytes into the device buffer.
+    if (config_.functional) {
+        if (desc.h && desc.h->bytes() && msg.headerData) {
+            const Bytes n = std::min<Bytes>(msg.headerData->size(),
+                                            desc.h->capacity());
+            std::memcpy(desc.h->bytes()->data(), msg.headerData->data(), n);
+            desc.h->content.size = n;
+        }
+        if (desc.d && desc.d->bytes() && msg.payload.data) {
+            const Bytes n = std::min<Bytes>(msg.payload.data->size(),
+                                            desc.d->capacity());
+            std::memcpy(desc.d->bytes()->data(), msg.payload.data->data(),
+                        n);
+        }
+    }
+    if (desc.d) {
+        desc.d->content.size = dev_part;
+        desc.d->content.compressed = msg.payload.compressed;
+        desc.d->content.originalSize = msg.payload.originalSize;
+        desc.d->content.compressibility = msg.payload.compressibility;
+    }
+
+    // Timing: fixed split latency, then the header DMA to host memory and
+    // the payload write into HBM proceed in parallel.
+    auto latch = std::make_shared<sim::CountLatch>(sim_, 2);
+    auto event = desc.event;
+    // The event's message slot was allocated with the descriptor, so all
+    // Event copies the application holds observe the filled-in message.
+    auto msg_ptr = event.message;
+    *msg_ptr = std::move(msg);
+    sim::spawn(sim_, [](sim::Completion both_done, Event ev,
+                        Bytes dev_part) -> sim::Process {
+        co_await both_done;
+        ev.completion.complete(dev_part);
+    }(latch->wait(), event, dev_part));
+
+    sim_.schedule(config_.splitLatency, [this, &state, host_part, dev_part,
+                                         latch, msg_ptr]() {
+        pcie::DmaEngine::Options options;
+        options.memFlow =
+            config_.headerLlcSteering ? nullptr : hdrWrite_;
+        options.stallOnMemory = false;
+        dma_.write(host_part, options, [latch](Tick) { latch->arrive(); });
+        state.splitWrite->transfer(dev_part, [latch]() { latch->arrive(); });
+        (void)msg_ptr; // keeps the message alive until the split lands
+    });
+}
+
+SmartDsDevice::Event
+SmartDsDevice::mixedRecv(const Qp &qp, BufferRef h, Bytes h_size,
+                         BufferRef d, Bytes d_size)
+{
+    SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
+    auto &state = *portStates_[qp.port];
+    RecvDescriptor desc{std::move(h), h_size, std::move(d), d_size,
+                        Event{sim::Completion(sim_),
+                              std::make_shared<net::Message>()}};
+    Event event = desc.event;
+
+    auto &pending = state.pendingMsgs[qp.local];
+    if (!pending.empty()) {
+        net::Message msg = std::move(pending.front());
+        pending.pop_front();
+        performSplit(qp.port, std::move(desc), std::move(msg));
+    } else {
+        state.recvQueues[qp.local].push_back(std::move(desc));
+    }
+    return event;
+}
+
+SmartDsDevice::Event
+SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
+                         BufferRef d, Bytes d_size, net::MessageKind kind,
+                         std::uint64_t tag, Tick issue_tick)
+{
+    SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
+    SMARTDS_ASSERT(qp.remoteNode != 0, "sending on an unconnected qp");
+    auto &state = *portStates_[qp.port];
+
+    net::Message msg;
+    msg.dst = qp.remoteNode;
+    msg.dstQp = qp.remoteQp;
+    msg.srcQp = qp.local;
+    msg.kind = kind;
+    msg.headerBytes = h_size;
+    msg.tag = tag;
+    msg.issueTick = issue_tick;
+    msg.payload.size = d_size;
+    if (d) {
+        msg.payload.compressed = d->content.compressed;
+        msg.payload.originalSize = d->content.originalSize;
+        msg.payload.compressibility = d->content.compressibility;
+        if (config_.functional && d->bytes()) {
+            msg.payload.data =
+                std::make_shared<const std::vector<std::uint8_t>>(
+                    d->bytes()->begin(),
+                    d->bytes()->begin() + static_cast<std::ptrdiff_t>(d_size));
+        }
+    }
+    if (config_.functional && h && h->bytes()) {
+        msg.headerData = std::make_shared<const std::vector<std::uint8_t>>(
+            h->bytes()->begin(),
+            h->bytes()->begin() +
+                static_cast<std::ptrdiff_t>(std::min(h_size, h->capacity())));
+    }
+
+    Event event{sim::Completion(sim_), nullptr};
+
+    // Gather: header DMA read from host and payload read from HBM run in
+    // parallel; the assembled message then serialises onto the wire.
+    auto latch = std::make_shared<sim::CountLatch>(sim_, 2);
+    pcie::DmaEngine::Options options;
+    options.memFlow = hdrRead_;
+    options.stallOnMemory = true;
+    dma_.read(h_size, options, [latch](Tick) { latch->arrive(); });
+    state.assembleRead->transfer(d_size, [latch]() { latch->arrive(); });
+
+    auto *port = state.port;
+    const Tick assemble_latency = config_.splitLatency;
+    sim::spawn(sim_, [](sim::Simulator &sim, sim::Completion gathered,
+                        net::Port *port, net::Message m, Event ev,
+                        Tick lat) -> sim::Process {
+        co_await gathered;
+        co_await sim::delay(sim, lat);
+        const Bytes sent = m.wireBytes();
+        sim::Completion on_sent(sim);
+        port->send(std::move(m),
+                   [on_sent]() mutable { on_sent.complete(0); });
+        co_await on_sent;
+        ev.completion.complete(sent);
+    }(sim_, latch->wait(), port, std::move(msg), event, assemble_latency));
+    return event;
+}
+
+SmartDsDevice::Event
+SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
+                       Bytes dst_cap, unsigned port, EngineOp op)
+{
+    SMARTDS_ASSERT(port < portStates_.size(), "engine index out of range");
+    SMARTDS_ASSERT(src && dst, "devFunc needs source and destination");
+    auto &state = *portStates_[port];
+
+    // Determine the functional result (and its size) up front; the timing
+    // below charges HBM and engine time for it.
+    Bytes result_size = 0;
+    bool result_compressed = false;
+    Bytes result_original = 0;
+    double compressibility = src->content.compressibility;
+    std::vector<std::uint8_t> result_bytes;
+
+    std::uint64_t completion_value = 0;
+    if (op == EngineOp::Checksum) {
+        // Scrubbing engine: stream the buffer, emit its checksum, write
+        // nothing back. Timing mode completes with 0.
+        result_size = 0;
+        result_compressed = src->content.compressed;
+        result_original = src->content.originalSize;
+        if (config_.functional && src->bytes()) {
+            completion_value =
+                xxhash32(src->bytes()->data(), src_size);
+        }
+    } else if (op == EngineOp::Compress) {
+        if (config_.functional && src->bytes()) {
+            result_bytes.resize(lz4::maxCompressedSize(src_size));
+            const auto n = lz4::compress(src->bytes()->data(), src_size,
+                                         result_bytes.data(),
+                                         result_bytes.size(),
+                                         config_.effort);
+            SMARTDS_ASSERT(n.has_value(), "engine compression failed");
+            result_size = *n;
+            compressibility =
+                std::min(1.0, static_cast<double>(*n) /
+                                  static_cast<double>(src_size));
+        } else {
+            result_size = static_cast<Bytes>(
+                static_cast<double>(src_size) * compressibility);
+            if (result_size == 0)
+                result_size = 1;
+        }
+        result_compressed = true;
+        result_original = src_size;
+    } else {
+        if (config_.functional && src->bytes()) {
+            result_bytes.resize(dst_cap);
+            const auto n = lz4::decompress(src->bytes()->data(), src_size,
+                                           result_bytes.data(), dst_cap);
+            SMARTDS_ASSERT(n.has_value(), "engine decompression failed");
+            result_size = *n;
+        } else {
+            result_size = src->content.originalSize
+                              ? src->content.originalSize
+                              : static_cast<Bytes>(
+                                    static_cast<double>(src_size) /
+                                    std::max(compressibility, 1e-6));
+        }
+        result_compressed = false;
+        result_original = 0;
+    }
+    SMARTDS_ASSERT(result_size <= dst_cap,
+                   "engine output %llu exceeds destination capacity %llu",
+                   static_cast<unsigned long long>(result_size),
+                   static_cast<unsigned long long>(dst_cap));
+
+    Event event{sim::Completion(sim_), nullptr};
+    auto *engine = op == EngineOp::Decompress
+                       ? state.decompressEngine.get()
+                       : state.compressEngine.get();
+    auto *read_flow = state.engineRead;
+    auto *write_flow = state.engineWrite;
+    const bool is_checksum = op == EngineOp::Checksum;
+
+    // Pipeline: HBM read -> engine -> HBM write (nothing written back
+    // for the scrubbing engine).
+    read_flow->transfer(src_size, [this, engine, write_flow, src_size,
+                                   result_size, result_compressed,
+                                   result_original, compressibility, dst,
+                                   event, is_checksum, completion_value,
+                                   result_bytes =
+                                       std::move(result_bytes)]() mutable {
+        engine->transfer(src_size, [this, write_flow, result_size,
+                                    result_compressed, result_original,
+                                    compressibility, dst, event,
+                                    is_checksum, completion_value,
+                                    result_bytes = std::move(
+                                        result_bytes)]() mutable {
+            write_flow->transfer(
+                result_size,
+                [result_size, result_compressed, result_original,
+                 compressibility, dst, event, is_checksum,
+                 completion_value,
+                 result_bytes = std::move(result_bytes)]() mutable {
+                    if (is_checksum) {
+                        event.completion.complete(completion_value);
+                        return;
+                    }
+                    if (dst->bytes() && !result_bytes.empty()) {
+                        const Bytes n = std::min<Bytes>(
+                            result_size, dst->capacity());
+                        std::memcpy(dst->bytes()->data(),
+                                    result_bytes.data(), n);
+                    }
+                    dst->content.size = result_size;
+                    dst->content.compressed = result_compressed;
+                    dst->content.originalSize = result_original;
+                    dst->content.compressibility = compressibility;
+                    event.completion.complete(result_size);
+                });
+        });
+    });
+    return event;
+}
+
+} // namespace smartds::device

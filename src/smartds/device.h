@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The SmartDS device: the paper's primary contribution.
+ *
+ * A SmartDS card exposes up to six 100 GbE ports. Each port instantiates
+ * an *extended RoCE stack* — the RoCE transport plus the Split and
+ * Assemble modules of Section 4.1 — and a hardware engine. The card
+ * carries a large HBM device memory and connects to the host over one
+ * PCIe link.
+ *
+ * Application-aware message split (AAMS): for every received RDMA message
+ * the Split module looks up the recv descriptor posted by host software
+ * and writes the first h_size bytes into host memory (the header, which
+ * needs flexible CPU processing) while the remaining bytes stay in device
+ * memory (the payload, which needs fixed heavy computation). The Assemble
+ * module performs the inverse gather on send. Hardware engines transform
+ * payloads HBM-to-HBM. Only descriptors and headers ever cross PCIe,
+ * which is why one host drives many ports and many cards (Sections 4.2,
+ * 5.4, 5.5).
+ */
+
+#ifndef SMARTDS_SMARTDS_DEVICE_H_
+#define SMARTDS_SMARTDS_DEVICE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/calibration.h"
+#include "mem/memory_system.h"
+#include "net/fabric.h"
+#include "pcie/pcie.h"
+#include "sim/bandwidth_server.h"
+#include "sim/process.h"
+#include "smartds/buffers.h"
+#include "smartds/device_memory.h"
+#include "smartds/resource_model.h"
+
+namespace smartds::device {
+
+/**
+ * Which fixed-function engine a dev_func call invokes. The paper notes
+ * SmartDS "provides a simple interface to deploy different hardware
+ * engines according to the application scenario" — besides the LZ4
+ * pair, a scrubbing/checksum engine demonstrates that interface: it
+ * streams a buffer at line rate and completes with its xxHash32
+ * (functional mode) without producing output data.
+ */
+enum class EngineOp : std::uint8_t
+{
+    Compress,
+    Decompress,
+    Checksum,
+};
+
+/** The SmartDS SmartNIC. */
+class SmartDsDevice
+{
+  public:
+    struct Config
+    {
+        /** Networking ports to instantiate (1..smartdsMaxPorts). */
+        unsigned ports = 1;
+        /** Per-port engine throughput. */
+        BytesPerSecond engineRate = calibration::smartdsEnginePerPort;
+        /** Engine fixed pipeline latency per invocation. */
+        Tick engineLatency = calibration::fpgaEngineBlockLatency;
+        /** Split/Assemble fixed latency per message. */
+        Tick splitLatency = calibration::smartdsSplitLatency;
+        /** HBM capacity / bandwidth. */
+        Bytes hbmCapacity = calibration::smartdsHbmBytes;
+        BytesPerSecond hbmBandwidth = calibration::smartdsHbmBandwidth;
+        /** Port line rate. */
+        BytesPerSecond lineRate = calibration::lineRate100G;
+        /** PCIe link and DMA engine configuration. */
+        pcie::PcieLink::Config pcie;
+        pcie::DmaEngine::Config dma;
+        /**
+         * Additional PCIe hops between this card's own link and the
+         * host (e.g. a PCIe switch's root port when several cards share
+         * one socket, Section 5.5). Appended after the card link, in
+         * card-to-host order.
+         */
+        std::vector<sim::BandwidthServer *> h2dTail;
+        std::vector<sim::BandwidthServer *> d2hTail;
+        /** Functional mode: buffers carry and transform real bytes. */
+        bool functional = false;
+        /** LZ4 effort used by functional engines. */
+        int effort = 1;
+        /**
+         * CacheDirector-style header steering (the related-work
+         * combination the paper points out): header DMA writes land in
+         * the LLC slice next to the consuming core instead of DRAM,
+         * shaving the memory access off the header path.
+         */
+        bool headerLlcSteering = false;
+    };
+
+    /** A connected queue pair on one of the device's RoCE instances. */
+    struct Qp
+    {
+        unsigned port = 0;
+        net::QpId local = 0;
+        net::NodeId remoteNode = 0;
+        net::QpId remoteQp = 0;
+    };
+
+    /**
+     * An asynchronous completion event, as returned by the Table 2 API
+     * calls. size() is the completion's byte count (received payload
+     * size, engine output size, or bytes sent); message points at the
+     * matched network message on receive paths.
+     */
+    struct Event
+    {
+        sim::Completion completion;
+        std::shared_ptr<net::Message> message;
+
+        Bytes size() const { return completion.value(); }
+    };
+
+    SmartDsDevice(net::Fabric &fabric, const std::string &name,
+                  mem::MemorySystem *host_memory);
+    SmartDsDevice(net::Fabric &fabric, const std::string &name,
+                  mem::MemorySystem *host_memory, Config config);
+
+    // ----------------------------------------------------- memory (API)
+
+    /** Allocate a host-memory buffer (Table 2: host_alloc). */
+    BufferRef hostAlloc(Bytes size);
+
+    /** Allocate a device-memory buffer (Table 2: dev_alloc). */
+    BufferRef devAlloc(Bytes size);
+
+    // ------------------------------------------------- connections (API)
+
+    /** Node id of RoCE instance @p port (what remote peers address). */
+    net::NodeId nodeId(unsigned port) const;
+
+    /** Create a queue pair on RoCE instance @p port. */
+    Qp createQp(unsigned port);
+
+    /** Connect a queue pair to a remote endpoint. */
+    void connect(Qp &qp, net::NodeId remote_node, net::QpId remote_qp);
+
+    // --------------------------------------------------- datapath (API)
+
+    /**
+     * Post a split receive (Table 2: dev_mixed_recv): the next message on
+     * @p qp has its first @p h_size bytes written to host buffer @p h and
+     * the remainder to device buffer @p d. The event completes with the
+     * device-part size once both writes have landed.
+     */
+    Event mixedRecv(const Qp &qp, BufferRef h, Bytes h_size, BufferRef d,
+                    Bytes d_size);
+
+    /**
+     * Post an assembled send (Table 2: dev_mixed_send): gather @p h_size
+     * bytes from host buffer @p h and @p d_size bytes from device buffer
+     * @p d into one RDMA message on @p qp. @p kind/@p tag/@p issue_tick
+     * describe the storage-protocol message (in hardware these live in
+     * the header bytes; the model also carries them out-of-band so the
+     * timing path need not parse bytes). Completes when the message has
+     * left the port.
+     */
+    Event mixedSend(const Qp &qp, BufferRef h, Bytes h_size, BufferRef d,
+                    Bytes d_size, net::MessageKind kind, std::uint64_t tag,
+                    Tick issue_tick);
+
+    /**
+     * Invoke the fixed-function engine of port @p port (Table 2:
+     * dev_func): read @p src_size bytes from device buffer @p src,
+     * transform, write the result into @p dst. Completes with the result
+     * size.
+     */
+    Event devFunc(BufferRef src, Bytes src_size, BufferRef dst,
+                  Bytes dst_cap, unsigned port, EngineOp op);
+
+    // ------------------------------------------------------ inspection
+
+    unsigned ports() const { return config_.ports; }
+    const Config &config() const { return config_; }
+    DeviceMemory &hbm() { return hbm_; }
+    pcie::PcieLink &pcieLink() { return pcie_; }
+    net::Port &port(unsigned i);
+    sim::BandwidthServer &compressEngine(unsigned i);
+
+    /** FPGA resource consumption of this configuration (Table 3). */
+    ResourceVec resources() const { return smartdsResources(config_.ports); }
+
+    /** Host-memory flows carrying header traffic (for Fig 8a meters). */
+    sim::FairShareResource::Flow *headerWriteFlow() { return hdrWrite_; }
+    sim::FairShareResource::Flow *headerReadFlow() { return hdrRead_; }
+
+    /** Messages queued in device memory awaiting a recv descriptor. */
+    std::size_t pendingMessages() const;
+
+  private:
+    struct RecvDescriptor
+    {
+        BufferRef h;
+        Bytes hSize;
+        BufferRef d;
+        Bytes dSize;
+        Event event;
+    };
+
+    struct PortState
+    {
+        net::Port *port = nullptr;
+        std::unique_ptr<sim::BandwidthServer> compressEngine;
+        std::unique_ptr<sim::BandwidthServer> decompressEngine;
+        sim::FairShareResource::Flow *splitWrite = nullptr;
+        sim::FairShareResource::Flow *assembleRead = nullptr;
+        sim::FairShareResource::Flow *engineRead = nullptr;
+        sim::FairShareResource::Flow *engineWrite = nullptr;
+        std::unordered_map<net::QpId, std::deque<RecvDescriptor>> recvQueues;
+        std::unordered_map<net::QpId, std::deque<net::Message>> pendingMsgs;
+        net::QpId nextQp = 1;
+    };
+
+    void onPortReceive(unsigned port_index, net::Message msg);
+    void performSplit(unsigned port_index, RecvDescriptor desc,
+                      net::Message msg);
+
+    net::Fabric &fabric_;
+    sim::Simulator &sim_;
+    std::string name_;
+    Config config_;
+    mem::MemorySystem *hostMemory_;
+    DeviceMemory hbm_;
+    pcie::PcieLink pcie_;
+    pcie::DmaEngine dma_;
+    sim::FairShareResource::Flow *hdrWrite_ = nullptr;
+    sim::FairShareResource::Flow *hdrRead_ = nullptr;
+    std::uint64_t nextHostAddr_ = 0;
+    std::vector<std::unique_ptr<PortState>> portStates_;
+};
+
+} // namespace smartds::device
+
+#endif // SMARTDS_SMARTDS_DEVICE_H_

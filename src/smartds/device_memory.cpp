@@ -1,0 +1,37 @@
+#include "smartds/device_memory.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::device {
+
+DeviceMemory::DeviceMemory(sim::Simulator &sim, const std::string &name,
+                           Bytes capacity, BytesPerSecond bandwidth,
+                           bool functional)
+    : capacity_(capacity), functional_(functional),
+      share_(sim, name + ".hbm", bandwidth)
+{
+}
+
+BufferRef
+DeviceMemory::alloc(Bytes size)
+{
+    if (used_ + size > capacity_)
+        fatal("device memory exhausted: %llu + %llu > %llu bytes",
+              static_cast<unsigned long long>(used_),
+              static_cast<unsigned long long>(size),
+              static_cast<unsigned long long>(capacity_));
+    const std::uint64_t addr = used_;
+    used_ += size;
+    return std::make_shared<Buffer>(MemorySpace::Device, addr, size,
+                                    functional_);
+}
+
+sim::FairShareResource::Flow *
+DeviceMemory::createFlow(std::string name, double weight)
+{
+    return share_.createFlow(std::move(name), weight);
+}
+
+} // namespace smartds::device

@@ -1,0 +1,66 @@
+#include "smartds/resource_model.h"
+
+namespace smartds::device {
+
+const std::vector<Component> &
+smartdsPortComponents()
+{
+    // Per-port budgets summing to 156.8K LUT / 142.83K REG / 292 BRAM —
+    // the per-port increments of the paper's Table 3.
+    static const std::vector<Component> components = {
+        {"roce-stack", {83.0, 75.0, 124.0}},
+        {"split-module", {9.3, 8.03, 40.0}},
+        {"assemble-module", {7.5, 6.8, 24.0}},
+        {"lz4-engine", {51.0, 48.0, 88.0}},
+        {"hbm-crossbar-share", {6.0, 5.0, 16.0}},
+    };
+    return components;
+}
+
+const std::vector<Component> &
+accComponents()
+{
+    // The accelerator baseline has no network stack: a PCIe/DMA shell,
+    // the same engine, and host-control plumbing (Table 3 "Acc" row).
+    static const std::vector<Component> components = {
+        {"pcie-dma-shell", {53.0, 53.0, 76.0}},
+        {"lz4-engine", {51.0, 48.0, 88.0}},
+        {"host-control", {8.0, 8.0, 8.0}},
+    };
+    return components;
+}
+
+ResourceVec
+smartdsResources(unsigned ports)
+{
+    ResourceVec per_port;
+    for (const auto &c : smartdsPortComponents())
+        per_port = per_port + c.cost;
+    return per_port * static_cast<double>(ports);
+}
+
+ResourceVec
+accResources()
+{
+    ResourceVec total;
+    for (const auto &c : accComponents())
+        total = total + c.cost;
+    return total;
+}
+
+ResourceVec
+vcu128Capacity()
+{
+    // Virtex UltraScale+ VU37P (VCU128): 1304K LUTs, 2607K REGs,
+    // 2016 BRAM tiles.
+    return {1304.0, 2607.0, 2016.0};
+}
+
+ResourceVec
+utilizationPercent(const ResourceVec &used, const ResourceVec &device)
+{
+    return {100.0 * used.lutK / device.lutK, 100.0 * used.regK / device.regK,
+            100.0 * used.bram / device.bram};
+}
+
+} // namespace smartds::device

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FPGA resource model reproducing the paper's Table 3.
+ *
+ * Table 3 reports LUT/REG/BRAM consumption for the accelerator baseline
+ * ("Acc") and for SmartDS with 1/2/4/6 ports. SmartDS consumption is
+ * linear in port count because each port instantiates its own extended
+ * RoCE stack (RoCE + Split + Assemble) and compression engine. The model
+ * keeps per-component budgets whose per-port sum matches the paper's
+ * measurements; Table 3 rows then follow from the configuration.
+ */
+
+#ifndef SMARTDS_SMARTDS_RESOURCE_MODEL_H_
+#define SMARTDS_SMARTDS_RESOURCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace smartds::device {
+
+/** One FPGA resource triple. */
+struct ResourceVec
+{
+    double lutK = 0.0;  ///< thousands of LUTs
+    double regK = 0.0;  ///< thousands of registers
+    double bram = 0.0;  ///< BRAM tiles
+
+    ResourceVec
+    operator+(const ResourceVec &o) const
+    {
+        return {lutK + o.lutK, regK + o.regK, bram + o.bram};
+    }
+    ResourceVec
+    operator*(double k) const
+    {
+        return {lutK * k, regK * k, bram * k};
+    }
+};
+
+/** A named component with its resource budget. */
+struct Component
+{
+    std::string name;
+    ResourceVec cost;
+};
+
+/** Per-port SmartDS components (extended RoCE stack + engine). */
+const std::vector<Component> &smartdsPortComponents();
+
+/** Components of the accelerator baseline bitstream ("Acc"). */
+const std::vector<Component> &accComponents();
+
+/** Total consumption of a SmartDS configuration with @p ports ports. */
+ResourceVec smartdsResources(unsigned ports);
+
+/** Total consumption of the "Acc" baseline. */
+ResourceVec accResources();
+
+/** VCU128 device capacity, for utilisation percentages. */
+ResourceVec vcu128Capacity();
+
+/** Utilisation percentage of @p used against @p device capacity. */
+ResourceVec utilizationPercent(const ResourceVec &used,
+                               const ResourceVec &device);
+
+} // namespace smartds::device
+
+#endif // SMARTDS_SMARTDS_RESOURCE_MODEL_H_

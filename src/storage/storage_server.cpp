@@ -1,0 +1,117 @@
+#include "storage/storage_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartds::storage {
+
+StorageServer::StorageServer(net::Fabric &fabric, const std::string &name)
+    : StorageServer(fabric, name, Config{})
+{
+}
+
+StorageServer::StorageServer(net::Fabric &fabric, const std::string &name,
+                             Config config)
+    : fabric_(fabric), config_(config),
+      port_(fabric.createPort(name + ".port")),
+      disk_(fabric.simulator(), name + ".disk", config.ingestBandwidth,
+            config.appendLatency)
+{
+    port_->onReceive([this](net::Message msg) { handle(std::move(msg)); });
+}
+
+void
+StorageServer::handle(net::Message msg)
+{
+    switch (msg.kind) {
+      case net::MessageKind::WriteReplica:
+        handleReplica(std::move(msg));
+        break;
+      case net::MessageKind::ReadFetch:
+        handleFetch(std::move(msg));
+        break;
+      default:
+        panic("storage server received unexpected message kind %u",
+              static_cast<unsigned>(msg.kind));
+    }
+}
+
+void
+StorageServer::handleReplica(net::Message msg)
+{
+    // Append to disk (bandwidth + NVMe latency), then acknowledge.
+    const Bytes block = msg.payload.size;
+    disk_.transfer(block, [this, msg = std::move(msg)]() mutable {
+        ++blocksStored_;
+        bytesStored_ += msg.payload.size;
+        if (config_.functionalStore)
+            store_[msg.tag] = msg.payload;
+
+        net::Message ack;
+        ack.dst = msg.src;
+        ack.dstQp = msg.srcQp;
+        ack.srcQp = msg.dstQp;
+        ack.kind = net::MessageKind::WriteReplicaAck;
+        ack.headerBytes = calibration::storageHeaderBytes;
+        ack.tag = msg.tag;
+        ack.issueTick = msg.issueTick;
+        port_->send(std::move(ack));
+    });
+}
+
+void
+StorageServer::handleFetch(net::Message msg)
+{
+    // Disk read: charge the block transfer plus the access latency, then
+    // return the stored (compressed) block.
+    net::Payload payload;
+    if (config_.functionalStore) {
+        const auto it = store_.find(msg.tag);
+        if (it == store_.end())
+            fatal("read of unknown block tag %llu",
+                  static_cast<unsigned long long>(msg.tag));
+        payload = it->second;
+    } else {
+        // Timing-only mode: synthesise a block of the size the request
+        // hints at (compressed size, or original size x ratio).
+        const Bytes original = msg.payload.originalSize
+                                   ? msg.payload.originalSize
+                                   : calibration::storageBlockBytes;
+        const double ratio = msg.payload.compressibility > 0.0
+                                 ? msg.payload.compressibility
+                                 : 0.55;
+        payload.size = msg.payload.size
+                           ? msg.payload.size
+                           : static_cast<Bytes>(
+                                 static_cast<double>(original) * ratio);
+        if (payload.size == 0)
+            payload.size = 1;
+        payload.compressibility = ratio;
+        payload.compressed = true;
+        payload.originalSize = original;
+    }
+    const Bytes block = payload.size;
+    disk_.transfer(block, [this, msg = std::move(msg),
+                           payload = std::move(payload)]() mutable {
+        net::Message reply;
+        reply.dst = msg.src;
+        reply.dstQp = msg.srcQp;
+        reply.srcQp = msg.dstQp;
+        reply.kind = net::MessageKind::ReadFetchReply;
+        reply.headerBytes = calibration::storageHeaderBytes;
+        reply.payload = std::move(payload);
+        reply.tag = msg.tag;
+        reply.issueTick = msg.issueTick;
+        port_->send(std::move(reply));
+    });
+}
+
+const net::Payload *
+StorageServer::storedBlock(std::uint64_t tag) const
+{
+    const auto it = store_.find(tag);
+    return it == store_.end() ? nullptr : &it->second;
+}
+
+} // namespace smartds::storage

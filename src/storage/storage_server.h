@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Back-end storage server model.
+ *
+ * Storage servers receive (compressed) replica blocks from the middle
+ * tier, append them to disk, and acknowledge; for reads they fetch the
+ * stored block and return it. The paper's evaluation keeps the storage
+ * tier out of the bottleneck; this model gives it realistic NVMe append
+ * latency and bounded ingest bandwidth, plus an optional functional store
+ * that retains actual block bytes so integration tests can verify
+ * write-read round trips byte-for-byte through the whole system.
+ */
+
+#ifndef SMARTDS_STORAGE_STORAGE_SERVER_H_
+#define SMARTDS_STORAGE_STORAGE_SERVER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/calibration.h"
+#include "net/fabric.h"
+#include "sim/bandwidth_server.h"
+
+namespace smartds::storage {
+
+/** One storage server attached to the fabric. */
+class StorageServer
+{
+  public:
+    struct Config
+    {
+        /** NVMe append latency per block. */
+        Tick appendLatency = calibration::storageAppendLatency;
+        /** Disk ingest bandwidth. */
+        BytesPerSecond ingestBandwidth = calibration::storageIngestBandwidth;
+        /** Keep block bytes for functional read-back verification. */
+        bool functionalStore = false;
+    };
+
+    StorageServer(net::Fabric &fabric, const std::string &name);
+    StorageServer(net::Fabric &fabric, const std::string &name,
+                  Config config);
+
+    /** Node id VMs/middle tiers address replicas and fetches to. */
+    net::NodeId nodeId() const { return port_->id(); }
+
+    net::Port &port() { return *port_; }
+
+    /** Number of blocks appended so far. */
+    std::uint64_t blocksStored() const { return blocksStored_; }
+
+    /** Total (compressed) bytes appended so far. */
+    Bytes bytesStored() const { return bytesStored_; }
+
+    /** Functional store lookup (empty payload if absent). */
+    const net::Payload *storedBlock(std::uint64_t tag) const;
+
+  private:
+    void handle(net::Message msg);
+    void handleReplica(net::Message msg);
+    void handleFetch(net::Message msg);
+
+    net::Fabric &fabric_;
+    Config config_;
+    net::Port *port_;
+    sim::BandwidthServer disk_;
+    std::uint64_t blocksStored_ = 0;
+    Bytes bytesStored_ = 0;
+    std::unordered_map<std::uint64_t, net::Payload> store_;
+};
+
+} // namespace smartds::storage
+
+#endif // SMARTDS_STORAGE_STORAGE_SERVER_H_

@@ -1,0 +1,255 @@
+#include "workload/experiment.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "corpus/corpus.h"
+#include "mem/memory_system.h"
+#include "middletier/accelerator_server.h"
+#include "middletier/bf2_server.h"
+#include "middletier/cpu_only_server.h"
+#include "middletier/maintenance.h"
+#include "middletier/multi_card_server.h"
+#include "middletier/smartds_server.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "storage/storage_server.h"
+#include "workload/vm_client.h"
+
+namespace smartds::workload {
+
+namespace {
+
+/** Corpus + ratio distribution, cached per (effort, block size). */
+const corpus::RatioSampler &
+cachedRatios(int effort, Bytes block_bytes)
+{
+    static const corpus::SyntheticCorpus corpus(4u << 20, 42);
+    static std::map<std::pair<int, Bytes>,
+                    std::unique_ptr<corpus::RatioSampler>>
+        cache;
+    const auto key = std::make_pair(effort, block_bytes);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, std::make_unique<corpus::RatioSampler>(
+                                   corpus, block_bytes, effort, 512, 7))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Default client count that saturates the given design configuration. */
+unsigned
+autoClients(const ExperimentConfig &config)
+{
+    switch (config.design) {
+      case middletier::Design::CpuOnly:
+        // Throughput scales with cores; a couple of issuers per core.
+        return 4 + config.cores / 2;
+      case middletier::Design::Accelerator:
+        return 12;
+      case middletier::Design::Bf2:
+        return 10;
+      case middletier::Design::SmartDs:
+        return 14 * config.ports * config.cards;
+    }
+    panic("unknown design");
+}
+
+} // namespace
+
+ExperimentResult
+runWriteExperiment(const ExperimentConfig &config)
+{
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "host-mem", {});
+
+    const corpus::RatioSampler &ratios =
+        cachedRatios(config.effort, config.blockBytes);
+
+    // --- Storage pool ----------------------------------------------------
+    unsigned n_storage = config.storageServers;
+    if (n_storage == 0)
+        n_storage = std::max<unsigned>(6, 6 * config.ports * config.cards);
+    std::vector<std::unique_ptr<storage::StorageServer>> storage_pool;
+    std::vector<net::NodeId> storage_nodes;
+    for (unsigned i = 0; i < n_storage; ++i) {
+        storage_pool.push_back(std::make_unique<storage::StorageServer>(
+            fabric, "storage" + std::to_string(i)));
+        storage_nodes.push_back(storage_pool.back()->nodeId());
+    }
+
+    // --- Middle-tier server ----------------------------------------------
+    std::unique_ptr<middletier::ChunkManager> chunk_manager;
+    if (config.useChunkManager) {
+        middletier::ChunkManager::Config cm;
+        cm.replication = config.replication;
+        cm.compactionThreshold = config.compactionThreshold;
+        cm.seed = config.seed * 31 + 5;
+        chunk_manager = std::make_unique<middletier::ChunkManager>(
+            cm, storage_nodes);
+    }
+
+    middletier::ServerConfig server_config;
+    server_config.cores = config.cores;
+    server_config.storageNodes = storage_nodes;
+    server_config.replication = config.replication;
+    server_config.effort = config.effort;
+    server_config.seed = config.seed;
+    server_config.chunkManager = chunk_manager.get();
+
+    std::unique_ptr<middletier::MiddleTierServer> server;
+    switch (config.design) {
+      case middletier::Design::CpuOnly:
+        server = std::make_unique<middletier::CpuOnlyServer>(fabric, memory,
+                                                             server_config);
+        break;
+      case middletier::Design::Accelerator: {
+        middletier::AcceleratorServer::AccConfig acc;
+        acc.ddio = config.ddio;
+        server = std::make_unique<middletier::AcceleratorServer>(
+            fabric, memory, server_config, acc);
+        break;
+      }
+      case middletier::Design::Bf2: {
+        middletier::Bf2Server::Bf2Config bf2;
+        bf2.ports = std::max(1u, std::min(config.ports,
+                                          calibration::bf2Ports));
+        server = std::make_unique<middletier::Bf2Server>(fabric,
+                                                         server_config, bf2);
+        break;
+      }
+      case middletier::Design::SmartDs: {
+        middletier::SmartDsServer::SmartDsConfig sd;
+        sd.ports = config.ports;
+        sd.workersPerPort = config.workersPerPort;
+        sd.maxBlockBytes = config.blockBytes;
+        if (config.cards > 1) {
+            middletier::MultiCardSmartDsServer::MultiCardConfig multi;
+            multi.cards = config.cards;
+            multi.card = sd;
+            server = std::make_unique<middletier::MultiCardSmartDsServer>(
+                fabric, memory, server_config, multi);
+        } else {
+            server = std::make_unique<middletier::SmartDsServer>(
+                fabric, memory, server_config, sd);
+        }
+        break;
+      }
+    }
+
+    // --- Co-located maintenance services (Section 2.2.3) -----------------
+    std::unique_ptr<host::CorePool> maintenance_pool;
+    std::unique_ptr<middletier::MaintenanceService> maintenance;
+    if (config.maintenance != ExperimentConfig::Maintenance::Off) {
+        middletier::MaintenanceService::Config mc;
+        mc.cores = config.maintenanceCores;
+        mc.burstBytes = config.maintenanceBurstBytes;
+        mc.meanInterval = config.maintenanceMeanInterval;
+        mc.seed = config.seed + 17;
+        host::CorePool *pool = nullptr;
+        if (config.maintenance ==
+            ExperimentConfig::Maintenance::SharedCores) {
+            // Maintenance contends with the serving path for its cores.
+            if (auto *cpu = dynamic_cast<middletier::CpuOnlyServer *>(
+                    server.get())) {
+                pool = &cpu->cores();
+            } else if (auto *sd =
+                           dynamic_cast<middletier::SmartDsServer *>(
+                               server.get())) {
+                pool = &sd->cores();
+            }
+        }
+        if (!pool) {
+            maintenance_pool = std::make_unique<host::CorePool>(
+                sim, "maintenance.cores", config.maintenanceCores);
+            pool = maintenance_pool.get();
+        }
+        maintenance = std::make_unique<middletier::MaintenanceService>(
+            sim, "maintenance", *pool, memory, mc);
+    }
+
+    // --- MLC pressure injector --------------------------------------------
+    std::unique_ptr<mem::MlcInjector> mlc;
+    if (config.mlcDelayCycles != mem::MlcInjector::offDelay) {
+        mem::MlcInjector::Config mlc_config;
+        mlc_config.cores = config.mlcCores;
+        mlc = std::make_unique<mem::MlcInjector>(memory, mlc_config);
+        mlc->setDelayCycles(config.mlcDelayCycles);
+    }
+
+    // --- Clients ------------------------------------------------------------
+    ClientMetrics metrics;
+    std::uint64_t tag_counter = 1;
+    unsigned n_clients = config.clients ? config.clients
+                                        : autoClients(config);
+    std::vector<std::unique_ptr<VmClient>> clients;
+    for (unsigned i = 0; i < n_clients; ++i) {
+        VmClient::Config cc;
+        const unsigned port = i % server->frontPorts();
+        cc.target = server->frontNode(port);
+        cc.targetQp = server->frontQp(port);
+        cc.outstanding = config.outstandingPerClient;
+        cc.blockBytes = config.blockBytes;
+        cc.ratios = &ratios;
+        cc.effort = config.effort;
+        cc.latencySensitiveFraction = config.latencySensitiveFraction;
+        cc.readFraction = config.readFraction;
+        cc.seed = config.seed * 7919 + i;
+        cc.tagCounter = &tag_counter;
+        cc.metrics = &metrics;
+        clients.push_back(std::make_unique<VmClient>(
+            fabric, "vm" + std::to_string(i), cc));
+    }
+
+    // --- Run: warmup, snapshot, window, collect -----------------------------
+    middletier::UsageProbes probes;
+    server->addUsageProbes(probes);
+
+    sim.runUntil(config.warmup);
+    metrics.latency.reset();
+    metrics.served.open(sim.now());
+    std::vector<double> usage_start;
+    usage_start.reserve(probes.probes.size());
+    for (const auto &p : probes.probes)
+        usage_start.push_back(p.cumulativeBytes());
+    const double mlc_start = mlc ? mlc->deliveredBytes() : 0.0;
+
+    sim.runUntil(config.warmup + config.window);
+    metrics.served.close(sim.now());
+
+    ExperimentResult result;
+    result.throughputGbps = metrics.served.rateGbps();
+    result.requestsCompleted = metrics.latency.count();
+    result.avgLatencyUs = metrics.latency.avgUs();
+    result.p50LatencyUs = metrics.latency.p50Us();
+    result.p99LatencyUs = metrics.latency.p99Us();
+    result.p999LatencyUs = metrics.latency.p999Us();
+    result.meanCompressionRatio = ratios.mean();
+
+    const double window_s = toSeconds(config.window);
+    for (std::size_t i = 0; i < probes.probes.size(); ++i) {
+        const double delta = probes.probes[i].cumulativeBytes() -
+                             usage_start[i];
+        result.usageGbps[probes.probes[i].name] =
+            toGbps(delta / window_s);
+    }
+    if (mlc) {
+        result.mlcGBps =
+            (mlc->deliveredBytes() - mlc_start) / window_s / 1e9;
+    }
+    if (chunk_manager) {
+        result.chunksTracked = chunk_manager->chunksTracked();
+        result.compactionsDue = chunk_manager->compactionsDue();
+    }
+
+    // Stop the clients so the event queue can drain promptly.
+    for (auto &c : clients)
+        c->stop();
+    return result;
+}
+
+} // namespace smartds::workload

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Write-serving experiment harness.
+ *
+ * Builds the full testbed of the paper's Section 5.1 in simulation — VM
+ * clients, one middle-tier server of the chosen design, a pool of storage
+ * servers, the host memory system, and optionally the MLC pressure
+ * injector — runs warmup plus a measured window, and reports throughput,
+ * latency percentiles and per-resource bandwidth usage. Every figure
+ * benchmark is a parameter sweep over this harness.
+ */
+
+#ifndef SMARTDS_WORKLOAD_EXPERIMENT_H_
+#define SMARTDS_WORKLOAD_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+
+#include "common/calibration.h"
+#include "common/time.h"
+#include "common/units.h"
+#include "mem/mlc_injector.h"
+#include "middletier/server_base.h"
+
+namespace smartds::workload {
+
+/** Configuration of one experiment run. */
+struct ExperimentConfig
+{
+    middletier::Design design = middletier::Design::SmartDs;
+
+    /** Middle-tier cores (host cores; Arm cores for BF2). */
+    unsigned cores = 2;
+
+    /** SmartDS/BF2 networking ports. */
+    unsigned ports = 1;
+
+    /** DDIO enabled (accelerator design). */
+    bool ddio = true;
+
+    /** VM clients (0 = scale with the design's expected capacity). */
+    unsigned clients = 0;
+
+    /** Closed-loop issuers per client. */
+    unsigned outstandingPerClient = 8;
+
+    /** Storage servers (0 = scale with ports). */
+    unsigned storageServers = 0;
+
+    /** Warmup before measurement starts. */
+    Tick warmup = 5 * ticksPerMillisecond;
+
+    /** Measured window length. */
+    Tick window = 20 * ticksPerMillisecond;
+
+    /** MLC injector inter-request delay in cycles (offDelay = no MLC). */
+    unsigned mlcDelayCycles = mem::MlcInjector::offDelay;
+
+    /** Cores dedicated to the MLC injector. */
+    unsigned mlcCores = 16;
+
+    /** Compression effort. */
+    int effort = 1;
+
+    /** Fraction of latency-sensitive requests. */
+    double latencySensitiveFraction = 0.0;
+
+    /** Fraction of read requests. */
+    double readFraction = 0.0;
+
+    /** Block size per request. */
+    Bytes blockBytes = calibration::storageBlockBytes;
+
+    /** Replication factor. */
+    unsigned replication = calibration::replicationFactor;
+
+    /** RNG seed. */
+    std::uint64_t seed = 42;
+
+    /** SmartDS worker pipelines per port. */
+    unsigned workersPerPort = 128;
+
+    /** SmartDS cards in the host (>1 simulates Section 5.5 scale-up). */
+    unsigned cards = 1;
+
+    /** Co-located maintenance services (Section 2.2.3). */
+    enum class Maintenance
+    {
+        Off,            ///< no maintenance (the paper's Fig 7 setup)
+        SharedCores,    ///< compaction shares the serving cores
+        DedicatedCores, ///< compaction on its own cores (memory shared)
+    };
+    Maintenance maintenance = Maintenance::Off;
+
+    /** Maintenance burst knobs (when enabled). */
+    unsigned maintenanceCores = 8;
+    Bytes maintenanceBurstBytes = 8u << 20;
+    Tick maintenanceMeanInterval = 2 * ticksPerMillisecond;
+
+    /**
+     * Use the Section 2.1 chunk manager for placement (sticky per-chunk
+     * replicas + compaction bookkeeping) rather than per-request uniform
+     * placement.
+     */
+    bool useChunkManager = true;
+
+    /** Writes per chunk before compaction is due (Section 2.2.3). */
+    unsigned compactionThreshold = 1024;
+};
+
+/** Results of one run. */
+struct ExperimentResult
+{
+    /** Served write throughput (uncompressed payload), Gbit/s. */
+    double throughputGbps = 0.0;
+
+    std::uint64_t requestsCompleted = 0;
+
+    double avgLatencyUs = 0.0;
+    double p50LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
+
+    /** Bandwidth over the window per named probe, Gbit/s. */
+    std::map<std::string, double> usageGbps;
+
+    /** MLC injector achieved bandwidth, GB/s (0 when off). */
+    double mlcGBps = 0.0;
+
+    /** Mean compression ratio of the corpus the run used. */
+    double meanCompressionRatio = 0.0;
+
+    /** Distinct chunks the run touched (0 when the manager is off). */
+    std::uint64_t chunksTracked = 0;
+
+    /** Chunks whose LSM compaction became due during the run. */
+    std::uint64_t compactionsDue = 0;
+};
+
+/** Run one write-serving experiment. */
+ExperimentResult runWriteExperiment(const ExperimentConfig &config);
+
+} // namespace smartds::workload
+
+#endif // SMARTDS_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,127 @@
+#include "workload/vm_client.h"
+
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "lz4/lz4.h"
+#include "middletier/protocol.h"
+
+namespace smartds::workload {
+
+VmClient::VmClient(net::Fabric &fabric, const std::string &name,
+                   Config config)
+    : sim_(fabric.simulator()), config_(config),
+      port_(fabric.createPort(name + ".port")),
+      rng_(config.seed)
+{
+    SMARTDS_ASSERT(config_.metrics && config_.tagCounter,
+                   "client needs shared metrics and tag counter");
+    SMARTDS_ASSERT(config_.ratios || config_.corpus,
+                   "client needs a ratio sampler or a functional corpus");
+    port_->onReceive([this](net::Message msg) { onReply(std::move(msg)); });
+    for (unsigned i = 0; i < config_.outstanding; ++i)
+        sim::spawn(sim_, issuer(i));
+}
+
+void
+VmClient::onReply(net::Message msg)
+{
+    const auto it = pending_.find(msg.tag);
+    SMARTDS_ASSERT(it != pending_.end(), "reply for unknown tag %llu",
+                   static_cast<unsigned long long>(msg.tag));
+    sim::Completion done = it->second;
+    pending_.erase(it);
+    done.complete(msg.payload.size);
+}
+
+sim::Process
+VmClient::issuer(unsigned index)
+{
+    Rng rng = rng_.fork();
+    // Stagger issuer start so a fleet of clients does not phase-lock.
+    co_await sim::delay(sim_,
+                        static_cast<Tick>(rng.below(2 * config_.thinkMean)));
+    (void)index;
+
+    while (running_) {
+        const Tick think =
+            static_cast<Tick>(rng.exponential(
+                static_cast<double>(config_.thinkMean)));
+        co_await sim::delay(sim_, think);
+        if (!running_)
+            break;
+
+        const std::uint64_t tag = (*config_.tagCounter)++;
+        const bool is_read = rng.chance(config_.readFraction);
+        const bool latency_sensitive =
+            rng.chance(config_.latencySensitiveFraction);
+
+        // Address a (possibly hot-skewed) block of this VM's disk.
+        const std::uint64_t blocks =
+            config_.virtualDiskBytes / config_.blockBytes;
+        const std::uint64_t block_index =
+            config_.addressSkew > 0.0
+                ? rng.zipfApprox(blocks, config_.addressSkew)
+                : rng.below(blocks);
+
+        net::Message msg;
+        msg.dst = config_.target;
+        msg.dstQp = config_.targetQp;
+        msg.kind = is_read ? net::MessageKind::ReadRequest
+                           : net::MessageKind::WriteRequest;
+        msg.headerBytes = middletier::StorageHeader::wireSize;
+        msg.tag = tag;
+        msg.latencySensitive = latency_sensitive;
+        msg.vmId = port_->id();
+        msg.blockOffset = block_index * config_.blockBytes;
+        msg.issueTick = sim_.now();
+        msg.payload.size = is_read ? 0 : config_.blockBytes;
+
+        if (config_.corpus) {
+            // Functional: carry real block bytes and an encoded header.
+            auto block = std::make_shared<const std::vector<std::uint8_t>>(
+                config_.corpus->sampleBlock(config_.blockBytes, rng));
+            if (!is_read) {
+                msg.payload.data = block;
+                msg.payload.compressibility = lz4::compressionRatio(
+                    block->data(), block->size(), config_.effort);
+            }
+            middletier::StorageHeader hdr;
+            hdr.vmId = port_->id();
+            hdr.blockOffset = msg.blockOffset;
+            hdr.tag = tag;
+            hdr.payloadSize =
+                static_cast<std::uint32_t>(msg.payload.size);
+            if (msg.payload.data)
+                hdr.blockChecksum = xxhash32(*msg.payload.data);
+            hdr.latencySensitive = latency_sensitive ? 1 : 0;
+            hdr.compressionEffort =
+                static_cast<std::uint8_t>(config_.effort);
+            msg.headerData = hdr.encodeShared();
+        } else {
+            msg.payload.compressibility = config_.ratios->sample(rng);
+        }
+        if (is_read) {
+            // Hint the expected compressed size for the timing-only path.
+            const double ratio = msg.payload.compressibility;
+            msg.payload.originalSize = config_.blockBytes;
+            msg.payload.size = 0;
+            msg.payload.compressibility = ratio;
+        }
+
+        sim::Completion done(sim_);
+        pending_.emplace(tag, done);
+        ++config_.metrics->issued;
+        const Tick issue = sim_.now();
+        port_->send(std::move(msg));
+        co_await done;
+
+        ++config_.metrics->completed;
+        config_.metrics->latency.record(sim_.now() - issue);
+        if (!is_read)
+            config_.metrics->served.add(config_.blockBytes);
+    }
+}
+
+} // namespace smartds::workload

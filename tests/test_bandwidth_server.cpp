@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the FIFO bandwidth server: serialisation time, queueing,
+ * pipeline latency, backlog accounting and meters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rate_meter.h"
+#include "sim/bandwidth_server.h"
+#include "sim/simulator.h"
+
+namespace smartds::sim {
+namespace {
+
+using namespace smartds::time_literals;
+using namespace smartds::size_literals;
+
+TEST(BandwidthServer, SingleTransferTakesSizeOverRate)
+{
+    Simulator sim;
+    // 1 GB/s -> 1 byte per ns.
+    BandwidthServer server(sim, "s", 1e9);
+    Tick done = 0;
+    server.transfer(1000, [&]() { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, 1000_ns);
+}
+
+TEST(BandwidthServer, BaseLatencyAddsToCompletion)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9, 500_ns);
+    Tick done = 0;
+    server.transfer(1000, [&]() { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, 1500_ns);
+}
+
+TEST(BandwidthServer, FifoQueueingSerialisesTransfers)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    Tick first = 0, second = 0;
+    server.transfer(1000, [&]() { first = sim.now(); });
+    server.transfer(1000, [&]() { second = sim.now(); });
+    sim.run();
+    EXPECT_EQ(first, 1000_ns);
+    EXPECT_EQ(second, 2000_ns);
+}
+
+TEST(BandwidthServer, PipelineLatencyDoesNotBlockNextTransfer)
+{
+    Simulator sim;
+    // Large base latency: completions are delayed, but the server frees
+    // up after serialisation, so back-to-back transfers pipeline.
+    BandwidthServer server(sim, "s", 1e9, 10_us);
+    Tick first = 0, second = 0;
+    server.transfer(1000, [&]() { first = sim.now(); });
+    server.transfer(1000, [&]() { second = sim.now(); });
+    sim.run();
+    EXPECT_EQ(first, 1_us + 10_us);
+    EXPECT_EQ(second, 2_us + 10_us);
+}
+
+TEST(BandwidthServer, TransferTimedReportsQueueWait)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    Tick wait1 = 99, wait2 = 99;
+    server.transferTimed(1000, [&](Tick w) { wait1 = w; });
+    server.transferTimed(1000, [&](Tick w) { wait2 = w; });
+    sim.run();
+    EXPECT_EQ(wait1, 0u);
+    EXPECT_EQ(wait2, 1000_ns);
+}
+
+TEST(BandwidthServer, BacklogTracksOutstandingWork)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    server.transfer(5000, []() {});
+    EXPECT_EQ(server.backlog(), 5000_ns);
+    sim.run();
+    EXPECT_EQ(server.backlog(), 0u);
+}
+
+TEST(BandwidthServer, ZeroByteTransferCompletesAfterBaseLatency)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9, 100_ns);
+    Tick done = 0;
+    bool fired = false;
+    server.transfer(0, [&]() {
+        done = sim.now();
+        fired = true;
+    });
+    sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(done, 100_ns);
+}
+
+TEST(BandwidthServer, MeterAccruesBytesWhenOpen)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    RateMeter meter;
+    server.attachMeter(&meter);
+    server.transfer(100, []() {});
+    meter.open(sim.now());
+    server.transfer(200, []() {});
+    sim.run();
+    meter.close(sim.now());
+    EXPECT_EQ(meter.bytes(), 200u);
+}
+
+TEST(BandwidthServer, BusyTicksAccumulate)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    server.transfer(100, []() {});
+    server.transfer(300, []() {});
+    sim.run();
+    EXPECT_EQ(server.busyTicks(), 400_ns);
+    EXPECT_EQ(server.totalBytes(), 400u);
+}
+
+TEST(BandwidthServer, RateChangeAffectsFutureTransfers)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    Tick first = 0, second = 0;
+    server.transfer(1000, [&]() { first = sim.now(); });
+    sim.run();
+    server.setRate(2e9);
+    server.transfer(1000, [&]() { second = sim.now(); });
+    sim.run();
+    EXPECT_EQ(first, 1000_ns);
+    EXPECT_EQ(second, first + 500_ns);
+}
+
+TEST(BandwidthServer, HundredGbitLineRateTiming)
+{
+    Simulator sim;
+    // 100 Gbps = 12.5 GB/s; 4 KiB takes ~327.68 ns.
+    BandwidthServer server(sim, "port", gbps(100.0));
+    Tick done = 0;
+    server.transfer(4096, [&]() { done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(static_cast<double>(done), 327680.0, 2.0);
+}
+
+} // namespace
+} // namespace smartds::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the xxHash32 implementation: reference vectors, determinism,
+ * seed/avalanche behaviour, and the protocol integration property that a
+ * block's checksum survives the full compress/decompress round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/checksum.h"
+#include "common/random.h"
+#include "corpus/corpus.h"
+#include "lz4/lz4.h"
+
+namespace smartds {
+namespace {
+
+std::uint32_t
+hashString(const std::string &s, std::uint32_t seed = 0)
+{
+    return xxhash32(reinterpret_cast<const std::uint8_t *>(s.data()),
+                    s.size(), seed);
+}
+
+TEST(Checksum, ReferenceVectors)
+{
+    // Values from the reference xxHash implementation.
+    EXPECT_EQ(hashString(""), 0x02CC5D05u);
+    EXPECT_EQ(hashString("abc"), 0x32D153FFu);
+}
+
+TEST(Checksum, Deterministic)
+{
+    Rng rng(1);
+    std::vector<std::uint8_t> data(10000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    EXPECT_EQ(xxhash32(data), xxhash32(data));
+}
+
+TEST(Checksum, SeedChangesValue)
+{
+    const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_NE(xxhash32(data, 0), xxhash32(data, 1));
+}
+
+TEST(Checksum, AllLengthsUpTo64)
+{
+    // Exercise the 16-byte stripe loop, the 4-byte loop and the byte
+    // tail: every length must give a distinct-ish, stable value.
+    std::vector<std::uint8_t> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    std::set<std::uint32_t> seen;
+    for (std::size_t n = 0; n <= 64; ++n)
+        seen.insert(xxhash32(data.data(), n, 0));
+    EXPECT_EQ(seen.size(), 65u);
+}
+
+TEST(Checksum, SingleBitFlipChangesHash)
+{
+    Rng rng(9);
+    std::vector<std::uint8_t> data(4096);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const std::uint32_t base = xxhash32(data);
+    for (int trial = 0; trial < 64; ++trial) {
+        const std::size_t byte = rng.below(data.size());
+        const int bit = static_cast<int>(rng.below(8));
+        data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+        EXPECT_NE(xxhash32(data), base);
+        data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+}
+
+TEST(Checksum, SurvivesCompressionRoundTrip)
+{
+    corpus::SyntheticCorpus corpus(1u << 20, 3);
+    Rng rng(4);
+    for (int i = 0; i < 16; ++i) {
+        const auto block = corpus.sampleBlock(4096, rng);
+        const std::uint32_t before = xxhash32(block);
+        const auto compressed = lz4::compress(block, 1);
+        const auto plain = lz4::decompress(compressed, block.size());
+        ASSERT_TRUE(plain.has_value());
+        EXPECT_EQ(xxhash32(*plain), before);
+    }
+}
+
+} // namespace
+} // namespace smartds

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the multi-SmartNIC scale-up / fleet-sizing model (§5.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/scale_up.h"
+
+namespace smartds::cluster {
+namespace {
+
+TEST(ScaleUp, PaperEightCardNumbers)
+{
+    ScaleUpInputs inputs; // paper defaults
+    const ScaleUpReport r = evaluateScaleUp(inputs, 8);
+    // 8 x 348 Gbps = 2784 Gbps ~ 2.8 Tbps.
+    EXPECT_NEAR(r.totalGbps, 2784.0, 1.0);
+    // Host memory: 8 x 49 = 392 Gbps, far below ~1228 Gbps theoretical.
+    EXPECT_NEAR(r.hostMemoryGbps, 392.0, 1.0);
+    EXPECT_TRUE(r.memoryFeasible);
+    // Each switch root: 4 x 12.4 = 49.6 Gbps < 102.4 Gbps.
+    EXPECT_NEAR(r.pciePerSwitchGbps, 49.6, 0.1);
+    EXPECT_TRUE(r.pcieFeasible);
+    // 51.6x fewer CPU-only middle-tier servers.
+    EXPECT_NEAR(r.serverReduction, 51.6, 0.2);
+}
+
+TEST(ScaleUp, CoreBudgetFlaggedOnStockHost)
+{
+    // 8 cards x 6 ports x 2 cores = 96 cores > the 48-core testbed: the
+    // paper itself notes scale-up needs "enough CPU cores".
+    ScaleUpInputs inputs;
+    const ScaleUpReport r = evaluateScaleUp(inputs, 8);
+    EXPECT_EQ(r.coresNeeded, 96u);
+    EXPECT_FALSE(r.coresFeasible);
+
+    ScaleUpInputs big = inputs;
+    big.hostCores = 128;
+    EXPECT_TRUE(evaluateScaleUp(big, 8).coresFeasible);
+}
+
+TEST(ScaleUp, MaxFeasibleCardsRespectsAllBudgets)
+{
+    ScaleUpInputs inputs;
+    inputs.hostCores = 128;
+    EXPECT_EQ(maxFeasibleCards(inputs), 8u);
+
+    ScaleUpInputs mem_poor = inputs;
+    mem_poor.hostMemoryBudgetGbps = 100.0; // only two cards' worth
+    EXPECT_EQ(maxFeasibleCards(mem_poor), 2u);
+
+    ScaleUpInputs pcie_poor = inputs;
+    pcie_poor.pcieRootGbps = 25.0; // two cards per switch
+    EXPECT_EQ(maxFeasibleCards(pcie_poor), 4u);
+
+    ScaleUpInputs core_poor = inputs;
+    core_poor.hostCores = 48;
+    EXPECT_EQ(maxFeasibleCards(core_poor), 4u);
+}
+
+TEST(ScaleUp, SingleCardAlwaysFitsDefaults)
+{
+    const ScaleUpReport r = evaluateScaleUp(ScaleUpInputs{}, 1);
+    EXPECT_TRUE(r.memoryFeasible);
+    EXPECT_TRUE(r.pcieFeasible);
+    EXPECT_TRUE(r.coresFeasible);
+    EXPECT_NEAR(r.serverReduction, 348.0 / 54.0, 0.01);
+}
+
+TEST(ScaleUp, ReductionScalesWithBaseline)
+{
+    ScaleUpInputs inputs;
+    inputs.cpuOnlyGbps = 108.0; // a hypothetical 2x faster baseline
+    const ScaleUpReport r = evaluateScaleUp(inputs, 8);
+    EXPECT_NEAR(r.serverReduction, 25.8, 0.1);
+}
+
+} // namespace
+} // namespace smartds::cluster

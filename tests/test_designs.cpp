@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Design-specific behaviour tests for the BF2 and accelerator baselines:
+ * engine caps, device-memory amplification, Arm-core scaling, port
+ * spreading, and the accelerator's control-path latency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.h"
+#include "middletier/accelerator_server.h"
+#include "middletier/bf2_server.h"
+#include "net/fabric.h"
+#include "storage/storage_server.h"
+#include "workload/experiment.h"
+#include "workload/vm_client.h"
+
+namespace smartds::middletier {
+namespace {
+
+using namespace smartds::time_literals;
+
+workload::ExperimentConfig
+quick(Design design, unsigned cores, unsigned ports = 1)
+{
+    workload::ExperimentConfig config;
+    config.design = design;
+    config.cores = cores;
+    config.ports = ports;
+    config.warmup = 2 * ticksPerMillisecond;
+    config.window = 6 * ticksPerMillisecond;
+    return config;
+}
+
+TEST(Bf2, EngineCapIndependentOfArmCores)
+{
+    const auto four = workload::runWriteExperiment(quick(Design::Bf2, 4, 2));
+    const auto eight =
+        workload::runWriteExperiment(quick(Design::Bf2, 8, 2));
+    // Once the ~40 Gbps engine saturates, Arm cores stop mattering.
+    EXPECT_NEAR(four.throughputGbps, 40.0, 2.0);
+    EXPECT_NEAR(eight.throughputGbps, 40.0, 2.0);
+}
+
+TEST(Bf2, ArmCoreCountClampedToHardware)
+{
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    storage::StorageServer s1(fabric, "s1"), s2(fabric, "s2"),
+        s3(fabric, "s3");
+    ServerConfig config;
+    config.cores = 64; // more than the 8 Arm cores BF2 has
+    config.storageNodes = {s1.nodeId(), s2.nodeId(), s3.nodeId()};
+    Bf2Server server(fabric, config);
+    EXPECT_EQ(server.armCores().cores(), calibration::bf2ArmCores);
+}
+
+TEST(Bf2, DeviceMemoryAmplificationNearPaper)
+{
+    // Section 3.4: the payload crosses device DRAM ~3.5x (rx write,
+    // engine read, compressed write, 3 replica tx reads of the
+    // compressed block).
+    const auto r = workload::runWriteExperiment(quick(Design::Bf2, 8, 2));
+    double dev_traffic = 0.0;
+    for (const auto &[k, v] : r.usageGbps)
+        if (k.rfind("dev.mem.", 0) == 0)
+            dev_traffic += v;
+    const double amplification = dev_traffic / r.throughputGbps;
+    EXPECT_GT(amplification, 3.0);
+    EXPECT_LT(amplification, 5.0);
+}
+
+TEST(Bf2, NoHostFootprint)
+{
+    const auto r = workload::runWriteExperiment(quick(Design::Bf2, 8, 2));
+    EXPECT_DOUBLE_EQ(r.usageGbps.at("mem.read"), 0.0);
+    EXPECT_DOUBLE_EQ(r.usageGbps.at("mem.write"), 0.0);
+}
+
+TEST(Bf2, SpreadsRepliesAcrossPorts)
+{
+    // With two ports, requests addressed to either port are served.
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "mem", {});
+    storage::StorageServer s1(fabric, "s1"), s2(fabric, "s2"),
+        s3(fabric, "s3");
+    ServerConfig sc;
+    sc.cores = 8;
+    sc.storageNodes = {s1.nodeId(), s2.nodeId(), s3.nodeId()};
+    Bf2Server server(fabric, sc);
+    ASSERT_EQ(server.frontPorts(), 2u);
+    EXPECT_NE(server.frontNode(0), server.frontNode(1));
+
+    corpus::SyntheticCorpus corpus(1u << 20, 2);
+    corpus::RatioSampler ratios(corpus, 4096, 1, 64, 3);
+    workload::ClientMetrics metrics;
+    std::uint64_t tags = 1;
+    std::vector<std::unique_ptr<workload::VmClient>> clients;
+    for (unsigned p = 0; p < 2; ++p) {
+        workload::VmClient::Config cc;
+        cc.target = server.frontNode(p);
+        cc.outstanding = 4;
+        cc.ratios = &ratios;
+        cc.seed = p + 1;
+        cc.tagCounter = &tags;
+        cc.metrics = &metrics;
+        clients.push_back(std::make_unique<workload::VmClient>(
+            fabric, "vm" + std::to_string(p), cc));
+    }
+    sim.runUntil(2 * ticksPerMillisecond);
+    for (auto &c : clients)
+        c->stop();
+    sim.run();
+    EXPECT_GT(server.requestsCompleted(), 100u);
+    EXPECT_EQ(metrics.completed, metrics.issued);
+}
+
+TEST(Acc, EngineOffloadFreesCores)
+{
+    // At equal throughput, Acc's cores are mostly idle compared with the
+    // CPU-only design: compare core-time per completed request.
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "mem", {});
+    storage::StorageServer s1(fabric, "s1"), s2(fabric, "s2"),
+        s3(fabric, "s3");
+    ServerConfig sc;
+    sc.cores = 2;
+    sc.storageNodes = {s1.nodeId(), s2.nodeId(), s3.nodeId()};
+    AcceleratorServer server(fabric, memory, sc);
+
+    corpus::SyntheticCorpus corpus(1u << 20, 2);
+    corpus::RatioSampler ratios(corpus, 4096, 1, 64, 3);
+    workload::ClientMetrics metrics;
+    std::uint64_t tags = 1;
+    workload::VmClient::Config cc;
+    cc.target = server.frontNode();
+    cc.outstanding = 8;
+    cc.ratios = &ratios;
+    cc.tagCounter = &tags;
+    cc.metrics = &metrics;
+    workload::VmClient client(fabric, "vm", cc);
+    sim.runUntil(4 * ticksPerMillisecond);
+    client.stop();
+    sim.run();
+
+    ASSERT_GT(server.requestsCompleted(), 100u);
+    // Per-request CPU time is ~2 parse costs (~1.2 us), far below the
+    // ~15+ us a software compression of a 4 KiB block would burn.
+    const double cpu_us_per_request =
+        toMicroseconds(server.cores().busyTicks()) /
+        static_cast<double>(server.requestsCompleted());
+    EXPECT_LT(cpu_us_per_request, 3.0);
+    EXPECT_GT(cpu_us_per_request, 0.5);
+}
+
+TEST(Acc, DoorbellAndNotificationAddControlLatency)
+{
+    // The accelerator path costs two extra PCIe control crossings per
+    // request compared to SmartDS's split path (Fig 7b's "Acc highest").
+    const auto acc =
+        workload::runWriteExperiment([] {
+            auto c = quick(Design::Accelerator, 2);
+            c.clients = 4;
+            c.outstandingPerClient = 1;
+            return c;
+        }());
+    const auto sd = workload::runWriteExperiment([] {
+        auto c = quick(Design::SmartDs, 2);
+        c.clients = 4;
+        c.outstandingPerClient = 1;
+        return c;
+    }());
+    EXPECT_GT(acc.avgLatencyUs, sd.avgLatencyUs);
+}
+
+TEST(Acc, ThroughputIndependentOfExtraCores)
+{
+    const auto two =
+        workload::runWriteExperiment(quick(Design::Accelerator, 2));
+    const auto eight =
+        workload::runWriteExperiment(quick(Design::Accelerator, 8));
+    EXPECT_NEAR(eight.throughputGbps, two.throughputGbps,
+                0.08 * two.throughputGbps);
+}
+
+} // namespace
+} // namespace smartds::middletier

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the host CPU model: core pool scheduling, acquire/release,
+ * utilisation accounting, and the SMT-aware software compression rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/core_pool.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace smartds::host {
+namespace {
+
+using namespace smartds::time_literals;
+
+TEST(CorePool, ParallelismBoundedByCoreCount)
+{
+    sim::Simulator sim;
+    CorePool pool(sim, "cores", 2);
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i)
+        pool.execute(10_us, [&]() { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    // Two at 10us, two queued until 20us.
+    EXPECT_EQ(done[0], 10_us);
+    EXPECT_EQ(done[1], 10_us);
+    EXPECT_EQ(done[2], 20_us);
+    EXPECT_EQ(done[3], 20_us);
+}
+
+TEST(CorePool, FifoOrderAmongWaiters)
+{
+    sim::Simulator sim;
+    CorePool pool(sim, "cores", 1);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        pool.execute(1_us, [&order, i]() { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(CorePool, AcquireReleaseManualOccupancy)
+{
+    sim::Simulator sim;
+    CorePool pool(sim, "cores", 1);
+    bool second_ran = false;
+    sim::spawn(sim, [](sim::Simulator &s, CorePool *p,
+                       bool *flag) -> sim::Process {
+        co_await p->acquire();
+        co_await sim::delay(s, 5_us);
+        p->release();
+        (void)flag;
+    }(sim, &pool, &second_ran));
+    sim::spawn(sim, [](sim::Simulator &s, CorePool *p,
+                       bool *flag) -> sim::Process {
+        co_await p->acquire();
+        *flag = true;
+        EXPECT_EQ(s.now(), 5_us);
+        p->release();
+    }(sim, &pool, &second_ran));
+    sim.run();
+    EXPECT_TRUE(second_ran);
+}
+
+TEST(CorePool, BusyTicksAccumulate)
+{
+    sim::Simulator sim;
+    CorePool pool(sim, "cores", 4);
+    pool.execute(3_us, []() {});
+    pool.execute(7_us, []() {});
+    sim.run();
+    EXPECT_EQ(pool.busyTicks(), 10_us);
+    EXPECT_EQ(pool.busy(), 0u);
+}
+
+TEST(CorePool, QueueDepthVisible)
+{
+    sim::Simulator sim;
+    CorePool pool(sim, "cores", 1);
+    pool.execute(1_us, []() {});
+    pool.execute(1_us, []() {});
+    pool.execute(1_us, []() {});
+    EXPECT_EQ(pool.busy(), 1u);
+    EXPECT_EQ(pool.queueDepth(), 2u);
+    sim.run();
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(SoftwareRates, LoneCoreMatchesPaper)
+{
+    // 2.1 Gbps per lone logical core (paper Section 5.2).
+    EXPECT_NEAR(toGbps(softwareCompressionRate(1)), 2.1, 1e-9);
+    EXPECT_NEAR(toGbps(softwareCompressionRate(12)), 12 * 2.1, 1e-9);
+}
+
+TEST(SoftwareRates, SmtSiblingAddsOnlyPairIncrement)
+{
+    // 24 physical cores at 2.1, then each sibling adds 0.6 (2.7 pair).
+    EXPECT_NEAR(toGbps(softwareCompressionRate(24)), 24 * 2.1, 1e-9);
+    EXPECT_NEAR(toGbps(softwareCompressionRate(25)), 24 * 2.1 + 0.6,
+                1e-9);
+    EXPECT_NEAR(toGbps(softwareCompressionRate(48)), 24 * 2.7, 1e-9);
+}
+
+TEST(SoftwareRates, PerCoreRateFallsPastPhysicalCores)
+{
+    EXPECT_GT(perCoreCompressionRate(24), perCoreCompressionRate(48));
+    EXPECT_NEAR(toGbps(perCoreCompressionRate(48)), 2.7 / 2.0, 1e-9);
+}
+
+TEST(SoftwareRates, DecompressionSevenTimesFaster)
+{
+    EXPECT_NEAR(softwareDecompressionRate(10) / softwareCompressionRate(10),
+                7.0, 1e-9);
+}
+
+TEST(SoftwareRates, AggregateMonotoneInCores)
+{
+    double prev = 0.0;
+    for (unsigned n = 1; n <= 48; ++n) {
+        const double rate = softwareCompressionRate(n);
+        EXPECT_GT(rate, prev);
+        prev = rate;
+    }
+}
+
+} // namespace
+} // namespace smartds::host

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the host memory model: loaded-latency curve, DDIO residency
+ * model and the MLC pressure injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.h"
+#include "mem/mlc_injector.h"
+#include "sim/simulator.h"
+
+namespace smartds::mem {
+namespace {
+
+using namespace smartds::time_literals;
+
+TEST(MemorySystem, IdleLatencyWhenUnloaded)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    EXPECT_EQ(memory.loadedLatency(), memory.config().idleLatency);
+}
+
+TEST(MemorySystem, LatencyGrowsMonotonicallyWithUtilization)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    auto *hog = memory.createFlow("hog");
+    Tick prev = memory.loadedLatency();
+    for (double frac : {0.25, 0.5, 0.75, 0.9, 1.0}) {
+        hog->setDemand(frac * memory.capacity());
+        // Let the utilisation average converge to the new load.
+        sim.runUntil(sim.now() + 200_us);
+        const Tick lat = memory.loadedLatency();
+        EXPECT_GE(lat, prev) << "at " << frac;
+        prev = lat;
+    }
+    // At saturation the curve reaches idle + loadedExtra.
+    EXPECT_NEAR(static_cast<double>(prev),
+                static_cast<double>(memory.config().idleLatency +
+                                    memory.config().loadedExtraLatency),
+                1e7 * 0.01);
+}
+
+TEST(MemorySystem, CurveIsGentleAtLowUtilization)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    auto *hog = memory.createFlow("hog");
+    hog->setDemand(0.3 * memory.capacity());
+    sim.runUntil(200_us);
+    // u^3 at 0.3 is <3% of the extra latency.
+    EXPECT_LT(memory.loadedLatency(),
+              memory.config().idleLatency + ticksPerMicrosecond / 5);
+}
+
+TEST(DdioModel, CapacityIsWayFraction)
+{
+    DdioModel ddio;
+    // 16 MiB x 2/11 ways.
+    EXPECT_EQ(ddio.ddioCapacity(), mebibytes(16) * 2 / 11);
+}
+
+TEST(DdioModel, RecentWritesHitOldWritesMiss)
+{
+    DdioModel ddio;
+    const BytesPerSecond rate = 12.5e9; // 100 Gbps of DMA writes
+    // Residency = capacity / rate ~ 244 us at 100 Gbps.
+    EXPECT_TRUE(ddio.readHits(10 * ticksPerMicrosecond, rate));
+    EXPECT_FALSE(ddio.readHits(1 * ticksPerMillisecond, rate));
+}
+
+TEST(DdioModel, DisabledNeverHits)
+{
+    DdioModel::Config config;
+    config.enabled = false;
+    DdioModel ddio(config);
+    EXPECT_FALSE(ddio.readHits(0, 1.0));
+    EXPECT_FALSE(ddio.writesContained(1));
+}
+
+TEST(DdioModel, IntermediateBufferWorkingSetDefeatsDdio)
+{
+    // Section 3.2: ~32 ms lifetime at 100 Gbps -> ~400 MB working set,
+    // far beyond the ~3 MiB of DDIO ways.
+    DdioModel ddio;
+    const Bytes working_set = static_cast<Bytes>(
+        12.5e9 * toSeconds(calibration::intermediateBufferLifetime));
+    EXPECT_GT(working_set, 100 * ddio.ddioCapacity());
+    EXPECT_FALSE(ddio.writesContained(working_set));
+}
+
+TEST(MlcInjector, OffDelayMeansZeroDemand)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    MlcInjector mlc(memory, {});
+    EXPECT_DOUBLE_EQ(mlc.demandFor(MlcInjector::offDelay), 0.0);
+}
+
+TEST(MlcInjector, ZeroDelayDemandsPerCoreMax)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    MlcInjector::Config config;
+    config.cores = 16;
+    MlcInjector mlc(memory, config);
+    EXPECT_NEAR(mlc.demandFor(0), 16 * config.perCoreMax,
+                16 * config.perCoreMax * 1e-9);
+}
+
+TEST(MlcInjector, DemandDecreasesWithDelay)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    MlcInjector mlc(memory, {});
+    double prev = mlc.demandFor(0);
+    for (unsigned delay : {10u, 50u, 200u, 1000u, 5000u}) {
+        const double d = mlc.demandFor(delay);
+        EXPECT_LT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(MlcInjector, AchievedRateBoundedByCapacity)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    MlcInjector::Config config;
+    config.cores = 48;
+    MlcInjector mlc(memory, config);
+    mlc.setDelayCycles(0);
+    sim.runUntil(10_us);
+    EXPECT_LE(mlc.achievedRate(), memory.capacity() * 1.0001);
+    EXPECT_GT(mlc.achievedRate(), memory.capacity() * 0.99);
+}
+
+TEST(MlcInjector, FairShareLeavesRoomForDmaFlows)
+{
+    sim::Simulator sim;
+    MemorySystem memory(sim, "mem", {});
+    MlcInjector mlc(memory, {});
+    mlc.setDelayCycles(0);
+    auto *dma = memory.createFlow("dma");
+    Tick done = 0;
+    // 12 GB at 120 GB/s capacity: fair share gives dma >= half.
+    dma->transfer(1'200'000, [&]() { done = sim.now(); });
+    sim.runUntil(1_ms);
+    EXPECT_GT(done, 0u);
+    EXPECT_LT(done, 25_us); // would be 10 us alone, <= 20 us at half rate
+}
+
+} // namespace
+} // namespace smartds::mem

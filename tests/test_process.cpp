@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the coroutine process layer: delays, completions,
+ * latches and awaitable adapters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/awaitables.h"
+#include "sim/bandwidth_server.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace smartds::sim {
+namespace {
+
+using namespace smartds::time_literals;
+
+TEST(Process, DelaySuspendsForExactTime)
+{
+    Simulator sim;
+    Tick resumed = 0;
+    spawn(sim, [](Simulator &s, Tick *out) -> Process {
+        co_await delay(s, 250_ns);
+        *out = s.now();
+    }(sim, &resumed));
+    sim.run();
+    EXPECT_EQ(resumed, 250_ns);
+}
+
+TEST(Process, SequentialDelaysAccumulate)
+{
+    Simulator sim;
+    Tick resumed = 0;
+    spawn(sim, [](Simulator &s, Tick *out) -> Process {
+        co_await delay(s, 100_ns);
+        co_await delay(s, 100_ns);
+        co_await delay(s, 100_ns);
+        *out = s.now();
+    }(sim, &resumed));
+    sim.run();
+    EXPECT_EQ(resumed, 300_ns);
+}
+
+TEST(Process, CompletionWakesWaiter)
+{
+    Simulator sim;
+    Completion c(sim);
+    std::uint64_t got = 0;
+    spawn(sim, [](Completion c, std::uint64_t *out) -> Process {
+        *out = co_await c;
+    }(c, &got));
+    sim.schedule(1_us, [c]() mutable { c.complete(77); });
+    sim.run();
+    EXPECT_EQ(got, 77u);
+    EXPECT_TRUE(c.done());
+}
+
+TEST(Process, AwaitingCompletedCompletionDoesNotSuspend)
+{
+    Simulator sim;
+    Completion c(sim);
+    c.complete(5);
+    std::uint64_t got = 0;
+    Tick when = 999;
+    spawn(sim, [](Simulator &s, Completion c, std::uint64_t *out,
+                  Tick *t) -> Process {
+        *out = co_await c;
+        *t = s.now();
+    }(sim, c, &got, &when));
+    sim.run();
+    EXPECT_EQ(got, 5u);
+    EXPECT_EQ(when, 0u);
+}
+
+TEST(Process, MultipleWaitersAllWake)
+{
+    Simulator sim;
+    Completion c(sim);
+    int woken = 0;
+    for (int i = 0; i < 5; ++i) {
+        spawn(sim, [](Completion c, int *n) -> Process {
+            co_await c;
+            ++*n;
+        }(c, &woken));
+    }
+    sim.schedule(10_ns, [c]() mutable { c.complete(0); });
+    sim.run();
+    EXPECT_EQ(woken, 5);
+}
+
+TEST(Process, CountLatchWaitsForAllArrivals)
+{
+    Simulator sim;
+    auto latch = std::make_shared<CountLatch>(sim, 3);
+    Tick done = 0;
+    spawn(sim, [](Simulator &s, Completion c, Tick *out) -> Process {
+        co_await c;
+        *out = s.now();
+    }(sim, latch->wait(), &done));
+    sim.schedule(10_ns, [latch]() { latch->arrive(); });
+    sim.schedule(20_ns, [latch]() { latch->arrive(); });
+    sim.schedule(30_ns, [latch]() { latch->arrive(); });
+    sim.run();
+    EXPECT_EQ(done, 30_ns);
+}
+
+TEST(Process, ZeroCountLatchIsImmediatelyDone)
+{
+    Simulator sim;
+    CountLatch latch(sim, 0);
+    EXPECT_TRUE(latch.wait().done());
+}
+
+TEST(Process, LatchCompletionOutlivesLatchObject)
+{
+    Simulator sim;
+    Completion waiter = [](Simulator &s) {
+        auto latch = std::make_shared<CountLatch>(s, 1);
+        Completion c = latch->wait();
+        s.schedule(5_ns, [latch]() { latch->arrive(); });
+        return c; // latch dies when the event releases it
+    }(sim);
+    bool woke = false;
+    spawn(sim, [](Completion c, bool *out) -> Process {
+        co_await c;
+        *out = true;
+    }(waiter, &woke));
+    sim.run();
+    EXPECT_TRUE(woke);
+}
+
+TEST(Process, TransferAsyncOnBandwidthServer)
+{
+    Simulator sim;
+    BandwidthServer server(sim, "s", 1e9);
+    Tick done = 0;
+    std::uint64_t bytes = 0;
+    spawn(sim, [](Simulator &s, BandwidthServer *srv, Tick *t,
+                  std::uint64_t *b) -> Process {
+        *b = co_await transferAsync(s, *srv, 2000);
+        *t = s.now();
+    }(sim, &server, &done, &bytes));
+    sim.run();
+    EXPECT_EQ(done, 2_us);
+    EXPECT_EQ(bytes, 2000u);
+}
+
+TEST(Process, TimerAsyncFiresOnce)
+{
+    Simulator sim;
+    Tick done = 0;
+    spawn(sim, [](Simulator &s, Tick *t) -> Process {
+        co_await timerAsync(s, 42_ns);
+        *t = s.now();
+    }(sim, &done));
+    sim.run();
+    EXPECT_EQ(done, 42_ns);
+}
+
+TEST(Process, ParallelAwaitViaTwoCompletions)
+{
+    Simulator sim;
+    BandwidthServer fast(sim, "fast", 2e9);
+    BandwidthServer slow(sim, "slow", 1e9);
+    Tick done = 0;
+    spawn(sim, [](Simulator &s, BandwidthServer *a, BandwidthServer *b,
+                  Tick *t) -> Process {
+        auto ca = transferAsync(s, *a, 1000); // 500 ns
+        auto cb = transferAsync(s, *b, 1000); // 1000 ns
+        co_await ca;
+        co_await cb;
+        *t = s.now();
+    }(sim, &fast, &slow, &done));
+    sim.run();
+    // Both started together; total is the max, not the sum.
+    EXPECT_EQ(done, 1_us);
+}
+
+} // namespace
+} // namespace smartds::sim

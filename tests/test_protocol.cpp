@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the block-storage wire protocol header.
+ */
+
+#include <gtest/gtest.h>
+
+#include "middletier/protocol.h"
+
+namespace smartds::middletier {
+namespace {
+
+TEST(StorageHeader, WireSizeIs64)
+{
+    EXPECT_EQ(StorageHeader::wireSize, 64u);
+    StorageHeader h;
+    EXPECT_EQ(h.encode().size(), 64u);
+}
+
+TEST(StorageHeader, EncodeDecodeRoundTrip)
+{
+    StorageHeader h;
+    h.vmId = 0x1122334455667788ULL;
+    h.segmentId = 42;
+    h.blockOffset = 0xdeadbeef;
+    h.tag = 987654321;
+    h.payloadSize = 4096;
+    h.serviceType = 3;
+    h.blockChecksum = 0xfeedf00d;
+    h.latencySensitive = 1;
+    h.compressionEffort = 7;
+
+    const auto wire = h.encode();
+    const StorageHeader back = StorageHeader::decode(wire.data());
+    EXPECT_EQ(back.vmId, h.vmId);
+    EXPECT_EQ(back.segmentId, h.segmentId);
+    EXPECT_EQ(back.blockOffset, h.blockOffset);
+    EXPECT_EQ(back.tag, h.tag);
+    EXPECT_EQ(back.payloadSize, h.payloadSize);
+    EXPECT_EQ(back.serviceType, h.serviceType);
+    EXPECT_EQ(back.blockChecksum, h.blockChecksum);
+    EXPECT_EQ(back.latencySensitive, h.latencySensitive);
+    EXPECT_EQ(back.compressionEffort, h.compressionEffort);
+}
+
+TEST(StorageHeader, PaddingIsZeroed)
+{
+    StorageHeader h;
+    h.tag = 1;
+    const auto wire = h.encode();
+    // Fields occupy the first 46 bytes; the rest must be zero padding.
+    for (std::size_t i = 46; i < wire.size(); ++i)
+        EXPECT_EQ(wire[i], 0u) << "at byte " << i;
+}
+
+TEST(StorageHeader, EncodeSharedMatchesEncode)
+{
+    StorageHeader h;
+    h.vmId = 5;
+    h.tag = 6;
+    const auto arr = h.encode();
+    const auto shared = h.encodeShared();
+    ASSERT_EQ(shared->size(), arr.size());
+    EXPECT_TRUE(std::equal(arr.begin(), arr.end(), shared->begin()));
+}
+
+TEST(StorageHeader, DefaultHeaderDecodesToDefaults)
+{
+    const StorageHeader def;
+    const auto wire = def.encode();
+    const StorageHeader back = StorageHeader::decode(wire.data());
+    EXPECT_EQ(back.vmId, 0u);
+    EXPECT_EQ(back.latencySensitive, 0u);
+    EXPECT_EQ(back.compressionEffort, 1u);
+}
+
+} // namespace
+} // namespace smartds::middletier

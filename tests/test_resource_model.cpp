@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the FPGA resource model against the paper's Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smartds/resource_model.h"
+
+namespace smartds::device {
+namespace {
+
+TEST(ResourceModel, AccMatchesTable3)
+{
+    const ResourceVec acc = accResources();
+    EXPECT_NEAR(acc.lutK, 112.0, 0.5);
+    EXPECT_NEAR(acc.regK, 109.0, 0.5);
+    EXPECT_NEAR(acc.bram, 172.0, 0.5);
+}
+
+TEST(ResourceModel, SmartDsRowsMatchTable3)
+{
+    struct Row
+    {
+        unsigned ports;
+        double lut, reg, bram;
+    };
+    // Paper Table 3 (LUTs/REGs in thousands, BRAM tiles). The paper's
+    // n=2 row rounds the per-port sum down by one unit; allow +-1.
+    const Row rows[] = {
+        {1, 157, 143, 292},
+        {2, 313, 285, 584},
+        {4, 627, 571, 1168},
+        {6, 941, 857, 1752},
+    };
+    for (const Row &row : rows) {
+        const ResourceVec r = smartdsResources(row.ports);
+        EXPECT_NEAR(r.lutK, row.lut, 1.0) << row.ports << " ports";
+        EXPECT_NEAR(r.regK, row.reg, 1.0) << row.ports << " ports";
+        EXPECT_NEAR(r.bram, row.bram, 1.0) << row.ports << " ports";
+    }
+}
+
+TEST(ResourceModel, LinearInPortCount)
+{
+    const ResourceVec one = smartdsResources(1);
+    for (unsigned n : {2u, 3u, 4u, 5u, 6u}) {
+        const ResourceVec r = smartdsResources(n);
+        EXPECT_NEAR(r.lutK, one.lutK * n, 1e-9);
+        EXPECT_NEAR(r.regK, one.regK * n, 1e-9);
+        EXPECT_NEAR(r.bram, one.bram * n, 1e-9);
+    }
+}
+
+TEST(ResourceModel, ComponentsSumToPortTotal)
+{
+    ResourceVec sum;
+    for (const auto &c : smartdsPortComponents())
+        sum = sum + c.cost;
+    const ResourceVec one = smartdsResources(1);
+    EXPECT_DOUBLE_EQ(sum.lutK, one.lutK);
+    EXPECT_DOUBLE_EQ(sum.regK, one.regK);
+    EXPECT_DOUBLE_EQ(sum.bram, one.bram);
+}
+
+TEST(ResourceModel, SixPortsFitTheVcu128)
+{
+    const ResourceVec six = smartdsResources(6);
+    const ResourceVec cap = vcu128Capacity();
+    const ResourceVec pct = utilizationPercent(six, cap);
+    // Paper Table 3: 72.2% LUTs, 32.9% REGs, 86.9% BRAM.
+    EXPECT_NEAR(pct.lutK, 72.2, 1.0);
+    EXPECT_NEAR(pct.regK, 32.9, 1.0);
+    EXPECT_NEAR(pct.bram, 86.9, 1.0);
+    EXPECT_LT(pct.lutK, 100.0);
+    EXPECT_LT(pct.bram, 100.0);
+}
+
+TEST(ResourceModel, EngineSharedBetweenAccAndSmartDs)
+{
+    // The same LZ4 engine block appears in both bitstreams.
+    double acc_engine = 0.0, sd_engine = 0.0;
+    for (const auto &c : accComponents())
+        if (c.name == "lz4-engine")
+            acc_engine = c.cost.lutK;
+    for (const auto &c : smartdsPortComponents())
+        if (c.name == "lz4-engine")
+            sd_engine = c.cost.lutK;
+    EXPECT_DOUBLE_EQ(acc_engine, sd_engine);
+    EXPECT_GT(acc_engine, 0.0);
+}
+
+} // namespace
+} // namespace smartds::device

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the reliable-connection transport: in-order exactly-once
+ * delivery, window flow control, and go-back-N recovery under injected
+ * loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "net/roce.h"
+#include "sim/simulator.h"
+
+namespace smartds::net {
+namespace {
+
+using namespace smartds::time_literals;
+
+struct RoceFixture : ::testing::Test
+{
+    sim::Simulator sim;
+    Fabric fabric{sim};
+
+    std::pair<ReliableQueuePair *, ReliableQueuePair *>
+    makePair(ReliableQueuePair::Config config = {})
+    {
+        auto *a = new ReliableQueuePair(fabric, "a", config);
+        auto *b = new ReliableQueuePair(fabric, "b", config);
+        ReliableQueuePair::connect(*a, *b);
+        owned_.emplace_back(a);
+        owned_.emplace_back(b);
+        return {a, b};
+    }
+
+    std::vector<std::unique_ptr<ReliableQueuePair>> owned_;
+};
+
+TEST_F(RoceFixture, LosslessDeliveryInOrder)
+{
+    auto [a, b] = makePair();
+    std::vector<std::uint64_t> tags;
+    b->onDeliver([&](Message msg) { tags.push_back(msg.tag); });
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        Message msg;
+        msg.tag = i;
+        msg.payload.size = 4096;
+        a->send(std::move(msg));
+    }
+    sim.run();
+    ASSERT_EQ(tags.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(tags[i], i);
+    EXPECT_EQ(a->retransmits(), 0u);
+    EXPECT_EQ(a->inFlight(), 0u);
+}
+
+TEST_F(RoceFixture, WindowBoundsInFlight)
+{
+    ReliableQueuePair::Config config;
+    config.windowMessages = 4;
+    auto [a, b] = makePair(config);
+    b->onDeliver([](Message) {});
+    for (int i = 0; i < 50; ++i) {
+        Message msg;
+        msg.payload.size = 4096;
+        a->send(std::move(msg));
+    }
+    EXPECT_LE(a->inFlight(), 4u);
+    sim.run();
+    EXPECT_EQ(b->delivered(), 50u);
+}
+
+TEST_F(RoceFixture, RecoversFromHeavyLoss)
+{
+    ReliableQueuePair::Config config;
+    config.lossProbability = 0.2;
+    config.retransmitTimeout = 20_us;
+    config.windowMessages = 8;
+    auto [a, b] = makePair(config);
+    std::vector<std::uint64_t> tags;
+    b->onDeliver([&](Message msg) { tags.push_back(msg.tag); });
+    constexpr std::uint64_t count = 300;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Message msg;
+        msg.tag = i;
+        msg.payload.size = 1024;
+        a->send(std::move(msg));
+    }
+    sim.run();
+    // Exactly once, in order, despite ~20% frame loss in each direction.
+    ASSERT_EQ(tags.size(), count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        EXPECT_EQ(tags[i], i);
+    EXPECT_GT(a->retransmits(), 0u);
+    EXPECT_GT(a->framesLost() + b->framesLost(), 0u);
+}
+
+TEST_F(RoceFixture, DuplicateSuppressionCounts)
+{
+    ReliableQueuePair::Config config;
+    config.lossProbability = 0.3;
+    config.retransmitTimeout = 15_us;
+    auto [a, b] = makePair(config);
+    b->onDeliver([](Message) {});
+    for (int i = 0; i < 100; ++i) {
+        Message msg;
+        msg.payload.size = 512;
+        a->send(std::move(msg));
+    }
+    sim.run();
+    EXPECT_EQ(b->delivered(), 100u);
+    // Retransmissions of already-received frames were dropped as dups.
+    EXPECT_GT(b->duplicatesDropped(), 0u);
+}
+
+TEST_F(RoceFixture, BidirectionalTrafficIndependent)
+{
+    auto [a, b] = makePair();
+    std::uint64_t to_b = 0, to_a = 0;
+    b->onDeliver([&](Message) { ++to_b; });
+    a->onDeliver([&](Message) { ++to_a; });
+    for (int i = 0; i < 40; ++i) {
+        Message m1;
+        m1.payload.size = 2048;
+        a->send(std::move(m1));
+        Message m2;
+        m2.payload.size = 2048;
+        b->send(std::move(m2));
+    }
+    sim.run();
+    EXPECT_EQ(to_b, 40u);
+    EXPECT_EQ(to_a, 40u);
+}
+
+TEST_F(RoceFixture, ThroughputDegradesGracefullyWithLoss)
+{
+    auto run = [this](double loss) {
+        ReliableQueuePair::Config config;
+        config.lossProbability = loss;
+        config.retransmitTimeout = 25_us;
+        auto [a, b] = makePair(config);
+        b->onDeliver([](Message) {});
+        const Tick start = sim.now();
+        for (int i = 0; i < 200; ++i) {
+            Message msg;
+            msg.payload.size = 4096;
+            a->send(std::move(msg));
+        }
+        sim.run();
+        return sim.now() - start;
+    };
+    const Tick clean = run(0.0);
+    const Tick lossy = run(0.1);
+    EXPECT_GT(lossy, clean); // recovery costs time but finishes
+}
+
+} // namespace
+} // namespace smartds::net
+
+namespace smartds::net {
+namespace {
+
+using namespace smartds::time_literals;
+
+/** loss probability (x1000), window size. */
+using LossParam = std::tuple<int, unsigned>;
+
+class RoceLossSweep : public ::testing::TestWithParam<LossParam>
+{
+};
+
+TEST_P(RoceLossSweep, ExactlyOnceInOrderUnderLoss)
+{
+    const auto [loss_permille, window] = GetParam();
+    sim::Simulator sim;
+    Fabric fabric(sim);
+    ReliableQueuePair::Config config;
+    config.lossProbability = loss_permille / 1000.0;
+    config.windowMessages = window;
+    config.retransmitTimeout = 30_us;
+    config.seed = static_cast<std::uint64_t>(loss_permille) * 31 + window;
+    ReliableQueuePair a(fabric, "a", config);
+    ReliableQueuePair b(fabric, "b", config);
+    ReliableQueuePair::connect(a, b);
+
+    std::vector<std::uint64_t> tags;
+    b.onDeliver([&](Message msg) { tags.push_back(msg.tag); });
+    constexpr std::uint64_t count = 150;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Message msg;
+        msg.tag = i;
+        msg.payload.size = 2048;
+        a.send(std::move(msg));
+    }
+    sim.run();
+    ASSERT_EQ(tags.size(), count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        ASSERT_EQ(tags[i], i);
+    EXPECT_EQ(a.inFlight(), 0u);
+    if (loss_permille >= 50) {
+        // Loss is statistically certain at >= 5% over ~300 frames.
+        EXPECT_GT(a.framesLost() + b.framesLost(), 0u);
+    } else if (loss_permille == 0) {
+        EXPECT_EQ(a.retransmits(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossRatesAndWindows, RoceLossSweep,
+    ::testing::Combine(::testing::Values(0, 10, 50, 150, 300),
+                       ::testing::Values(1u, 8u, 64u)));
+
+} // namespace
+} // namespace smartds::net

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, cancellation,
+ * deterministic tie-breaking and run-until semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace smartds::sim {
+namespace {
+
+using namespace smartds::time_literals;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30_ns, [&]() { order.push_back(3); });
+    sim.schedule(10_ns, [&]() { order.push_back(1); });
+    sim.schedule(20_ns, [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(Simulator, SameTickEventsFireInSchedulingOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(5_ns, [&order, i]() { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks)
+{
+    Simulator sim;
+    std::vector<Tick> times;
+    sim.schedule(10_ns, [&]() {
+        times.push_back(sim.now());
+        sim.schedule(5_ns, [&]() { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 10_ns);
+    EXPECT_EQ(times[1], 15_ns);
+}
+
+TEST(Simulator, ZeroDelayEventFiresAtCurrentTime)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(7_ns, [&]() {
+        sim.schedule(0, [&]() {
+            fired = true;
+            EXPECT_EQ(sim.now(), 7_ns);
+        });
+    });
+    sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    EventHandle h = sim.schedule(10_ns, [&]() { fired = true; });
+    EXPECT_TRUE(h.pending());
+    EXPECT_TRUE(h.cancel());
+    EXPECT_FALSE(h.pending());
+    sim.run();
+    EXPECT_FALSE(fired);
+    // Cancelling twice is a no-op.
+    EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulator, CancelAfterFiringFails)
+{
+    Simulator sim;
+    EventHandle h = sim.schedule(1_ns, []() {});
+    sim.run();
+    EXPECT_FALSE(h.cancel());
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, DefaultEventHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        sim.schedule(t * 1_us, [&]() { ++count; });
+    sim.runUntil(5_us);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), 5_us);
+    sim.runUntil(10_us);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithEmptyQueue)
+{
+    Simulator sim;
+    sim.runUntil(42_us);
+    EXPECT_EQ(sim.now(), 42_us);
+}
+
+TEST(Simulator, EventsExecutedCountsOnlyFired)
+{
+    Simulator sim;
+    sim.schedule(1_ns, []() {});
+    EventHandle h = sim.schedule(2_ns, []() {});
+    h.cancel();
+    sim.schedule(3_ns, []() {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 2u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.step());
+    sim.schedule(1_ns, []() {});
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ManyEventsStressOrdering)
+{
+    Simulator sim;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 1000) * 1_ns;
+        sim.scheduleAt(when, [&, when]() {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace smartds::sim

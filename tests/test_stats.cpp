@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the statistics toolkit: running stats, log histogram
+ * quantiles, latency recorder and rate meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/latency_recorder.h"
+#include "common/random.h"
+#include "common/rate_meter.h"
+#include "common/running_stats.h"
+#include "common/time.h"
+
+namespace smartds {
+namespace {
+
+using namespace smartds::time_literals;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax)
+{
+    RunningStats s;
+    for (double x : {4.0, 1.0, 7.0, 2.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(RunningStats, VarianceMatchesDirectComputation)
+{
+    RunningStats s;
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    RunningStats a, b, all;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform() * 100.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(LogHistogram, SmallValuesAreExact)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 31u);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(1.0), 31u);
+}
+
+TEST(LogHistogram, QuantilesWithinRelativeError)
+{
+    LogHistogram h;
+    Rng rng(17);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 100000; ++i) {
+        // Span several octaves, like latencies from ns to ms.
+        const std::uint64_t v = 1000 + rng.below(10'000'000);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const auto exact =
+            values[static_cast<std::size_t>(q * (values.size() - 1))];
+        const auto approx = h.quantile(q);
+        EXPECT_NEAR(static_cast<double>(approx),
+                    static_cast<double>(exact),
+                    static_cast<double>(exact) * 0.04)
+            << "q=" << q;
+    }
+}
+
+TEST(LogHistogram, MeanIsExactSum)
+{
+    LogHistogram h;
+    h.record(10);
+    h.record(20);
+    h.record(60);
+    EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(LogHistogram, MergeAddsCounts)
+{
+    LogHistogram a, b;
+    a.record(100, 5);
+    b.record(100, 7);
+    b.record(1'000'000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 13u);
+    EXPECT_EQ(a.maxValue(), 1'000'000u);
+}
+
+TEST(LogHistogram, ResetClears)
+{
+    LogHistogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, HugeValuesDoNotOverflow)
+{
+    LogHistogram h;
+    h.record(~0ULL);
+    h.record(1ULL << 62);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.quantile(1.0), (1ULL << 62));
+}
+
+TEST(LatencyRecorder, ReportsMicroseconds)
+{
+    LatencyRecorder rec;
+    rec.record(10_us);
+    rec.record(20_us);
+    rec.record(30_us);
+    EXPECT_EQ(rec.count(), 3u);
+    EXPECT_NEAR(rec.avgUs(), 20.0, 1e-9);
+    EXPECT_NEAR(rec.minUs(), 10.0, 1e-9);
+    EXPECT_NEAR(rec.maxUs(), 30.0, 1e-9);
+    EXPECT_NEAR(rec.p50Us(), 20.0, 1.0);
+}
+
+TEST(LatencyRecorder, TailQuantilesOrdered)
+{
+    LatencyRecorder rec;
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i)
+        rec.record(1_us + rng.below(500) * 1_us);
+    EXPECT_LE(rec.p50Us(), rec.p99Us());
+    EXPECT_LE(rec.p99Us(), rec.p999Us());
+    EXPECT_LE(rec.p999Us(), rec.maxUs() + 1e-9);
+}
+
+TEST(RateMeter, RateOverWindow)
+{
+    RateMeter m;
+    m.open(0);
+    m.add(1000);
+    m.add(250);
+    m.close(1_us);
+    EXPECT_EQ(m.bytes(), 1250u);
+    EXPECT_NEAR(m.rate(), 1.25e9, 1.0);
+    EXPECT_NEAR(m.rateGbps(), 10.0, 1e-6);
+}
+
+TEST(RateMeter, IgnoresBytesOutsideWindow)
+{
+    RateMeter m;
+    m.add(999);
+    m.open(0);
+    m.add(1);
+    m.close(1_us);
+    m.add(999);
+    EXPECT_EQ(m.bytes(), 1u);
+}
+
+TEST(RateMeter, UnopenedReportsZero)
+{
+    RateMeter m;
+    EXPECT_DOUBLE_EQ(m.rate(), 0.0);
+    EXPECT_EQ(m.window(), 0u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(99), b(99), c(100);
+    EXPECT_EQ(a(), b());
+    Rng a2(99);
+    (void)c();
+    EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(2);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 200000; ++i)
+        sum += rng.exponential(42.0);
+    EXPECT_NEAR(sum / 200000.0, 42.0, 0.5);
+}
+
+} // namespace
+} // namespace smartds

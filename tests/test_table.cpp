@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the table renderer and its CSV export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/table.h"
+
+namespace smartds {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.header({"a", "longer"});
+    t.row({"xxxx", "1"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    // Header columns padded to the widest cell.
+    EXPECT_NE(s.find("a     longer"), std::string::npos);
+    EXPECT_NE(s.find("xxxx  1"), std::string::npos);
+}
+
+TEST(Table, SeparatorRendersAsRule)
+{
+    Table t("demo");
+    t.header({"col"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvSkipsSeparatorsAndTitle)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    t.separator();
+    t.row({"3", "4"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"with,comma", "with\"quote"});
+    EXPECT_EQ(t.renderCsv(), "name,value\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Table, WriteCsvCreatesDirectories)
+{
+    Table t("demo");
+    t.header({"x"});
+    t.row({"42"});
+    const std::string path = "/tmp/smartds-test-csv/dir/out.csv";
+    std::remove(path.c_str());
+    ASSERT_TRUE(t.writeCsv(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x");
+    std::getline(in, line);
+    EXPECT_EQ(line, "42");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(std::uint64_t{123}), "123");
+    EXPECT_EQ(fmt(-5), "-5");
+    EXPECT_EQ(fmt(7u), "7");
+}
+
+TEST(Table, EmptyTableRendersTitleOnly)
+{
+    Table t("empty");
+    const std::string s = t.render();
+    EXPECT_EQ(s, "== empty ==\n");
+    EXPECT_EQ(t.renderCsv(), "");
+}
+
+} // namespace
+} // namespace smartds

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the workload layer: VM client behaviour, conservation
+ * properties of the full system, and experiment-harness invariants
+ * swept across designs and seeds (parameterized property tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/memory_system.h"
+#include "middletier/cpu_only_server.h"
+#include "net/fabric.h"
+#include "storage/storage_server.h"
+#include "workload/experiment.h"
+#include "workload/vm_client.h"
+
+namespace smartds::workload {
+namespace {
+
+using namespace smartds::time_literals;
+using middletier::Design;
+
+TEST(VmClient, ClosedLoopKeepsOutstandingBounded)
+{
+    // A client with N issuers never has more than N requests in flight:
+    // issued - completed <= outstanding at all times (checked at end).
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "mem", {});
+    storage::StorageServer s1(fabric, "s1"), s2(fabric, "s2"),
+        s3(fabric, "s3");
+    middletier::ServerConfig sc;
+    sc.cores = 4;
+    sc.storageNodes = {s1.nodeId(), s2.nodeId(), s3.nodeId()};
+    middletier::CpuOnlyServer server(fabric, memory, sc);
+
+    corpus::SyntheticCorpus corpus(1u << 20, 2);
+    corpus::RatioSampler ratios(corpus, 4096, 1, 64, 3);
+    ClientMetrics metrics;
+    std::uint64_t tags = 1;
+    VmClient::Config cc;
+    cc.target = server.frontNode();
+    cc.outstanding = 6;
+    cc.ratios = &ratios;
+    cc.tagCounter = &tags;
+    cc.metrics = &metrics;
+    VmClient client(fabric, "vm", cc);
+
+    sim.runUntil(3 * ticksPerMillisecond);
+    EXPECT_LE(metrics.issued - metrics.completed, 6u);
+    client.stop();
+    sim.run();
+    EXPECT_EQ(metrics.issued, metrics.completed);
+}
+
+TEST(VmClient, TagsAreUniqueAcrossClients)
+{
+    // The shared tag counter guarantees global uniqueness; totals of two
+    // clients add up to the counter's advance.
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "mem", {});
+    storage::StorageServer s1(fabric, "s1"), s2(fabric, "s2"),
+        s3(fabric, "s3");
+    middletier::ServerConfig sc;
+    sc.cores = 8;
+    sc.storageNodes = {s1.nodeId(), s2.nodeId(), s3.nodeId()};
+    middletier::CpuOnlyServer server(fabric, memory, sc);
+
+    corpus::SyntheticCorpus corpus(1u << 20, 2);
+    corpus::RatioSampler ratios(corpus, 4096, 1, 64, 3);
+    ClientMetrics metrics;
+    std::uint64_t tags = 1;
+    auto make = [&](const std::string &name, std::uint64_t seed) {
+        VmClient::Config cc;
+        cc.target = server.frontNode();
+        cc.outstanding = 3;
+        cc.ratios = &ratios;
+        cc.seed = seed;
+        cc.tagCounter = &tags;
+        cc.metrics = &metrics;
+        return std::make_unique<VmClient>(fabric, name, cc);
+    };
+    auto a = make("vm-a", 1);
+    auto b = make("vm-b", 2);
+    sim.runUntil(2 * ticksPerMillisecond);
+    a->stop();
+    b->stop();
+    sim.run();
+    EXPECT_EQ(tags - 1, metrics.issued);
+}
+
+// -----------------------------------------------------------------------
+// Property sweep: conservation invariants across designs and seeds.
+// -----------------------------------------------------------------------
+
+using InvariantParam = std::tuple<Design, std::uint64_t>;
+
+class ExperimentInvariants : public ::testing::TestWithParam<InvariantParam>
+{
+};
+
+TEST_P(ExperimentInvariants, ConservationAndSanity)
+{
+    const auto [design, seed] = GetParam();
+    ExperimentConfig config;
+    config.design = design;
+    config.cores = design == Design::CpuOnly ? 16 : 2;
+    if (design == Design::Bf2)
+        config.cores = 8;
+    config.seed = seed;
+    config.warmup = 2 * ticksPerMillisecond;
+    config.window = 5 * ticksPerMillisecond;
+    const auto r = runWriteExperiment(config);
+
+    // Work happened and the books balance.
+    EXPECT_GT(r.requestsCompleted, 100u);
+    EXPECT_GT(r.throughputGbps, 1.0);
+    // Throughput equals completed requests x block size over the window.
+    const double expected =
+        toGbps(static_cast<double>(r.requestsCompleted) * 4096.0 /
+               toSeconds(config.window));
+    EXPECT_NEAR(r.throughputGbps, expected, expected * 0.01);
+    // Latency ordering.
+    EXPECT_LE(r.p50LatencyUs, r.p99LatencyUs + 1e-9);
+    EXPECT_LE(r.p99LatencyUs, r.p999LatencyUs + 1e-9);
+    EXPECT_GT(r.avgLatencyUs, 10.0);   // at least storage + engine time
+    EXPECT_LT(r.avgLatencyUs, 5000.0); // no runaway queues
+    // Ratio sampled from the real codec.
+    EXPECT_GT(r.meanCompressionRatio, 0.4);
+    EXPECT_LT(r.meanCompressionRatio, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndSeeds, ExperimentInvariants,
+    ::testing::Combine(::testing::Values(Design::CpuOnly,
+                                         Design::Accelerator, Design::Bf2,
+                                         Design::SmartDs),
+                       ::testing::Values(1u, 42u, 20260706u)));
+
+TEST(Experiment, DeterministicForFixedSeed)
+{
+    ExperimentConfig config;
+    config.design = Design::SmartDs;
+    config.cores = 2;
+    config.warmup = 2 * ticksPerMillisecond;
+    config.window = 4 * ticksPerMillisecond;
+    const auto a = runWriteExperiment(config);
+    const auto b = runWriteExperiment(config);
+    EXPECT_EQ(a.requestsCompleted, b.requestsCompleted);
+    EXPECT_DOUBLE_EQ(a.throughputGbps, b.throughputGbps);
+    EXPECT_DOUBLE_EQ(a.p999LatencyUs, b.p999LatencyUs);
+}
+
+TEST(Experiment, DifferentSeedsDifferentTimings)
+{
+    ExperimentConfig config;
+    config.design = Design::CpuOnly;
+    config.cores = 8;
+    config.warmup = 2 * ticksPerMillisecond;
+    config.window = 4 * ticksPerMillisecond;
+    const auto a = runWriteExperiment(config);
+    config.seed = 777;
+    const auto b = runWriteExperiment(config);
+    EXPECT_NE(a.requestsCompleted, b.requestsCompleted);
+    // But the steady-state physics stays put.
+    EXPECT_NEAR(a.throughputGbps, b.throughputGbps,
+                0.05 * a.throughputGbps);
+}
+
+} // namespace
+} // namespace smartds::workload
