@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_replication"
+  "../bench/ablation_replication.pdb"
+  "CMakeFiles/ablation_replication.dir/ablation_replication.cpp.o"
+  "CMakeFiles/ablation_replication.dir/ablation_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_block_size"
+  "../bench/ext_block_size.pdb"
+  "CMakeFiles/ext_block_size.dir/ext_block_size.cpp.o"
+  "CMakeFiles/ext_block_size.dir/ext_block_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

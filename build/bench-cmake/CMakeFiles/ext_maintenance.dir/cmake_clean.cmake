@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_maintenance"
+  "../bench/ext_maintenance.pdb"
+  "CMakeFiles/ext_maintenance.dir/ext_maintenance.cpp.o"
+  "CMakeFiles/ext_maintenance.dir/ext_maintenance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

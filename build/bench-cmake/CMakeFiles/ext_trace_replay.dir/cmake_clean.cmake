@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_trace_replay"
+  "../bench/ext_trace_replay.pdb"
+  "CMakeFiles/ext_trace_replay.dir/ext_trace_replay.cpp.o"
+  "CMakeFiles/ext_trace_replay.dir/ext_trace_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_memory_pressure"
+  "../bench/fig04_memory_pressure.pdb"
+  "CMakeFiles/fig04_memory_pressure.dir/fig04_memory_pressure.cpp.o"
+  "CMakeFiles/fig04_memory_pressure.dir/fig04_memory_pressure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

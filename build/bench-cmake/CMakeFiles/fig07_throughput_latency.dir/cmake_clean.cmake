@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_throughput_latency"
+  "../bench/fig07_throughput_latency.pdb"
+  "CMakeFiles/fig07_throughput_latency.dir/fig07_throughput_latency.cpp.o"
+  "CMakeFiles/fig07_throughput_latency.dir/fig07_throughput_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

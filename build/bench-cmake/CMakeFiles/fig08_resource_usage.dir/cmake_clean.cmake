@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_resource_usage"
+  "../bench/fig08_resource_usage.pdb"
+  "CMakeFiles/fig08_resource_usage.dir/fig08_resource_usage.cpp.o"
+  "CMakeFiles/fig08_resource_usage.dir/fig08_resource_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_interference"
+  "../bench/fig09_interference.pdb"
+  "CMakeFiles/fig09_interference.dir/fig09_interference.cpp.o"
+  "CMakeFiles/fig09_interference.dir/fig09_interference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_multiport"
+  "../bench/fig10_multiport.pdb"
+  "CMakeFiles/fig10_multiport.dir/fig10_multiport.cpp.o"
+  "CMakeFiles/fig10_multiport.dir/fig10_multiport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multiport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

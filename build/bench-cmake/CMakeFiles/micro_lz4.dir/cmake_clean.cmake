@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_lz4"
+  "../bench/micro_lz4.pdb"
+  "CMakeFiles/micro_lz4.dir/micro_lz4.cpp.o"
+  "CMakeFiles/micro_lz4.dir/micro_lz4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lz4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec55_multi_smartnic"
+  "../bench/sec55_multi_smartnic.pdb"
+  "CMakeFiles/sec55_multi_smartnic.dir/sec55_multi_smartnic.cpp.o"
+  "CMakeFiles/sec55_multi_smartnic.dir/sec55_multi_smartnic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_multi_smartnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec55_multi_smartnic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_pcie_latency"
+  "../bench/table1_pcie_latency.pdb"
+  "CMakeFiles/table1_pcie_latency.dir/table1_pcie_latency.cpp.o"
+  "CMakeFiles/table1_pcie_latency.dir/table1_pcie_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pcie_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

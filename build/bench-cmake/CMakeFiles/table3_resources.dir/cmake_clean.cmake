@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_resources"
+  "../bench/table3_resources.pdb"
+  "CMakeFiles/table3_resources.dir/table3_resources.cpp.o"
+  "CMakeFiles/table3_resources.dir/table3_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

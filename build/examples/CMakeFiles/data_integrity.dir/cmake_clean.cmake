@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_integrity.dir/data_integrity.cpp.o"
+  "CMakeFiles/data_integrity.dir/data_integrity.cpp.o.d"
+  "data_integrity"
+  "data_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiport_scaling.dir/multiport_scaling.cpp.o"
+  "CMakeFiles/multiport_scaling.dir/multiport_scaling.cpp.o.d"
+  "multiport_scaling"
+  "multiport_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiport_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

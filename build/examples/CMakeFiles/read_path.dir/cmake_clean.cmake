@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_path.dir/read_path.cpp.o"
+  "CMakeFiles/read_path.dir/read_path.cpp.o.d"
+  "read_path"
+  "read_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_path.dir/write_path.cpp.o"
+  "CMakeFiles/write_path.dir/write_path.cpp.o.d"
+  "write_path"
+  "write_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("lz4")
+subdirs("corpus")
+subdirs("mem")
+subdirs("pcie")
+subdirs("net")
+subdirs("nic")
+subdirs("host")
+subdirs("smartds")
+subdirs("storage")
+subdirs("middletier")
+subdirs("workload")
+subdirs("cluster")

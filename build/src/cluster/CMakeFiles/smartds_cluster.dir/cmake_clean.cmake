@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_cluster.dir/scale_up.cpp.o"
+  "CMakeFiles/smartds_cluster.dir/scale_up.cpp.o.d"
+  "libsmartds_cluster.a"
+  "libsmartds_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

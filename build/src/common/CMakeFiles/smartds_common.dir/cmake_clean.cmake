@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_common.dir/checksum.cpp.o"
+  "CMakeFiles/smartds_common.dir/checksum.cpp.o.d"
+  "CMakeFiles/smartds_common.dir/histogram.cpp.o"
+  "CMakeFiles/smartds_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/smartds_common.dir/logging.cpp.o"
+  "CMakeFiles/smartds_common.dir/logging.cpp.o.d"
+  "CMakeFiles/smartds_common.dir/table.cpp.o"
+  "CMakeFiles/smartds_common.dir/table.cpp.o.d"
+  "libsmartds_common.a"
+  "libsmartds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

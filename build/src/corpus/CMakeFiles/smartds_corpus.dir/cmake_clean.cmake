@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/smartds_corpus.dir/corpus.cpp.o.d"
+  "libsmartds_corpus.a"
+  "libsmartds_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_host.dir/core_pool.cpp.o"
+  "CMakeFiles/smartds_host.dir/core_pool.cpp.o.d"
+  "libsmartds_host.a"
+  "libsmartds_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_lz4.dir/frame.cpp.o"
+  "CMakeFiles/smartds_lz4.dir/frame.cpp.o.d"
+  "CMakeFiles/smartds_lz4.dir/lz4.cpp.o"
+  "CMakeFiles/smartds_lz4.dir/lz4.cpp.o.d"
+  "libsmartds_lz4.a"
+  "libsmartds_lz4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_lz4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/smartds_mem.dir/memory_system.cpp.o.d"
+  "CMakeFiles/smartds_mem.dir/mlc_injector.cpp.o"
+  "CMakeFiles/smartds_mem.dir/mlc_injector.cpp.o.d"
+  "libsmartds_mem.a"
+  "libsmartds_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middletier/accelerator_server.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/accelerator_server.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/accelerator_server.cpp.o.d"
+  "/root/repo/src/middletier/bf2_server.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/bf2_server.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/bf2_server.cpp.o.d"
+  "/root/repo/src/middletier/chunk_manager.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/chunk_manager.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/chunk_manager.cpp.o.d"
+  "/root/repo/src/middletier/cpu_only_server.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/cpu_only_server.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/cpu_only_server.cpp.o.d"
+  "/root/repo/src/middletier/maintenance.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/maintenance.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/maintenance.cpp.o.d"
+  "/root/repo/src/middletier/multi_card_server.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/multi_card_server.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/multi_card_server.cpp.o.d"
+  "/root/repo/src/middletier/protocol.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/protocol.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/protocol.cpp.o.d"
+  "/root/repo/src/middletier/server_base.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/server_base.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/server_base.cpp.o.d"
+  "/root/repo/src/middletier/smartds_server.cpp" "src/middletier/CMakeFiles/smartds_middletier.dir/smartds_server.cpp.o" "gcc" "src/middletier/CMakeFiles/smartds_middletier.dir/smartds_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smartds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/smartds_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/smartds_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smartds_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/smartds_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/smartds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartds/CMakeFiles/smartds_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/smartds_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/lz4/CMakeFiles/smartds_lz4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_middletier.dir/accelerator_server.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/accelerator_server.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/bf2_server.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/bf2_server.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/chunk_manager.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/chunk_manager.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/cpu_only_server.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/cpu_only_server.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/maintenance.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/maintenance.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/multi_card_server.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/multi_card_server.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/protocol.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/protocol.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/server_base.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/server_base.cpp.o.d"
+  "CMakeFiles/smartds_middletier.dir/smartds_server.cpp.o"
+  "CMakeFiles/smartds_middletier.dir/smartds_server.cpp.o.d"
+  "libsmartds_middletier.a"
+  "libsmartds_middletier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_middletier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

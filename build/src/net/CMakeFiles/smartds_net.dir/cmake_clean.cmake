@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_net.dir/fabric.cpp.o"
+  "CMakeFiles/smartds_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/smartds_net.dir/roce.cpp.o"
+  "CMakeFiles/smartds_net.dir/roce.cpp.o.d"
+  "libsmartds_net.a"
+  "libsmartds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_nic.dir/rdma_nic.cpp.o"
+  "CMakeFiles/smartds_nic.dir/rdma_nic.cpp.o.d"
+  "libsmartds_nic.a"
+  "libsmartds_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmartds_nic.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_pcie.dir/pcie.cpp.o"
+  "CMakeFiles/smartds_pcie.dir/pcie.cpp.o.d"
+  "libsmartds_pcie.a"
+  "libsmartds_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_sim.dir/bandwidth_server.cpp.o"
+  "CMakeFiles/smartds_sim.dir/bandwidth_server.cpp.o.d"
+  "CMakeFiles/smartds_sim.dir/fair_share.cpp.o"
+  "CMakeFiles/smartds_sim.dir/fair_share.cpp.o.d"
+  "CMakeFiles/smartds_sim.dir/simulator.cpp.o"
+  "CMakeFiles/smartds_sim.dir/simulator.cpp.o.d"
+  "libsmartds_sim.a"
+  "libsmartds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smartds/device.cpp" "src/smartds/CMakeFiles/smartds_device.dir/device.cpp.o" "gcc" "src/smartds/CMakeFiles/smartds_device.dir/device.cpp.o.d"
+  "/root/repo/src/smartds/device_memory.cpp" "src/smartds/CMakeFiles/smartds_device.dir/device_memory.cpp.o" "gcc" "src/smartds/CMakeFiles/smartds_device.dir/device_memory.cpp.o.d"
+  "/root/repo/src/smartds/resource_model.cpp" "src/smartds/CMakeFiles/smartds_device.dir/resource_model.cpp.o" "gcc" "src/smartds/CMakeFiles/smartds_device.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smartds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/smartds_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smartds_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lz4/CMakeFiles/smartds_lz4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_device.dir/device.cpp.o"
+  "CMakeFiles/smartds_device.dir/device.cpp.o.d"
+  "CMakeFiles/smartds_device.dir/device_memory.cpp.o"
+  "CMakeFiles/smartds_device.dir/device_memory.cpp.o.d"
+  "CMakeFiles/smartds_device.dir/resource_model.cpp.o"
+  "CMakeFiles/smartds_device.dir/resource_model.cpp.o.d"
+  "libsmartds_device.a"
+  "libsmartds_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

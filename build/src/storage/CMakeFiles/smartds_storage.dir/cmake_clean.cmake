@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_storage.dir/storage_server.cpp.o"
+  "CMakeFiles/smartds_storage.dir/storage_server.cpp.o.d"
+  "libsmartds_storage.a"
+  "libsmartds_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartds_workload.dir/experiment.cpp.o"
+  "CMakeFiles/smartds_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/smartds_workload.dir/trace.cpp.o"
+  "CMakeFiles/smartds_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/smartds_workload.dir/vm_client.cpp.o"
+  "CMakeFiles/smartds_workload.dir/vm_client.cpp.o.d"
+  "libsmartds_workload.a"
+  "libsmartds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

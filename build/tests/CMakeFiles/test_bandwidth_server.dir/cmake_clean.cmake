@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_server.dir/test_bandwidth_server.cpp.o"
+  "CMakeFiles/test_bandwidth_server.dir/test_bandwidth_server.cpp.o.d"
+  "test_bandwidth_server"
+  "test_bandwidth_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_manager.dir/test_chunk_manager.cpp.o"
+  "CMakeFiles/test_chunk_manager.dir/test_chunk_manager.cpp.o.d"
+  "test_chunk_manager"
+  "test_chunk_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_properties.dir/test_device_properties.cpp.o"
+  "CMakeFiles/test_device_properties.dir/test_device_properties.cpp.o.d"
+  "test_device_properties"
+  "test_device_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fair_share.dir/test_fair_share.cpp.o"
+  "CMakeFiles/test_fair_share.dir/test_fair_share.cpp.o.d"
+  "test_fair_share"
+  "test_fair_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fair_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

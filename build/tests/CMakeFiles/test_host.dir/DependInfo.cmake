@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/test_host.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/test_host.dir/test_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lz4/CMakeFiles/smartds_lz4.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/smartds_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smartds_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/smartds_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smartds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/smartds_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/smartds_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartds/CMakeFiles/smartds_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/smartds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/middletier/CMakeFiles/smartds_middletier.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smartds_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

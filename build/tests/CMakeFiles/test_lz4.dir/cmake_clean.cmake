@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz4.dir/test_lz4.cpp.o"
+  "CMakeFiles/test_lz4.dir/test_lz4.cpp.o.d"
+  "test_lz4"
+  "test_lz4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

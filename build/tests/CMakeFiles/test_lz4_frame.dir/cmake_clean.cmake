@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz4_frame.dir/test_lz4_frame.cpp.o"
+  "CMakeFiles/test_lz4_frame.dir/test_lz4_frame.cpp.o.d"
+  "test_lz4_frame"
+  "test_lz4_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz4_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

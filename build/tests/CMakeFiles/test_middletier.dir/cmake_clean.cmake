@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_middletier.dir/test_middletier.cpp.o"
+  "CMakeFiles/test_middletier.dir/test_middletier.cpp.o.d"
+  "test_middletier"
+  "test_middletier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_middletier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicard.dir/test_multicard.cpp.o"
+  "CMakeFiles/test_multicard.dir/test_multicard.cpp.o.d"
+  "test_multicard"
+  "test_multicard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

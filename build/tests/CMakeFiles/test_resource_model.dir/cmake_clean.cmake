@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_model.dir/test_resource_model.cpp.o"
+  "CMakeFiles/test_resource_model.dir/test_resource_model.cpp.o.d"
+  "test_resource_model"
+  "test_resource_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roce.dir/test_roce.cpp.o"
+  "CMakeFiles/test_roce.dir/test_roce.cpp.o.d"
+  "test_roce"
+  "test_roce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
