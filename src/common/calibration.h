@@ -211,6 +211,25 @@ constexpr Tick storageAppendLatency = 25 * ticksPerMicrosecond;
 /** Per-storage-server ingest bandwidth (not a bottleneck by design). */
 constexpr BytesPerSecond storageIngestBandwidth = gbps(90.0);
 
+// ------------------------------------------------------- Failure handling
+
+/**
+ * Initial per-replica acknowledgement timeout. A healthy replica write
+ * round-trips in tens of microseconds even under load, so 800us is far
+ * outside the loaded tail yet still ~600x shorter than a crash outage —
+ * the middle tier re-places the replica long before the client notices.
+ */
+constexpr Tick replicaAckTimeout = 800 * ticksPerMicrosecond;
+
+/** Upper bound for the exponential ack-timeout backoff. */
+constexpr Tick replicaAckTimeoutCap = 6400 * ticksPerMicrosecond;
+
+/** Replica send attempts after the first before giving up on a block. */
+constexpr unsigned replicaMaxRetries = 4;
+
+/** Consecutive timeouts before a storage node is suspected unhealthy. */
+constexpr unsigned nodeSuspectThreshold = 2;
+
 // --------------------------------------------------------------- Clients
 
 /** Per-VM-client software overhead for issuing/completing one request. */

@@ -1,0 +1,105 @@
+#include "faults/fault_injector.h"
+
+#include <utility>
+
+namespace smartds::faults {
+
+FaultInjector::FaultInjector(sim::Simulator &sim, std::uint64_t seed)
+    : sim_(sim), seed_(seed), rng_(seed)
+{
+}
+
+FaultProfile *
+FaultInjector::profile(net::NodeId node)
+{
+    auto it = profiles_.find(node);
+    if (it == profiles_.end()) {
+        // Seed keyed on the node id (not on creation order) so a profile's
+        // random stream is stable no matter when it is first touched.
+        const std::uint64_t child =
+            (seed_ ^ (node * 0x9e3779b97f4a7c15ULL)) | 1;
+        it = profiles_
+                 .emplace(node, std::make_unique<FaultProfile>(node, child))
+                 .first;
+    }
+    return it->second.get();
+}
+
+void
+FaultInjector::scheduleCrash(net::NodeId node, Tick at)
+{
+    FaultProfile *p = profile(node);
+    sim_.scheduleAt(at, [this, p]() {
+        if (!p->crashed())
+            ++crashesInjected_;
+        p->crash();
+    });
+}
+
+void
+FaultInjector::scheduleRecovery(net::NodeId node, Tick at)
+{
+    FaultProfile *p = profile(node);
+    sim_.scheduleAt(at, [p]() { p->recover(); });
+}
+
+void
+FaultInjector::scheduleDegrade(net::NodeId node, Tick at,
+                               double latency_factor, double bandwidth_factor)
+{
+    FaultProfile *p = profile(node);
+    sim_.scheduleAt(at, [p, latency_factor, bandwidth_factor]() {
+        p->degrade(latency_factor, bandwidth_factor);
+    });
+}
+
+void
+FaultInjector::scheduleRestore(net::NodeId node, Tick at)
+{
+    FaultProfile *p = profile(node);
+    sim_.scheduleAt(at, [p]() { p->restore(); });
+}
+
+void
+FaultInjector::startCrashChurn(std::vector<net::NodeId> nodes,
+                               Tick mean_interval, Tick outage)
+{
+    SMARTDS_ASSERT(!nodes.empty(), "crash churn over an empty pool");
+    SMARTDS_ASSERT(mean_interval > 0, "crash churn needs a positive interval");
+    running_ = true;
+    sim::spawn(sim_, churn(std::move(nodes), mean_interval, outage));
+}
+
+sim::Process
+FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
+                     Tick outage)
+{
+    // Materialise every profile up front so the node->profile mapping does
+    // not depend on which node the churn happens to hit first.
+    for (net::NodeId n : nodes)
+        profile(n);
+    while (running_) {
+        const auto wait = static_cast<Tick>(
+            rng_.exponential(static_cast<double>(mean_interval)));
+        co_await sim::delay(sim_, std::max<Tick>(1, wait));
+        if (!running_)
+            break;
+        FaultProfile *victim = profile(nodes[rng_.below(nodes.size())]);
+        if (victim->crashed())
+            continue;
+        victim->crash();
+        ++crashesInjected_;
+        sim_.schedule(outage, [victim]() { victim->recover(); });
+    }
+}
+
+std::size_t
+FaultInjector::crashedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[node, p] : profiles_)
+        n += p->crashed() ? 1 : 0;
+    return n;
+}
+
+} // namespace smartds::faults

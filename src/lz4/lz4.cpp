@@ -295,7 +295,8 @@ decompress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
         }
         if (ip + lit_len > src_size || op + lit_len > dst_cap)
             return std::nullopt;
-        std::memcpy(dst + op, src + ip, lit_len);
+        if (lit_len > 0) // dst may legally be null when dst_cap == 0
+            std::memcpy(dst + op, src + ip, lit_len);
         ip += lit_len;
         op += lit_len;
 

@@ -43,6 +43,7 @@ AcceleratorServer::AcceleratorServer(net::Fabric &fabric,
 
     nic_->setRxDmaOptions({rxWrite_, false});
     nic_->onHostReceive([this](net::Message msg) { dispatch(std::move(msg)); });
+    initFailover(config_);
 }
 
 net::NodeId
@@ -73,6 +74,7 @@ AcceleratorServer::addUsageProbes(UsageProbes &probes)
     probes.add("pcie.fpga.d2h", [this]() {
         return static_cast<double>(fpgaPcie_->d2h().totalBytes());
     });
+    addFailoverProbes(probes);
 }
 
 void
@@ -82,13 +84,9 @@ AcceleratorServer::dispatch(net::Message msg)
       case net::MessageKind::WriteRequest:
         sim::spawn(sim_, serveWrite(std::move(msg)));
         break;
-      case net::MessageKind::WriteReplicaAck: {
-        const auto it = pendingAcks_.find(msg.tag);
-        SMARTDS_ASSERT(it != pendingAcks_.end(),
-                       "ack for unknown request tag");
-        it->second->arrive();
+      case net::MessageKind::WriteReplicaAck:
+        deliverAck(msg.tag, msg.src);
         break;
-      }
       default:
         panic("Acc server: unexpected message kind %u",
               static_cast<unsigned>(msg.kind));
@@ -160,33 +158,61 @@ AcceleratorServer::serveWrite(net::Message msg)
     co_await sim::delay(sim_, calibration::pcieIdleLatency);
     co_await cores_.executeAsync(calibration::hostHeaderParseCost);
 
-    const auto replicas = placeWrite(config_, msg, rng_);
-    auto acks = std::make_shared<sim::CountLatch>(sim_, config_.replication);
-    pendingAcks_[msg.tag] = acks;
+    Placement placement = placeWrite(config_, msg, rng_);
+    auto nodes =
+        std::make_shared<std::vector<net::NodeId>>(std::move(placement.nodes));
+    const unsigned quorum = writeQuorum(config_, nodes->size());
+    auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
+    auto all_acks = std::make_shared<sim::CountLatch>(
+        sim_, static_cast<unsigned>(nodes->size()));
 
-    for (unsigned r = 0; r < replicas.size(); ++r) {
-        net::Message replica;
-        replica.dst = replicas[r];
-        replica.kind = net::MessageKind::WriteReplica;
-        replica.headerBytes = StorageHeader::wireSize;
-        replica.tag = msg.tag;
-        replica.issueTick = msg.issueTick;
-        replica.payload.size = compressed;
-        replica.payload.compressed = true;
-        replica.payload.originalSize = payload;
-        replica.payload.compressibility = msg.payload.compressibility;
-        replica.payload.data = compressed_data;
-        replica.headerData = msg.headerData;
+    for (unsigned r = 0; r < nodes->size(); ++r) {
+        ReplicaTask task;
+        task.tag = msg.tag;
+        task.blockBytes = compressed;
+        task.target = (*nodes)[r];
+        task.slot = r;
+        task.placement = nodes;
+        task.chunk = placement.chunk;
+        task.chunked = placement.chunked;
+        task.quorumLatch = quorum_acks;
+        task.allLatch = all_acks;
         // With DDIO the FPGA's result write is still LLC-resident for the
         // NIC's reads; without DDIO the first send fetches from DRAM.
-        pcie::DmaEngine::Options tx;
-        tx.memFlow = (!acc_.ddio && r == 0) ? txRead_ : nullptr;
-        tx.stallOnMemory = !acc_.ddio && r == 0;
-        nic_->setTxDmaOptions(tx);
-        nic_->sendFromHost(std::move(replica));
+        task.send = [this, compressed, payload, tag = msg.tag,
+                     issue = msg.issueTick,
+                     ratio = msg.payload.compressibility,
+                     data = compressed_data, hdr = msg.headerData,
+                     first = (!acc_.ddio && r == 0)](net::NodeId dst) mutable {
+            net::Message replica;
+            replica.dst = dst;
+            replica.kind = net::MessageKind::WriteReplica;
+            replica.headerBytes = StorageHeader::wireSize;
+            replica.tag = tag;
+            replica.issueTick = issue;
+            replica.payload.size = compressed;
+            replica.payload.compressed = true;
+            replica.payload.originalSize = payload;
+            replica.payload.compressibility = ratio;
+            replica.payload.data = data;
+            replica.headerData = hdr;
+            pcie::DmaEngine::Options tx;
+            tx.memFlow = first ? txRead_ : nullptr;
+            tx.stallOnMemory = first;
+            first = false;
+            nic_->setTxDmaOptions(tx);
+            nic_->sendFromHost(std::move(replica));
+        };
+        task.makeRepair = [send = task.send](net::NodeId dst) {
+            return [send, dst]() mutable { send(dst); };
+        };
+        sim::spawn(sim_,
+                   replicateWithFailover(sim_, rng_, config_,
+                                         std::move(task)));
     }
-    co_await acks->wait();
-    pendingAcks_.erase(msg.tag);
+    co_await quorum_acks->wait();
+    if (!all_acks->wait().done())
+        ++failover_.quorumCompletions;
 
     net::Message reply;
     reply.dst = msg.src;

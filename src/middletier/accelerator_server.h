@@ -14,7 +14,6 @@
 #define SMARTDS_MIDDLETIER_ACCELERATOR_SERVER_H_
 
 #include <memory>
-#include <unordered_map>
 
 #include "host/core_pool.h"
 #include "mem/memory_system.h"
@@ -71,9 +70,6 @@ class AcceleratorServer : public MiddleTierServer
     sim::FairShareResource::Flow *fpgaRead_;
     sim::FairShareResource::Flow *fpgaWrite_;
     sim::FairShareResource::Flow *txRead_;
-
-    std::unordered_map<std::uint64_t, std::shared_ptr<sim::CountLatch>>
-        pendingAcks_;
 };
 
 } // namespace smartds::middletier

@@ -40,6 +40,7 @@ Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config, Bf2Config bf2)
     armRequestCost_ = static_cast<Tick>(
         static_cast<double>(calibration::smartdsHostRequestCost) *
         bf2_.armSlowdown);
+    initFailover(config_);
 }
 
 net::NodeId
@@ -63,6 +64,7 @@ Bf2Server::addUsageProbes(UsageProbes &probes)
     probes.add("dev.mem.write", [this]() {
         return rxWrite_->deliveredBytes() + engineWrite_->deliveredBytes();
     });
+    addFailoverProbes(probes);
 }
 
 void
@@ -77,13 +79,9 @@ Bf2Server::dispatch(unsigned port, net::Message msg)
         });
         break;
       }
-      case net::MessageKind::WriteReplicaAck: {
-        const auto it = pendingAcks_.find(msg.tag);
-        SMARTDS_ASSERT(it != pendingAcks_.end(),
-                       "ack for unknown request tag");
-        it->second->arrive();
+      case net::MessageKind::WriteReplicaAck:
+        deliverAck(msg.tag, msg.src);
         break;
-      }
       default:
         panic("BF2 server: unexpected message kind %u",
               static_cast<unsigned>(msg.kind));
@@ -109,32 +107,55 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
 
     // --- Replicate: each send re-reads the block from device DRAM -------
     // (the narrow on-card DRAM is the 3.5x-traffic bottleneck of 3.4).
-    const auto replicas = placeWrite(config_, msg, rng_);
-    auto acks = std::make_shared<sim::CountLatch>(sim_, config_.replication);
-    pendingAcks_[msg.tag] = acks;
+    Placement placement = placeWrite(config_, msg, rng_);
+    auto nodes =
+        std::make_shared<std::vector<net::NodeId>>(std::move(placement.nodes));
+    const unsigned quorum = writeQuorum(config_, nodes->size());
+    auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
+    auto all_acks = std::make_shared<sim::CountLatch>(
+        sim_, static_cast<unsigned>(nodes->size()));
 
-    for (unsigned r = 0; r < replicas.size(); ++r) {
-        net::Message replica;
-        replica.dst = replicas[r];
-        replica.kind = net::MessageKind::WriteReplica;
-        replica.headerBytes = StorageHeader::wireSize;
-        replica.tag = msg.tag;
-        replica.issueTick = msg.issueTick;
-        replica.payload.size = compressed;
-        replica.payload.compressed = true;
-        replica.payload.originalSize = payload;
-        replica.payload.compressibility = msg.payload.compressibility;
-        replica.headerData = msg.headerData;
-
+    for (unsigned r = 0; r < nodes->size(); ++r) {
+        ReplicaTask task;
+        task.tag = msg.tag;
+        task.blockBytes = compressed;
+        task.target = (*nodes)[r];
+        task.slot = r;
+        task.placement = nodes;
+        task.chunk = placement.chunk;
+        task.chunked = placement.chunked;
+        task.quorumLatch = quorum_acks;
+        task.allLatch = all_acks;
         auto *out_port = ports_[(port + r) % ports_.size()];
-        sim::Completion read_done(sim_);
-        txRead_->transfer(compressed,
-                          [read_done]() mutable { read_done.complete(0); });
-        co_await read_done;
-        out_port->send(std::move(replica));
+        task.send = [this, out_port, compressed, payload, tag = msg.tag,
+                     issue = msg.issueTick,
+                     ratio = msg.payload.compressibility,
+                     hdr = msg.headerData](net::NodeId dst) {
+            auto replica = std::make_shared<net::Message>();
+            replica->dst = dst;
+            replica->kind = net::MessageKind::WriteReplica;
+            replica->headerBytes = StorageHeader::wireSize;
+            replica->tag = tag;
+            replica->issueTick = issue;
+            replica->payload.size = compressed;
+            replica->payload.compressed = true;
+            replica->payload.originalSize = payload;
+            replica->payload.compressibility = ratio;
+            replica->headerData = hdr;
+            txRead_->transfer(compressed, [out_port, replica]() {
+                out_port->send(std::move(*replica));
+            });
+        };
+        task.makeRepair = [send = task.send](net::NodeId dst) {
+            return [send, dst]() { send(dst); };
+        };
+        sim::spawn(sim_,
+                   replicateWithFailover(sim_, rng_, config_,
+                                         std::move(task)));
     }
-    co_await acks->wait();
-    pendingAcks_.erase(msg.tag);
+    co_await quorum_acks->wait();
+    if (!all_acks->wait().done())
+        ++failover_.quorumCompletions;
 
     net::Message reply;
     reply.dst = msg.src;

@@ -16,7 +16,6 @@
 #define SMARTDS_MIDDLETIER_BF2_SERVER_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "host/core_pool.h"
@@ -73,9 +72,6 @@ class Bf2Server : public MiddleTierServer
     host::CorePool arm_;
     Rng rng_;
     Tick armRequestCost_;
-
-    std::unordered_map<std::uint64_t, std::shared_ptr<sim::CountLatch>>
-        pendingAcks_;
 };
 
 } // namespace smartds::middletier

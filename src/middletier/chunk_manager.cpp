@@ -33,13 +33,18 @@ ChunkManager::locate(std::uint64_t vm_id, std::uint64_t byte_offset) const
 }
 
 ChunkManager::ChunkState &
-ChunkManager::state(const ChunkRef &chunk)
+ChunkManager::state(const ChunkRef &chunk, const NodeHealthView *health)
 {
     auto it = chunks_.find(chunk);
     if (it == chunks_.end()) {
         ChunkState fresh;
-        // Partial Fisher-Yates pick of `replication` distinct servers.
-        std::vector<net::NodeId> pool = storageNodes_;
+        // Partial Fisher-Yates pick of `replication` distinct servers,
+        // steering clear of suspected nodes when a health view is given
+        // (and there are enough healthy nodes to satisfy replication).
+        std::vector<net::NodeId> pool =
+            health ? health->filterHealthy(storageNodes_,
+                                           config_.replication)
+                   : storageNodes_;
         for (unsigned i = 0; i < config_.replication; ++i) {
             const std::size_t j = i + rng_.below(pool.size() - i);
             std::swap(pool[i], pool[j]);
@@ -51,15 +56,32 @@ ChunkManager::state(const ChunkRef &chunk)
 }
 
 const std::vector<net::NodeId> &
-ChunkManager::replicas(const ChunkRef &chunk)
+ChunkManager::replicas(const ChunkRef &chunk, const NodeHealthView *health)
 {
-    return state(chunk).replicas;
+    return state(chunk, health).replicas;
+}
+
+bool
+ChunkManager::replaceReplica(const ChunkRef &chunk, net::NodeId from,
+                             net::NodeId to)
+{
+    auto it = chunks_.find(chunk);
+    if (it == chunks_.end())
+        return false;
+    auto &nodes = it->second.replicas;
+    const auto pos = std::find(nodes.begin(), nodes.end(), from);
+    if (pos == nodes.end() ||
+        std::find(nodes.begin(), nodes.end(), to) != nodes.end())
+        return false;
+    *pos = to;
+    ++replacements_;
+    return true;
 }
 
 bool
 ChunkManager::recordWrite(const ChunkRef &chunk)
 {
-    ChunkState &s = state(chunk);
+    ChunkState &s = state(chunk, nullptr);
     ++s.writesSinceCompaction;
     if (!s.compactionQueued &&
         s.writesSinceCompaction >= config_.compactionThreshold) {

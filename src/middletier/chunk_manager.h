@@ -22,6 +22,7 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "middletier/node_health.h"
 #include "net/message.h"
 
 namespace smartds::middletier {
@@ -73,11 +74,25 @@ class ChunkManager
 
     /**
      * Replica placement for a chunk. Decided on first use (uniform over
-     * the storage pool here; production would weigh load and fault
-     * domains) and sticky thereafter — all writes of a chunk land on the
-     * same three servers.
+     * the storage pool, excluding nodes @p health suspects when given)
+     * and sticky thereafter — all writes of a chunk land on the same
+     * three servers until a failure forces a replacement.
      */
-    const std::vector<net::NodeId> &replicas(const ChunkRef &chunk);
+    const std::vector<net::NodeId> &
+    replicas(const ChunkRef &chunk, const NodeHealthView *health = nullptr);
+
+    /**
+     * Swap @p from for @p to in the chunk's replica set after @p from
+     * failed a write. Sticky placement means every later write of the
+     * chunk follows the replacement.
+     *
+     * @return whether @p from was present (and thus replaced).
+     */
+    bool replaceReplica(const ChunkRef &chunk, net::NodeId from,
+                        net::NodeId to);
+
+    /** Replica replacements performed so far (failure repairs). */
+    std::uint64_t replacements() const { return replacements_; }
 
     /**
      * Record one write to @p chunk. @return true when this write crosses
@@ -107,13 +122,14 @@ class ChunkManager
         bool compactionQueued = false;
     };
 
-    ChunkState &state(const ChunkRef &chunk);
+    ChunkState &state(const ChunkRef &chunk, const NodeHealthView *health);
 
     Config config_;
     std::vector<net::NodeId> storageNodes_;
     mutable Rng rng_;
     std::unordered_map<ChunkRef, ChunkState, ChunkRefHash> chunks_;
     std::uint64_t compactionsDue_ = 0;
+    std::uint64_t replacements_ = 0;
 };
 
 } // namespace smartds::middletier

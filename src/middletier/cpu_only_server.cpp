@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
@@ -31,6 +32,7 @@ CpuOnlyServer::CpuOnlyServer(net::Fabric &fabric, mem::MemorySystem &memory,
     // Received messages DMA into host memory (posted writes).
     nic_->setRxDmaOptions({rxWrite_, false});
     nic_->onHostReceive([this](net::Message msg) { dispatch(std::move(msg)); });
+    initFailover(config_);
 }
 
 net::NodeId
@@ -55,6 +57,7 @@ CpuOnlyServer::addUsageProbes(UsageProbes &probes)
     probes.add("pcie.nic.d2h", [this]() {
         return static_cast<double>(nic_->pcieLink().d2h().totalBytes());
     });
+    addFailoverProbes(probes);
 }
 
 void
@@ -64,24 +67,23 @@ CpuOnlyServer::dispatch(net::Message msg)
       case net::MessageKind::WriteRequest:
         sim::spawn(sim_, serveWrite(std::move(msg)));
         break;
-      case net::MessageKind::WriteReplicaAck: {
-        const auto it = pendingAcks_.find(msg.tag);
-        SMARTDS_ASSERT(it != pendingAcks_.end(),
-                       "ack for unknown request tag");
-        it->second->arrive();
+      case net::MessageKind::WriteReplicaAck:
+        deliverAck(msg.tag, msg.src);
         break;
-      }
       case net::MessageKind::ReadRequest:
         sim::spawn(sim_, serveRead(std::move(msg)));
         break;
       case net::MessageKind::ReadFetchReply: {
         const auto it = pendingFetches_.find(msg.tag);
-        SMARTDS_ASSERT(it != pendingFetches_.end(),
-                       "fetch reply for unknown tag");
+        if (it == pendingFetches_.end()) {
+            // The fetch timed out and moved on; late data is dropped.
+            ++failover_.staleAcks;
+            break;
+        }
         sim::Completion done = it->second;
         pendingFetches_.erase(it);
         fetchReplies_[msg.tag] = std::move(msg);
-        done.complete(0);
+        done.complete(1);
         break;
       }
       default:
@@ -153,33 +155,65 @@ CpuOnlyServer::serveWrite(net::Message msg)
     cores_.release();
 
     // --- Replicate to the chosen storage servers ------------------------
-    const auto replicas = placeWrite(config_, msg, rng_);
-    auto acks = std::make_shared<sim::CountLatch>(sim_, config_.replication);
-    pendingAcks_[msg.tag] = acks;
+    // Each replica runs its own failover loop (timeout, retry,
+    // re-placement); the VM is acknowledged once the quorum is durable.
+    Placement placement = placeWrite(config_, msg, rng_);
+    auto nodes =
+        std::make_shared<std::vector<net::NodeId>>(std::move(placement.nodes));
+    const unsigned quorum = writeQuorum(config_, nodes->size());
+    auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
+    auto all_acks = std::make_shared<sim::CountLatch>(
+        sim_, static_cast<unsigned>(nodes->size()));
 
-    for (unsigned r = 0; r < replicas.size(); ++r) {
-        net::Message replica;
-        replica.dst = replicas[r];
-        replica.kind = net::MessageKind::WriteReplica;
-        replica.headerBytes = StorageHeader::wireSize;
-        replica.tag = msg.tag;
-        replica.issueTick = msg.issueTick;
-        replica.payload.size = compressed;
-        replica.payload.compressed = true;
-        replica.payload.originalSize = payload;
-        replica.payload.compressibility = msg.payload.compressibility;
-        replica.payload.data = compressed_data;
-        replica.headerData = msg.headerData;
+    for (unsigned r = 0; r < nodes->size(); ++r) {
+        ReplicaTask task;
+        task.tag = msg.tag;
+        task.blockBytes = compressed;
+        task.target = (*nodes)[r];
+        task.slot = r;
+        task.placement = nodes;
+        task.chunk = placement.chunk;
+        task.chunked = placement.chunked;
+        task.quorumLatch = quorum_acks;
+        task.allLatch = all_acks;
         // The first replica read misses the LLC (the compressed block is
         // fetched once from memory); the remaining sends hit.
-        pcie::DmaEngine::Options tx;
-        tx.memFlow = r == 0 ? txRead_ : nullptr;
-        tx.stallOnMemory = r == 0;
-        nic_->setTxDmaOptions(tx);
-        nic_->sendFromHost(std::move(replica));
+        task.send = [this, compressed, payload, tag = msg.tag,
+                     issue = msg.issueTick,
+                     ratio = msg.payload.compressibility,
+                     data = compressed_data, hdr = msg.headerData,
+                     first = (r == 0)](net::NodeId dst) mutable {
+            net::Message replica;
+            replica.dst = dst;
+            replica.kind = net::MessageKind::WriteReplica;
+            replica.headerBytes = StorageHeader::wireSize;
+            replica.tag = tag;
+            replica.issueTick = issue;
+            replica.payload.size = compressed;
+            replica.payload.compressed = true;
+            replica.payload.originalSize = payload;
+            replica.payload.compressibility = ratio;
+            replica.payload.data = data;
+            replica.headerData = hdr;
+            pcie::DmaEngine::Options tx;
+            tx.memFlow = first ? txRead_ : nullptr;
+            tx.stallOnMemory = first;
+            first = false;
+            nic_->setTxDmaOptions(tx);
+            nic_->sendFromHost(std::move(replica));
+        };
+        // The send closure is self-contained (it shares the compressed
+        // bytes), so a deferred background repair can simply re-run it.
+        task.makeRepair = [send = task.send](net::NodeId dst) {
+            return [send, dst]() mutable { send(dst); };
+        };
+        sim::spawn(sim_,
+                   replicateWithFailover(sim_, rng_, config_,
+                                         std::move(task)));
     }
-    co_await acks->wait();
-    pendingAcks_.erase(msg.tag);
+    co_await quorum_acks->wait();
+    if (!all_acks->wait().done())
+        ++failover_.quorumCompletions;
 
     // --- Acknowledge the VM ---------------------------------------------
     net::Message reply;
@@ -198,48 +232,111 @@ CpuOnlyServer::serveWrite(net::Message msg)
 sim::Process
 CpuOnlyServer::serveRead(net::Message msg)
 {
-    // Identify the block and fetch it from one storage server (Fig. 3b).
+    // Identify the block and fetch it from a storage server holding it
+    // (Fig. 3b). Crashed or slow replicas time out and the fetch fails
+    // over; corrupt data is caught by the end-to-end checksum and served
+    // from another replica.
     co_await cores_.executeAsync(calibration::hostHeaderParseCost);
 
-    const auto replicas = chooseReplicas(config_.storageNodes, 1, rng_);
-    net::Message fetch;
-    fetch.dst = replicas[0];
-    fetch.kind = net::MessageKind::ReadFetch;
-    fetch.headerBytes = StorageHeader::wireSize;
-    fetch.tag = msg.tag;
-    fetch.issueTick = msg.issueTick;
-    fetch.payload.size = msg.payload.size; // expected compressed size hint
-    fetch.payload.compressibility = msg.payload.compressibility;
-    fetch.payload.originalSize = msg.payload.originalSize;
+    const auto candidates = readCandidates(config_, msg);
+    SMARTDS_ASSERT(!candidates.empty(), "read with no storage candidates");
+    const std::size_t start = rng_.below(candidates.size());
 
-    sim::Completion fetched(sim_);
-    pendingFetches_.emplace(msg.tag, fetched);
-    nic_->setTxDmaOptions({nullptr, false});
-    nic_->sendFromHost(std::move(fetch));
-    co_await fetched;
+    net::Message stored;
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    bool have = false;
+    for (std::size_t a = 0; a < candidates.size() && !have; ++a) {
+        const net::NodeId target =
+            candidates[(start + a) % candidates.size()];
+        net::Message fetch;
+        fetch.dst = target;
+        fetch.kind = net::MessageKind::ReadFetch;
+        fetch.headerBytes = StorageHeader::wireSize;
+        fetch.tag = msg.tag;
+        fetch.issueTick = msg.issueTick;
+        fetch.payload.size = msg.payload.size; // compressed size hint
+        fetch.payload.compressibility = msg.payload.compressibility;
+        fetch.payload.originalSize = msg.payload.originalSize;
 
-    auto it = fetchReplies_.find(msg.tag);
-    SMARTDS_ASSERT(it != fetchReplies_.end(), "lost fetch reply");
-    net::Message stored = std::move(it->second);
-    fetchReplies_.erase(it);
+        sim::Completion fetched(sim_);
+        pendingFetches_.emplace(msg.tag, fetched);
+        if (config_.failover.ackTimeout > 0) {
+            sim_.schedule(config_.failover.ackTimeout,
+                          [this, tag = msg.tag]() {
+                              const auto it = pendingFetches_.find(tag);
+                              if (it == pendingFetches_.end())
+                                  return;
+                              sim::Completion waiter = it->second;
+                              pendingFetches_.erase(it);
+                              waiter.complete(0);
+                          });
+        }
+        nic_->setTxDmaOptions({nullptr, false});
+        nic_->sendFromHost(std::move(fetch));
+        if (co_await fetched == 0) {
+            ++failover_.readFailovers;
+            if (health_.noteTimeout(target))
+                ++failover_.nodesSuspected;
+            continue;
+        }
+        health_.noteAck(target);
+
+        const auto it = fetchReplies_.find(msg.tag);
+        SMARTDS_ASSERT(it != fetchReplies_.end(), "lost fetch reply");
+        net::Message candidate = std::move(it->second);
+        fetchReplies_.erase(it);
+
+        // End-to-end integrity: decompress, then verify the checksum the
+        // VM stamped into the storage header at write time.
+        bool corrupt = candidate.payload.corrupted;
+        plain_data.reset();
+        if (!corrupt && candidate.payload.data) {
+            const Bytes plain_size = candidate.payload.originalSize
+                                         ? candidate.payload.originalSize
+                                         : candidate.payload.size;
+            auto plain =
+                lz4::decompress(*candidate.payload.data, plain_size);
+            if (!plain) {
+                corrupt = true;
+            } else {
+                if (candidate.headerData &&
+                    candidate.headerData->size() >=
+                        StorageHeader::wireSize) {
+                    const StorageHeader hdr =
+                        StorageHeader::decode(candidate.headerData->data());
+                    if (hdr.blockChecksum != 0 &&
+                        xxhash32(*plain) != hdr.blockChecksum)
+                        corrupt = true;
+                }
+                if (!corrupt)
+                    plain_data = std::make_shared<
+                        const std::vector<std::uint8_t>>(std::move(*plain));
+            }
+        }
+        if (corrupt) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readFailovers;
+            continue;
+        }
+        stored = std::move(candidate);
+        have = true;
+    }
+    if (!have)
+        ++failover_.readsUnserved;
 
     // Decompress in software (7x faster than compression per core).
-    const Bytes compressed = stored.payload.size;
-    const Bytes original =
-        stored.payload.originalSize ? stored.payload.originalSize
-                                    : compressed;
+    const Bytes compressed = std::max<Bytes>(
+        have ? stored.payload.size : msg.payload.size, 1);
+    const Bytes original = std::max<Bytes>(
+        stored.payload.originalSize
+            ? stored.payload.originalSize
+            : (msg.payload.originalSize ? msg.payload.originalSize
+                                        : compressed),
+        1);
     const Tick cpu_time =
         calibration::hostPerRequestSoftwareCost +
         compressTicksPerByte_ * original /
             static_cast<Tick>(calibration::lz4DecompressSpeedup);
-
-    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
-    if (stored.payload.data) {
-        auto plain = lz4::decompress(*stored.payload.data, original);
-        SMARTDS_ASSERT(plain.has_value(), "software decompression failed");
-        plain_data = std::make_shared<const std::vector<std::uint8_t>>(
-            std::move(*plain));
-    }
 
     co_await cores_.acquire();
     auto cpu = sim::timerAsync(sim_, cpu_time);

@@ -58,9 +58,6 @@ class CpuOnlyServer : public MiddleTierServer
     sim::FairShareResource::Flow *compressWrite_;
     sim::FairShareResource::Flow *txRead_;
 
-    /** Outstanding replica-ack joins, keyed by request tag. */
-    std::unordered_map<std::uint64_t, std::shared_ptr<sim::CountLatch>>
-        pendingAcks_;
     /** Outstanding storage fetches (read path), keyed by tag. */
     std::unordered_map<std::uint64_t, sim::Completion> pendingFetches_;
     std::unordered_map<std::uint64_t, net::Message> fetchReplies_;

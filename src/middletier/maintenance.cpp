@@ -70,4 +70,28 @@ MaintenanceService::loop()
     }
 }
 
+void
+MaintenanceService::scheduleRepair(Bytes bytes, std::function<void()> resend)
+{
+    sim::spawn(sim_, repair(bytes, std::move(resend)));
+}
+
+sim::Process
+MaintenanceService::repair(Bytes bytes, std::function<void()> resend)
+{
+    // A repair behaves like a miniature compaction burst: one core reads
+    // the block back out of the retained write buffers and re-issues the
+    // replica to its new home.
+    co_await pool_.acquire();
+    const Tick processing = transferTicks(bytes, config_.perCoreRate);
+    auto compute = sim::timerAsync(sim_, processing);
+    auto mem_read = sim::transferAsync(sim_, *readFlow_, bytes);
+    co_await compute;
+    co_await mem_read;
+    pool_.release();
+    if (resend)
+        resend();
+    ++repairs_;
+}
+
 } // namespace smartds::middletier

@@ -16,6 +16,8 @@
 #ifndef SMARTDS_MIDDLETIER_MAINTENANCE_H_
 #define SMARTDS_MIDDLETIER_MAINTENANCE_H_
 
+#include <deque>
+#include <functional>
 #include <string>
 
 #include "common/calibration.h"
@@ -65,11 +67,24 @@ class MaintenanceService
     /** Bytes compacted so far. */
     Bytes bytesCompacted() const { return bytesCompacted_; }
 
+    /**
+     * Queue a background replica repair (Section 2.2.3's fail-over
+     * handling): re-reading the block and pushing it to its new home
+     * costs a core and memory traffic like any maintenance work, then
+     * @p resend re-issues the replica on the wire. Fire-and-forget from
+     * the serving path's point of view.
+     */
+    void scheduleRepair(Bytes bytes, std::function<void()> resend);
+
+    /** Background replica repairs finished so far. */
+    std::uint64_t repairsCompleted() const { return repairs_; }
+
     /** Stop after the current burst. */
     void stop() { running_ = false; }
 
   private:
     sim::Process loop();
+    sim::Process repair(Bytes bytes, std::function<void()> resend);
 
     sim::Simulator &sim_;
     host::CorePool &pool_;
@@ -80,6 +95,7 @@ class MaintenanceService
     bool running_ = true;
     std::uint64_t bursts_ = 0;
     Bytes bytesCompacted_ = 0;
+    std::uint64_t repairs_ = 0;
 };
 
 } // namespace smartds::middletier

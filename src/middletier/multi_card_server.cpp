@@ -99,6 +99,7 @@ MultiCardSmartDsServer::addUsageProbes(UsageProbes &probes)
                            sw->root().d2h().totalBytes());
                    });
     }
+    addFailoverProbes(probes);
 }
 
 std::uint64_t
@@ -117,6 +118,23 @@ MultiCardSmartDsServer::totalPayloadBytesServed() const
     for (const auto &card : cards_)
         n += card->payloadBytesServed();
     return n;
+}
+
+FailoverStats
+MultiCardSmartDsServer::failoverStats() const
+{
+    FailoverStats total;
+    for (const auto &card : cards_)
+        total += card->failoverStats();
+    return total;
+}
+
+void
+MultiCardSmartDsServer::setMaintenanceService(MaintenanceService *m)
+{
+    MiddleTierServer::setMaintenanceService(m);
+    for (auto &card : cards_)
+        card->setMaintenanceService(m);
 }
 
 } // namespace smartds::middletier

@@ -57,6 +57,12 @@ class MultiCardSmartDsServer : public MiddleTierServer
     /** Sum of served payload bytes across all cards. */
     Bytes totalPayloadBytesServed() const;
 
+    /** Failure-handling counters summed over all cards. */
+    FailoverStats failoverStats() const override;
+
+    /** Every card hands abandoned replicas to the same repair queue. */
+    void setMaintenanceService(MaintenanceService *m) override;
+
   private:
     MultiCardConfig multi_;
     std::vector<std::unique_ptr<pcie::PcieSwitch>> switches_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "middletier/maintenance.h"
 
 namespace smartds::middletier {
 
@@ -22,6 +23,23 @@ designName(Design d)
     panic("unknown design");
 }
 
+FailoverStats &
+FailoverStats::operator+=(const FailoverStats &o)
+{
+    replicaTimeouts += o.replicaTimeouts;
+    replicaRetries += o.replicaRetries;
+    replicaReplacements += o.replicaReplacements;
+    replicasAbandoned += o.replicasAbandoned;
+    staleAcks += o.staleAcks;
+    nodesSuspected += o.nodesSuspected;
+    quorumCompletions += o.quorumCompletions;
+    repairsScheduled += o.repairsScheduled;
+    corruptionsDetected += o.corruptionsDetected;
+    readFailovers += o.readFailovers;
+    readsUnserved += o.readsUnserved;
+    return *this;
+}
+
 std::vector<net::NodeId>
 MiddleTierServer::chooseReplicas(const std::vector<net::NodeId> &candidates,
                                  unsigned replication, Rng &rng)
@@ -39,6 +57,187 @@ MiddleTierServer::chooseReplicas(const std::vector<net::NodeId> &candidates,
         chosen.push_back(pool[i]);
     }
     return chosen;
+}
+
+MiddleTierServer::Placement
+MiddleTierServer::placeWrite(const ServerConfig &config,
+                             const net::Message &msg, Rng &rng)
+{
+    Placement p;
+    if (config.chunkManager) {
+        p.chunk = config.chunkManager->locate(msg.vmId, msg.blockOffset);
+        p.chunked = true;
+        config.chunkManager->recordWrite(p.chunk);
+        p.nodes = config.chunkManager->replicas(p.chunk, &health_);
+        return p;
+    }
+    p.nodes =
+        chooseHealthyReplicas(config.storageNodes, config.replication, rng);
+    return p;
+}
+
+std::vector<net::NodeId>
+MiddleTierServer::readCandidates(const ServerConfig &config,
+                                 const net::Message &msg)
+{
+    if (config.chunkManager) {
+        const ChunkRef chunk =
+            config.chunkManager->locate(msg.vmId, msg.blockOffset);
+        return config.chunkManager->replicas(chunk, &health_);
+    }
+    return config.storageNodes;
+}
+
+sim::Completion
+MiddleTierServer::expectAck(sim::Simulator &sim, std::uint64_t tag,
+                            net::NodeId node, Tick timeout)
+{
+    sim::Completion ack(sim);
+    const AckKey key{tag, node};
+    const auto [it, fresh] = pendingAcks_.emplace(key, AckEntry{ack, {}});
+    SMARTDS_ASSERT(fresh, "duplicate ack expectation for tag %llu",
+                   static_cast<unsigned long long>(tag));
+    if (timeout > 0) {
+        // The timer completes the same completion the waiter holds, so a
+        // lost ack needs no watcher coroutine and cannot leak one.
+        it->second.timer = sim.schedule(timeout, [this, key]() {
+            const auto entry = pendingAcks_.find(key);
+            if (entry == pendingAcks_.end())
+                return;
+            sim::Completion waiter = entry->second.completion;
+            pendingAcks_.erase(entry);
+            ++failover_.replicaTimeouts;
+            waiter.complete(0);
+        });
+    }
+    return ack;
+}
+
+void
+MiddleTierServer::deliverAck(std::uint64_t tag, net::NodeId node)
+{
+    const auto it = pendingAcks_.find(AckKey{tag, node});
+    if (it == pendingAcks_.end()) {
+        // Late ack from a retired wait (the replica was retried or the
+        // block repaired in the background). Expected under failover.
+        ++failover_.staleAcks;
+        return;
+    }
+    sim::Completion waiter = it->second.completion;
+    it->second.timer.cancel();
+    pendingAcks_.erase(it);
+    waiter.complete(1);
+}
+
+net::NodeId
+MiddleTierServer::pickReplacement(const ServerConfig &config, Rng &rng,
+                                  const std::vector<net::NodeId> &placement,
+                                  net::NodeId bad) const
+{
+    const auto placed = [&placement](net::NodeId n) {
+        return std::find(placement.begin(), placement.end(), n) !=
+               placement.end();
+    };
+    std::vector<net::NodeId> candidates;
+    for (const net::NodeId n : config.storageNodes)
+        if (n != bad && !placed(n) && !health_.suspected(n))
+            candidates.push_back(n);
+    if (candidates.empty()) {
+        // Every spare node is suspected; any distinct node still beats
+        // hammering the one that just timed out.
+        for (const net::NodeId n : config.storageNodes)
+            if (n != bad && !placed(n))
+                candidates.push_back(n);
+    }
+    if (candidates.empty())
+        return bad;
+    return candidates[rng.below(candidates.size())];
+}
+
+sim::Process
+MiddleTierServer::replicateWithFailover(sim::Simulator &sim, Rng &rng,
+                                        const ServerConfig &config,
+                                        ReplicaTask task)
+{
+    Tick timeout = config.failover.ackTimeout;
+    net::NodeId target = task.target;
+    bool durable = false;
+    for (unsigned attempt = 0;; ++attempt) {
+        sim::Completion ack = expectAck(sim, task.tag, target, timeout);
+        task.send(target);
+        if (co_await ack != 0) {
+            health_.noteAck(target);
+            durable = true;
+            break;
+        }
+        if (health_.noteTimeout(target))
+            ++failover_.nodesSuspected;
+        if (attempt >= config.failover.maxRetries)
+            break;
+        ++failover_.replicaRetries;
+        // First retry stays on the same node (a single timeout is often
+        // transient); repeat offenders — or nodes already suspected —
+        // get the replica moved to a healthy peer.
+        if (attempt > 0 || health_.suspected(target)) {
+            const net::NodeId next =
+                pickReplacement(config, rng, *task.placement, target);
+            if (next != target) {
+                ++failover_.replicaReplacements;
+                (*task.placement)[task.slot] = next;
+                if (task.chunked && config.chunkManager)
+                    config.chunkManager->replaceReplica(task.chunk, target,
+                                                        next);
+                target = next;
+            }
+        }
+        timeout = std::min(timeout * 2, config.failover.ackTimeoutCap);
+    }
+    if (!durable) {
+        ++failover_.replicasAbandoned;
+        if (maintenance_ && task.makeRepair) {
+            // Move the replica off the failing node for good and hand the
+            // resend to the background repair queue; the serving path
+            // stops waiting on it.
+            net::NodeId repair_target =
+                pickReplacement(config, rng, *task.placement, target);
+            if (repair_target != target) {
+                (*task.placement)[task.slot] = repair_target;
+                if (task.chunked && config.chunkManager)
+                    config.chunkManager->replaceReplica(task.chunk, target,
+                                                        repair_target);
+            }
+            ++failover_.repairsScheduled;
+            maintenance_->scheduleRepair(task.blockBytes,
+                                         task.makeRepair(repair_target));
+        }
+    }
+    if (task.quorumLatch)
+        task.quorumLatch->tryArrive();
+    if (task.allLatch)
+        task.allLatch->arrive();
+}
+
+void
+MiddleTierServer::addFailoverProbes(UsageProbes &probes)
+{
+    const auto counter = [this](std::uint64_t FailoverStats::*field) {
+        return [this, field]() {
+            return static_cast<double>(failoverStats().*field);
+        };
+    };
+    probes.add("failover.timeouts", counter(&FailoverStats::replicaTimeouts));
+    probes.add("failover.retries", counter(&FailoverStats::replicaRetries));
+    probes.add("failover.replacements",
+               counter(&FailoverStats::replicaReplacements));
+    probes.add("failover.abandoned",
+               counter(&FailoverStats::replicasAbandoned));
+    probes.add("failover.suspected", counter(&FailoverStats::nodesSuspected));
+    probes.add("failover.quorum_completions",
+               counter(&FailoverStats::quorumCompletions));
+    probes.add("failover.corruptions",
+               counter(&FailoverStats::corruptionsDetected));
+    probes.add("failover.read_failovers",
+               counter(&FailoverStats::readFailovers));
 }
 
 } // namespace smartds::middletier

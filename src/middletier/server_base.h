@@ -3,6 +3,12 @@
  * Common interface and shared machinery of the four middle-tier designs
  * the paper compares: CPU-only, accelerator-enhanced ("Acc"), SoC-based
  * SmartNIC ("BF2") and SmartDS.
+ *
+ * Besides the virtual interface, this base carries the failure-awareness
+ * every design shares: a timed per-replica acknowledgement table, the
+ * replicateWithFailover() retry/re-placement loop, a NodeHealthView fed
+ * by timeout observations, and the counters benchmarks and tests use to
+ * observe failovers.
  */
 
 #ifndef SMARTDS_MIDDLETIER_SERVER_BASE_H_
@@ -10,15 +16,22 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/calibration.h"
 #include "common/random.h"
 #include "middletier/chunk_manager.h"
+#include "middletier/node_health.h"
 #include "net/fabric.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
 
 namespace smartds::middletier {
+
+class MaintenanceService;
 
 /** Middle-tier design being simulated. */
 enum class Design : std::uint8_t
@@ -31,6 +44,25 @@ enum class Design : std::uint8_t
 
 /** Human-readable design label matching the paper's figure legends. */
 const char *designName(Design d);
+
+/** Failure-handling knobs shared by all designs. */
+struct FailoverConfig
+{
+    /** Initial per-replica ack timeout (0 disables timeouts entirely). */
+    Tick ackTimeout = calibration::replicaAckTimeout;
+    /** Ceiling for the exponential timeout backoff. */
+    Tick ackTimeoutCap = calibration::replicaAckTimeoutCap;
+    /** Retries per replica after the first attempt. */
+    unsigned maxRetries = calibration::replicaMaxRetries;
+    /** Consecutive timeouts before a node is suspected. */
+    unsigned suspectThreshold = calibration::nodeSuspectThreshold;
+    /**
+     * Replica acks that complete the VM write (0 = all). With 2-of-3,
+     * the VM ack leaves at the second ack and the straggler finishes in
+     * the background (repaired via maintenance if it never does).
+     */
+    unsigned ackQuorum = 0;
+};
 
 /** Configuration shared by all designs. */
 struct ServerConfig
@@ -52,6 +84,37 @@ struct ServerConfig
      * uniform (the simpler model).
      */
     ChunkManager *chunkManager = nullptr;
+    /** Failure handling (timeouts, retries, quorum). */
+    FailoverConfig failover;
+};
+
+/** Cumulative failure-handling counters a server exposes. */
+struct FailoverStats
+{
+    /** Replica ack timeouts observed. */
+    std::uint64_t replicaTimeouts = 0;
+    /** Replica sends re-issued after a timeout. */
+    std::uint64_t replicaRetries = 0;
+    /** Retries that moved the replica to a different node. */
+    std::uint64_t replicaReplacements = 0;
+    /** Replicas given up on after exhausting retries. */
+    std::uint64_t replicasAbandoned = 0;
+    /** Acks/fetch replies that arrived after their wait was retired. */
+    std::uint64_t staleAcks = 0;
+    /** Nodes that crossed the suspicion threshold. */
+    std::uint64_t nodesSuspected = 0;
+    /** Writes acknowledged to the VM at quorum (stragglers pending). */
+    std::uint64_t quorumCompletions = 0;
+    /** Background replica repairs handed to the maintenance service. */
+    std::uint64_t repairsScheduled = 0;
+    /** Read-path corruption detections (checksum / engine failures). */
+    std::uint64_t corruptionsDetected = 0;
+    /** Reads that failed over to another replica. */
+    std::uint64_t readFailovers = 0;
+    /** Reads that exhausted every replica without clean data. */
+    std::uint64_t readsUnserved = 0;
+
+    FailoverStats &operator+=(const FailoverStats &o);
 };
 
 /**
@@ -105,12 +168,65 @@ class MiddleTierServer
     /** Uncompressed payload bytes of served write requests. */
     Bytes payloadBytesServed() const { return payloadBytesServed_; }
 
+    /** Failure-handling counters (aggregated over cards for MultiCard). */
+    virtual FailoverStats failoverStats() const { return failover_; }
+
+    /** Health view fed by this server's timeout observations. */
+    const NodeHealthView &nodeHealth() const { return health_; }
+
+    /**
+     * Background repair sink for abandoned replicas (quorum mode). Set
+     * after construction because the maintenance service shares the
+     * server's core pool and is built second.
+     */
+    virtual void setMaintenanceService(MaintenanceService *m)
+    {
+        maintenance_ = m;
+    }
+
   protected:
+    /** One write replica's placement, as handed to the failover loop. */
+    struct Placement
+    {
+        std::vector<net::NodeId> nodes;
+        ChunkRef chunk;
+        bool chunked = false;
+    };
+
+    /**
+     * One replica of one write, driven by replicateWithFailover(). The
+     * send callback must be safe to invoke repeatedly (retries) while the
+     * owning request is in flight; makeRepair — called at most once, at
+     * abandon time, while the request is still in flight — must return a
+     * self-contained deferred send usable after the request retires.
+     */
+    struct ReplicaTask
+    {
+        std::uint64_t tag = 0;
+        Bytes blockBytes = 0;
+        net::NodeId target = 0;
+        unsigned slot = 0;
+        std::shared_ptr<std::vector<net::NodeId>> placement;
+        ChunkRef chunk;
+        bool chunked = false;
+        std::function<void(net::NodeId)> send;
+        std::function<std::function<void()>(net::NodeId)> makeRepair;
+        std::shared_ptr<sim::CountLatch> quorumLatch;
+        std::shared_ptr<sim::CountLatch> allLatch;
+    };
+
     void
     noteCompleted(Bytes payload_bytes)
     {
         ++requestsCompleted_;
         payloadBytesServed_ += payload_bytes;
+    }
+
+    /** Adopt per-design failover knobs (call from the concrete ctor). */
+    void
+    initFailover(const ServerConfig &config)
+    {
+        health_.setSuspectThreshold(config.failover.suspectThreshold);
     }
 
     /**
@@ -121,28 +237,110 @@ class MiddleTierServer
     chooseReplicas(const std::vector<net::NodeId> &candidates,
                    unsigned replication, Rng &rng);
 
+    /** chooseReplicas over the healthy subset of @p candidates. */
+    std::vector<net::NodeId>
+    chooseHealthyReplicas(const std::vector<net::NodeId> &candidates,
+                          unsigned replication, Rng &rng) const
+    {
+        return chooseReplicas(health_.filterHealthy(candidates, replication),
+                              replication, rng);
+    }
+
     /**
      * Placement for one write: per-chunk sticky placement through the
      * chunk manager when configured (also recording the write for
-     * compaction bookkeeping), uniform otherwise.
+     * compaction bookkeeping), uniform otherwise. Suspected nodes are
+     * excluded from fresh placement either way.
      */
-    std::vector<net::NodeId>
-    placeWrite(const ServerConfig &config, const net::Message &msg,
-               Rng &rng)
+    Placement placeWrite(const ServerConfig &config, const net::Message &msg,
+                         Rng &rng);
+
+    /**
+     * Replica candidates for a read of the block @p msg addresses: the
+     * chunk's replica set when a chunk manager is configured (reads must
+     * hit nodes that hold the data), the whole pool otherwise.
+     */
+    std::vector<net::NodeId> readCandidates(const ServerConfig &config,
+                                            const net::Message &msg);
+
+    /**
+     * Register interest in a WriteReplicaAck for (@p tag, @p node). The
+     * returned completion fires with 1 on the ack and 0 on timeout; the
+     * timeout path needs no watcher coroutine, so an ack that never
+     * arrives leaks nothing.
+     */
+    sim::Completion expectAck(sim::Simulator &sim, std::uint64_t tag,
+                              net::NodeId node, Tick timeout);
+
+    /** Route an arriving ack into the table (stale acks are counted). */
+    void deliverAck(std::uint64_t tag, net::NodeId node);
+
+    /**
+     * Drive one replica to durability: send, await the ack with an
+     * exponentially backed-off timeout, re-place onto a healthy node on
+     * repeat failure, and after maxRetries hand the replica to the
+     * maintenance repair queue. Arrives at the task's quorum/all latches
+     * exactly once, whether the replica succeeded or was abandoned.
+     */
+    sim::Process replicateWithFailover(sim::Simulator &sim, Rng &rng,
+                                       const ServerConfig &config,
+                                       ReplicaTask task);
+
+    /**
+     * A healthy node to move a failing replica to: not @p bad, not
+     * already in @p placement, preferring unsuspected nodes. Returns
+     * @p bad when the pool offers nothing better (retry in place).
+     */
+    net::NodeId pickReplacement(const ServerConfig &config, Rng &rng,
+                                const std::vector<net::NodeId> &placement,
+                                net::NodeId bad) const;
+
+    /** Acks this write needs before replying to the VM. */
+    static unsigned
+    writeQuorum(const ServerConfig &config, std::size_t replicas)
     {
-        if (config.chunkManager) {
-            const ChunkRef chunk =
-                config.chunkManager->locate(msg.vmId, msg.blockOffset);
-            config.chunkManager->recordWrite(chunk);
-            return config.chunkManager->replicas(chunk);
-        }
-        return chooseReplicas(config.storageNodes, config.replication,
-                              rng);
+        const unsigned q = config.failover.ackQuorum;
+        if (q == 0 || q > replicas)
+            return static_cast<unsigned>(replicas);
+        return q;
     }
 
+    /** Register the failover counters with @p probes. */
+    void addFailoverProbes(UsageProbes &probes);
+
+    FailoverStats failover_;
+    NodeHealthView health_;
+    MaintenanceService *maintenance_ = nullptr;
+
   private:
+    struct AckKey
+    {
+        std::uint64_t tag;
+        net::NodeId node;
+        bool
+        operator==(const AckKey &o) const
+        {
+            return tag == o.tag && node == o.node;
+        }
+    };
+    struct AckKeyHash
+    {
+        std::size_t
+        operator()(const AckKey &k) const
+        {
+            return std::hash<std::uint64_t>()(
+                k.tag * 0x9e3779b97f4a7c15ULL ^ k.node);
+        }
+    };
+    struct AckEntry
+    {
+        sim::Completion completion;
+        sim::EventHandle timer;
+    };
+
     std::uint64_t requestsCompleted_ = 0;
     Bytes payloadBytesServed_ = 0;
+    std::unordered_map<AckKey, AckEntry, AckKeyHash> pendingAcks_;
 };
 
 } // namespace smartds::middletier

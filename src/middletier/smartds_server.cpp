@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
@@ -22,6 +23,7 @@ SmartDsServer::SmartDsServer(net::Fabric &fabric, mem::MemorySystem &memory,
     smartds_.device.effort = config_.effort;
     device_ = std::make_unique<SmartDsDevice>(fabric, "smartds", &memory,
                                               smartds_.device);
+    initFailover(config_);
     for (unsigned p = 0; p < smartds_.ports; ++p) {
         requestQps_.push_back(device_->createQp(p));
         for (unsigned w = 0; w < smartds_.workersPerPort; ++w)
@@ -59,6 +61,29 @@ SmartDsServer::addUsageProbes(UsageProbes &probes)
     probes.add("pcie.smartds.d2h", [this]() {
         return static_cast<double>(device_->pcieLink().d2h().totalBytes());
     });
+    addFailoverProbes(probes);
+}
+
+sim::Process
+SmartDsServer::repairReplica(unsigned port, net::NodeId dst,
+                             device::BufferRef h, device::BufferRef d,
+                             Bytes size, std::uint64_t tag, Tick issue)
+{
+    SmartDsDevice::Qp qp = device_->createQp(port);
+    device_->connect(qp, dst, 0);
+    // Drain the node's ack into the shared table (it will usually count
+    // as stale — the serving path already gave this replica up); a plain
+    // callback, so a node that never answers leaks nothing.
+    auto ack = device_->mixedRecv(qp, h, StorageHeader::wireSize, nullptr, 0);
+    auto ack_msg = ack.message;
+    ack.completion.onComplete([this, ack_msg](std::uint64_t) {
+        if (ack_msg && ack_msg->kind == net::MessageKind::WriteReplicaAck)
+            deliverAck(ack_msg->tag, ack_msg->src);
+    });
+    auto sent = device_->mixedSend(qp, h, StorageHeader::wireSize, d, size,
+                                   net::MessageKind::WriteReplica, tag,
+                                   issue);
+    co_await sent.completion;
 }
 
 sim::Process
@@ -68,13 +93,21 @@ SmartDsServer::worker(unsigned port)
     const Bytes max_block = smartds_.maxBlockBytes;
     auto h_recv = device_->hostAlloc(StorageHeader::wireSize);
     auto h_send = device_->hostAlloc(StorageHeader::wireSize);
-    auto h_ack = device_->hostAlloc(StorageHeader::wireSize);
+    auto h_fetch = device_->hostAlloc(StorageHeader::wireSize);
     auto d_recv = device_->devAlloc(max_block);
     auto d_send = device_->devAlloc(lz4::maxCompressedSize(max_block));
 
-    // One storage-facing queue pair per worker (replica acks return on
-    // it) and one reply queue pair toward whichever VM sent the request.
-    SmartDsDevice::Qp storage_qp = device_->createQp(port);
+    // One storage-facing queue pair (and ack header buffer) per replica
+    // slot, so a retry re-targeting one replica can reset its own QP
+    // without tearing down a sibling's in-flight send or pending ack
+    // receive; plus a fetch QP for reads and a reply QP toward the VM.
+    std::vector<SmartDsDevice::Qp> replica_qps;
+    std::vector<device::BufferRef> h_acks;
+    for (unsigned r = 0; r < config_.replication; ++r) {
+        replica_qps.push_back(device_->createQp(port));
+        h_acks.push_back(device_->hostAlloc(StorageHeader::wireSize));
+    }
+    SmartDsDevice::Qp fetch_qp = device_->createQp(port);
     SmartDsDevice::Qp reply_qp = device_->createQp(port);
 
     const SmartDsDevice::Qp &request_qp = requestQps_[port];
@@ -108,30 +141,81 @@ SmartDsServer::worker(unsigned port)
 
         if (req.kind == net::MessageKind::ReadRequest) {
             // --- Read path (Fig. 3b): fetch, decompress on-card, reply -
-            device_->connect(storage_qp,
-                             chooseReplicas(config_.storageNodes, 1,
-                                            rng_)[0],
-                             0);
-            auto fetch_reply = device_->mixedRecv(
-                storage_qp, h_ack, StorageHeader::wireSize, d_send,
-                d_send->capacity());
-            auto fetch = device_->mixedSend(
-                storage_qp, h_send, StorageHeader::wireSize, nullptr, 0,
-                net::MessageKind::ReadFetch, tag, req.issueTick);
-            co_await fetch.completion;
-            co_await fetch_reply.completion;
-            const Bytes stored_size = fetch_reply.size();
+            // A fetch that times out resets the QP (flushing the posted
+            // receive) and fails over to another replica; a fetched block
+            // whose engine decode or checksum fails does the same.
+            const auto candidates = readCandidates(config_, req);
+            const std::size_t start =
+                candidates.empty() ? 0 : rng_.below(candidates.size());
+            Tick timeout = config_.failover.ackTimeout;
+            bool served = false;
+            Bytes plain_size = 0;
+            for (std::size_t i = 0; i < candidates.size() && !served; ++i) {
+                const net::NodeId target =
+                    candidates[(start + i) % candidates.size()];
+                device_->resetQp(fetch_qp);
+                device_->connect(fetch_qp, target, 0);
+                auto fetch_reply = device_->mixedRecv(
+                    fetch_qp, h_fetch, StorageHeader::wireSize, d_send,
+                    d_send->capacity());
+                auto fetch = device_->mixedSend(
+                    fetch_qp, h_send, StorageHeader::wireSize, nullptr, 0,
+                    net::MessageKind::ReadFetch, tag, req.issueTick);
+                co_await fetch.completion;
+                sim::EventHandle timer;
+                if (timeout > 0)
+                    timer = sim_.schedule(timeout, [this, &fetch_qp]() {
+                        device_->resetQp(fetch_qp);
+                    });
+                co_await fetch_reply.completion;
+                timer.cancel();
+                const net::Message *rep = fetch_reply.message.get();
+                if (!rep ||
+                    rep->kind != net::MessageKind::ReadFetchReply ||
+                    rep->tag != tag) {
+                    // Timed out (flush) or a stale reply from a previous
+                    // attempt: strike the node, try the next replica.
+                    if (rep && rep->kind == net::MessageKind::ReadFetchReply)
+                        ++failover_.staleAcks;
+                    else if (health_.noteTimeout(target))
+                        ++failover_.nodesSuspected;
+                    ++failover_.readFailovers;
+                    timeout = std::min(timeout * 2,
+                                       config_.failover.ackTimeoutCap);
+                    continue;
+                }
+                health_.noteAck(target);
+                const Bytes stored_size = fetch_reply.size();
 
-            auto plain = device_->devFunc(d_send, stored_size, d_recv,
-                                          d_recv->capacity(), port,
-                                          device::EngineOp::Decompress);
-            co_await plain.completion;
+                auto plain = device_->devFunc(d_send, stored_size, d_recv,
+                                              d_recv->capacity(), port,
+                                              device::EngineOp::Decompress);
+                co_await plain.completion;
+
+                bool corrupt = d_recv->content.corrupted;
+                if (!corrupt && device_->config().functional &&
+                    d_recv->bytes() && h_fetch->bytes()) {
+                    const StorageHeader stored =
+                        StorageHeader::decode(h_fetch->bytes()->data());
+                    corrupt = xxhash32(d_recv->bytes()->data(),
+                                       plain.size()) != stored.blockChecksum;
+                }
+                if (corrupt) {
+                    ++failover_.corruptionsDetected;
+                    ++failover_.readFailovers;
+                    continue;
+                }
+                plain_size = plain.size();
+                served = true;
+            }
+            if (!served)
+                ++failover_.readsUnserved;
 
             device_->connect(reply_qp, req.src, req.srcQp);
             auto reply = device_->mixedSend(
-                reply_qp, h_send, StorageHeader::wireSize, d_recv,
-                plain.size(), net::MessageKind::ReadReply, tag,
-                req.issueTick);
+                reply_qp, h_send, StorageHeader::wireSize,
+                served ? d_recv : nullptr, plain_size,
+                net::MessageKind::ReadReply, tag, req.issueTick);
             co_await reply.completion;
             continue;
         }
@@ -148,30 +232,81 @@ SmartDsServer::worker(unsigned port)
             send_size = compressed.size();
         }
 
-        const auto replicas = placeWrite(config_, req, rng_);
-        // Post the ack receives first, then fire the replicated sends.
-        std::vector<SmartDsDevice::Event> acks;
-        acks.reserve(replicas.size());
-        for (std::size_t r = 0; r < replicas.size(); ++r) {
-            acks.push_back(device_->mixedRecv(storage_qp, h_ack,
+        Placement placement = placeWrite(config_, req, rng_);
+        auto nodes = std::make_shared<std::vector<net::NodeId>>(
+            std::move(placement.nodes));
+        SMARTDS_ASSERT(nodes->size() <= replica_qps.size(),
+                       "placement wider than the worker's replica QPs");
+        const unsigned quorum = writeQuorum(config_, nodes->size());
+        auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
+        auto all_acks = std::make_shared<sim::CountLatch>(
+            sim_, static_cast<unsigned>(nodes->size()));
+
+        for (unsigned r = 0; r < nodes->size(); ++r) {
+            ReplicaTask task;
+            task.tag = tag;
+            task.blockBytes = send_size;
+            task.target = (*nodes)[r];
+            task.slot = r;
+            task.placement = nodes;
+            task.chunk = placement.chunk;
+            task.chunked = placement.chunked;
+            task.quorumLatch = quorum_acks;
+            task.allLatch = all_acks;
+            SmartDsDevice::Qp *qp = &replica_qps[r];
+            device::BufferRef h_ack = h_acks[r];
+            task.send = [this, qp, h_ack, h_send, send_buf, send_size, tag,
+                         issue = req.issueTick](net::NodeId dst) {
+                // Re-targeting tears down the previous attempt first (QP
+                // reset), so a late ack from the old peer cannot match
+                // the fresh descriptor; the flush completes it with 0 at
+                // kind Raw, which the forwarder below ignores.
+                device_->resetQp(*qp);
+                device_->connect(*qp, dst, 0);
+                auto ack = device_->mixedRecv(*qp, h_ack,
                                               StorageHeader::wireSize,
-                                              nullptr, 0));
+                                              nullptr, 0);
+                auto ack_msg = ack.message;
+                ack.completion.onComplete([this, ack_msg](std::uint64_t) {
+                    if (ack_msg &&
+                        ack_msg->kind == net::MessageKind::WriteReplicaAck)
+                        deliverAck(ack_msg->tag, ack_msg->src);
+                });
+                device_->mixedSend(*qp, h_send, StorageHeader::wireSize,
+                                   send_buf, send_size,
+                                   net::MessageKind::WriteReplica, tag,
+                                   issue);
+            };
+            task.makeRepair = [this, port, h_send, send_buf, send_size, tag,
+                               issue = req.issueTick](net::NodeId dst) {
+                // Snapshot header and payload now — the worker reuses its
+                // buffers for the next request once the all-replicas
+                // latch releases, but the repair runs much later.
+                auto h_copy = device_->hostAlloc(StorageHeader::wireSize);
+                auto d_copy =
+                    device_->devAlloc(send_size ? send_size : 1);
+                if (h_copy->bytes() && h_send->bytes())
+                    *h_copy->bytes() = *h_send->bytes();
+                h_copy->content = h_send->content;
+                if (d_copy->bytes() && send_buf->bytes())
+                    std::copy(send_buf->bytes()->begin(),
+                              send_buf->bytes()->begin() +
+                                  static_cast<std::ptrdiff_t>(send_size),
+                              d_copy->bytes()->begin());
+                d_copy->content = send_buf->content;
+                return [this, port, h_copy, d_copy, send_size, tag, issue,
+                        dst]() {
+                    sim::spawn(sim_,
+                               repairReplica(port, dst, h_copy, d_copy,
+                                             send_size, tag, issue));
+                };
+            };
+            sim::spawn(sim_, replicateWithFailover(sim_, rng_, config_,
+                                                   std::move(task)));
         }
-        // Post all replica sends back to back (RDMA posts are
-        // asynchronous), then wait for the sends and the acks.
-        std::vector<SmartDsDevice::Event> sends;
-        sends.reserve(replicas.size());
-        for (std::size_t r = 0; r < replicas.size(); ++r) {
-            device_->connect(storage_qp, replicas[r], 0);
-            sends.push_back(device_->mixedSend(
-                storage_qp, h_send, StorageHeader::wireSize, send_buf,
-                send_size, net::MessageKind::WriteReplica, tag,
-                req.issueTick));
-        }
-        for (auto &sent : sends)
-            co_await sent.completion;
-        for (auto &ack : acks)
-            co_await ack.completion;
+        co_await quorum_acks->wait();
+        if (!all_acks->wait().done())
+            ++failover_.quorumCompletions;
 
         // --- Acknowledge the VM -----------------------------------------
         device_->connect(reply_qp, req.src, req.srcQp);
@@ -181,6 +316,11 @@ SmartDsServer::worker(unsigned port)
                                         req.issueTick);
         co_await reply.completion;
         noteCompleted(payload_size);
+
+        // The replica QPs, latches and send buffers are reused by the
+        // next request — wait for every straggler (late ack, retry, or
+        // abandonment) before looping.
+        co_await all_acks->wait();
     }
 }
 

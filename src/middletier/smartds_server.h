@@ -58,6 +58,14 @@ class SmartDsServer : public MiddleTierServer
 
   private:
     sim::Process worker(unsigned port);
+    /**
+     * Background resend of an abandoned replica: a one-shot queue pair
+     * and snapshot buffers, so it survives the originating request's
+     * buffer reuse (invoked from the maintenance repair queue).
+     */
+    sim::Process repairReplica(unsigned port, net::NodeId dst,
+                               device::BufferRef h, device::BufferRef d,
+                               Bytes size, std::uint64_t tag, Tick issue);
 
     sim::Simulator &sim_;
     ServerConfig config_;

@@ -65,6 +65,14 @@ struct Payload
 
     /** Original (uncompressed) size when compressed is true. */
     Bytes originalSize = 0;
+
+    /**
+     * Set by the fault layer when the stored copy of this payload took a
+     * bit flip. Timing-mode stand-in for a checksum mismatch: functional
+     * paths detect corruption from the bytes themselves, timing paths
+     * from this flag.
+     */
+    bool corrupted = false;
 };
 
 /** A message in flight on the fabric. */

@@ -25,6 +25,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -120,7 +121,7 @@ class Completion
 {
   public:
     Completion(Simulator &sim)
-        : state_(std::make_shared<State>(State{&sim, {}, 0, false}))
+        : state_(std::make_shared<State>(State{&sim, {}, 0, false, {}}))
     {
     }
 
@@ -135,6 +136,30 @@ class Completion
         state_->waiters.clear();
         for (auto h : waiters)
             state_->sim->schedule(0, [h]() { h.resume(); });
+        auto callbacks = std::move(state_->callbacks);
+        state_->callbacks.clear();
+        for (auto &fn : callbacks)
+            state_->sim->schedule(0,
+                                  [fn = std::move(fn), value]() { fn(value); });
+    }
+
+    /**
+     * Invoke @p fn(value) once complete (at the next event slot if already
+     * done). Unlike awaiting, a callback holds no coroutine frame, so a
+     * completion that never fires leaks nothing — the right tool for
+     * consumers of events that may be abandoned (e.g. acks from a crashed
+     * storage node).
+     */
+    void
+    onComplete(std::function<void(std::uint64_t)> fn)
+    {
+        if (state_->done) {
+            const std::uint64_t value = state_->value;
+            state_->sim->schedule(0,
+                                  [fn = std::move(fn), value]() { fn(value); });
+            return;
+        }
+        state_->callbacks.push_back(std::move(fn));
     }
 
     bool done() const { return state_->done; }
@@ -159,6 +184,7 @@ class Completion
         std::vector<std::coroutine_handle<>> waiters;
         std::uint64_t value;
         bool done;
+        std::vector<std::function<void(std::uint64_t)>> callbacks;
     };
     std::shared_ptr<State> state_;
 };
@@ -184,6 +210,22 @@ class CountLatch
         SMARTDS_ASSERT(remaining_ > 0, "latch arrive() past zero");
         if (--remaining_ == 0)
             completion_.complete(0);
+    }
+
+    /**
+     * Record one arrival unless the latch is already complete. Quorum
+     * joins (2-of-3 replica acks) use this: the straggler's arrival past
+     * the quorum is expected, not a bug.
+     *
+     * @return whether the arrival was counted.
+     */
+    bool
+    tryArrive()
+    {
+        if (remaining_ == 0)
+            return false;
+        arrive();
+        return true;
     }
 
     /**

@@ -40,6 +40,12 @@ struct BufferContent
     Bytes originalSize = 0;
     /** Compressibility of the (original) block, compressed/original. */
     double compressibility = 1.0;
+    /**
+     * Whether the content is known-bad (bit-flipped stored copy, or a
+     * functional engine that failed to decode it). Timing-mode stand-in
+     * for what checksums detect from real bytes.
+     */
+    bool corrupted = false;
 };
 
 /** A buffer handle; share via BufferRef. */

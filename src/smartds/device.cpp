@@ -116,6 +116,25 @@ SmartDsDevice::connect(Qp &qp, net::NodeId remote_node, net::QpId remote_qp)
     qp.remoteQp = remote_qp;
 }
 
+void
+SmartDsDevice::resetQp(const Qp &qp)
+{
+    SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
+    auto &state = *portStates_[qp.port];
+    if (const auto rq = state.recvQueues.find(qp.local);
+        rq != state.recvQueues.end()) {
+        // Flush-with-error: complete each posted descriptor with 0 and
+        // its message still at kind Raw, like an RDMA flush error WQE.
+        auto flushed = std::move(rq->second);
+        rq->second.clear();
+        for (auto &desc : flushed)
+            desc.event.completion.complete(0);
+    }
+    if (const auto pm = state.pendingMsgs.find(qp.local);
+        pm != state.pendingMsgs.end())
+        pm->second.clear();
+}
+
 net::Port &
 SmartDsDevice::port(unsigned i)
 {
@@ -176,14 +195,17 @@ SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
         if (desc.h && desc.h->bytes() && msg.headerData) {
             const Bytes n = std::min<Bytes>(msg.headerData->size(),
                                             desc.h->capacity());
-            std::memcpy(desc.h->bytes()->data(), msg.headerData->data(), n);
+            if (n > 0)
+                std::memcpy(desc.h->bytes()->data(),
+                            msg.headerData->data(), n);
             desc.h->content.size = n;
         }
         if (desc.d && desc.d->bytes() && msg.payload.data) {
             const Bytes n = std::min<Bytes>(msg.payload.data->size(),
                                             desc.d->capacity());
-            std::memcpy(desc.d->bytes()->data(), msg.payload.data->data(),
-                        n);
+            if (n > 0)
+                std::memcpy(desc.d->bytes()->data(),
+                            msg.payload.data->data(), n);
         }
     }
     if (desc.d) {
@@ -191,6 +213,7 @@ SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
         desc.d->content.compressed = msg.payload.compressed;
         desc.d->content.originalSize = msg.payload.originalSize;
         desc.d->content.compressibility = msg.payload.compressibility;
+        desc.d->content.corrupted = msg.payload.corrupted;
     }
 
     // Timing: fixed split latency, then the header DMA to host memory and
@@ -263,6 +286,7 @@ SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
         msg.payload.compressed = d->content.compressed;
         msg.payload.originalSize = d->content.originalSize;
         msg.payload.compressibility = d->content.compressibility;
+        msg.payload.corrupted = d->content.corrupted;
         if (config_.functional && d->bytes()) {
             msg.payload.data =
                 std::make_shared<const std::vector<std::uint8_t>>(
@@ -318,6 +342,7 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
     Bytes result_size = 0;
     bool result_compressed = false;
     Bytes result_original = 0;
+    bool result_corrupted = src->content.corrupted;
     double compressibility = src->content.compressibility;
     std::vector<std::uint8_t> result_bytes;
 
@@ -357,8 +382,19 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
             result_bytes.resize(dst_cap);
             const auto n = lz4::decompress(src->bytes()->data(), src_size,
                                            result_bytes.data(), dst_cap);
-            SMARTDS_ASSERT(n.has_value(), "engine decompression failed");
-            result_size = *n;
+            if (n.has_value()) {
+                result_size = *n;
+            } else {
+                // A corrupt frame the engine cannot decode: surface it as
+                // detected corruption rather than crashing; charge timing
+                // for the advertised original size.
+                result_size = std::min<Bytes>(
+                    dst_cap, src->content.originalSize
+                                 ? src->content.originalSize
+                                 : src_size);
+                result_bytes.clear();
+                result_corrupted = true;
+            }
         } else {
             result_size = src->content.originalSize
                               ? src->content.originalSize
@@ -386,20 +422,21 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
     // for the scrubbing engine).
     read_flow->transfer(src_size, [this, engine, write_flow, src_size,
                                    result_size, result_compressed,
-                                   result_original, compressibility, dst,
-                                   event, is_checksum, completion_value,
+                                   result_original, result_corrupted,
+                                   compressibility, dst, event, is_checksum,
+                                   completion_value,
                                    result_bytes =
                                        std::move(result_bytes)]() mutable {
         engine->transfer(src_size, [this, write_flow, result_size,
                                     result_compressed, result_original,
-                                    compressibility, dst, event,
-                                    is_checksum, completion_value,
+                                    result_corrupted, compressibility, dst,
+                                    event, is_checksum, completion_value,
                                     result_bytes = std::move(
                                         result_bytes)]() mutable {
             write_flow->transfer(
                 result_size,
                 [result_size, result_compressed, result_original,
-                 compressibility, dst, event, is_checksum,
+                 result_corrupted, compressibility, dst, event, is_checksum,
                  completion_value,
                  result_bytes = std::move(result_bytes)]() mutable {
                     if (is_checksum) {
@@ -416,6 +453,7 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
                     dst->content.compressed = result_compressed;
                     dst->content.originalSize = result_original;
                     dst->content.compressibility = compressibility;
+                    dst->content.corrupted = result_corrupted;
                     event.completion.complete(result_size);
                 });
         });

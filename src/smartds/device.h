@@ -145,6 +145,16 @@ class SmartDsDevice
     /** Connect a queue pair to a remote endpoint. */
     void connect(Qp &qp, net::NodeId remote_node, net::QpId remote_qp);
 
+    /**
+     * Flush a queue pair (RDMA QP reset semantics): every posted recv
+     * descriptor completes with 0 and its message left at kind Raw so
+     * consumers can tell a flush from real traffic, and messages queued
+     * for the QP are dropped. The failover paths reset a QP before
+     * re-targeting it so a late ack from the old peer cannot be matched
+     * against the new attempt's descriptor.
+     */
+    void resetQp(const Qp &qp);
+
     // --------------------------------------------------- datapath (API)
 
     /**

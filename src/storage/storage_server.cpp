@@ -40,38 +40,102 @@ StorageServer::handle(net::Message msg)
 void
 StorageServer::handleReplica(net::Message msg)
 {
-    // Append to disk (bandwidth + NVMe latency), then acknowledge.
+    // A crashed node drops the message on the floor: no append, no ack.
+    if (faults_ && faults_->crashed()) {
+        faults_->noteDropped();
+        return;
+    }
+    // Append to disk (bandwidth + NVMe latency), then acknowledge. A
+    // bandwidth-throttled node drains the block proportionally slower; a
+    // latency-degraded node pays extra fixed latency on top.
     const Bytes block = msg.payload.size;
-    disk_.transfer(block, [this, msg = std::move(msg)]() mutable {
-        ++blocksStored_;
-        bytesStored_ += msg.payload.size;
-        if (config_.functionalStore)
-            store_[msg.tag] = msg.payload;
-
-        net::Message ack;
-        ack.dst = msg.src;
-        ack.dstQp = msg.srcQp;
-        ack.srcQp = msg.dstQp;
-        ack.kind = net::MessageKind::WriteReplicaAck;
-        ack.headerBytes = calibration::storageHeaderBytes;
-        ack.tag = msg.tag;
-        ack.issueTick = msg.issueTick;
-        port_->send(std::move(ack));
+    const Bytes charged = faults_ ? faults_->throttledBytes(block) : block;
+    const Tick extra =
+        faults_ ? faults_->extraAppendLatency(config_.appendLatency) : 0;
+    disk_.transfer(charged, [this, msg = std::move(msg), extra]() mutable {
+        if (extra > 0) {
+            fabric_.simulator().schedule(
+                extra, [this, msg = std::move(msg)]() mutable {
+                    finishReplica(std::move(msg));
+                });
+            return;
+        }
+        finishReplica(std::move(msg));
     });
+}
+
+void
+StorageServer::finishReplica(net::Message msg)
+{
+    // Crash while the append was in flight: the block never made it to
+    // disk and the ack never leaves.
+    if (faults_ && faults_->crashed()) {
+        faults_->noteDropped();
+        return;
+    }
+    ++blocksStored_;
+    bytesStored_ += msg.payload.size;
+
+    net::Payload stored = msg.payload;
+    if (faults_ && faults_->corruptBlock()) {
+        stored.corrupted = true;
+        if (stored.data && !stored.data->empty()) {
+            auto flipped =
+                std::make_shared<std::vector<std::uint8_t>>(*stored.data);
+            const std::size_t bit =
+                faults_->corruptBitIndex(flipped->size() * 8);
+            (*flipped)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+            stored.data = std::move(flipped);
+        }
+        if (!config_.functionalStore)
+            corruptTags_.insert(msg.tag);
+    }
+    if (config_.functionalStore) {
+        store_[msg.tag] = std::move(stored);
+        if (msg.headerData)
+            headers_[msg.tag] = msg.headerData;
+    }
+
+    // Gray failure: the block is durable but the acknowledgement is lost;
+    // the middle tier times out and re-replicates elsewhere.
+    if (faults_ && faults_->dropAck())
+        return;
+
+    net::Message ack;
+    ack.dst = msg.src;
+    ack.dstQp = msg.srcQp;
+    ack.srcQp = msg.dstQp;
+    ack.kind = net::MessageKind::WriteReplicaAck;
+    ack.headerBytes = calibration::storageHeaderBytes;
+    ack.tag = msg.tag;
+    ack.issueTick = msg.issueTick;
+    port_->send(std::move(ack));
 }
 
 void
 StorageServer::handleFetch(net::Message msg)
 {
+    // A crashed node never replies; the middle tier's fetch timeout moves
+    // the read to another replica.
+    if (faults_ && faults_->crashed()) {
+        faults_->noteDropped();
+        return;
+    }
     // Disk read: charge the block transfer plus the access latency, then
     // return the stored (compressed) block.
     net::Payload payload;
     if (config_.functionalStore) {
         const auto it = store_.find(msg.tag);
-        if (it == store_.end())
-            fatal("read of unknown block tag %llu",
-                  static_cast<unsigned long long>(msg.tag));
-        payload = it->second;
+        if (it == store_.end()) {
+            // The block is not here — e.g. this node joined the chunk's
+            // replica set after a failure. Reply with a marked-bad stub so
+            // the reader fails over instead of waiting out a timeout.
+            payload.size = 1;
+            payload.corrupted = true;
+            payload.originalSize = msg.payload.originalSize;
+        } else {
+            payload = it->second;
+        }
     } else {
         // Timing-only mode: synthesise a block of the size the request
         // hints at (compressed size, or original size x ratio).
@@ -90,16 +154,28 @@ StorageServer::handleFetch(net::Message msg)
         payload.compressibility = ratio;
         payload.compressed = true;
         payload.originalSize = original;
+        if (corruptTags_.count(msg.tag))
+            payload.corrupted = true;
     }
+    std::shared_ptr<const std::vector<std::uint8_t>> header;
+    if (const auto hit = headers_.find(msg.tag); hit != headers_.end())
+        header = hit->second;
     const Bytes block = payload.size;
     disk_.transfer(block, [this, msg = std::move(msg),
-                           payload = std::move(payload)]() mutable {
+                           payload = std::move(payload),
+                           header = std::move(header)]() mutable {
+        // Crash while the disk read was in flight: no reply.
+        if (faults_ && faults_->crashed()) {
+            faults_->noteDropped();
+            return;
+        }
         net::Message reply;
         reply.dst = msg.src;
         reply.dstQp = msg.srcQp;
         reply.srcQp = msg.dstQp;
         reply.kind = net::MessageKind::ReadFetchReply;
         reply.headerBytes = calibration::storageHeaderBytes;
+        reply.headerData = std::move(header);
         reply.payload = std::move(payload);
         reply.tag = msg.tag;
         reply.issueTick = msg.issueTick;

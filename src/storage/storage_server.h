@@ -16,8 +16,10 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/calibration.h"
+#include "faults/fault_injector.h"
 #include "net/fabric.h"
 #include "sim/bandwidth_server.h"
 
@@ -55,18 +57,41 @@ class StorageServer
     /** Functional store lookup (empty payload if absent). */
     const net::Payload *storedBlock(std::uint64_t tag) const;
 
+    /** Stored storage header (functional mode; null if absent). */
+    std::shared_ptr<const std::vector<std::uint8_t>>
+    storedHeader(std::uint64_t tag) const
+    {
+        const auto it = headers_.find(tag);
+        return it == headers_.end() ? nullptr : it->second;
+    }
+
+    /**
+     * Attach a fault profile (owned by a FaultInjector). The node id is
+     * only known after construction, hence a setter rather than a Config
+     * field. Null detaches.
+     */
+    void attachFaults(faults::FaultProfile *profile) { faults_ = profile; }
+
   private:
     void handle(net::Message msg);
     void handleReplica(net::Message msg);
+    void finishReplica(net::Message msg);
     void handleFetch(net::Message msg);
 
     net::Fabric &fabric_;
     Config config_;
     net::Port *port_;
     sim::BandwidthServer disk_;
+    faults::FaultProfile *faults_ = nullptr;
     std::uint64_t blocksStored_ = 0;
     Bytes bytesStored_ = 0;
     std::unordered_map<std::uint64_t, net::Payload> store_;
+    /** Stored block-storage headers (functional mode; read-path verify). */
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const std::vector<std::uint8_t>>>
+        headers_;
+    /** Tags whose stored copy took a bit flip (timing mode bookkeeping). */
+    std::unordered_set<std::uint64_t> corruptTags_;
 };
 
 } // namespace smartds::storage

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "corpus/corpus.h"
+#include "faults/fault_injector.h"
 #include "mem/memory_system.h"
 #include "middletier/accelerator_server.h"
 #include "middletier/bf2_server.h"
@@ -82,6 +83,26 @@ runWriteExperiment(const ExperimentConfig &config)
         storage_nodes.push_back(storage_pool.back()->nodeId());
     }
 
+    // --- Fault injection over the pool ------------------------------------
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (config.faultsEnabled()) {
+        injector = std::make_unique<faults::FaultInjector>(sim,
+                                                           config.faultSeed);
+        for (unsigned i = 0; i < n_storage; ++i) {
+            auto *profile = injector->profile(storage_nodes[i]);
+            profile->setAckDropProbability(config.ackDropProbability);
+            profile->setCorruptProbability(config.corruptProbability);
+            if (i < config.slowNodes)
+                profile->degrade(config.slowLatencyFactor,
+                                 config.slowBandwidthFactor);
+            storage_pool[i]->attachFaults(profile);
+        }
+        if (config.crashMeanInterval > 0)
+            injector->startCrashChurn(storage_nodes,
+                                      config.crashMeanInterval,
+                                      config.crashOutage);
+    }
+
     // --- Middle-tier server ----------------------------------------------
     std::unique_ptr<middletier::ChunkManager> chunk_manager;
     if (config.useChunkManager) {
@@ -100,6 +121,12 @@ runWriteExperiment(const ExperimentConfig &config)
     server_config.effort = config.effort;
     server_config.seed = config.seed;
     server_config.chunkManager = chunk_manager.get();
+    server_config.failover.ackQuorum = config.ackQuorum;
+    server_config.failover.ackTimeout = config.replicaAckTimeout;
+    server_config.failover.ackTimeoutCap =
+        std::max(calibration::replicaAckTimeoutCap,
+                 config.replicaAckTimeout * 8);
+    server_config.failover.maxRetries = config.replicaMaxRetries;
 
     std::unique_ptr<middletier::MiddleTierServer> server;
     switch (config.design) {
@@ -170,7 +197,20 @@ runWriteExperiment(const ExperimentConfig &config)
         }
         maintenance = std::make_unique<middletier::MaintenanceService>(
             sim, "maintenance", *pool, memory, mc);
+    } else if (config.faultsEnabled()) {
+        // Faults need the background repair queue even when compaction is
+        // off: a service with no burst loop, used only for repairs.
+        middletier::MaintenanceService::Config mc;
+        mc.cores = 2;
+        mc.seed = config.seed + 17;
+        maintenance_pool = std::make_unique<host::CorePool>(
+            sim, "maintenance.cores", mc.cores);
+        maintenance = std::make_unique<middletier::MaintenanceService>(
+            sim, "maintenance", *maintenance_pool, memory, mc);
+        maintenance->stop();
     }
+    if (maintenance)
+        server->setMaintenanceService(maintenance.get());
 
     // --- MLC pressure injector --------------------------------------------
     std::unique_ptr<mem::MlcInjector> mlc;
@@ -244,6 +284,18 @@ runWriteExperiment(const ExperimentConfig &config)
     if (chunk_manager) {
         result.chunksTracked = chunk_manager->chunksTracked();
         result.compactionsDue = chunk_manager->compactionsDue();
+    }
+    result.failover = server->failoverStats();
+    if (maintenance)
+        result.repairsCompleted = maintenance->repairsCompleted();
+    if (injector) {
+        result.crashesInjected = injector->crashesInjected();
+        for (const net::NodeId node : storage_nodes) {
+            result.acksDropped += injector->profile(node)->acksDropped();
+            result.blocksCorrupted +=
+                injector->profile(node)->blocksCorrupted();
+        }
+        injector->stop();
     }
 
     // Stop the clients so the event queue can drain promptly.

@@ -106,6 +106,45 @@ struct ExperimentConfig
 
     /** Writes per chunk before compaction is due (Section 2.2.3). */
     unsigned compactionThreshold = 1024;
+
+    // --- Fault injection (all zero = healthy pool, the default) ---------
+
+    /** Mean interval between injected node crashes (0 = no churn). */
+    Tick crashMeanInterval = 0;
+
+    /** Outage length of each injected crash. */
+    Tick crashOutage = 2 * ticksPerMillisecond;
+
+    /** Gray failure: probability a node stores a block but drops the ack. */
+    double ackDropProbability = 0.0;
+
+    /** Probability a stored copy gets a bit flipped (checksums catch it). */
+    double corruptProbability = 0.0;
+
+    /** Degrade the first N storage nodes from t=0 (slow-node model). */
+    unsigned slowNodes = 0;
+    double slowLatencyFactor = 4.0;
+    double slowBandwidthFactor = 0.5;
+
+    /** Replica acks that complete the VM write (0 = all replicas). */
+    unsigned ackQuorum = 0;
+
+    /** Per-replica ack timeout (0 disables write-path timeouts). */
+    Tick replicaAckTimeout = calibration::replicaAckTimeout;
+
+    /** Retries per replica before handing it to background repair. */
+    unsigned replicaMaxRetries = calibration::replicaMaxRetries;
+
+    /** Seed of the fault timeline (separate from the workload seed). */
+    std::uint64_t faultSeed = 0xfa17;
+
+    /** Whether any fault-injection knob is active. */
+    bool
+    faultsEnabled() const
+    {
+        return crashMeanInterval > 0 || ackDropProbability > 0.0 ||
+               corruptProbability > 0.0 || slowNodes > 0;
+    }
 };
 
 /** Results of one run. */
@@ -135,6 +174,21 @@ struct ExperimentResult
 
     /** Chunks whose LSM compaction became due during the run. */
     std::uint64_t compactionsDue = 0;
+
+    /** Failure-handling counters of the middle tier (whole run). */
+    middletier::FailoverStats failover;
+
+    /** Node crashes the injector produced (whole run). */
+    std::uint64_t crashesInjected = 0;
+
+    /** Background replica repairs that finished (whole run). */
+    std::uint64_t repairsCompleted = 0;
+
+    /** Acks dropped by gray-failing storage nodes (whole run). */
+    std::uint64_t acksDropped = 0;
+
+    /** Stored copies the injector bit-flipped (whole run). */
+    std::uint64_t blocksCorrupted = 0;
 };
 
 /** Run one write-serving experiment. */

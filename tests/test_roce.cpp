@@ -134,6 +134,48 @@ TEST_F(RoceFixture, BidirectionalTrafficIndependent)
     EXPECT_EQ(to_a, 40u);
 }
 
+TEST_F(RoceFixture, HighLossSoakDeliversInOrderWithMonotoneCounters)
+{
+    // Soak at 50% frame loss: go-back-N must still deliver every message
+    // exactly once and in order, and the failure counters must behave
+    // like counters — monotone non-decreasing as the soak progresses.
+    ReliableQueuePair::Config config;
+    config.lossProbability = 0.5;
+    config.retransmitTimeout = 15_us;
+    config.windowMessages = 8;
+    config.seed = 1234;
+    auto [a, b] = makePair(config);
+    std::vector<std::uint64_t> tags;
+    b->onDeliver([&](Message msg) { tags.push_back(msg.tag); });
+
+    constexpr std::uint64_t batches = 10;
+    constexpr std::uint64_t per_batch = 50;
+    std::uint64_t prev_retransmits = 0;
+    std::uint64_t prev_lost = 0;
+    std::uint64_t next_tag = 0;
+    for (std::uint64_t batch = 0; batch < batches; ++batch) {
+        for (std::uint64_t i = 0; i < per_batch; ++i) {
+            Message msg;
+            msg.tag = next_tag++;
+            msg.payload.size = 1024;
+            a->send(std::move(msg));
+        }
+        sim.run(); // drain the batch (retransmits until all acked)
+        EXPECT_GE(a->retransmits(), prev_retransmits);
+        EXPECT_GE(a->framesLost() + b->framesLost(), prev_lost);
+        prev_retransmits = a->retransmits();
+        prev_lost = a->framesLost() + b->framesLost();
+        EXPECT_EQ(a->inFlight(), 0u);
+    }
+    ASSERT_EQ(tags.size(), batches * per_batch);
+    for (std::uint64_t i = 0; i < tags.size(); ++i)
+        ASSERT_EQ(tags[i], i);
+    // Half the frames drop each way; loss and recovery are certain.
+    EXPECT_GT(prev_lost, 100u);
+    EXPECT_GT(prev_retransmits, 100u);
+    EXPECT_GT(b->duplicatesDropped(), 0u);
+}
+
 TEST_F(RoceFixture, ThroughputDegradesGracefullyWithLoss)
 {
     auto run = [this](double loss) {
