@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -32,13 +33,20 @@ usage(const workload::ExperimentResult &r, const char *key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ablation_ddio");
+
     std::printf("Ablation: DDIO on/off for the accelerator design\n\n");
 
-    Table table("Acc with and without DDIO, calm vs MLC pressure");
-    table.header({"ddio", "mlc", "tput(Gbps)", "avg(us)", "mem.read",
-                  "mem.write"});
+    workload::SweepRunner runner(harness.jobs());
+    struct Cell
+    {
+        bool ddio;
+        bool pressure;
+        std::size_t index;
+    };
+    std::vector<Cell> cells;
     for (bool ddio : {true, false}) {
         for (bool pressure : {false, true}) {
             auto config = saturating(Design::Accelerator, 2);
@@ -47,12 +55,20 @@ main()
                 config.mlcDelayCycles = 0;
                 config.mlcCores = 16;
             }
-            const auto r = workload::runWriteExperiment(config);
-            table.row({ddio ? "on" : "off", pressure ? "max" : "off",
-                       fmt(r.throughputGbps, 1), fmt(r.avgLatencyUs, 1),
-                       fmt(usage(r, "mem.read"), 1),
-                       fmt(usage(r, "mem.write"), 1)});
+            cells.push_back({ddio, pressure, runner.add(config)});
         }
+    }
+    runner.run();
+
+    Table table("Acc with and without DDIO, calm vs MLC pressure");
+    table.header({"ddio", "mlc", "tput(Gbps)", "avg(us)", "mem.read",
+                  "mem.write"});
+    for (const Cell &cell : cells) {
+        const auto &r = runner.result(cell.index);
+        table.row({cell.ddio ? "on" : "off", cell.pressure ? "max" : "off",
+                   fmt(r.throughputGbps, 1), fmt(r.avgLatencyUs, 1),
+                   fmt(usage(r, "mem.read"), 1),
+                   fmt(usage(r, "mem.write"), 1)});
     }
     table.print();
     table.writeCsv("results/ablation_ddio.csv");

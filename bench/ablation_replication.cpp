@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -25,17 +26,40 @@ using middletier::Design;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ablation_replication");
+
     std::printf("Ablation: replication factor and compression effort\n\n");
+
+    const std::vector<unsigned> replicas = sweep({1u, 2u, 3u});
+    const std::vector<int> efforts = sweep({1, 3, 6});
+    const std::vector<Design> designs = {Design::CpuOnly, Design::SmartDs};
+
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<std::size_t> rep_indices;
+    for (unsigned r : replicas) {
+        auto config = saturating(Design::SmartDs, 2, 1);
+        config.replication = r;
+        rep_indices.push_back(runner.add(config));
+    }
+    std::vector<std::size_t> eff_indices;
+    for (int effort : efforts) {
+        for (Design d : designs) {
+            auto config = d == Design::CpuOnly
+                              ? saturating(Design::CpuOnly, 48)
+                              : saturating(Design::SmartDs, 2, 1);
+            config.effort = effort;
+            eff_indices.push_back(runner.add(config));
+        }
+    }
+    runner.run();
 
     Table rep("Replication-factor sweep (SmartDS-1, effort 1)");
     rep.header({"replicas", "tput(Gbps)", "avg(us)", "ratio"});
-    for (unsigned r : {1u, 2u, 3u}) {
-        auto config = saturating(Design::SmartDs, 2, 1);
-        config.replication = r;
-        const auto result = workload::runWriteExperiment(config);
-        rep.row({fmt(r), fmt(result.throughputGbps, 1),
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+        const auto &result = runner.result(rep_indices[i]);
+        rep.row({fmt(replicas[i]), fmt(result.throughputGbps, 1),
                  fmt(result.avgLatencyUs, 1),
                  fmt(result.meanCompressionRatio, 3)});
     }
@@ -46,13 +70,10 @@ main()
     Table eff("Compression-effort sweep (3-way replication)");
     eff.header({"design", "effort", "tput(Gbps)", "avg(us)", "ratio",
                 "stored-bytes/4KiB"});
-    for (int effort : {1, 3, 6}) {
-        for (Design d : {Design::CpuOnly, Design::SmartDs}) {
-            auto config = d == Design::CpuOnly
-                              ? saturating(Design::CpuOnly, 48)
-                              : saturating(Design::SmartDs, 2, 1);
-            config.effort = effort;
-            const auto r = workload::runWriteExperiment(config);
+    std::size_t cell = 0;
+    for (int effort : efforts) {
+        for (Design d : designs) {
+            const auto &r = runner.result(eff_indices[cell++]);
             eff.row({middletier::designName(d), fmt(effort),
                      fmt(r.throughputGbps, 1), fmt(r.avgLatencyUs, 1),
                      fmt(r.meanCompressionRatio, 3),

@@ -37,14 +37,23 @@ usage(const workload::ExperimentResult &r, const char *key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ablation_split");
+
     std::printf("Ablation: application-aware message split on/off\n\n");
 
-    const auto split_on = workload::runWriteExperiment(
-        saturating(Design::SmartDs, 2, 1));
-    auto acc_config = saturating(Design::Accelerator, 2, 1);
-    const auto split_off = workload::runWriteExperiment(acc_config);
+    workload::SweepRunner runner(harness.jobs());
+    const std::size_t split_on_index =
+        runner.add(saturating(Design::SmartDs, 2, 1));
+    const std::size_t split_off_index =
+        runner.add(saturating(Design::Accelerator, 2, 1));
+    const std::size_t sd4_index =
+        runner.add(saturating(Design::SmartDs, 8, 4));
+    runner.run();
+
+    const auto &split_on = runner.result(split_on_index);
+    const auto &split_off = runner.result(split_off_index);
 
     Table table("AAMS ablation (one port, same engine rate)");
     table.header({"variant", "tput(Gbps)", "avg(us)", "mem(Gbps)",
@@ -73,8 +82,7 @@ main()
 
     // The consequence: port scaling. Without the split every port's
     // traffic crosses the same PCIe link, which caps out immediately.
-    const auto sd4 = workload::runWriteExperiment(
-        saturating(Design::SmartDs, 8, 4));
+    const auto &sd4 = runner.result(sd4_index);
     const double pcie_per_port =
         usage(split_off, "pcie.nic.h2d") + usage(split_off, "pcie.nic.d2h");
     const double achievable = toGbps(calibration::pcieGen3x16Bandwidth);

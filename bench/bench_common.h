@@ -1,15 +1,170 @@
 /**
  * @file
  * Shared helpers for the figure benchmarks: standard saturating and
- * moderate-load experiment configurations per design.
+ * moderate-load experiment configurations per design, the command-line
+ * harness every bench binary uses (`--jobs N` to parallelize sweeps,
+ * `--smoke` for a tiny CI-sized run), and the sim-perf telemetry each
+ * binary appends to results/bench_perf.jsonl at exit.
  */
 
 #ifndef SMARTDS_BENCH_BENCH_COMMON_H_
 #define SMARTDS_BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
 #include "workload/experiment.h"
+#include "workload/sweep_runner.h"
 
 namespace smartds::bench {
+
+/** Whether `--smoke` was passed (tiny sweep for CI / smoke tests). */
+inline bool &
+smokeFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+inline bool
+smoke()
+{
+    return smokeFlag();
+}
+
+/**
+ * Under `--smoke`, trim a sweep's value list to its first element (the
+ * first value is always each sweep's baseline point, so relative columns
+ * like "vs-calm" stay well-defined).
+ */
+template <typename T>
+std::vector<T>
+sweep(std::initializer_list<T> full)
+{
+    if (smoke())
+        return {*full.begin()};
+    return std::vector<T>(full);
+}
+
+/**
+ * Per-binary command-line harness and exit telemetry. Construct first
+ * thing in main():
+ *
+ * @code
+ *   int main(int argc, char **argv) {
+ *       bench::Harness harness(argc, argv, "fig07_throughput_latency");
+ *       workload::SweepRunner runner(harness.jobs());
+ *       ...
+ *   }
+ * @endcode
+ *
+ * Recognized flags (removed from argv so google-benchmark binaries can
+ * pass the rest through):
+ *  - `--jobs N` / `--jobs=N`: worker threads for SweepRunner sweeps
+ *    (default: hardware concurrency; 1 = serial, today's behaviour).
+ *  - `--smoke`: tiny run — sweep lists trimmed to their first point and
+ *    experiment windows shrunk (see saturating()).
+ *
+ * On destruction appends one JSON line to results/bench_perf.jsonl with
+ * the events executed, wall-clock, events/sec and peak RSS of the run,
+ * so the repo's simulation-performance trajectory is measurable
+ * PR-over-PR.
+ */
+class Harness
+{
+  public:
+    Harness(int &argc, char **argv, std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()),
+          startEvents_(sim::totalEventsExecuted())
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--smoke") == 0) {
+                smokeFlag() = true;
+            } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+                jobs_ = parseJobs(argv[++i]);
+            } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+                jobs_ = parseJobs(arg + 7);
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+        argv[argc] = nullptr;
+    }
+
+    ~Harness()
+    {
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start_)
+                                .count();
+        const std::uint64_t events =
+            sim::totalEventsExecuted() - startEvents_;
+        struct rusage usage;
+        getrusage(RUSAGE_SELF, &usage);
+        const double rss_mb =
+            static_cast<double>(usage.ru_maxrss) / 1024.0; // Linux: KiB
+
+        char line[512];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"bench\":\"%s\",\"jobs\":%u,\"smoke\":%s,"
+            "\"events\":%llu,\"wall_s\":%.3f,\"events_per_sec\":%.0f,"
+            "\"peak_rss_mb\":%.1f,\"unix_time\":%lld}",
+            name_.c_str(), jobs_, smoke() ? "true" : "false",
+            static_cast<unsigned long long>(events), wall,
+            wall > 0.0 ? static_cast<double>(events) / wall : 0.0, rss_mb,
+            static_cast<long long>(std::time(nullptr)));
+
+        std::error_code ec;
+        std::filesystem::create_directories("results", ec);
+        std::ofstream out("results/bench_perf.jsonl", std::ios::app);
+        if (out)
+            out << line << '\n';
+        else
+            warn("could not append to results/bench_perf.jsonl");
+        std::printf("[bench_perf] %s\n", line);
+    }
+
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
+
+    /** Sweep worker threads (0 never returned; >= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    bool smoke() const { return bench::smoke(); }
+
+  private:
+    static unsigned
+    parseJobs(const char *text)
+    {
+        char *end = nullptr;
+        const long value = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || value < 0 || value > 4096)
+            fatal("invalid --jobs value '%s'", text);
+        return value == 0 ? workload::SweepRunner::defaultJobs()
+                          : static_cast<unsigned>(value);
+    }
+
+    std::string name_;
+    unsigned jobs_ = workload::SweepRunner::defaultJobs();
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t startEvents_;
+};
 
 /** Saturating configuration (throughput measurements). */
 inline workload::ExperimentConfig
@@ -19,8 +174,11 @@ saturating(middletier::Design design, unsigned cores, unsigned ports = 1)
     config.design = design;
     config.cores = cores;
     config.ports = ports;
-    config.warmup = 4 * ticksPerMillisecond;
-    config.window = 12 * ticksPerMillisecond;
+    // `--smoke` shrinks every experiment to a fraction of the simulated
+    // time: enough to exercise the full pipeline, not enough to converge
+    // publication-quality numbers.
+    config.warmup = (smoke() ? 1 : 4) * ticksPerMillisecond;
+    config.window = (smoke() ? 2 : 12) * ticksPerMillisecond;
     return config;
 }
 

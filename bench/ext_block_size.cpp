@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -27,20 +29,28 @@ using middletier::Design;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ext_block_size");
+
     std::printf("Extension: block-size sensitivity of the message "
                 "split\n\n");
 
-    Table table("Header split vs block size (saturating load)");
-    table.header({"block", "CPU-only-48", "SmartDS-1/2c", "SmartDS-1/8c",
-                  "best-vs-CPU", "SmartDS hdr-PCIe"});
+    const std::vector<Bytes> blocks = sweep(
+        {Bytes{512}, Bytes{1024}, Bytes{4096}, Bytes{16384},
+         Bytes{65536}});
 
-    for (Bytes block : {Bytes{512}, Bytes{1024}, Bytes{4096},
-                        Bytes{16384}, Bytes{65536}}) {
+    workload::SweepRunner runner(harness.jobs());
+    struct RowIndices
+    {
+        std::size_t cpu;
+        std::size_t sd2;
+        std::size_t sd8;
+    };
+    std::vector<RowIndices> indices;
+    for (Bytes block : blocks) {
         auto cpu_config = saturating(Design::CpuOnly, 48);
         cpu_config.blockBytes = block;
-        const auto cpu = workload::runWriteExperiment(cpu_config);
 
         // Small blocks need proportionally more in-flight requests to
         // keep the pipeline full: scale workers and clients with the
@@ -52,13 +62,26 @@ main()
         sd2_config.blockBytes = block;
         sd2_config.workersPerPort = workers;
         sd2_config.clients = block < 4096 ? 48 : 0;
-        const auto sd2 = workload::runWriteExperiment(sd2_config);
 
         // Small blocks make the 2-core header budget the bottleneck;
         // show how many cores buy the message rate back.
         auto sd8_config = sd2_config;
         sd8_config.cores = 8;
-        const auto sd8 = workload::runWriteExperiment(sd8_config);
+
+        indices.push_back({runner.add(cpu_config), runner.add(sd2_config),
+                           runner.add(sd8_config)});
+    }
+    runner.run();
+
+    Table table("Header split vs block size (saturating load)");
+    table.header({"block", "CPU-only-48", "SmartDS-1/2c", "SmartDS-1/8c",
+                  "best-vs-CPU", "SmartDS hdr-PCIe"});
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const Bytes block = blocks[i];
+        const auto &cpu = runner.result(indices[i].cpu);
+        const auto &sd2 = runner.result(indices[i].sd2);
+        const auto &sd8 = runner.result(indices[i].sd8);
 
         const auto it = sd2.usageGbps.find("pcie.smartds.h2d");
         const double hdr_pcie =

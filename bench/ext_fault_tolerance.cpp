@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -41,23 +42,58 @@ faulty(Design design)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ext_fault_tolerance");
+
     std::printf("Extension: fault tolerance under storage-node crash "
                 "churn (12-node pool, 2 ms outages, 20%% reads)\n\n");
+
+    const std::vector<Design> designs = {Design::CpuOnly, Design::SmartDs};
+    // interval 0 (healthy pool) leads so it survives a smoke trim: it is
+    // the vs-healthy baseline.
+    const std::vector<Tick> intervals =
+        sweep({Tick{0}, 4 * ticksPerMillisecond, 2 * ticksPerMillisecond,
+               1 * ticksPerMillisecond, Tick{500_us}});
+    const std::vector<unsigned> quorums = sweep({0u, 2u});
+
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<std::vector<std::size_t>> crash_indices;
+    for (Design design : designs) {
+        std::vector<std::size_t> per_design;
+        for (const Tick interval : intervals) {
+            auto config = faulty(design);
+            config.crashMeanInterval = interval;
+            per_design.push_back(runner.add(config));
+        }
+        crash_indices.push_back(std::move(per_design));
+    }
+    std::vector<std::vector<std::size_t>> quorum_indices;
+    for (Design design : designs) {
+        std::vector<std::size_t> per_design;
+        for (const unsigned q : quorums) {
+            auto config = faulty(design);
+            config.crashMeanInterval = 1 * ticksPerMillisecond;
+            config.ackQuorum = q;
+            // One retry only: replicas stuck behind an outage are handed
+            // to background repair rather than retried into it.
+            config.replicaMaxRetries = 1;
+            per_design.push_back(runner.add(config));
+        }
+        quorum_indices.push_back(std::move(per_design));
+    }
+    runner.run();
 
     Table crash("Crash rate vs goodput and tails");
     crash.header({"design", "crash-ivl(us)", "crashes", "tput(Gbps)",
                   "vs-healthy", "p99(us)", "timeouts", "replaced",
                   "read-fo"});
-    for (Design design : {Design::CpuOnly, Design::SmartDs}) {
+    for (std::size_t di = 0; di < designs.size(); ++di) {
+        const Design design = designs[di];
         double healthy = 0.0;
-        for (const Tick interval :
-             {Tick{0}, 4 * ticksPerMillisecond, 2 * ticksPerMillisecond,
-              1 * ticksPerMillisecond, 500_us}) {
-            auto config = faulty(design);
-            config.crashMeanInterval = interval;
-            const auto r = workload::runWriteExperiment(config);
+        for (std::size_t ii = 0; ii < intervals.size(); ++ii) {
+            const Tick interval = intervals[ii];
+            const auto &r = runner.result(crash_indices[di][ii]);
             if (interval == 0)
                 healthy = r.throughputGbps;
             crash.row({middletier::designName(design),
@@ -83,17 +119,11 @@ main()
                  "(1 ms crash interval)");
     quorum.header({"design", "quorum", "tput(Gbps)", "p99(us)",
                    "p999(us)", "quorum-done", "repairs"});
-    for (Design design : {Design::CpuOnly, Design::SmartDs}) {
-        for (const unsigned q : {0u, 2u}) {
-            auto config = faulty(design);
-            config.crashMeanInterval = 1 * ticksPerMillisecond;
-            config.ackQuorum = q;
-            // One retry only: replicas stuck behind an outage are handed
-            // to background repair rather than retried into it.
-            config.replicaMaxRetries = 1;
-            const auto r = workload::runWriteExperiment(config);
-            quorum.row({middletier::designName(design),
-                        q ? "2-of-3" : "all-3",
+    for (std::size_t di = 0; di < designs.size(); ++di) {
+        for (std::size_t qi = 0; qi < quorums.size(); ++qi) {
+            const auto &r = runner.result(quorum_indices[di][qi]);
+            quorum.row({middletier::designName(designs[di]),
+                        quorums[qi] ? "2-of-3" : "all-3",
                         fmt(r.throughputGbps, 1), fmt(r.p99LatencyUs, 1),
                         fmt(r.p999LatencyUs, 1),
                         fmt(static_cast<double>(

@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -40,28 +41,47 @@ maintenanceName(Maintenance m)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ext_maintenance");
+
     std::printf("Extension: co-located maintenance services "
                 "(LSM compaction bursts: 8 cores, 8 MiB every ~2 ms)\n\n");
+
+    const std::vector<Design> designs = {Design::CpuOnly, Design::SmartDs};
+    // Maintenance::Off leads: it is the vs-off baseline under --smoke.
+    const std::vector<Maintenance> modes =
+        sweep({Maintenance::Off, Maintenance::SharedCores,
+               Maintenance::DedicatedCores});
+
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<std::vector<std::size_t>> indices;
+    for (Design design : designs) {
+        std::vector<std::size_t> per_design;
+        for (Maintenance m : modes) {
+            auto config = design == Design::CpuOnly
+                              ? saturating(Design::CpuOnly, 48)
+                              : saturating(Design::SmartDs, 2);
+            config.maintenance = m;
+            per_design.push_back(runner.add(config));
+        }
+        indices.push_back(std::move(per_design));
+    }
+    runner.run();
 
     Table table("Serving write requests beside maintenance");
     table.header({"design", "maintenance", "tput(Gbps)", "vs-off",
                   "avg(us)", "p999(us)"});
 
-    for (Design design : {Design::CpuOnly, Design::SmartDs}) {
+    for (std::size_t di = 0; di < designs.size(); ++di) {
         double baseline = 0.0;
-        for (Maintenance m : {Maintenance::Off, Maintenance::SharedCores,
-                              Maintenance::DedicatedCores}) {
-            auto config = design == Design::CpuOnly
-                              ? saturating(Design::CpuOnly, 48)
-                              : saturating(Design::SmartDs, 2);
-            config.maintenance = m;
-            const auto r = workload::runWriteExperiment(config);
-            if (m == Maintenance::Off)
+        for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+            const auto &r = runner.result(indices[di][mi]);
+            if (modes[mi] == Maintenance::Off)
                 baseline = r.throughputGbps;
-            table.row({middletier::designName(design),
-                       maintenanceName(m), fmt(r.throughputGbps, 1),
+            table.row({middletier::designName(designs[di]),
+                       maintenanceName(modes[mi]),
+                       fmt(r.throughputGbps, 1),
                        fmt(r.throughputGbps / baseline, 2),
                        fmt(r.avgLatencyUs, 1),
                        fmt(r.p999LatencyUs, 1)});

@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -25,27 +26,46 @@ using middletier::Design;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "ext_read_path");
+
     std::printf("Extension: read-path service (Fig 3b)\n\n");
+
+    const std::vector<Design> designs = {Design::CpuOnly, Design::SmartDs};
+    const std::vector<double> read_fractions = sweep({0.0, 0.5, 1.0});
+
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<std::vector<std::size_t>> indices;
+    Tick window = 0;
+    for (Design design : designs) {
+        std::vector<std::size_t> per_design;
+        for (double reads : read_fractions) {
+            auto config = design == Design::CpuOnly
+                              ? saturating(Design::CpuOnly, 48)
+                              : saturating(Design::SmartDs, 2);
+            config.readFraction = reads;
+            window = config.window;
+            per_design.push_back(runner.add(config));
+        }
+        indices.push_back(std::move(per_design));
+    }
+    runner.run();
 
     Table table("Read/write mixes (saturating load)");
     table.header({"design", "reads", "completed/s (K)", "avg(us)",
                   "p99(us)"});
 
-    for (Design design : {Design::CpuOnly, Design::SmartDs}) {
-        for (double reads : {0.0, 0.5, 1.0}) {
-            auto config = design == Design::CpuOnly
-                              ? saturating(Design::CpuOnly, 48)
-                              : saturating(Design::SmartDs, 2);
-            config.readFraction = reads;
-            const auto r = workload::runWriteExperiment(config);
+    for (std::size_t di = 0; di < designs.size(); ++di) {
+        for (std::size_t ri = 0; ri < read_fractions.size(); ++ri) {
+            const auto &r = runner.result(indices[di][ri]);
             const double kops =
                 static_cast<double>(r.requestsCompleted) /
-                toSeconds(config.window) / 1e3;
-            table.row({middletier::designName(design),
-                       fmt(100.0 * reads, 0) + "%", fmt(kops, 0),
-                       fmt(r.avgLatencyUs, 1), fmt(r.p99LatencyUs, 1)});
+                toSeconds(window) / 1e3;
+            table.row({middletier::designName(designs[di]),
+                       fmt(100.0 * read_fractions[ri], 0) + "%",
+                       fmt(kops, 0), fmt(r.avgLatencyUs, 1),
+                       fmt(r.p99LatencyUs, 1)});
         }
         table.separator();
     }

@@ -12,7 +12,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.h"
 #include "common/table.h"
 #include "corpus/corpus.h"
 #include "mem/memory_system.h"
@@ -70,7 +72,7 @@ replay(Design design, double rate_per_second)
     static const corpus::RatioSampler ratios(corpus, 4096, 1, 256, 7);
 
     workload::TraceSynthesis synth;
-    synth.records = 60000;
+    synth.records = smartds::bench::smoke() ? 8000 : 60000;
     synth.meanRatePerSecond = rate_per_second;
     synth.burstFraction = 0.2;
     const auto trace = workload::synthesizeTrace(synth);
@@ -111,15 +113,17 @@ replay(Design design, double rate_per_second)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    smartds::bench::Harness harness(argc, argv, "ext_trace_replay");
+
     std::printf("Extension: open-loop bursty trace replay "
                 "(on/off bursts at 4x, hot-skewed addresses)\n\n");
 
     Table table("Trace replay: latency vs offered rate");
     table.header({"design", "offered(Gbps)", "avg(us)", "p99(us)",
                   "p999(us)"});
-    for (double rate : {0.6e6, 1.0e6, 1.4e6}) {
+    for (double rate : smartds::bench::sweep({0.6e6, 1.0e6, 1.4e6})) {
         for (Design design : {Design::CpuOnly, Design::SmartDs}) {
             const Run r = replay(design, rate);
             table.row({middletier::designName(design),

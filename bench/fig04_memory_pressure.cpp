@@ -17,7 +17,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.h"
 #include "common/calibration.h"
 #include "common/table.h"
 #include "mem/memory_system.h"
@@ -65,8 +67,9 @@ run(unsigned delay_cycles)
     // READs pull them back out; the forwarded rate is the read side,
     // which is the latency-sensitive direction.
     constexpr Bytes message = 4_MiB;
-    constexpr Tick warmup = 2 * ticksPerMillisecond;
-    constexpr Tick window = 20 * ticksPerMillisecond;
+    const Tick warmup = 2 * ticksPerMillisecond;
+    const Tick window =
+        (smartds::bench::smoke() ? 4 : 20) * ticksPerMillisecond;
 
     Bytes forwarded = 0;
     bool measuring = false;
@@ -107,8 +110,10 @@ run(unsigned delay_cycles)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    smartds::bench::Harness harness(argc, argv, "fig04_memory_pressure");
+
     std::printf("Figure 4: RDMA throughput at different memory pressure "
                 "levels\n"
                 "(paper: ~46%% of uncontended throughput at maximum "
@@ -119,7 +124,9 @@ main()
                   "rdma-vs-idle"});
 
     const Point idle = run(mem::MlcInjector::offDelay);
-    const unsigned delays[] = {1600, 800, 400, 200, 100, 50, 20, 0};
+    const std::vector<unsigned> delays =
+        smartds::bench::sweep({1600u, 800u, 400u, 200u, 100u, 50u, 20u,
+                               0u});
     table.row({"off", fmt(idle.rdmaGbps, 1), fmt(idle.mlcGBps, 1),
                "1.00"});
     double at_max = 1.0;

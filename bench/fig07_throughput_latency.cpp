@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -26,29 +27,60 @@ using namespace smartds;
 using namespace smartds::bench;
 using middletier::Design;
 
-void
-runRow(Table &tput, Table &lat, const char *label, Design design,
-       unsigned cores, unsigned ports)
+/** One table row: a (design, cores) point with its queued experiments. */
+struct Row
 {
-    const auto sat =
-        workload::runWriteExperiment(saturating(design, cores, ports));
-    const auto mod =
-        workload::runWriteExperiment(moderate(design, cores, ports));
-    tput.row({label, fmt(cores), fmt(sat.throughputGbps, 1),
-              fmt(sat.avgLatencyUs, 1), fmt(sat.p99LatencyUs, 1),
-              fmt(sat.p999LatencyUs, 1)});
-    lat.row({label, fmt(cores), fmt(mod.throughputGbps, 1),
-             fmt(mod.avgLatencyUs, 1), fmt(mod.p99LatencyUs, 1),
-             fmt(mod.p999LatencyUs, 1)});
-}
+    const char *label;
+    unsigned cores;
+    bool separatorBefore = false;
+    std::size_t sat = 0; ///< SweepRunner index, saturating load.
+    std::size_t mod = 0; ///< SweepRunner index, moderate load.
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "fig07_throughput_latency");
+
     std::printf("Figure 7: throughput and latency of serving write "
                 "requests\n\n");
+
+    // Queue every experiment up front so independent points can run
+    // concurrently; rows are emitted afterwards in queue order, keeping
+    // the output byte-identical to the serial sweep.
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<Row> rows;
+    bool first_group = true;
+    auto group = [&](const char *label, Design design, unsigned ports,
+                     const std::vector<unsigned> &core_counts) {
+        bool first_row = true;
+        for (unsigned cores : core_counts) {
+            Row row;
+            row.label = label;
+            row.cores = cores;
+            row.separatorBefore = first_row && !first_group;
+            row.sat = runner.add(saturating(design, cores, ports));
+            row.mod = runner.add(moderate(design, cores, ports));
+            rows.push_back(row);
+            first_row = false;
+        }
+        first_group = false;
+    };
+
+    group("CPU-only", Design::CpuOnly, 1,
+          sweep({2u, 4u, 8u, 16u, 24u, 32u, 40u, 48u}));
+    group("Acc", Design::Accelerator, 1, sweep({1u, 2u, 4u}));
+    group("BF2", Design::Bf2, 2, sweep({1u, 2u, 4u, 8u}));
+    group("SmartDS-1", Design::SmartDs, 1, sweep({1u, 2u, 4u}));
+
+    // Headline comparison at each design's peak configuration.
+    const std::size_t peak_cpu =
+        runner.add(saturating(Design::CpuOnly, 48));
+    const std::size_t peak_sd = runner.add(saturating(Design::SmartDs, 2));
+
+    runner.run();
 
     Table tput("Fig 7a + loaded latency - saturating load");
     tput.header({"design", "cores", "tput(Gbps)", "avg(us)", "p99(us)",
@@ -56,21 +88,20 @@ main()
     Table lat("Fig 7b-d - latency at moderate load");
     lat.header({"design", "cores", "tput(Gbps)", "avg(us)", "p99(us)",
                 "p999(us)"});
-
-    for (unsigned cores : {2u, 4u, 8u, 16u, 24u, 32u, 40u, 48u})
-        runRow(tput, lat, "CPU-only", Design::CpuOnly, cores, 1);
-    tput.separator();
-    lat.separator();
-    for (unsigned cores : {1u, 2u, 4u})
-        runRow(tput, lat, "Acc", Design::Accelerator, cores, 1);
-    tput.separator();
-    lat.separator();
-    for (unsigned cores : {1u, 2u, 4u, 8u})
-        runRow(tput, lat, "BF2", Design::Bf2, cores, 2);
-    tput.separator();
-    lat.separator();
-    for (unsigned cores : {1u, 2u, 4u})
-        runRow(tput, lat, "SmartDS-1", Design::SmartDs, cores, 1);
+    for (const Row &row : rows) {
+        if (row.separatorBefore) {
+            tput.separator();
+            lat.separator();
+        }
+        const auto &sat = runner.result(row.sat);
+        const auto &mod = runner.result(row.mod);
+        tput.row({row.label, fmt(row.cores), fmt(sat.throughputGbps, 1),
+                  fmt(sat.avgLatencyUs, 1), fmt(sat.p99LatencyUs, 1),
+                  fmt(sat.p999LatencyUs, 1)});
+        lat.row({row.label, fmt(row.cores), fmt(mod.throughputGbps, 1),
+                 fmt(mod.avgLatencyUs, 1), fmt(mod.p99LatencyUs, 1),
+                 fmt(mod.p999LatencyUs, 1)});
+    }
 
     tput.print();
     tput.writeCsv("results/fig07_throughput.csv");
@@ -78,11 +109,8 @@ main()
     lat.print();
     lat.writeCsv("results/fig07_latency.csv");
 
-    // Headline comparison at each design's peak configuration.
-    const auto cpu = workload::runWriteExperiment(
-        saturating(Design::CpuOnly, 48));
-    const auto sd = workload::runWriteExperiment(
-        saturating(Design::SmartDs, 2));
+    const auto &cpu = runner.result(peak_cpu);
+    const auto &sd = runner.result(peak_sd);
     std::printf("\nAt peak: CPU-only %.1f Gbps vs SmartDS-1 %.1f Gbps; "
                 "latency reduction avg %.1fx p99 %.1fx p999 %.1fx\n"
                 "(paper: avg 2.6x, p99 3.4x, p999 3.5x at comparable "

@@ -16,6 +16,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -36,10 +38,42 @@ usage(const workload::ExperimentResult &r, const char *key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "fig08_resource_usage");
+
     std::printf("Figure 8: host memory and CPU PCIe link bandwidth "
                 "usage\n\n");
+
+    workload::SweepRunner runner(harness.jobs());
+
+    std::vector<std::pair<unsigned, std::size_t>> cpu_rows;
+    for (unsigned cores : sweep({8u, 16u, 24u, 32u, 48u}))
+        cpu_rows.emplace_back(
+            cores, runner.add(saturating(Design::CpuOnly, cores)));
+
+    struct AccRow
+    {
+        std::string label;
+        unsigned cores;
+        std::size_t index;
+    };
+    std::vector<std::vector<AccRow>> acc_groups;
+    for (bool ddio : {true, false}) {
+        std::vector<AccRow> group;
+        for (unsigned cores : sweep({1u, 2u, 4u})) {
+            auto config = saturating(Design::Accelerator, cores);
+            config.ddio = ddio;
+            group.push_back({ddio ? "Acc w/DDIO" : "Acc w/oDDIO", cores,
+                             runner.add(config)});
+        }
+        acc_groups.push_back(std::move(group));
+    }
+
+    const std::size_t sd_index =
+        runner.add(saturating(Design::SmartDs, 2));
+
+    runner.run();
 
     Table mem("Fig 8a - host memory bandwidth occupation (Gbps)");
     mem.header({"design", "cores", "tput(Gbps)", "mem.read", "mem.write"});
@@ -47,9 +81,8 @@ main()
     pcie.header({"design", "cores", "tput(Gbps)", "nic.h2d", "nic.d2h",
                  "fpga/sd.h2d", "fpga/sd.d2h"});
 
-    for (unsigned cores : {8u, 16u, 24u, 32u, 48u}) {
-        const auto r = workload::runWriteExperiment(
-            saturating(Design::CpuOnly, cores));
+    for (const auto &[cores, index] : cpu_rows) {
+        const auto &r = runner.result(index);
         mem.row({"CPU-only", fmt(cores), fmt(r.throughputGbps, 1),
                  fmt(usage(r, "mem.read"), 1),
                  fmt(usage(r, "mem.write"), 1)});
@@ -60,16 +93,13 @@ main()
     mem.separator();
     pcie.separator();
 
-    for (bool ddio : {true, false}) {
-        for (unsigned cores : {1u, 2u, 4u}) {
-            auto config = saturating(Design::Accelerator, cores);
-            config.ddio = ddio;
-            const auto r = workload::runWriteExperiment(config);
-            const std::string label = ddio ? "Acc w/DDIO" : "Acc w/oDDIO";
-            mem.row({label, fmt(cores), fmt(r.throughputGbps, 1),
+    for (const auto &group : acc_groups) {
+        for (const AccRow &row : group) {
+            const auto &r = runner.result(row.index);
+            mem.row({row.label, fmt(row.cores), fmt(r.throughputGbps, 1),
                      fmt(usage(r, "mem.read"), 1),
                      fmt(usage(r, "mem.write"), 1)});
-            pcie.row({label, fmt(cores), fmt(r.throughputGbps, 1),
+            pcie.row({row.label, fmt(row.cores), fmt(r.throughputGbps, 1),
                       fmt(usage(r, "pcie.nic.h2d"), 1),
                       fmt(usage(r, "pcie.nic.d2h"), 1),
                       fmt(usage(r, "pcie.fpga.h2d"), 1),
@@ -80,8 +110,7 @@ main()
     }
 
     {
-        const auto r = workload::runWriteExperiment(
-            saturating(Design::SmartDs, 2));
+        const auto &r = runner.result(sd_index);
         mem.row({"SmartDS-1", "2", fmt(r.throughputGbps, 1),
                  fmt(usage(r, "mem.read"), 1),
                  fmt(usage(r, "mem.write"), 1)});

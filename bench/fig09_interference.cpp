@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -33,8 +34,10 @@ struct Config
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "fig09_interference");
+
     std::printf("Figure 9: performance under different memory pressure\n"
                 "(16 dedicated cores run the MLC injector)\n\n");
 
@@ -43,20 +46,35 @@ main()
         {"Acc", Design::Accelerator, 2},
         {"SmartDS-1", Design::SmartDs, 2},
     };
-    const unsigned delays[] = {mem::MlcInjector::offDelay, 800, 400, 200,
-                               100, 50, 0};
+    // The "off" point is each design's calm baseline and must survive a
+    // smoke trim so the vs-calm column stays defined.
+    const std::vector<unsigned> delays = sweep(
+        {mem::MlcInjector::offDelay, 800u, 400u, 200u, 100u, 50u, 0u});
+
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<std::vector<std::size_t>> indices;
+    for (const Config &c : configs) {
+        std::vector<std::size_t> per_design;
+        for (unsigned delay : delays) {
+            auto config = saturating(c.design, c.cores);
+            config.mlcDelayCycles = delay;
+            config.mlcCores = 16;
+            per_design.push_back(runner.add(config));
+        }
+        indices.push_back(std::move(per_design));
+    }
+    runner.run();
 
     Table table("Fig 9 - write serving under MLC pressure");
     table.header({"design", "mlc-delay", "tput(Gbps)", "vs-calm",
                   "avg(us)", "p99(us)", "p999(us)", "mlc(GB/s)"});
 
-    for (const Config &c : configs) {
+    for (std::size_t ci = 0; ci < indices.size(); ++ci) {
+        const Config &c = configs[ci];
         double calm = 0.0;
-        for (unsigned delay : delays) {
-            auto config = saturating(c.design, c.cores);
-            config.mlcDelayCycles = delay;
-            config.mlcCores = 16;
-            const auto r = workload::runWriteExperiment(config);
+        for (std::size_t di = 0; di < delays.size(); ++di) {
+            const unsigned delay = delays[di];
+            const auto &r = runner.result(indices[ci][di]);
             if (delay == mem::MlcInjector::offDelay)
                 calm = r.throughputGbps;
             const std::string delay_label =

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
@@ -30,9 +31,27 @@ usage(const workload::ExperimentResult &r, const char *key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "fig10_multiport");
+
     std::printf("Figure 10: effect of the number of network ports\n\n");
+
+    // ports=1 is the scale baseline; sweep() keeps it under --smoke.
+    const std::vector<unsigned> port_counts = sweep({1u, 2u, 4u, 6u});
+
+    workload::SweepRunner runner(harness.jobs());
+    std::vector<std::size_t> indices;
+    for (unsigned ports : port_counts) {
+        const unsigned cores = 2 * ports; // two cores per port (5.5)
+        indices.push_back(
+            runner.add(saturating(Design::SmartDs, cores, ports)));
+    }
+    const std::size_t cpu_index =
+        runner.add(saturating(Design::CpuOnly, 48));
+    const std::size_t sd4_index =
+        runner.add(saturating(Design::SmartDs, 8, 4));
+    runner.run();
 
     Table table("Fig 10a-c - SmartDS port scaling");
     table.header({"ports", "cores", "tput(Gbps)", "scale", "avg(us)",
@@ -40,10 +59,10 @@ main()
                   "pcie.d2h(Gbps)"});
 
     double base = 0.0;
-    for (unsigned ports : {1u, 2u, 4u, 6u}) {
-        const unsigned cores = 2 * ports; // two cores per port (5.5)
-        const auto r = workload::runWriteExperiment(
-            saturating(Design::SmartDs, cores, ports));
+    for (std::size_t i = 0; i < port_counts.size(); ++i) {
+        const unsigned ports = port_counts[i];
+        const unsigned cores = 2 * ports;
+        const auto &r = runner.result(indices[i]);
         if (ports == 1)
             base = r.throughputGbps;
         table.row({fmt(ports), fmt(cores), fmt(r.throughputGbps, 1),
@@ -57,10 +76,8 @@ main()
     table.print();
     table.writeCsv("results/fig10_multiport.csv");
 
-    const auto cpu = workload::runWriteExperiment(
-        saturating(Design::CpuOnly, 48));
-    const auto sd4 = workload::runWriteExperiment(
-        saturating(Design::SmartDs, 8, 4));
+    const auto &cpu = runner.result(cpu_index);
+    const auto &sd4 = runner.result(sd4_index);
     std::printf("\nSmartDS-4 achieves %.1fx the CPU-only middle tier "
                 "(paper: up to 4.3x).\n",
                 sd4.throughputGbps / cpu.throughputGbps);

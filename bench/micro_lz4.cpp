@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/random.h"
 #include "corpus/corpus.h"
 #include "lz4/lz4.h"
@@ -100,4 +102,22 @@ BENCHMARK_CAPTURE(decompressProfile, executable,
                   corpus::Profile::Executable);
 BENCHMARK_CAPTURE(decompressProfile, imaging, corpus::Profile::Imaging);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    smartds::bench::Harness harness(argc, argv, "micro_lz4");
+    // Under --smoke, cap each benchmark's measuring time so the whole
+    // binary finishes in seconds; explicit user flags still win because
+    // google-benchmark takes the last occurrence.
+    std::string min_time = "--benchmark_min_time=0.01";
+    std::vector<char *> args(argv, argv + argc);
+    if (harness.smoke())
+        args.insert(args.begin() + 1, min_time.data());
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "sim/awaitables.h"
 #include "sim/bandwidth_server.h"
 #include "sim/fair_share.h"
@@ -95,4 +99,22 @@ BENCHMARK(coroutineDelayChain);
 BENCHMARK(bandwidthServerTransfers);
 BENCHMARK(fairShareContendedTransfers)->Arg(2)->Arg(8)->Arg(32);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    smartds::bench::Harness harness(argc, argv, "micro_sim");
+    // Under --smoke, cap each benchmark's measuring time so the whole
+    // binary finishes in seconds; explicit user flags still win because
+    // google-benchmark takes the last occurrence.
+    std::string min_time = "--benchmark_min_time=0.01";
+    std::vector<char *> args(argv, argv + argc);
+    if (harness.smoke())
+        args.insert(args.begin() + 1, min_time.data());
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -35,13 +35,26 @@ usage(const workload::ExperimentResult &r, const char *key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Harness harness(argc, argv, "sec55_multi_smartnic");
+
     std::printf("Section 5.5: multiple SmartNICs per server\n\n");
 
+    workload::SweepRunner runner(harness.jobs());
+    const std::size_t one_card_index =
+        runner.add(saturating(Design::SmartDs, 12, 6));
+    auto two_config = saturating(Design::SmartDs, 4, 2);
+    two_config.cards = 2;
+    const std::size_t two_cards_index = runner.add(two_config);
+    const std::size_t one_of_two_index =
+        runner.add(saturating(Design::SmartDs, 4, 2));
+    const std::size_t cpu_index =
+        runner.add(saturating(Design::CpuOnly, 48));
+    runner.run();
+
     // --- Part 1: measure one card (SmartDS-6) in simulation -------------
-    const auto one_card = workload::runWriteExperiment(
-        saturating(Design::SmartDs, 12, 6));
+    const auto &one_card = runner.result(one_card_index);
     const double per_card_gbps = one_card.throughputGbps;
     const double host_mem_gbps = usage(one_card, "mem.read") +
                                  usage(one_card, "mem.write");
@@ -55,18 +68,14 @@ main()
 
     // Simulated cross-check: two full cards behind one PCIe switch scale
     // as linearly as ports on one card.
-    auto two_config = saturating(Design::SmartDs, 4, 2);
-    two_config.cards = 2;
-    const auto two_cards = workload::runWriteExperiment(two_config);
-    const auto one_of_two = workload::runWriteExperiment(
-        saturating(Design::SmartDs, 4, 2));
+    const auto &two_cards = runner.result(two_cards_index);
+    const auto &one_of_two = runner.result(one_of_two_index);
     std::printf("Simulated cross-check: 2 cards x 2 ports = %.1f Gbps vs "
                 "1 card x 2 ports = %.1f Gbps (%.2fx)\n\n",
                 two_cards.throughputGbps, one_of_two.throughputGbps,
                 two_cards.throughputGbps / one_of_two.throughputGbps);
 
-    const auto cpu = workload::runWriteExperiment(
-        saturating(Design::CpuOnly, 48));
+    const auto &cpu = runner.result(cpu_index);
 
     // --- Part 2: fleet arithmetic over the measured card ----------------
     cluster::ScaleUpInputs inputs;

@@ -13,6 +13,7 @@
 
 #include <functional>
 
+#include "bench_common.h"
 #include "common/calibration.h"
 #include "common/running_stats.h"
 #include "common/table.h"
@@ -76,7 +77,8 @@ run(bool heavy)
 
     // Probe: average the latency of individual DMAs.
     RunningStats h2d, d2h;
-    for (int i = 0; i < 200; ++i) {
+    const int probes = smartds::bench::smoke() ? 50 : 200;
+    for (int i = 0; i < probes; ++i) {
         pcie::DmaEngine::Options read_options;
         read_options.memFlow = read_flow;
         dma.read(calibration::pcieProbeBytes, read_options,
@@ -96,8 +98,10 @@ run(bool heavy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    smartds::bench::Harness harness(argc, argv, "table1_pcie_latency");
+
     std::printf("Table 1: PCIe latency under different pressure\n"
                 "(paper: 1.4/1.4 us idle; 11.3 us H2D, 6.6 us D2H "
                 "loaded)\n\n");

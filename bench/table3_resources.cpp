@@ -8,14 +8,17 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/table.h"
 #include "smartds/resource_model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace smartds;
     using namespace smartds::device;
+
+    bench::Harness harness(argc, argv, "table3_resources");
 
     std::printf("Table 3: FPGA resource consumption\n"
                 "(paper: Acc 112K/109K/172; SmartDS-1 157K/143K/292; "

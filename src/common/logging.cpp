@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,10 @@ namespace smartds {
 
 namespace {
 
-bool quietFlag = false;
+// Atomic so concurrent sweep workers (workload::SweepRunner) may warn or
+// query quietness without a data race; stderr writes themselves are
+// line-buffered through one vfprintf call and need no further locking.
+std::atomic<bool> quietFlag{false};
 
 void
 vreport(const char *prefix, const char *fmt, std::va_list args)

@@ -154,20 +154,24 @@ class MatchFinder
     {
         if (pos + minMatch > n_)
             return;
-        const std::uint32_t h = hash32(read32(src_ + pos), hashBits_);
-        if (chained_)
-            prev_[pos] = head_[h];
-        head_[h] = static_cast<std::uint32_t>(pos);
+        insertHashed(pos, hash32(read32(src_ + pos), hashBits_));
     }
 
     /**
-     * Find the best match for @p pos within the offset window.
+     * Find the best match for @p pos within the offset window, then
+     * record @p pos in the index. The four source bytes are loaded and
+     * hashed once and shared between the search and the insertion —
+     * the scan loop previously paid for both separately on every
+     * position. The search runs before the insertion, so results are
+     * identical to find() followed by insert().
      * @return match length (0 if none) and sets @p match_pos.
      */
     std::size_t
-    find(std::size_t pos, const std::uint8_t *limit, std::size_t *match_pos)
+    findAndInsert(std::size_t pos, const std::uint8_t *limit,
+                  std::size_t *match_pos)
     {
-        const std::uint32_t h = hash32(read32(src_ + pos), hashBits_);
+        const std::uint32_t v = read32(src_ + pos);
+        const std::uint32_t h = hash32(v, hashBits_);
         std::uint32_t cand = head_[h];
         std::size_t best_len = 0;
         unsigned tries = attempts_;
@@ -177,7 +181,7 @@ class MatchFinder
                 break;
             if (pos - cpos > maxOffset)
                 break;
-            if (read32(src_ + cpos) == read32(src_ + pos)) {
+            if (read32(src_ + cpos) == v) {
                 const std::size_t len = matchLength(src_ + pos, src_ + cpos,
                                                     limit);
                 if (len >= minMatch && len > best_len) {
@@ -189,11 +193,20 @@ class MatchFinder
                 break;
             cand = prev_[cpos];
         }
+        insertHashed(pos, h);
         return best_len;
     }
 
   private:
     static constexpr std::uint32_t empty = 0xffffffffu;
+
+    void
+    insertHashed(std::size_t pos, std::uint32_t h)
+    {
+        if (chained_)
+            prev_[pos] = head_[h];
+        head_[h] = static_cast<std::uint32_t>(pos);
+    }
 
     const std::uint8_t *src_;
     std::size_t n_;
@@ -241,9 +254,9 @@ compress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
 
     while (pos < last_match_start) {
         std::size_t match_pos = 0;
-        const std::size_t len = finder.find(pos, match_limit, &match_pos);
+        const std::size_t len =
+            finder.findAndInsert(pos, match_limit, &match_pos);
         if (len == 0) {
-            finder.insert(pos);
             ++misses;
             pos += 1 + (misses >> 6);
             continue;
@@ -256,7 +269,6 @@ compress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
         // enough to keep the ratio while staying fast), then continue
         // right after it.
         const std::size_t end = pos + len;
-        finder.insert(pos);
         for (std::size_t p = pos + 2; p + minMatch <= end && p < last_match_start;
              p += 2)
             finder.insert(p);
@@ -329,11 +341,24 @@ decompress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
         if (op + match_len > dst_cap)
             return std::nullopt;
 
-        // Overlapping copies must run byte-forward (offset may be < len).
         const std::uint8_t *from = dst + op - offset;
         std::uint8_t *to = dst + op;
-        for (std::size_t i = 0; i < match_len; ++i)
-            to[i] = from[i];
+        // Wildcopy: copy in 8-byte chunks, overshooting up to 7 bytes
+        // past the match. Safe only when the source lags by at least 8
+        // (no chunk reads bytes this copy is itself producing) and the
+        // overshoot still lands inside dst's capacity — the spilled
+        // bytes sit at positions the stream has yet to write, so they
+        // are either overwritten by later sequences or beyond the
+        // returned size. Overlapping or buffer-end copies take the
+        // byte-forward loop.
+        if (offset >= 8 && op + match_len + 7 <= dst_cap) {
+            for (std::size_t i = 0; i < match_len; i += 8)
+                std::memcpy(to + i, from + i, 8);
+        } else {
+            // Overlap (offset < len) requires byte-forward order.
+            for (std::size_t i = 0; i < match_len; ++i)
+                to[i] = from[i];
+        }
         op += match_len;
     }
     // Ran out of input without a terminating literal-only sequence.

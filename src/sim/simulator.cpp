@@ -1,59 +1,25 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
-#include "common/logging.h"
+#include <atomic>
 
 namespace smartds::sim {
 
-bool
-EventHandle::cancel()
+namespace {
+
+/** Tally of executed events flushed by every Simulator destructor. */
+std::atomic<std::uint64_t> globalExecuted{0};
+
+} // namespace
+
+std::uint64_t
+totalEventsExecuted()
 {
-    if (!state_ || state_->fired || state_->cancelled)
-        return false;
-    state_->cancelled = true;
-    return true;
+    return globalExecuted.load(std::memory_order_relaxed);
 }
 
-bool
-EventHandle::pending() const
+Simulator::~Simulator()
 {
-    return state_ && !state_->fired && !state_->cancelled;
-}
-
-EventHandle
-Simulator::schedule(Tick delay, std::function<void()> fn)
-{
-    return scheduleAt(now_ + delay, std::move(fn));
-}
-
-EventHandle
-Simulator::scheduleAt(Tick when, std::function<void()> fn)
-{
-    SMARTDS_ASSERT(when >= now_, "scheduling into the past (when=%llu now=%llu)",
-                   static_cast<unsigned long long>(when),
-                   static_cast<unsigned long long>(now_));
-    auto state = std::make_shared<EventHandle::State>();
-    queue_.push(Entry{when, nextSeq_++, std::move(fn), state});
-    return EventHandle(std::move(state));
-}
-
-bool
-Simulator::step()
-{
-    while (!queue_.empty()) {
-        // Copy out then pop so the callback may schedule freely.
-        Entry e = queue_.top();
-        queue_.pop();
-        if (e.state->cancelled)
-            continue;
-        now_ = e.when;
-        e.state->fired = true;
-        ++executed_;
-        e.fn();
-        return true;
-    }
-    return false;
+    globalExecuted.fetch_add(executed_, std::memory_order_relaxed);
 }
 
 Tick
@@ -67,7 +33,10 @@ Simulator::run()
 Tick
 Simulator::runUntil(Tick deadline)
 {
-    while (!queue_.empty() && queue_.top().when <= deadline) {
+    while (true) {
+        dropStaleTop();
+        if (heap_.empty() || heap_.front().when() > deadline)
+            break;
         if (!step())
             break;
     }

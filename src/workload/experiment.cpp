@@ -1,6 +1,7 @@
 #include "workload/experiment.h"
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
@@ -22,15 +23,21 @@ namespace smartds::workload {
 
 namespace {
 
-/** Corpus + ratio distribution, cached per (effort, block size). */
+/**
+ * Corpus + ratio distribution, cached per (effort, block size). The
+ * mutex makes the cache safe for concurrent experiments (SweepRunner);
+ * the returned sampler itself is immutable and shared freely.
+ */
 const corpus::RatioSampler &
 cachedRatios(int effort, Bytes block_bytes)
 {
     static const corpus::SyntheticCorpus corpus(4u << 20, 42);
+    static std::mutex mutex;
     static std::map<std::pair<int, Bytes>,
                     std::unique_ptr<corpus::RatioSampler>>
         cache;
     const auto key = std::make_pair(effort, block_bytes);
+    const std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(key);
     if (it == cache.end()) {
         it = cache

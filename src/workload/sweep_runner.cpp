@@ -1,0 +1,77 @@
+#include "workload/sweep_runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace smartds::workload {
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+std::size_t
+SweepRunner::add(ExperimentConfig config)
+{
+    SMARTDS_ASSERT(!ran_, "add() after run()");
+    configs_.push_back(config);
+    return configs_.size() - 1;
+}
+
+const std::vector<ExperimentResult> &
+SweepRunner::run()
+{
+    SMARTDS_ASSERT(!ran_, "run() is callable once");
+    ran_ = true;
+    results_.resize(configs_.size());
+
+    const std::size_t n = configs_.size();
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results_[i] = runWriteExperiment(configs_[i]);
+        return results_;
+    }
+
+    // Each worker claims the next unclaimed configuration and writes its
+    // result into that configuration's pre-sized slot. Experiments share
+    // no mutable state, so the outcome is independent of which thread
+    // runs which point and of completion order.
+    std::atomic<std::size_t> next{0};
+    auto work = [this, n, &next]() {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            results_[i] = runWriteExperiment(configs_[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (auto &t : pool)
+        t.join();
+    return results_;
+}
+
+const ExperimentResult &
+SweepRunner::result(std::size_t index) const
+{
+    SMARTDS_ASSERT(ran_, "result() before run()");
+    SMARTDS_ASSERT(index < results_.size(), "result index out of range");
+    return results_[index];
+}
+
+} // namespace smartds::workload

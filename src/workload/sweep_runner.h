@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parallel sweep execution over independent experiment configurations.
+ *
+ * Every figure reproduction is a sweep: dozens of runWriteExperiment()
+ * calls whose configurations are known up front and whose runs share no
+ * mutable state (one Simulator, one fabric, one RNG universe per run,
+ * all seeded from the config). SweepRunner exploits exactly that: it
+ * queues configurations, runs them on a pool of worker threads, and
+ * stores each result in the slot its configuration was queued under —
+ * so consumers that format tables/CSVs in queue order produce
+ * byte-identical output regardless of completion order or job count.
+ */
+
+#ifndef SMARTDS_WORKLOAD_SWEEP_RUNNER_H_
+#define SMARTDS_WORKLOAD_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace smartds::workload {
+
+/**
+ * Collects experiment configurations and runs them concurrently.
+ *
+ * Usage:
+ * @code
+ *   SweepRunner runner(jobs);
+ *   const std::size_t a = runner.add(configA);
+ *   const std::size_t b = runner.add(configB);
+ *   runner.run();
+ *   use(runner.result(a), runner.result(b));
+ * @endcode
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs worker threads; 0 = hardware concurrency, 1 = run the
+     *             sweep serially on the calling thread (no pool).
+     */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Queue one experiment. @return the slot index of its result. */
+    std::size_t add(ExperimentConfig config);
+
+    /** Number of experiments queued so far. */
+    std::size_t size() const { return configs_.size(); }
+
+    /** Worker threads the sweep will use. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run all queued experiments (blocking); callable once. Queue order
+     * defines result order.
+     * @return results, indexed by the values add() returned.
+     */
+    const std::vector<ExperimentResult> &run();
+
+    /** Result of the experiment queued at @p index (after run()). */
+    const ExperimentResult &result(std::size_t index) const;
+
+    /** Resolved default for jobs = 0 (hardware concurrency, >= 1). */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned jobs_;
+    bool ran_ = false;
+    std::vector<ExperimentConfig> configs_;
+    std::vector<ExperimentResult> results_;
+};
+
+} // namespace smartds::workload
+
+#endif // SMARTDS_WORKLOAD_SWEEP_RUNNER_H_

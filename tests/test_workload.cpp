@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "mem/memory_system.h"
 #include "middletier/cpu_only_server.h"
 #include "net/fabric.h"
 #include "storage/storage_server.h"
 #include "workload/experiment.h"
+#include "workload/sweep_runner.h"
 #include "workload/vm_client.h"
 
 namespace smartds::workload {
@@ -152,6 +154,71 @@ TEST(Experiment, DeterministicForFixedSeed)
     EXPECT_EQ(a.requestsCompleted, b.requestsCompleted);
     EXPECT_DOUBLE_EQ(a.throughputGbps, b.throughputGbps);
     EXPECT_DOUBLE_EQ(a.p999LatencyUs, b.p999LatencyUs);
+}
+
+TEST(SweepRunner, ParallelSweepBitIdenticalToSerial)
+{
+    // The --jobs N parallel sweep must reproduce the serial sweep's
+    // results bit-for-bit: every per-point statistic, including the
+    // failover counters of fault-injected points, must match exactly.
+    auto build = [](SweepRunner &runner) {
+        for (const Design design :
+             {Design::CpuOnly, Design::SmartDs, Design::Bf2}) {
+            for (const std::uint64_t seed : {1u, 99u}) {
+                ExperimentConfig config;
+                config.design = design;
+                config.cores = design == Design::CpuOnly ? 8 : 2;
+                config.seed = seed;
+                config.warmup = 1 * ticksPerMillisecond;
+                config.window = 2 * ticksPerMillisecond;
+                runner.add(config);
+            }
+        }
+        // A fault-injected point exercises the failover counters.
+        ExperimentConfig faulty;
+        faulty.design = Design::SmartDs;
+        faulty.cores = 2;
+        faulty.storageServers = 12;
+        faulty.warmup = 1 * ticksPerMillisecond;
+        faulty.window = 2 * ticksPerMillisecond;
+        faulty.crashMeanInterval = 1 * ticksPerMillisecond;
+        faulty.crashOutage = 1 * ticksPerMillisecond;
+        runner.add(faulty);
+    };
+
+    SweepRunner serial(1);
+    build(serial);
+    const auto &serial_results = serial.run();
+
+    SweepRunner parallel(8);
+    build(parallel);
+    EXPECT_EQ(parallel.jobs(), 8u);
+    const auto &parallel_results = parallel.run();
+
+    ASSERT_EQ(serial_results.size(), parallel_results.size());
+    for (std::size_t i = 0; i < serial_results.size(); ++i) {
+        const auto &s = serial_results[i];
+        const auto &p = parallel_results[i];
+        EXPECT_EQ(s.requestsCompleted, p.requestsCompleted) << "point " << i;
+        EXPECT_EQ(s.throughputGbps, p.throughputGbps) << "point " << i;
+        EXPECT_EQ(s.avgLatencyUs, p.avgLatencyUs) << "point " << i;
+        EXPECT_EQ(s.p50LatencyUs, p.p50LatencyUs) << "point " << i;
+        EXPECT_EQ(s.p99LatencyUs, p.p99LatencyUs) << "point " << i;
+        EXPECT_EQ(s.p999LatencyUs, p.p999LatencyUs) << "point " << i;
+        EXPECT_EQ(s.meanCompressionRatio, p.meanCompressionRatio)
+            << "point " << i;
+        EXPECT_EQ(s.usageGbps, p.usageGbps) << "point " << i;
+        EXPECT_EQ(s.crashesInjected, p.crashesInjected) << "point " << i;
+        EXPECT_EQ(s.failover.replicaTimeouts, p.failover.replicaTimeouts)
+            << "point " << i;
+        EXPECT_EQ(s.failover.replicaReplacements,
+                  p.failover.replicaReplacements)
+            << "point " << i;
+        EXPECT_EQ(s.failover.quorumCompletions, p.failover.quorumCompletions)
+            << "point " << i;
+        EXPECT_EQ(s.failover.readFailovers, p.failover.readFailovers)
+            << "point " << i;
+    }
 }
 
 TEST(Experiment, DifferentSeedsDifferentTimings)
