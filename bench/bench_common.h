@@ -17,14 +17,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
-#include <filesystem>
-#include <fstream>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "common/file_io.h"
 #include "common/logging.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "workload/experiment.h"
 #include "workload/sweep_runner.h"
 
@@ -42,6 +42,22 @@ inline bool
 smoke()
 {
     return smokeFlag();
+}
+
+/** `--trace-out` path ("" = tracing off, the default). */
+inline std::string &
+traceOutFlag()
+{
+    static std::string path;
+    return path;
+}
+
+/** `--trace-sample N` value (trace every Nth request; default 1). */
+inline unsigned &
+traceSampleFlag()
+{
+    static unsigned every = 1;
+    return every;
 }
 
 /**
@@ -76,6 +92,13 @@ sweep(std::initializer_list<T> full)
  *    (default: hardware concurrency; 1 = serial, today's behaviour).
  *  - `--smoke`: tiny run — sweep lists trimmed to their first point and
  *    experiment windows shrunk (see saturating()).
+ *  - `--trace-out PATH` / `--trace-out=PATH`: enable per-request tracing
+ *    for every queued experiment and write a Perfetto/chrome://tracing
+ *    JSON of the sampled requests to PATH (via exportTraces()); a
+ *    per-stage latency CSV lands in results/<bench>_stages.csv.
+ *  - `--trace-sample N` / `--trace-sample=N`: trace every Nth request
+ *    (default 1 = all sampled requests; only meaningful with
+ *    `--trace-out`).
  *
  * On destruction appends one JSON line to results/bench_perf.jsonl with
  * the events executed, wall-clock, events/sec and peak RSS of the run,
@@ -99,6 +122,16 @@ class Harness
                 jobs_ = parseJobs(argv[++i]);
             } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
                 jobs_ = parseJobs(arg + 7);
+            } else if (std::strcmp(arg, "--trace-out") == 0 &&
+                       i + 1 < argc) {
+                traceOutFlag() = argv[++i];
+            } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+                traceOutFlag() = arg + 12;
+            } else if (std::strcmp(arg, "--trace-sample") == 0 &&
+                       i + 1 < argc) {
+                traceSampleFlag() = parseSample(argv[++i]);
+            } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+                traceSampleFlag() = parseSample(arg + 15);
             } else {
                 argv[out++] = argv[i];
             }
@@ -130,12 +163,10 @@ class Harness
             wall > 0.0 ? static_cast<double>(events) / wall : 0.0, rss_mb,
             static_cast<long long>(std::time(nullptr)));
 
-        std::error_code ec;
-        std::filesystem::create_directories("results", ec);
-        std::ofstream out("results/bench_perf.jsonl", std::ios::app);
-        if (out)
-            out << line << '\n';
-        else
+        // One write() on an O_APPEND fd: several bench binaries running
+        // under ctest -j append here concurrently, and buffered ofstream
+        // appends could tear a line in half (see common/file_io.h).
+        if (!appendLineAtomic("results/bench_perf.jsonl", line))
             warn("could not append to results/bench_perf.jsonl");
         std::printf("[bench_perf] %s\n", line);
     }
@@ -148,6 +179,54 @@ class Harness
 
     bool smoke() const { return bench::smoke(); }
 
+    /** Whether `--trace-out` was passed (tracing requested). */
+    bool tracing() const { return !traceOutFlag().empty(); }
+
+    /**
+     * Export the sweep's traces (call after runner.run(); no-op unless
+     * `--trace-out` was passed):
+     *  - a Perfetto / chrome://tracing JSON at the `--trace-out` path,
+     *    one "process" per run in queue order (pid = queue index), so
+     *    the file is byte-identical regardless of `--jobs`;
+     *  - a per-stage latency breakdown CSV at results/<bench>_stages.csv.
+     */
+    void
+    exportTraces(const workload::SweepRunner &runner) const
+    {
+        if (!tracing())
+            return;
+
+        trace::PerfettoWriter writer;
+        std::string csv = "run,design,stage,count,avg_us,p50_us,p99_us,"
+                          "p999_us\n";
+        char buf[256];
+        for (std::size_t i = 0; i < runner.size(); ++i) {
+            const workload::ExperimentConfig &config = runner.config(i);
+            const workload::ExperimentResult &result = runner.result(i);
+            const char *design = middletier::designName(config.design);
+            std::snprintf(buf, sizeof(buf), "%s/run%zu %s", name_.c_str(),
+                          i, design);
+            writer.addRun(static_cast<unsigned>(i), buf, result.spans);
+            for (const trace::StageStats &s : result.stages) {
+                std::snprintf(buf, sizeof(buf),
+                              "%zu,%s,%s,%llu,%.3f,%.3f,%.3f,%.3f\n", i,
+                              design, s.stage,
+                              static_cast<unsigned long long>(s.count),
+                              s.avgUs, s.p50Us, s.p99Us, s.p999Us);
+                csv += buf;
+            }
+        }
+
+        const std::string &json_path = traceOutFlag();
+        if (!writeFileAtomic(json_path, writer.finish()))
+            fatal("could not write trace JSON to '%s'", json_path.c_str());
+        const std::string csv_path = "results/" + name_ + "_stages.csv";
+        if (!writeFileAtomic(csv_path, csv))
+            fatal("could not write stage CSV to '%s'", csv_path.c_str());
+        std::printf("[trace] %u runs -> %s (stage breakdown: %s)\n",
+                    writer.runs(), json_path.c_str(), csv_path.c_str());
+    }
+
   private:
     static unsigned
     parseJobs(const char *text)
@@ -158,6 +237,16 @@ class Harness
             fatal("invalid --jobs value '%s'", text);
         return value == 0 ? workload::SweepRunner::defaultJobs()
                           : static_cast<unsigned>(value);
+    }
+
+    static unsigned
+    parseSample(const char *text)
+    {
+        char *end = nullptr;
+        const long value = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || value < 1 || value > 1'000'000)
+            fatal("invalid --trace-sample value '%s'", text);
+        return static_cast<unsigned>(value);
     }
 
     std::string name_;
@@ -179,6 +268,13 @@ saturating(middletier::Design design, unsigned cores, unsigned ports = 1)
     // publication-quality numbers.
     config.warmup = (smoke() ? 1 : 4) * ticksPerMillisecond;
     config.window = (smoke() ? 2 : 12) * ticksPerMillisecond;
+    // `--trace-out` turns on span capture for every queued run; stdout
+    // stays breakdown-free (tracePrint off) so parallel sweeps remain
+    // deterministic — Harness::exportTraces() emits the files instead.
+    if (!traceOutFlag().empty()) {
+        config.traceSample = traceSampleFlag();
+        config.traceEvents = true;
+    }
     return config;
 }
 

@@ -72,6 +72,7 @@ main(int argc, char **argv)
                            runner.add(sd8_config)});
     }
     runner.run();
+    harness.exportTraces(runner);
 
     Table table("Header split vs block size (saturating load)");
     table.header({"block", "CPU-only-48", "SmartDS-1/2c", "SmartDS-1/8c",

@@ -51,6 +51,7 @@ main(int argc, char **argv)
         indices.push_back(std::move(per_design));
     }
     runner.run();
+    harness.exportTraces(runner);
 
     Table table("Read/write mixes (saturating load)");
     table.header({"design", "reads", "completed/s (K)", "avg(us)",

@@ -81,6 +81,7 @@ main(int argc, char **argv)
     const std::size_t peak_sd = runner.add(saturating(Design::SmartDs, 2));
 
     runner.run();
+    harness.exportTraces(runner);
 
     Table tput("Fig 7a + loaded latency - saturating load");
     tput.header({"design", "cores", "tput(Gbps)", "avg(us)", "p99(us)",

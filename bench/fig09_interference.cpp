@@ -64,6 +64,7 @@ main(int argc, char **argv)
         indices.push_back(std::move(per_design));
     }
     runner.run();
+    harness.exportTraces(runner);
 
     Table table("Fig 9 - write serving under MLC pressure");
     table.header({"design", "mlc-delay", "tput(Gbps)", "vs-calm",

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Single-write file helpers for telemetry and exporter output.
+ *
+ * Concurrent bench processes (ctest -j running several bench-smoke
+ * targets) append telemetry lines to the same results/bench_perf.jsonl.
+ * Appending through a buffered std::ofstream may split one line across
+ * several write(2) calls, letting two processes interleave partial lines
+ * and corrupt the JSONL. POSIX guarantees that a single write() on an
+ * O_APPEND descriptor is atomic with respect to the file offset, so these
+ * helpers format the full payload first and emit it with exactly one
+ * write() each.
+ */
+
+#ifndef SMARTDS_COMMON_FILE_IO_H_
+#define SMARTDS_COMMON_FILE_IO_H_
+
+#include <cerrno>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace smartds {
+
+namespace detail {
+
+inline bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    // O_APPEND atomicity holds per write() call; the payloads here are
+    // single lines or whole files, far below any practical pipe/file
+    // limit, so the loop only ever retries on EINTR in practice.
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+inline void
+makeParentDirs(const std::string &path)
+{
+    for (std::size_t pos = path.find('/'); pos != std::string::npos;
+         pos = path.find('/', pos + 1)) {
+        if (pos == 0)
+            continue;
+        ::mkdir(path.substr(0, pos).c_str(), 0777); // EEXIST is fine
+    }
+}
+
+} // namespace detail
+
+/**
+ * Append @p line (a newline is added if missing) to @p path with one
+ * write() on an O_APPEND descriptor, creating parent directories and the
+ * file as needed. Safe against interleaving with other processes doing
+ * the same. @return false if the file could not be opened or written.
+ */
+inline bool
+appendLineAtomic(const std::string &path, std::string line)
+{
+    if (line.empty() || line.back() != '\n')
+        line.push_back('\n');
+    detail::makeParentDirs(path);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return false;
+    const bool ok = detail::writeAll(fd, line.data(), line.size());
+    ::close(fd);
+    return ok;
+}
+
+/**
+ * Replace the contents of @p path with @p content using a single
+ * write() (after O_TRUNC), creating parent directories as needed.
+ * @return false if the file could not be opened or written.
+ */
+inline bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    detail::makeParentDirs(path);
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    const bool ok = detail::writeAll(fd, content.data(), content.size());
+    ::close(fd);
+    return ok;
+}
+
+} // namespace smartds
+
+#endif // SMARTDS_COMMON_FILE_IO_H_

@@ -11,6 +11,7 @@
 #ifndef SMARTDS_COMMON_RATE_METER_H_
 #define SMARTDS_COMMON_RATE_METER_H_
 
+#include "common/logging.h"
 #include "common/time.h"
 #include "common/units.h"
 
@@ -20,7 +21,12 @@ namespace smartds {
 class RateMeter
 {
   public:
-    /** Begin (or restart) the measurement window at time @p now. */
+    /**
+     * Begin the measurement window at time @p now. Re-opening discards
+     * the previous window entirely — byte count, open tick and closed
+     * state all reset — so a meter can be reused across runs without a
+     * separate clear call.
+     */
     void
     open(Tick now)
     {
@@ -28,16 +34,18 @@ class RateMeter
         closeTick_ = 0;
         bytes_ = 0;
         openFlag_ = true;
+        closedFlag_ = false;
     }
 
-    /** End the measurement window at time @p now. */
+    /** End the measurement window at time @p now (must be open). */
     void
     close(Tick now)
     {
-        if (!openFlag_)
-            return;
+        SMARTDS_ASSERT(openFlag_,
+                       "RateMeter::close() without a matching open()");
         closeTick_ = now;
         openFlag_ = false;
+        closedFlag_ = true;
     }
 
     /** Record @p n bytes at the current time (only counted when open). */
@@ -51,11 +59,20 @@ class RateMeter
     bool isOpen() const { return openFlag_; }
     Bytes bytes() const { return bytes_; }
 
-    /** Window duration in ticks (0 if never opened/closed). */
+    /**
+     * Window duration in ticks: 0 if the meter was never opened and
+     * closed, otherwise at least 1. The floor matters when open() and
+     * close() land on the same tick (a zero-length measured phase, e.g.
+     * a degenerate smoke config): without it, bytes recorded at that
+     * instant would silently report a rate of zero instead of counting
+     * over the smallest representable window.
+     */
     Tick
     window() const
     {
-        return closeTick_ > openTick_ ? closeTick_ - openTick_ : 0;
+        if (!closedFlag_)
+            return 0;
+        return closeTick_ > openTick_ ? closeTick_ - openTick_ : 1;
     }
 
     /** Average rate over the closed window, bytes per second. */
@@ -76,6 +93,7 @@ class RateMeter
     Tick closeTick_ = 0;
     Bytes bytes_ = 0;
     bool openFlag_ = false;
+    bool closedFlag_ = false;
 };
 
 } // namespace smartds

@@ -19,7 +19,7 @@ AcceleratorServer::AcceleratorServer(net::Fabric &fabric,
 AcceleratorServer::AcceleratorServer(net::Fabric &fabric,
                                      mem::MemorySystem &memory,
                                      ServerConfig config, AccConfig acc)
-    : sim_(fabric.simulator()), memory_(memory),
+    : sim_(fabric.simulator()), fabric_(fabric), memory_(memory),
       config_(std::move(config)), acc_(acc),
       nic_(std::make_unique<nic::RdmaNic>(fabric, "acc.nic", &memory)),
       cores_(sim_, "acc.cores", config_.cores),
@@ -119,7 +119,15 @@ AcceleratorServer::serveWrite(net::Message msg)
     }
 
     // --- CPU phase 1: parse the header, program the accelerator --------
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick parse_start = sim_.now();
     co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
     // Doorbell + descriptor fetch before the card can start its DMA.
     co_await sim::delay(sim_, calibration::pcieIdleLatency);
 
@@ -135,6 +143,7 @@ AcceleratorServer::serveWrite(net::Message msg)
     const double u = memory_.utilization();
     const bool ddio_hit = acc_.ddio && !rng_.chance(u * u);
 
+    const Tick engine_start = sim_.now();
     sim::Completion fetched(sim_);
     pcie::DmaEngine::Options in;
     in.memFlow = ddio_hit ? nullptr : fpgaRead_;
@@ -152,6 +161,8 @@ AcceleratorServer::serveWrite(net::Message msg)
     fpgaDma_->write(compressed, out_opts,
                     [written](Tick) mutable { written.complete(0); });
     co_await written;
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
 
     // --- CPU phase 2: completion handling, post the replicated sends ----
     // Completion notification crosses PCIe before software observes it.
@@ -165,6 +176,7 @@ AcceleratorServer::serveWrite(net::Message msg)
     auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
     auto all_acks = std::make_shared<sim::CountLatch>(
         sim_, static_cast<unsigned>(nodes->size()));
+    const Tick replicate_start = sim_.now();
 
     for (unsigned r = 0; r < nodes->size(); ++r) {
         ReplicaTask task;
@@ -180,7 +192,7 @@ AcceleratorServer::serveWrite(net::Message msg)
         // With DDIO the FPGA's result write is still LLC-resident for the
         // NIC's reads; without DDIO the first send fetches from DRAM.
         task.send = [this, compressed, payload, tag = msg.tag,
-                     issue = msg.issueTick,
+                     issue = msg.issueTick, tctx,
                      ratio = msg.payload.compressibility,
                      data = compressed_data, hdr = msg.headerData,
                      first = (!acc_.ddio && r == 0)](net::NodeId dst) mutable {
@@ -190,6 +202,7 @@ AcceleratorServer::serveWrite(net::Message msg)
             replica.headerBytes = StorageHeader::wireSize;
             replica.tag = tag;
             replica.issueTick = issue;
+            replica.trace = tctx;
             replica.payload.size = compressed;
             replica.payload.compressed = true;
             replica.payload.originalSize = payload;
@@ -211,6 +224,10 @@ AcceleratorServer::serveWrite(net::Message msg)
                                          std::move(task)));
     }
     co_await quorum_acks->wait();
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Replicate, replicate_start,
+                       sim_.now(),
+                       static_cast<std::uint32_t>(nodes->size()));
     if (!all_acks->wait().done())
         ++failover_.quorumCompletions;
 
@@ -221,6 +238,7 @@ AcceleratorServer::serveWrite(net::Message msg)
     reply.headerBytes = StorageHeader::wireSize;
     reply.tag = msg.tag;
     reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
     nic_->setTxDmaOptions({nullptr, false});
     nic_->sendFromHost(std::move(reply));
 

@@ -56,6 +56,7 @@ class AcceleratorServer : public MiddleTierServer
     sim::Process serveWrite(net::Message msg);
 
     sim::Simulator &sim_;
+    net::Fabric &fabric_;
     mem::MemorySystem &memory_;
     ServerConfig config_;
     AccConfig acc_;

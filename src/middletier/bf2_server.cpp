@@ -15,7 +15,8 @@ Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config)
 }
 
 Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config, Bf2Config bf2)
-    : sim_(fabric.simulator()), config_(std::move(config)), bf2_(bf2),
+    : sim_(fabric.simulator()), fabric_(fabric),
+      config_(std::move(config)), bf2_(bf2),
       devMemory_(sim_, "bf2.dram", bf2.memoryBandwidth),
       arm_(sim_, "bf2.arm",
            std::min(config_.cores, calibration::bf2ArmCores)),
@@ -98,12 +99,23 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
         compressed = 1;
 
     // --- Arm phase: parse the header, drive the engine ------------------
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(arm_.queueDepth());
+    const Tick parse_start = sim_.now();
     co_await arm_.executeAsync(armRequestCost_);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
 
     // --- Off-path engine: DRAM read -> compress -> DRAM write -----------
+    const Tick engine_start = sim_.now();
     co_await sim::transferAsync(sim_, *engineRead_, payload);
     co_await sim::transferAsync(sim_, *engine_, payload);
     co_await sim::transferAsync(sim_, *engineWrite_, compressed);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
 
     // --- Replicate: each send re-reads the block from device DRAM -------
     // (the narrow on-card DRAM is the 3.5x-traffic bottleneck of 3.4).
@@ -114,6 +126,7 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
     auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
     auto all_acks = std::make_shared<sim::CountLatch>(
         sim_, static_cast<unsigned>(nodes->size()));
+    const Tick replicate_start = sim_.now();
 
     for (unsigned r = 0; r < nodes->size(); ++r) {
         ReplicaTask task;
@@ -128,7 +141,7 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
         task.allLatch = all_acks;
         auto *out_port = ports_[(port + r) % ports_.size()];
         task.send = [this, out_port, compressed, payload, tag = msg.tag,
-                     issue = msg.issueTick,
+                     issue = msg.issueTick, tctx,
                      ratio = msg.payload.compressibility,
                      hdr = msg.headerData](net::NodeId dst) {
             auto replica = std::make_shared<net::Message>();
@@ -137,6 +150,7 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
             replica->headerBytes = StorageHeader::wireSize;
             replica->tag = tag;
             replica->issueTick = issue;
+            replica->trace = tctx;
             replica->payload.size = compressed;
             replica->payload.compressed = true;
             replica->payload.originalSize = payload;
@@ -154,6 +168,10 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
                                          std::move(task)));
     }
     co_await quorum_acks->wait();
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Replicate, replicate_start,
+                       sim_.now(),
+                       static_cast<std::uint32_t>(nodes->size()));
     if (!all_acks->wait().done())
         ++failover_.quorumCompletions;
 
@@ -164,6 +182,7 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
     reply.headerBytes = StorageHeader::wireSize;
     reply.tag = msg.tag;
     reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
     sim::Completion hdr_read(sim_);
     txRead_->transfer(StorageHeader::wireSize,
                       [hdr_read]() mutable { hdr_read.complete(0); });

@@ -60,6 +60,7 @@ class Bf2Server : public MiddleTierServer
     sim::Process serveWrite(unsigned port, net::Message msg);
 
     sim::Simulator &sim_;
+    net::Fabric &fabric_;
     ServerConfig config_;
     Bf2Config bf2_;
     std::vector<net::Port *> ports_;

@@ -145,6 +145,11 @@ CpuOnlyServer::serveWrite(net::Message msg)
             compressed = 1;
     }
 
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t compute_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick compute_start = sim_.now();
     co_await cores_.acquire();
     auto cpu = sim::timerAsync(sim_, cpu_time);
     auto mem_in = sim::transferAsync(sim_, *compressRead_, payload);
@@ -153,6 +158,9 @@ CpuOnlyServer::serveWrite(net::Message msg)
     co_await mem_in;
     co_await mem_out;
     cores_.release();
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostCompute, compute_start,
+                       sim_.now(), compute_depth);
 
     // --- Replicate to the chosen storage servers ------------------------
     // Each replica runs its own failover loop (timeout, retry,
@@ -164,6 +172,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
     auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
     auto all_acks = std::make_shared<sim::CountLatch>(
         sim_, static_cast<unsigned>(nodes->size()));
+    const Tick replicate_start = sim_.now();
 
     for (unsigned r = 0; r < nodes->size(); ++r) {
         ReplicaTask task;
@@ -179,7 +188,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
         // The first replica read misses the LLC (the compressed block is
         // fetched once from memory); the remaining sends hit.
         task.send = [this, compressed, payload, tag = msg.tag,
-                     issue = msg.issueTick,
+                     issue = msg.issueTick, tctx,
                      ratio = msg.payload.compressibility,
                      data = compressed_data, hdr = msg.headerData,
                      first = (r == 0)](net::NodeId dst) mutable {
@@ -189,6 +198,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
             replica.headerBytes = StorageHeader::wireSize;
             replica.tag = tag;
             replica.issueTick = issue;
+            replica.trace = tctx;
             replica.payload.size = compressed;
             replica.payload.compressed = true;
             replica.payload.originalSize = payload;
@@ -212,6 +222,10 @@ CpuOnlyServer::serveWrite(net::Message msg)
                                          std::move(task)));
     }
     co_await quorum_acks->wait();
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Replicate, replicate_start,
+                       sim_.now(),
+                       static_cast<std::uint32_t>(nodes->size()));
     if (!all_acks->wait().done())
         ++failover_.quorumCompletions;
 
@@ -223,6 +237,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
     reply.headerBytes = StorageHeader::wireSize;
     reply.tag = msg.tag;
     reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
     nic_->setTxDmaOptions({nullptr, false});
     nic_->sendFromHost(std::move(reply));
 
@@ -236,7 +251,15 @@ CpuOnlyServer::serveRead(net::Message msg)
     // (Fig. 3b). Crashed or slow replicas time out and the fetch fails
     // over; corrupt data is caught by the end-to-end checksum and served
     // from another replica.
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick parse_start = sim_.now();
     co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
 
     const auto candidates = readCandidates(config_, msg);
     SMARTDS_ASSERT(!candidates.empty(), "read with no storage candidates");
@@ -257,6 +280,7 @@ CpuOnlyServer::serveRead(net::Message msg)
         fetch.payload.size = msg.payload.size; // compressed size hint
         fetch.payload.compressibility = msg.payload.compressibility;
         fetch.payload.originalSize = msg.payload.originalSize;
+        fetch.trace = tctx;
 
         sim::Completion fetched(sim_);
         pendingFetches_.emplace(msg.tag, fetched);
@@ -338,6 +362,9 @@ CpuOnlyServer::serveRead(net::Message msg)
         compressTicksPerByte_ * original /
             static_cast<Tick>(calibration::lz4DecompressSpeedup);
 
+    const std::uint32_t compute_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick compute_start = sim_.now();
     co_await cores_.acquire();
     auto cpu = sim::timerAsync(sim_, cpu_time);
     auto mem_in = sim::transferAsync(sim_, *compressRead_, compressed);
@@ -346,6 +373,9 @@ CpuOnlyServer::serveRead(net::Message msg)
     co_await mem_in;
     co_await mem_out;
     cores_.release();
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostCompute, compute_start,
+                       sim_.now(), compute_depth);
 
     net::Message reply;
     reply.dst = msg.src;
@@ -354,6 +384,7 @@ CpuOnlyServer::serveRead(net::Message msg)
     reply.headerBytes = StorageHeader::wireSize;
     reply.tag = msg.tag;
     reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
     reply.payload.size = original;
     reply.payload.data = plain_data;
     reply.payload.compressibility = stored.payload.compressibility;

@@ -14,7 +14,7 @@ using device::SmartDsDevice;
 
 SmartDsServer::SmartDsServer(net::Fabric &fabric, mem::MemorySystem &memory,
                              ServerConfig config, SmartDsConfig smartds)
-    : sim_(fabric.simulator()), config_(std::move(config)),
+    : sim_(fabric.simulator()), fabric_(fabric), config_(std::move(config)),
       smartds_(smartds),
       cores_(sim_, "smartds.cores", config_.cores),
       rng_(config_.seed)
@@ -121,9 +121,17 @@ SmartDsServer::worker(unsigned port)
         const Bytes payload_size = recv.size();
         SMARTDS_ASSERT(recv.message, "recv completed without a message");
         const net::Message &req = *recv.message;
+        trace::Tracer *tracer = fabric_.tracer();
+        const trace::TraceContext tctx = req.trace;
 
         // --- Host CPU: flexibly parse the header, prepare the send -----
+        const std::uint32_t parse_depth =
+            static_cast<std::uint32_t>(cores_.queueDepth());
+        const Tick parse_start = sim_.now();
         co_await cores_.executeAsync(calibration::smartdsHostRequestCost);
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                           sim_.now(), parse_depth);
         bool latency_sensitive = req.latencySensitive;
         std::uint64_t tag = req.tag;
         if (device_->config().functional && h_recv->bytes()) {
@@ -160,7 +168,7 @@ SmartDsServer::worker(unsigned port)
                     d_send->capacity());
                 auto fetch = device_->mixedSend(
                     fetch_qp, h_send, StorageHeader::wireSize, nullptr, 0,
-                    net::MessageKind::ReadFetch, tag, req.issueTick);
+                    net::MessageKind::ReadFetch, tag, req.issueTick, tctx);
                 co_await fetch.completion;
                 sim::EventHandle timer;
                 if (timeout > 0)
@@ -189,7 +197,8 @@ SmartDsServer::worker(unsigned port)
 
                 auto plain = device_->devFunc(d_send, stored_size, d_recv,
                                               d_recv->capacity(), port,
-                                              device::EngineOp::Decompress);
+                                              device::EngineOp::Decompress,
+                                              tctx);
                 co_await plain.completion;
 
                 bool corrupt = d_recv->content.corrupted;
@@ -215,7 +224,7 @@ SmartDsServer::worker(unsigned port)
             auto reply = device_->mixedSend(
                 reply_qp, h_send, StorageHeader::wireSize,
                 served ? d_recv : nullptr, plain_size,
-                net::MessageKind::ReadReply, tag, req.issueTick);
+                net::MessageKind::ReadReply, tag, req.issueTick, tctx);
             co_await reply.completion;
             continue;
         }
@@ -226,7 +235,8 @@ SmartDsServer::worker(unsigned port)
         if (!latency_sensitive) {
             auto compressed = device_->devFunc(d_recv, payload_size, d_send,
                                                d_send->capacity(), port,
-                                               device::EngineOp::Compress);
+                                               device::EngineOp::Compress,
+                                               tctx);
             co_await compressed.completion;
             send_buf = d_send;
             send_size = compressed.size();
@@ -241,6 +251,7 @@ SmartDsServer::worker(unsigned port)
         auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);
         auto all_acks = std::make_shared<sim::CountLatch>(
             sim_, static_cast<unsigned>(nodes->size()));
+        const Tick replicate_start = sim_.now();
 
         for (unsigned r = 0; r < nodes->size(); ++r) {
             ReplicaTask task;
@@ -256,7 +267,7 @@ SmartDsServer::worker(unsigned port)
             SmartDsDevice::Qp *qp = &replica_qps[r];
             device::BufferRef h_ack = h_acks[r];
             task.send = [this, qp, h_ack, h_send, send_buf, send_size, tag,
-                         issue = req.issueTick](net::NodeId dst) {
+                         tctx, issue = req.issueTick](net::NodeId dst) {
                 // Re-targeting tears down the previous attempt first (QP
                 // reset), so a late ack from the old peer cannot match
                 // the fresh descriptor; the flush completes it with 0 at
@@ -275,7 +286,7 @@ SmartDsServer::worker(unsigned port)
                 device_->mixedSend(*qp, h_send, StorageHeader::wireSize,
                                    send_buf, send_size,
                                    net::MessageKind::WriteReplica, tag,
-                                   issue);
+                                   issue, tctx);
             };
             task.makeRepair = [this, port, h_send, send_buf, send_size, tag,
                                issue = req.issueTick](net::NodeId dst) {
@@ -305,6 +316,10 @@ SmartDsServer::worker(unsigned port)
                                                    std::move(task)));
         }
         co_await quorum_acks->wait();
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::Replicate, replicate_start,
+                           sim_.now(),
+                           static_cast<std::uint32_t>(nodes->size()));
         if (!all_acks->wait().done())
             ++failover_.quorumCompletions;
 
@@ -313,7 +328,7 @@ SmartDsServer::worker(unsigned port)
         auto reply = device_->mixedSend(reply_qp, h_send,
                                         StorageHeader::wireSize, nullptr, 0,
                                         net::MessageKind::WriteReply, tag,
-                                        req.issueTick);
+                                        req.issueTick, tctx);
         co_await reply.completion;
         noteCompleted(payload_size);
 

@@ -21,6 +21,8 @@ Port::send(Message msg, std::function<void()> on_sent)
     msg.src = id_;
     const Bytes wire = framing_.wireBytes(msg.wireBytes());
     txMeter_.add(msg.wireBytes());
+    if (fabric_.tracer() && msg.trace)
+        msg.trace.mark = sim_.now(); // NetWire span start (hop entry)
     tx_.transfer(wire, [this, msg = std::move(msg),
                         on_sent = std::move(on_sent)]() mutable {
         if (on_sent)
@@ -45,6 +47,12 @@ Port::arrive(Message msg)
     rx_.transfer(wire, [this, msg = std::move(msg)]() mutable {
         SMARTDS_ASSERT(handler_, "port '%s' received with no handler",
                        name_.c_str());
+        trace::Tracer *tracer = fabric_.tracer();
+        if (tracer && msg.trace && msg.trace.mark != 0) {
+            tracer->record(msg.trace, trace::Stage::NetWire, msg.trace.mark,
+                           sim_.now());
+            msg.trace.mark = 0;
+        }
         handler_(std::move(msg));
     });
 }

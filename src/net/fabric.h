@@ -29,6 +29,7 @@
 #include "net/message.h"
 #include "sim/bandwidth_server.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace smartds::net {
 
@@ -121,6 +122,16 @@ class Fabric
     Tick oneWayDelay() const { return delay_; }
     sim::Simulator &simulator() { return sim_; }
 
+    /**
+     * Attach the run's tracer/metrics (owned by the experiment). Nearly
+     * every component holds the fabric, so this is the discovery point for
+     * both; null (the default) disables all instrumentation.
+     */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+    void setMetrics(trace::MetricsRegistry *metrics) { metrics_ = metrics; }
+    trace::Tracer *tracer() const { return tracer_; }
+    trace::MetricsRegistry *metrics() const { return metrics_; }
+
   private:
     friend class Port;
 
@@ -131,6 +142,8 @@ class Fabric
     Tick delay_;
     NodeId nextId_ = 1;
     std::unordered_map<NodeId, std::unique_ptr<Port>> ports_;
+    trace::Tracer *tracer_ = nullptr;
+    trace::MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace smartds::net

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "trace/context.h"
 
 namespace smartds::net {
 
@@ -116,6 +117,9 @@ struct Message
 
     /** Packet sequence number (reliable-transport layer only). */
     std::uint64_t psn = 0;
+
+    /** Trace context of the originating request (id 0 = untraced). */
+    trace::TraceContext trace;
 
     /** Total application bytes on the wire (header + payload). */
     Bytes wireBytes() const { return headerBytes + payload.size; }

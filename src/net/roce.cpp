@@ -149,6 +149,13 @@ void
 ReliableQueuePair::handleAck(const Message &msg)
 {
     const std::uint64_t acked = msg.psn;
+    // Cumulative acks name the highest in-order PSN received, so any
+    // valid ack satisfies acked < nextPsn_. A corrupt or forged ack
+    // beyond that would pop still-unacknowledged frames off the window;
+    // if one of them had been lost on the wire it would never be
+    // retransmitted and the connection would stall. Drop such acks.
+    if (acked >= nextPsn_)
+        return;
     bool advanced = false;
     while (!window_.empty() && basePsn_ <= acked) {
         window_.pop_front();

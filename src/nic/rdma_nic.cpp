@@ -24,10 +24,17 @@ RdmaNic::RdmaNic(net::Fabric &fabric, const std::string &name,
     port_->onReceive([this](net::Message msg) {
         // Land the whole message in host memory before software sees it.
         const Bytes bytes = msg.wireBytes();
+        const Tick dma_start = fabric_.simulator().now();
         dma_.write(bytes, rxOptions_,
-                   [this, msg = std::move(msg)](Tick) mutable {
+                   [this, dma_start, msg = std::move(msg)](Tick) mutable {
                        SMARTDS_ASSERT(handler_,
                                       "NIC delivered with no host handler");
+                       trace::Tracer *tracer = fabric_.tracer();
+                       if (tracer && msg.trace) {
+                           tracer->record(msg.trace, trace::Stage::NicDma,
+                                          dma_start,
+                                          fabric_.simulator().now());
+                       }
                        handler_(std::move(msg));
                    });
     });
@@ -44,9 +51,15 @@ void
 RdmaNic::sendFromHost(net::Message msg, std::function<void()> on_sent)
 {
     const Bytes bytes = msg.wireBytes();
+    const Tick dma_start = fabric_.simulator().now();
     dma_.read(bytes, txOptions_,
-              [this, msg = std::move(msg),
+              [this, dma_start, msg = std::move(msg),
                on_sent = std::move(on_sent)](Tick) mutable {
+                  trace::Tracer *tracer = fabric_.tracer();
+                  if (tracer && msg.trace) {
+                      tracer->record(msg.trace, trace::Stage::NicDma,
+                                     dma_start, fabric_.simulator().now());
+                  }
                   port_->send(std::move(msg), std::move(on_sent));
               });
 }

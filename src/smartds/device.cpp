@@ -224,11 +224,21 @@ SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
     // Event copies the application holds observe the filled-in message.
     auto msg_ptr = event.message;
     *msg_ptr = std::move(msg);
-    sim::spawn(sim_, [](sim::Completion both_done, Event ev,
-                        Bytes dev_part) -> sim::Process {
+    trace::Tracer *tracer = fabric_.tracer();
+    const Tick split_start = sim_.now();
+    const std::uint32_t split_depth = static_cast<std::uint32_t>(
+        state.pendingMsgs[msg_ptr->dstQp].size());
+    sim::spawn(sim_, [](sim::Simulator &sim, sim::Completion both_done,
+                        Event ev, Bytes dev_part, trace::Tracer *tracer,
+                        Tick start, std::uint32_t depth) -> sim::Process {
         co_await both_done;
+        if (tracer && ev.message->trace) {
+            tracer->record(ev.message->trace, trace::Stage::Split, start,
+                           sim.now(), depth);
+        }
         ev.completion.complete(dev_part);
-    }(latch->wait(), event, dev_part));
+    }(sim_, latch->wait(), event, dev_part, tracer, split_start,
+      split_depth));
 
     sim_.schedule(config_.splitLatency, [this, &state, host_part, dev_part,
                                          latch, msg_ptr]() {
@@ -267,7 +277,8 @@ SmartDsDevice::mixedRecv(const Qp &qp, BufferRef h, Bytes h_size,
 SmartDsDevice::Event
 SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
                          BufferRef d, Bytes d_size, net::MessageKind kind,
-                         std::uint64_t tag, Tick issue_tick)
+                         std::uint64_t tag, Tick issue_tick,
+                         trace::TraceContext tctx)
 {
     SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
     SMARTDS_ASSERT(qp.remoteNode != 0, "sending on an unconnected qp");
@@ -281,6 +292,7 @@ SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
     msg.headerBytes = h_size;
     msg.tag = tag;
     msg.issueTick = issue_tick;
+    msg.trace = tctx;
     msg.payload.size = d_size;
     if (d) {
         msg.payload.compressed = d->content.compressed;
@@ -314,24 +326,31 @@ SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
 
     auto *port = state.port;
     const Tick assemble_latency = config_.splitLatency;
+    trace::Tracer *tracer = tctx ? fabric_.tracer() : nullptr;
+    const Tick assemble_start = sim_.now();
     sim::spawn(sim_, [](sim::Simulator &sim, sim::Completion gathered,
-                        net::Port *port, net::Message m, Event ev,
-                        Tick lat) -> sim::Process {
+                        net::Port *port, net::Message m, Event ev, Tick lat,
+                        trace::Tracer *tracer, Tick start) -> sim::Process {
         co_await gathered;
         co_await sim::delay(sim, lat);
+        if (tracer)
+            tracer->record(m.trace, trace::Stage::Assemble, start,
+                           sim.now());
         const Bytes sent = m.wireBytes();
         sim::Completion on_sent(sim);
         port->send(std::move(m),
                    [on_sent]() mutable { on_sent.complete(0); });
         co_await on_sent;
         ev.completion.complete(sent);
-    }(sim_, latch->wait(), port, std::move(msg), event, assemble_latency));
+    }(sim_, latch->wait(), port, std::move(msg), event, assemble_latency,
+      tracer, assemble_start));
     return event;
 }
 
 SmartDsDevice::Event
 SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
-                       Bytes dst_cap, unsigned port, EngineOp op)
+                       Bytes dst_cap, unsigned port, EngineOp op,
+                       trace::TraceContext tctx)
 {
     SMARTDS_ASSERT(port < portStates_.size(), "engine index out of range");
     SMARTDS_ASSERT(src && dst, "devFunc needs source and destination");
@@ -417,6 +436,13 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
     auto *read_flow = state.engineRead;
     auto *write_flow = state.engineWrite;
     const bool is_checksum = op == EngineOp::Checksum;
+    trace::Tracer *tracer = tctx ? fabric_.tracer() : nullptr;
+    const Tick engine_start = sim_.now();
+    auto record_engine = [this, tracer, tctx, engine_start]() {
+        if (tracer)
+            tracer->record(tctx, trace::Stage::Engine, engine_start,
+                           sim_.now());
+    };
 
     // Pipeline: HBM read -> engine -> HBM write (nothing written back
     // for the scrubbing engine).
@@ -424,21 +450,23 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
                                    result_size, result_compressed,
                                    result_original, result_corrupted,
                                    compressibility, dst, event, is_checksum,
-                                   completion_value,
+                                   completion_value, record_engine,
                                    result_bytes =
                                        std::move(result_bytes)]() mutable {
         engine->transfer(src_size, [this, write_flow, result_size,
                                     result_compressed, result_original,
                                     result_corrupted, compressibility, dst,
                                     event, is_checksum, completion_value,
+                                    record_engine,
                                     result_bytes = std::move(
                                         result_bytes)]() mutable {
             write_flow->transfer(
                 result_size,
                 [result_size, result_compressed, result_original,
                  result_corrupted, compressibility, dst, event, is_checksum,
-                 completion_value,
+                 completion_value, record_engine,
                  result_bytes = std::move(result_bytes)]() mutable {
+                    record_engine();
                     if (is_checksum) {
                         event.completion.complete(completion_value);
                         return;

@@ -173,20 +173,24 @@ class SmartDsDevice
      * describe the storage-protocol message (in hardware these live in
      * the header bytes; the model also carries them out-of-band so the
      * timing path need not parse bytes). Completes when the message has
-     * left the port.
+     * left the port. @p tctx (optional) is the originating request's
+     * trace context: it rides out on the assembled message and an
+     * Assemble span is recorded over the gather + serialisation.
      */
     Event mixedSend(const Qp &qp, BufferRef h, Bytes h_size, BufferRef d,
                     Bytes d_size, net::MessageKind kind, std::uint64_t tag,
-                    Tick issue_tick);
+                    Tick issue_tick, trace::TraceContext tctx = {});
 
     /**
      * Invoke the fixed-function engine of port @p port (Table 2:
      * dev_func): read @p src_size bytes from device buffer @p src,
      * transform, write the result into @p dst. Completes with the result
-     * size.
+     * size. @p tctx (optional) attributes an Engine span covering the
+     * HBM read -> engine -> HBM write pipeline to the traced request.
      */
     Event devFunc(BufferRef src, Bytes src_size, BufferRef dst,
-                  Bytes dst_cap, unsigned port, EngineOp op);
+                  Bytes dst_cap, unsigned port, EngineOp op,
+                  trace::TraceContext tctx = {});
 
     // ------------------------------------------------------ inspection
 

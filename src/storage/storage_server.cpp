@@ -52,6 +52,8 @@ StorageServer::handleReplica(net::Message msg)
     const Bytes charged = faults_ ? faults_->throttledBytes(block) : block;
     const Tick extra =
         faults_ ? faults_->extraAppendLatency(config_.appendLatency) : 0;
+    if (fabric_.tracer() && msg.trace)
+        msg.trace.mark = fabric_.simulator().now(); // Storage span start
     disk_.transfer(charged, [this, msg = std::move(msg), extra]() mutable {
         if (extra > 0) {
             fabric_.simulator().schedule(
@@ -96,6 +98,13 @@ StorageServer::finishReplica(net::Message msg)
             headers_[msg.tag] = msg.headerData;
     }
 
+    trace::Tracer *tracer = fabric_.tracer();
+    if (tracer && msg.trace && msg.trace.mark != 0) {
+        tracer->record(msg.trace, trace::Stage::Storage, msg.trace.mark,
+                       fabric_.simulator().now());
+        msg.trace.mark = 0;
+    }
+
     // Gray failure: the block is durable but the acknowledgement is lost;
     // the middle tier times out and re-replicates elsewhere.
     if (faults_ && faults_->dropAck())
@@ -109,6 +118,7 @@ StorageServer::finishReplica(net::Message msg)
     ack.headerBytes = calibration::storageHeaderBytes;
     ack.tag = msg.tag;
     ack.issueTick = msg.issueTick;
+    ack.trace = msg.trace;
     port_->send(std::move(ack));
 }
 
@@ -161,6 +171,8 @@ StorageServer::handleFetch(net::Message msg)
     if (const auto hit = headers_.find(msg.tag); hit != headers_.end())
         header = hit->second;
     const Bytes block = payload.size;
+    if (fabric_.tracer() && msg.trace)
+        msg.trace.mark = fabric_.simulator().now(); // Storage span start
     disk_.transfer(block, [this, msg = std::move(msg),
                            payload = std::move(payload),
                            header = std::move(header)]() mutable {
@@ -168,6 +180,12 @@ StorageServer::handleFetch(net::Message msg)
         if (faults_ && faults_->crashed()) {
             faults_->noteDropped();
             return;
+        }
+        trace::Tracer *tracer = fabric_.tracer();
+        if (tracer && msg.trace && msg.trace.mark != 0) {
+            tracer->record(msg.trace, trace::Stage::Storage, msg.trace.mark,
+                           fabric_.simulator().now());
+            msg.trace.mark = 0;
         }
         net::Message reply;
         reply.dst = msg.src;
@@ -179,6 +197,7 @@ StorageServer::handleFetch(net::Message msg)
         reply.payload = std::move(payload);
         reply.tag = msg.tag;
         reply.issueTick = msg.issueTick;
+        reply.trace = msg.trace;
         port_->send(std::move(reply));
     });
 }

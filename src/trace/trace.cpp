@@ -1,0 +1,184 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace smartds::trace {
+
+namespace {
+
+constexpr unsigned kStages = static_cast<unsigned>(Stage::kCount);
+
+double
+ticksToUs(double ticks)
+{
+    return ticks / static_cast<double>(ticksPerMicrosecond);
+}
+
+/** "ticks as microseconds" with 6 fixed decimals, via integer math. */
+void
+appendFixedUs(std::string &out, Tick ticks)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(ticks / 1000000ULL),
+                  static_cast<unsigned long long>(ticks % 1000000ULL));
+    out += buf;
+}
+
+} // namespace
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Request:     return "request";
+      case Stage::NetWire:     return "net.wire";
+      case Stage::NicDma:      return "nic.dma";
+      case Stage::HostParse:   return "host.parse";
+      case Stage::HostCompute: return "host.compute";
+      case Stage::Split:       return "smartds.split";
+      case Stage::Engine:      return "engine";
+      case Stage::Assemble:    return "smartds.assemble";
+      case Stage::Replicate:   return "replicate";
+      case Stage::Storage:     return "storage";
+      case Stage::kCount:      break;
+    }
+    return "?";
+}
+
+Tracer::Tracer(Config config) : config_(config)
+{
+    SMARTDS_ASSERT(config_.sampleEvery >= 1,
+                   "trace sample period must be >= 1");
+    stageHist_.reserve(kStages);
+    for (unsigned i = 0; i < kStages; ++i)
+        stageHist_.emplace_back();
+    stageCount_.assign(kStages, 0);
+}
+
+TraceContext
+Tracer::admit(std::uint64_t tag) const
+{
+    TraceContext ctx;
+    if ((tag - 1) % config_.sampleEvery == 0)
+        ctx.id = tag;
+    return ctx;
+}
+
+void
+Tracer::record(const TraceContext &ctx, Stage stage, Tick start, Tick end,
+               std::uint32_t queue_depth)
+{
+    if (!ctx)
+        return;
+    SMARTDS_ASSERT(end >= start, "span for stage %s ends before it starts",
+                   stageName(stage));
+    const unsigned index = static_cast<unsigned>(stage);
+    stageHist_[index].record(end - start);
+    ++stageCount_[index];
+    if (config_.keepEvents) {
+        spans_.push_back(Span{ctx.id, stage, start, end, queue_depth,
+                              ctx.depth});
+    }
+}
+
+void
+Tracer::reset()
+{
+    spans_.clear();
+    for (auto &h : stageHist_)
+        h.reset();
+    stageCount_.assign(kStages, 0);
+}
+
+std::vector<StageStats>
+Tracer::breakdown() const
+{
+    std::vector<StageStats> rows;
+    for (unsigned i = 0; i < kStages; ++i) {
+        if (stageCount_[i] == 0)
+            continue;
+        const LogHistogram &h = stageHist_[i];
+        StageStats row;
+        row.stage = stageName(static_cast<Stage>(i));
+        row.count = stageCount_[i];
+        row.avgUs = ticksToUs(h.mean());
+        row.p50Us = ticksToUs(static_cast<double>(h.p50()));
+        row.p99Us = ticksToUs(static_cast<double>(h.p99()));
+        row.p999Us = ticksToUs(static_cast<double>(h.p999()));
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return histograms_.try_emplace(name).first->second;
+}
+
+std::vector<MetricsRegistry::Row>
+MetricsRegistry::rows() const
+{
+    std::vector<Row> rows;
+    rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto &[name, c] : counters_)
+        rows.push_back({name, "counter",
+                        static_cast<double>(c.value()), c.value()});
+    for (const auto &[name, g] : gauges_)
+        rows.push_back({name, "gauge", g.value(), 0});
+    for (const auto &[name, h] : histograms_)
+        rows.push_back({name, "histogram", h.mean(), h.count()});
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.name < b.name; });
+    return rows;
+}
+
+void
+PerfettoWriter::addRun(unsigned pid, const std::string &name,
+                       const std::vector<Span> &spans)
+{
+    char buf[160];
+    if (!body_.empty())
+        body_ += ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                  "\"name\":\"process_name\",\"args\":{\"name\":\"",
+                  pid);
+    body_ += buf;
+    body_ += name;
+    body_ += "\"}}";
+    for (const Span &span : spans) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\":\"X\",\"pid\":%u,\"tid\":%llu,"
+                      "\"cat\":\"stage\",\"name\":\"%s\",\"ts\":",
+                      pid,
+                      static_cast<unsigned long long>(span.requestId),
+                      stageName(span.stage));
+        body_ += buf;
+        appendFixedUs(body_, span.start);
+        body_ += ",\"dur\":";
+        appendFixedUs(body_, span.end - span.start);
+        std::snprintf(buf, sizeof(buf),
+                      ",\"args\":{\"qd\":%u,\"depth\":%u}}",
+                      span.queueDepth,
+                      static_cast<unsigned>(span.depth));
+        body_ += buf;
+    }
+    ++runs_;
+}
+
+std::string
+PerfettoWriter::finish()
+{
+    std::string out = "{\"traceEvents\":[\n";
+    out += body_;
+    body_.clear();
+    out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+    return out;
+}
+
+} // namespace smartds::trace

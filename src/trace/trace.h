@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Per-request tracing and named metrics for the simulated datapath.
+ *
+ * A Tracer samples every Nth request (by tag) and collects spans — (stage,
+ * start tick, end tick, queue depth at entry) — as the request crosses the
+ * client, fabric, NIC, middle tier, and storage layers. Per-stage latency
+ * histograms are always maintained for sampled requests; the raw span list
+ * is kept only when event capture is on (it feeds the Perfetto exporter).
+ *
+ * A MetricsRegistry gives modules named counters/gauges/histograms that an
+ * experiment enumerates at the end of a run. Both objects are owned per
+ * experiment run (not process-global singletons) and attached to the run's
+ * net::Fabric, which nearly every component already holds — that is what
+ * keeps concurrent SweepRunner runs deterministic and race-free. All
+ * methods are meant to be called from the run's own (single) thread.
+ *
+ * Zero overhead when off: components fetch the Tracer pointer from the
+ * fabric and skip all work when it is null; no tracing state is touched
+ * anywhere on that path.
+ */
+
+#ifndef SMARTDS_TRACE_TRACE_H_
+#define SMARTDS_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "trace/context.h"
+
+namespace smartds::trace {
+
+/** One recorded interval of one sampled request. */
+struct Span
+{
+    std::uint64_t requestId = 0;
+    Stage stage = Stage::Request;
+    Tick start = 0;
+    Tick end = 0;
+    /** Stage-specific occupancy at entry (items waiting; 0 if unknown). */
+    std::uint32_t queueDepth = 0;
+    std::uint8_t depth = 0;
+};
+
+/** Aggregated per-stage latency statistics (the breakdown table rows). */
+struct StageStats
+{
+    const char *stage = "";
+    std::uint64_t count = 0;
+    double avgUs = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+};
+
+/** Samples requests and collects their spans + per-stage histograms. */
+class Tracer
+{
+  public:
+    struct Config
+    {
+        /** Trace every Nth request (1 = all; must be >= 1). */
+        unsigned sampleEvery = 1;
+        /** Keep the raw span list (needed for Perfetto export). */
+        bool keepEvents = false;
+    };
+
+    explicit Tracer(Config config);
+
+    /**
+     * Sampling decision for a fresh request @p tag: returns a live
+     * context carrying the tag when sampled, a null context otherwise.
+     * Tags are allocated from 1 by a shared counter, so the sampled set
+     * is a deterministic function of (seed, sampleEvery).
+     */
+    TraceContext admit(std::uint64_t tag) const;
+
+    /** Record one span of a sampled request (no-op for null contexts). */
+    void record(const TraceContext &ctx, Stage stage, Tick start, Tick end,
+                std::uint32_t queue_depth = 0);
+
+    /** Drop all spans and histograms (called at warmup end). */
+    void reset();
+
+    /** Per-stage breakdown of everything recorded since reset(). */
+    std::vector<StageStats> breakdown() const;
+
+    /** Recorded spans (empty unless keepEvents). */
+    const std::vector<Span> &spans() const { return spans_; }
+
+    /** Move the span list out (leaves the tracer empty). */
+    std::vector<Span> takeSpans() { return std::move(spans_); }
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    std::vector<Span> spans_;
+    std::vector<LogHistogram> stageHist_;
+    std::vector<std::uint64_t> stageCount_;
+};
+
+/**
+ * Named counters/gauges/histograms, enumerable at experiment end. Names
+ * are hierarchical by convention ("roce.retransmits", "storage.blocks").
+ * References returned by counter()/gauge()/histogram() stay valid for the
+ * registry's lifetime (std::map nodes are stable), so modules look their
+ * instruments up once at construction and bump them on the hot path.
+ */
+class MetricsRegistry
+{
+  public:
+    class Counter
+    {
+      public:
+        void add(std::uint64_t n) { value_ += n; }
+        void increment() { ++value_; }
+        std::uint64_t value() const { return value_; }
+
+      private:
+        std::uint64_t value_ = 0;
+    };
+
+    class Gauge
+    {
+      public:
+        void set(double v) { value_ = v; }
+        double value() const { return value_; }
+
+      private:
+        double value_ = 0.0;
+    };
+
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+    LogHistogram &histogram(const std::string &name);
+
+    /** One enumerated instrument. */
+    struct Row
+    {
+        std::string name;
+        const char *kind; ///< "counter", "gauge" or "histogram"
+        double value;     ///< counter/gauge value; histogram mean
+        std::uint64_t count = 0; ///< histogram sample count
+    };
+
+    /** All instruments, sorted by name (deterministic). */
+    std::vector<Row> rows() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, LogHistogram> histograms_;
+};
+
+/**
+ * Incremental Perfetto / chrome://tracing JSON writer. Each appended run
+ * becomes one "process" (pid = run index) whose sampled requests are
+ * threads (tid = request tag) carrying their spans as complete ("X")
+ * events. Timestamps are emitted with fixed-point integer math from sim
+ * ticks, so the output is byte-identical for identical span lists.
+ */
+class PerfettoWriter
+{
+  public:
+    /** Append one run's spans as process @p pid labelled @p name. */
+    void addRun(unsigned pid, const std::string &name,
+                const std::vector<Span> &spans);
+
+    /** Number of runs appended so far. */
+    unsigned runs() const { return runs_; }
+
+    /** The complete JSON document (callable once). */
+    std::string finish();
+
+  private:
+    std::string body_;
+    unsigned runs_ = 0;
+};
+
+} // namespace smartds::trace
+
+#endif // SMARTDS_TRACE_TRACE_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/table.h"
 #include "corpus/corpus.h"
 #include "faults/fault_injector.h"
 #include "mem/memory_system.h"
@@ -74,6 +75,21 @@ runWriteExperiment(const ExperimentConfig &config)
     sim::Simulator sim;
     net::Fabric fabric(sim);
     mem::MemorySystem memory(sim, "host-mem", {});
+
+    // Tracer + metrics are owned by this run and discovered through the
+    // fabric; when traceSample is 0 no tracer is attached and the whole
+    // datapath instrumentation reduces to one null-pointer check.
+    std::unique_ptr<trace::Tracer> tracer;
+    std::unique_ptr<trace::MetricsRegistry> registry;
+    if (config.traceSample > 0) {
+        trace::Tracer::Config tc;
+        tc.sampleEvery = config.traceSample;
+        tc.keepEvents = config.traceEvents;
+        tracer = std::make_unique<trace::Tracer>(tc);
+        registry = std::make_unique<trace::MetricsRegistry>();
+        fabric.setTracer(tracer.get());
+        fabric.setMetrics(registry.get());
+    }
 
     const corpus::RatioSampler &ratios =
         cachedRatios(config.effort, config.blockBytes);
@@ -258,6 +274,8 @@ runWriteExperiment(const ExperimentConfig &config)
 
     sim.runUntil(config.warmup);
     metrics.latency.reset();
+    if (tracer)
+        tracer->reset(); // only the measured window feeds the breakdown
     metrics.served.open(sim.now());
     std::vector<double> usage_start;
     usage_start.reserve(probes.probes.size());
@@ -303,6 +321,26 @@ runWriteExperiment(const ExperimentConfig &config)
                 injector->profile(node)->blocksCorrupted();
         }
         injector->stop();
+    }
+
+    if (tracer) {
+        result.stages = tracer->breakdown();
+        if (config.traceEvents)
+            result.spans = tracer->takeSpans();
+        result.metrics = registry->rows();
+        if (config.tracePrint && !result.stages.empty()) {
+            Table table("Per-stage latency breakdown (sampled 1/" +
+                        std::to_string(config.traceSample) + ")");
+            table.header({"stage", "count", "avg_us", "p50_us", "p99_us",
+                          "p999_us"});
+            for (const auto &s : result.stages)
+                table.row({s.stage, fmt(s.count), fmt(s.avgUs),
+                           fmt(s.p50Us), fmt(s.p99Us), fmt(s.p999Us)});
+            table.print();
+        }
+        // Detach before teardown: clients/server die after the tracer.
+        fabric.setTracer(nullptr);
+        fabric.setMetrics(nullptr);
     }
 
     // Stop the clients so the event queue can drain promptly.

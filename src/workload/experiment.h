@@ -16,11 +16,14 @@
 #include <map>
 #include <string>
 
+#include <vector>
+
 #include "common/calibration.h"
 #include "common/time.h"
 #include "common/units.h"
 #include "mem/mlc_injector.h"
 #include "middletier/server_base.h"
+#include "trace/trace.h"
 
 namespace smartds::workload {
 
@@ -138,6 +141,21 @@ struct ExperimentConfig
     /** Seed of the fault timeline (separate from the workload seed). */
     std::uint64_t faultSeed = 0xfa17;
 
+    // --- Tracing (0 = off: no tracer attached, zero datapath overhead) --
+
+    /** Trace every Nth request (1 = all, 0 = tracing off). */
+    unsigned traceSample = 0;
+
+    /** Keep raw spans for Perfetto export (breakdown only otherwise). */
+    bool traceEvents = false;
+
+    /**
+     * Print the per-stage breakdown table at the end of the run. Benches
+     * leave this off so parallel-sweep stdout stays deterministic and
+     * export the table as CSV instead.
+     */
+    bool tracePrint = false;
+
     /** Whether any fault-injection knob is active. */
     bool
     faultsEnabled() const
@@ -189,6 +207,15 @@ struct ExperimentResult
 
     /** Stored copies the injector bit-flipped (whole run). */
     std::uint64_t blocksCorrupted = 0;
+
+    /** Per-stage latency breakdown (empty when tracing is off). */
+    std::vector<trace::StageStats> stages;
+
+    /** Raw spans of the measured window (when traceEvents was set). */
+    std::vector<trace::Span> spans;
+
+    /** Named module counters/gauges/histograms (when tracing is on). */
+    std::vector<trace::MetricsRegistry::Row> metrics;
 };
 
 /** Run one write-serving experiment. */

@@ -62,6 +62,15 @@ class SweepRunner
     /** Result of the experiment queued at @p index (after run()). */
     const ExperimentResult &result(std::size_t index) const;
 
+    /** All results in queue order (after run()). */
+    const std::vector<ExperimentResult> &results() const { return results_; }
+
+    /** Configuration queued at @p index. */
+    const ExperimentConfig &config(std::size_t index) const
+    {
+        return configs_.at(index);
+    }
+
     /** Resolved default for jobs = 0 (hardware concurrency, >= 1). */
     static unsigned defaultJobs();
 

@@ -11,7 +11,7 @@ namespace smartds::workload {
 
 VmClient::VmClient(net::Fabric &fabric, const std::string &name,
                    Config config)
-    : sim_(fabric.simulator()), config_(config),
+    : sim_(fabric.simulator()), fabric_(fabric), config_(config),
       port_(fabric.createPort(name + ".port")),
       rng_(config.seed)
 {
@@ -110,6 +110,15 @@ VmClient::issuer(unsigned index)
             msg.payload.compressibility = ratio;
         }
 
+        trace::Tracer *tracer = fabric_.tracer();
+        trace::TraceContext tctx;
+        std::uint32_t issue_depth = 0;
+        if (tracer) {
+            tctx = tracer->admit(tag);
+            msg.trace = tctx;
+            issue_depth = static_cast<std::uint32_t>(pending_.size());
+        }
+
         sim::Completion done(sim_);
         pending_.emplace(tag, done);
         ++config_.metrics->issued;
@@ -119,6 +128,10 @@ VmClient::issuer(unsigned index)
 
         ++config_.metrics->completed;
         config_.metrics->latency.record(sim_.now() - issue);
+        if (tracer && tctx) {
+            tracer->record(tctx, trace::Stage::Request, issue, sim_.now(),
+                           issue_depth);
+        }
         if (!is_read)
             config_.metrics->served.add(config_.blockBytes);
     }

@@ -81,6 +81,7 @@ class VmClient
     void onReply(net::Message msg);
 
     sim::Simulator &sim_;
+    net::Fabric &fabric_;
     Config config_;
     net::Port *port_;
     Rng rng_;

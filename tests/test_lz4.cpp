@@ -159,6 +159,66 @@ TEST(Lz4, DecompressRejectsOutputOverflow)
                      .has_value());
 }
 
+// --- Wildcopy bounds audit (lz4.cpp match copy) -----------------------
+//
+// The decoder's 8-byte wildcopy may overshoot a match by up to 7 bytes,
+// guarded by `op + match_len + 7 <= dst_cap`. These tests pin the guard:
+// an exactly-sized destination (zero slack after the last match) must
+// round-trip via the byte-forward fallback without touching a single
+// byte past the buffer, and a too-small destination must be rejected
+// before any copy. Run under the ASan preset, any overshoot is a
+// heap-buffer-overflow, not a silent pass.
+
+TEST(Lz4, DecompressIntoExactlySizedBuffer)
+{
+    // Long match ending flush against the end of dst: heap-allocate at
+    // the exact size so ASan redzones begin at byte input.size().
+    std::vector<std::uint8_t> input;
+    for (int i = 0; i < 4096; ++i)
+        input.push_back(static_cast<std::uint8_t>('a' + (i % 17)));
+    const auto compressed = compress(input, 1);
+    std::vector<std::uint8_t> out(input.size());
+    const auto n =
+        decompress(compressed.data(), compressed.size(), out.data(),
+                   out.size());
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, input.size());
+    EXPECT_EQ(out, input);
+}
+
+TEST(Lz4, DecompressIntoExactlySizedBufferAllProfiles)
+{
+    Rng rng(2024);
+    for (auto profile :
+         {corpus::Profile::Text, corpus::Profile::Database,
+          corpus::Profile::Executable, corpus::Profile::Imaging}) {
+        const auto input = corpus::generate(profile, 8192, rng);
+        const auto compressed = compress(input, 3);
+        std::vector<std::uint8_t> out(input.size());
+        const auto n = decompress(compressed.data(), compressed.size(),
+                                  out.data(), out.size());
+        ASSERT_TRUE(n.has_value());
+        EXPECT_EQ(out, input);
+    }
+}
+
+TEST(Lz4, DecompressRejectsBufferShortByOneToSeven)
+{
+    // 1..7 bytes short covers every wildcopy overshoot length: if the
+    // guard ever let a chunked copy spill, one of these would write past
+    // the allocation instead of returning nullopt.
+    std::vector<std::uint8_t> input;
+    for (int i = 0; i < 2048; ++i)
+        input.push_back(static_cast<std::uint8_t>('A' + (i % 23)));
+    const auto compressed = compress(input, 1);
+    for (std::size_t shortfall = 1; shortfall <= 7; ++shortfall) {
+        std::vector<std::uint8_t> out(input.size() - shortfall);
+        const auto n = decompress(compressed.data(), compressed.size(),
+                                  out.data(), out.size());
+        EXPECT_FALSE(n.has_value()) << "shortfall " << shortfall;
+    }
+}
+
 TEST(Lz4, DecompressRejectsFuzzedGarbage)
 {
     // Random bytes must never crash or read/write out of bounds; most

@@ -141,6 +141,68 @@ TEST(LogHistogram, HugeValuesDoNotOverflow)
     EXPECT_GE(h.quantile(1.0), (1ULL << 62));
 }
 
+// --- Quantile edge-case audit (regressions for histogram.cpp:quantile) --
+
+TEST(LogHistogram, EmptyQuantilesAreZeroForAllQ)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, BoundaryQReturnsExactExtremes)
+{
+    LogHistogram h;
+    h.record(123);
+    h.record(45'678);
+    h.record(9'999'999);
+    // q <= 0 and q >= 1 must return the exact recorded extremes, never a
+    // bucket-interpolated neighbour (and out-of-range q must clamp).
+    EXPECT_EQ(h.quantile(0.0), 123u);
+    EXPECT_EQ(h.quantile(-0.5), 123u);
+    EXPECT_EQ(h.quantile(1.0), 9'999'999u);
+    EXPECT_EQ(h.quantile(2.0), 9'999'999u);
+}
+
+TEST(LogHistogram, SingleBucketQuantileIsExactForAnyQ)
+{
+    // All mass in one bucket: interpolation spans [bucketLow, bucketHigh]
+    // but the min/max clamp must collapse every quantile to the single
+    // recorded value — in the exact linear region and in a log octave.
+    LogHistogram linear;
+    linear.record(3, 10);
+    for (double q : {0.001, 0.25, 0.5, 0.99, 0.999})
+        EXPECT_EQ(linear.quantile(q), 3u) << "q=" << q;
+
+    LogHistogram octave;
+    octave.record(1'000'000, 7);
+    for (double q : {0.001, 0.25, 0.5, 0.99, 0.999})
+        EXPECT_EQ(octave.quantile(q), 1'000'000u) << "q=" << q;
+}
+
+TEST(LogHistogram, LinearRegionQuantileIsExact)
+{
+    // Values below the sub-bucket count land in width-1 buckets, so the
+    // quantile is exact: with 0..31 recorded once each, the cumulative
+    // count reaches 16 (= 0.5 * 32) inside bucket 15.
+    LogHistogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.quantile(0.5), 15u);
+    EXPECT_EQ(h.quantile(0.25), 7u);
+    EXPECT_EQ(h.quantile(1.0 / 32.0), 0u);
+}
+
+TEST(LogHistogram, SingleSampleAllQuantilesEqualIt)
+{
+    LogHistogram h;
+    h.record(424242);
+    for (double q : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 424242u) << "q=" << q;
+}
+
 TEST(LatencyRecorder, ReportsMicroseconds)
 {
     LatencyRecorder rec;
@@ -193,6 +255,37 @@ TEST(RateMeter, UnopenedReportsZero)
     RateMeter m;
     EXPECT_DOUBLE_EQ(m.rate(), 0.0);
     EXPECT_EQ(m.window(), 0u);
+}
+
+TEST(RateMeter, ZeroLengthWindowCountsOneTick)
+{
+    // open() and close() on the same tick used to yield window() == 0 and
+    // a silent rate of zero even with bytes recorded; a closed window is
+    // now at least one tick wide.
+    RateMeter m;
+    m.open(5_us);
+    m.add(4096);
+    m.close(5_us);
+    EXPECT_EQ(m.bytes(), 4096u);
+    EXPECT_EQ(m.window(), 1u);
+    EXPECT_GT(m.rate(), 0.0);
+}
+
+TEST(RateMeter, ReopenDiscardsPreviousWindow)
+{
+    RateMeter m;
+    m.open(0);
+    m.add(1'000'000);
+    m.close(1_us);
+    // Re-opening resets bytes, window and closed state.
+    m.open(10_us);
+    EXPECT_TRUE(m.isOpen());
+    EXPECT_EQ(m.bytes(), 0u);
+    EXPECT_EQ(m.window(), 0u);
+    m.add(500);
+    m.close(11_us);
+    EXPECT_EQ(m.bytes(), 500u);
+    EXPECT_NEAR(m.rate(), 5e8, 1.0);
 }
 
 TEST(Rng, DeterministicPerSeed)

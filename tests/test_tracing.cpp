@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for the request-tracing and metrics subsystem: sampling
+ * determinism, span recording and per-stage breakdowns, the metrics
+ * registry, the Perfetto exporter's byte-stability, and end-to-end
+ * tracing through runWriteExperiment() for every middle-tier design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "workload/experiment.h"
+
+namespace smartds::trace {
+namespace {
+
+using namespace smartds::time_literals;
+
+TEST(TraceContext, NullByDefaultTruthyWhenAdmitted)
+{
+    TraceContext ctx;
+    EXPECT_FALSE(ctx);
+    ctx.id = 7;
+    EXPECT_TRUE(ctx);
+}
+
+TEST(Tracer, SampleEveryOneAdmitsAll)
+{
+    Tracer tracer({.sampleEvery = 1, .keepEvents = false});
+    for (std::uint64_t tag = 1; tag <= 50; ++tag) {
+        const TraceContext ctx = tracer.admit(tag);
+        EXPECT_TRUE(ctx) << "tag " << tag;
+        EXPECT_EQ(ctx.id, tag);
+    }
+}
+
+TEST(Tracer, SamplingIsDeterministicInTag)
+{
+    // Tags come from a shared counter starting at 1; every Nth tag is
+    // sampled regardless of arrival order, so a parallel sweep and a
+    // serial sweep trace the same request set.
+    Tracer tracer({.sampleEvery = 4, .keepEvents = false});
+    std::set<std::uint64_t> sampled;
+    for (std::uint64_t tag = 1; tag <= 100; ++tag)
+        if (tracer.admit(tag))
+            sampled.insert(tag);
+    EXPECT_EQ(sampled.size(), 25u);
+    for (std::uint64_t tag : sampled)
+        EXPECT_EQ((tag - 1) % 4, 0u) << "tag " << tag;
+    EXPECT_TRUE(sampled.count(1));
+    EXPECT_TRUE(sampled.count(97));
+}
+
+TEST(Tracer, NullContextRecordIsANoOp)
+{
+    Tracer tracer({.sampleEvery = 1, .keepEvents = true});
+    tracer.record(TraceContext{}, Stage::Request, 0, 10_us);
+    EXPECT_TRUE(tracer.spans().empty());
+    EXPECT_TRUE(tracer.breakdown().empty());
+}
+
+TEST(Tracer, BreakdownReportsExactSingleValueStats)
+{
+    Tracer tracer({.sampleEvery = 1, .keepEvents = false});
+    const TraceContext ctx = tracer.admit(1);
+    tracer.record(ctx, Stage::Request, 0, 5_us);
+    const auto rows = tracer.breakdown();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_STREQ(rows[0].stage, "request");
+    EXPECT_EQ(rows[0].count, 1u);
+    EXPECT_DOUBLE_EQ(rows[0].avgUs, 5.0);
+    // A single recorded value clamps every quantile to itself.
+    EXPECT_DOUBLE_EQ(rows[0].p50Us, 5.0);
+    EXPECT_DOUBLE_EQ(rows[0].p99Us, 5.0);
+    EXPECT_DOUBLE_EQ(rows[0].p999Us, 5.0);
+}
+
+TEST(Tracer, BreakdownAggregatesPerStage)
+{
+    Tracer tracer({.sampleEvery = 1, .keepEvents = false});
+    const TraceContext ctx = tracer.admit(1);
+    tracer.record(ctx, Stage::Replicate, 0, 10_us);
+    tracer.record(ctx, Stage::Replicate, 0, 20_us);
+    tracer.record(ctx, Stage::Replicate, 0, 30_us);
+    tracer.record(ctx, Stage::Storage, 0, 40_us);
+    const auto rows = tracer.breakdown();
+    ASSERT_EQ(rows.size(), 2u);
+    // Rows follow Stage enum order: Replicate before Storage.
+    EXPECT_STREQ(rows[0].stage, "replicate");
+    EXPECT_EQ(rows[0].count, 3u);
+    EXPECT_DOUBLE_EQ(rows[0].avgUs, 20.0);
+    EXPECT_NEAR(rows[0].p50Us, 20.0, 20.0 * 0.04);
+    EXPECT_STREQ(rows[1].stage, "storage");
+    EXPECT_EQ(rows[1].count, 1u);
+    EXPECT_DOUBLE_EQ(rows[1].avgUs, 40.0);
+}
+
+TEST(Tracer, KeepEventsCollectsAndTakeSpansDrains)
+{
+    Tracer tracer({.sampleEvery = 1, .keepEvents = true});
+    const TraceContext ctx = tracer.admit(9);
+    tracer.record(ctx, Stage::NetWire, 1_us, 3_us, 2);
+    ASSERT_EQ(tracer.spans().size(), 1u);
+    EXPECT_EQ(tracer.spans()[0].requestId, 9u);
+    EXPECT_EQ(tracer.spans()[0].stage, Stage::NetWire);
+    EXPECT_EQ(tracer.spans()[0].start, 1_us);
+    EXPECT_EQ(tracer.spans()[0].end, 3_us);
+    EXPECT_EQ(tracer.spans()[0].queueDepth, 2u);
+    const auto taken = tracer.takeSpans();
+    EXPECT_EQ(taken.size(), 1u);
+    EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, ResetDropsEverything)
+{
+    Tracer tracer({.sampleEvery = 1, .keepEvents = true});
+    const TraceContext ctx = tracer.admit(1);
+    tracer.record(ctx, Stage::Engine, 0, 1_us);
+    tracer.reset();
+    EXPECT_TRUE(tracer.spans().empty());
+    EXPECT_TRUE(tracer.breakdown().empty());
+}
+
+TEST(StageNames, AllStagesNamedAndDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned s = 0; s < static_cast<unsigned>(Stage::kCount); ++s) {
+        const char *name = stageName(static_cast<Stage>(s));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::strlen(name), 0u);
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(Stage::kCount));
+}
+
+TEST(MetricsRegistry, RowsSortedByNameWithStableRefs)
+{
+    MetricsRegistry registry;
+    auto &c = registry.counter("zeta.count");
+    auto &g = registry.gauge("alpha.depth");
+    auto &h = registry.histogram("mid.latency");
+    c.add(41);
+    c.increment();
+    g.set(2.5);
+    h.record(10);
+    h.record(30);
+    // References stay valid after further registrations (std::map).
+    registry.counter("another.count");
+    c.increment();
+
+    const auto rows = registry.rows();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].name, "alpha.depth");
+    EXPECT_STREQ(rows[0].kind, "gauge");
+    EXPECT_DOUBLE_EQ(rows[0].value, 2.5);
+    EXPECT_EQ(rows[1].name, "another.count");
+    EXPECT_EQ(rows[2].name, "mid.latency");
+    EXPECT_STREQ(rows[2].kind, "histogram");
+    EXPECT_DOUBLE_EQ(rows[2].value, 20.0);
+    EXPECT_EQ(rows[2].count, 2u);
+    EXPECT_EQ(rows[3].name, "zeta.count");
+    EXPECT_STREQ(rows[3].kind, "counter");
+    EXPECT_DOUBLE_EQ(rows[3].value, 43.0);
+}
+
+TEST(PerfettoWriter, OutputIsByteStableAndWellFormed)
+{
+    std::vector<Span> spans;
+    Span s;
+    s.requestId = 5;
+    s.stage = Stage::Split;
+    s.start = 1'234'567;          // 1.234567 us in ticks
+    s.end = 1'234'567 + 2'000'000; // +2 us
+    s.queueDepth = 3;
+    spans.push_back(s);
+
+    auto render = [&spans]() {
+        PerfettoWriter writer;
+        writer.addRun(0, "test/run0", spans);
+        return writer.finish();
+    };
+    const std::string first = render();
+    const std::string second = render();
+    EXPECT_EQ(first, second);
+
+    // Structural spot checks (full JSON validity is covered by the
+    // bench smoke path, which loads the file with a real parser).
+    EXPECT_EQ(first.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(first.find("\"name\":\"smartds.split\""), std::string::npos);
+    EXPECT_NE(first.find("\"ts\":1.234567"), std::string::npos);
+    EXPECT_NE(first.find("\"dur\":2.000000"), std::string::npos);
+    EXPECT_NE(first.find("\"qd\":3"), std::string::npos);
+    EXPECT_NE(first.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+// --- End-to-end: tracing through the full experiment testbed ----------
+
+workload::ExperimentConfig
+tracedConfig(middletier::Design design)
+{
+    workload::ExperimentConfig config;
+    config.design = design;
+    config.cores = 2;
+    config.clients = 2;
+    config.outstandingPerClient = 2;
+    config.warmup = ticksPerMillisecond / 2;
+    config.window = ticksPerMillisecond;
+    config.traceSample = 1;
+    config.traceEvents = true;
+    return config;
+}
+
+std::set<std::string>
+stageSet(const workload::ExperimentResult &result)
+{
+    std::set<std::string> names;
+    for (const auto &row : result.stages)
+        names.insert(row.stage);
+    return names;
+}
+
+TEST(TracedExperiment, OffByDefaultLeavesResultsEmpty)
+{
+    workload::ExperimentConfig config =
+        tracedConfig(middletier::Design::SmartDs);
+    config.traceSample = 0;
+    config.traceEvents = false;
+    const auto result = workload::runWriteExperiment(config);
+    EXPECT_GT(result.requestsCompleted, 0u);
+    EXPECT_TRUE(result.stages.empty());
+    EXPECT_TRUE(result.spans.empty());
+    EXPECT_TRUE(result.metrics.empty());
+}
+
+TEST(TracedExperiment, SmartDsCoversItsPipelineStages)
+{
+    const auto result = workload::runWriteExperiment(
+        tracedConfig(middletier::Design::SmartDs));
+    ASSERT_GT(result.requestsCompleted, 0u);
+    ASSERT_FALSE(result.stages.empty());
+    ASSERT_FALSE(result.spans.empty());
+    const auto names = stageSet(result);
+    for (const char *expect :
+         {"request", "net.wire", "host.parse", "smartds.split", "engine",
+          "smartds.assemble", "replicate", "storage"})
+        EXPECT_TRUE(names.count(expect)) << "missing stage " << expect;
+    // Every span belongs to a sampled request and is well-formed.
+    for (const Span &span : result.spans) {
+        EXPECT_GT(span.requestId, 0u);
+        EXPECT_GE(span.end, span.start);
+    }
+}
+
+TEST(TracedExperiment, CpuOnlyCoversHostStages)
+{
+    const auto result = workload::runWriteExperiment(
+        tracedConfig(middletier::Design::CpuOnly));
+    ASSERT_GT(result.requestsCompleted, 0u);
+    const auto names = stageSet(result);
+    for (const char *expect :
+         {"request", "net.wire", "nic.dma", "host.compute", "replicate",
+          "storage"})
+        EXPECT_TRUE(names.count(expect)) << "missing stage " << expect;
+}
+
+TEST(TracedExperiment, AcceleratorCoversEngineStage)
+{
+    const auto result = workload::runWriteExperiment(
+        tracedConfig(middletier::Design::Accelerator));
+    ASSERT_GT(result.requestsCompleted, 0u);
+    const auto names = stageSet(result);
+    for (const char *expect :
+         {"request", "host.parse", "engine", "replicate", "storage"})
+        EXPECT_TRUE(names.count(expect)) << "missing stage " << expect;
+}
+
+TEST(TracedExperiment, Bf2CoversArmAndEngineStages)
+{
+    const auto result = workload::runWriteExperiment(
+        tracedConfig(middletier::Design::Bf2));
+    ASSERT_GT(result.requestsCompleted, 0u);
+    const auto names = stageSet(result);
+    for (const char *expect :
+         {"request", "host.parse", "engine", "replicate", "storage"})
+        EXPECT_TRUE(names.count(expect)) << "missing stage " << expect;
+}
+
+TEST(TracedExperiment, RequestStageMatchesEndToEndLatency)
+{
+    // With every request sampled, the request-stage breakdown must agree
+    // with the experiment's own latency recorder.
+    const auto result = workload::runWriteExperiment(
+        tracedConfig(middletier::Design::SmartDs));
+    const trace::StageStats *request = nullptr;
+    for (const auto &row : result.stages)
+        if (std::strcmp(row.stage, "request") == 0)
+            request = &row;
+    ASSERT_NE(request, nullptr);
+    EXPECT_EQ(request->count, result.requestsCompleted);
+    EXPECT_NEAR(request->avgUs, result.avgLatencyUs,
+                result.avgLatencyUs * 0.01 + 0.1);
+    EXPECT_NEAR(request->p99Us, result.p99LatencyUs,
+                result.p99LatencyUs * 0.05 + 0.5);
+}
+
+TEST(TracedExperiment, SampledRunsAreDeterministic)
+{
+    // Same seed and sampling rate: two runs must produce byte-identical
+    // Perfetto documents — the determinism the bench `--jobs` guarantee
+    // builds on.
+    workload::ExperimentConfig config =
+        tracedConfig(middletier::Design::SmartDs);
+    config.traceSample = 8;
+    auto render = [&config]() {
+        const auto result = workload::runWriteExperiment(config);
+        PerfettoWriter writer;
+        writer.addRun(0, "det/run0", result.spans);
+        return writer.finish();
+    };
+    const std::string first = render();
+    const std::string second = render();
+    EXPECT_EQ(first, second);
+    EXPECT_GT(first.size(), 64u);
+}
+
+TEST(TracedExperiment, SamplingReducesSpanVolumeNotCorrectness)
+{
+    workload::ExperimentConfig config =
+        tracedConfig(middletier::Design::SmartDs);
+    const auto all = workload::runWriteExperiment(config);
+    config.traceSample = 16;
+    const auto sampled = workload::runWriteExperiment(config);
+    // Identical workload either way (tracing must not perturb the sim).
+    EXPECT_EQ(all.requestsCompleted, sampled.requestsCompleted);
+    EXPECT_DOUBLE_EQ(all.throughputGbps, sampled.throughputGbps);
+    EXPECT_GT(all.spans.size(), sampled.spans.size());
+    ASSERT_FALSE(sampled.spans.empty());
+    for (const Span &span : sampled.spans)
+        EXPECT_EQ((span.requestId - 1) % 16, 0u);
+}
+
+} // namespace
+} // namespace smartds::trace
