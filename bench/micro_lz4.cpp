@@ -27,6 +27,9 @@ using namespace smartds;
 const std::vector<std::uint8_t> &
 profileData(corpus::Profile p)
 {
+    // simlint: allow(mutable-global): bench-process memo of generated
+    // corpora; google-benchmark runs repetitions single-threaded and no
+    // simulation state is derived from the cache's iteration order
     static std::map<corpus::Profile, std::vector<std::uint8_t>> cache;
     auto it = cache.find(p);
     if (it == cache.end()) {

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Assertion conventions for the whole tree, in three tiers:
+ *
+ *  - SMARTDS_CHECK(cond, fmt, ...):   always on, in every build type.
+ *        For invariants whose failure means corrupted results — the cost
+ *        of the branch is accepted even in Release.
+ *  - SMARTDS_DCHECK(cond, fmt, ...):  debug builds only (compiled out
+ *        under NDEBUG). For hot-path sanity checks that are too expensive
+ *        to keep in Release but cheap enough for every debug run.
+ *  - SMARTDS_SIM_INVARIANT(cond, fmt, ...): compiled in only under the
+ *        `checked` preset (-DSMARTDS_CHECKED=ON). For deep simulation
+ *        invariants — event-heap ordering, transport window accounting,
+ *        allocator bookkeeping, trace-span nesting — that are O(state)
+ *        or sit on the per-event path and would distort benchmarks.
+ *
+ * All three report through smartds::panic(), so a failure prints the
+ * stringified condition, file:line, and a printf-style message carrying
+ * the offending values, then aborts. Use these instead of <cassert>
+ * assert() (no message, silently compiled out) and instead of ad-hoc
+ * abort() calls (no context at all).
+ *
+ * SMARTDS_CHECKED_BUILD is 1 when SMARTDS_SIM_INVARIANT is active, so
+ * bookkeeping state needed only by invariants can be guarded with
+ * `#if SMARTDS_CHECKED_BUILD`.
+ */
+
+#ifndef SMARTDS_COMMON_CHECK_H_
+#define SMARTDS_COMMON_CHECK_H_
+
+#include "common/logging.h"
+
+#define SMARTDS_CHECK(cond, fmt, ...)                                        \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::smartds::panic("check '%s' failed at %s:%d: " fmt, #cond,      \
+                             __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+        }                                                                    \
+    } while (0)
+
+#ifdef NDEBUG
+#define SMARTDS_DCHECK(cond, fmt, ...)                                       \
+    do {                                                                     \
+    } while (0)
+#else
+#define SMARTDS_DCHECK(cond, fmt, ...) SMARTDS_CHECK(cond, fmt, __VA_ARGS__)
+#endif
+
+#if defined(SMARTDS_CHECKED)
+#define SMARTDS_CHECKED_BUILD 1
+#define SMARTDS_SIM_INVARIANT(cond, fmt, ...)                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::smartds::panic("sim invariant '%s' failed at %s:%d: " fmt,     \
+                             #cond, __FILE__,                                \
+                             __LINE__ __VA_OPT__(, ) __VA_ARGS__);           \
+        }                                                                    \
+    } while (0)
+#else
+#define SMARTDS_CHECKED_BUILD 0
+#define SMARTDS_SIM_INVARIANT(cond, fmt, ...)                                \
+    do {                                                                     \
+    } while (0)
+#endif
+
+#endif // SMARTDS_COMMON_CHECK_H_

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds {
@@ -9,7 +10,7 @@ namespace smartds {
 LogHistogram::LogHistogram(unsigned sub_bucket_bits)
     : subBucketBits_(sub_bucket_bits), subBuckets_(1ULL << sub_bucket_bits)
 {
-    SMARTDS_ASSERT(sub_bucket_bits >= 1 && sub_bucket_bits <= 12,
+    SMARTDS_CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 12,
                    "sub_bucket_bits out of range");
     // One linear region for values < subBuckets_, then one octave of
     // subBuckets_/2 buckets for each further doubling up to 2^64.
@@ -81,7 +82,7 @@ LogHistogram::record(std::uint64_t value, std::uint64_t count)
 void
 LogHistogram::merge(const LogHistogram &other)
 {
-    SMARTDS_ASSERT(subBucketBits_ == other.subBucketBits_,
+    SMARTDS_CHECK(subBucketBits_ == other.subBucketBits_,
                    "merging histograms with different geometry");
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];

@@ -40,17 +40,9 @@ void setQuiet(bool quiet);
 /** @return whether inform() output is currently suppressed. */
 bool quiet();
 
-/**
- * Assert an invariant that must hold independent of user input.
- * Unlike assert(), this is active in all build types.
- */
-#define SMARTDS_ASSERT(cond, fmt, ...)                                       \
-    do {                                                                     \
-        if (!(cond)) {                                                       \
-            ::smartds::panic("assertion '%s' failed at %s:%d: " fmt, #cond, \
-                             __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
-        }                                                                    \
-    } while (0)
+// Assertion macros (SMARTDS_CHECK / SMARTDS_DCHECK /
+// SMARTDS_SIM_INVARIANT) live in common/check.h; they report through
+// panic() above.
 
 } // namespace smartds
 

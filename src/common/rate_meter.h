@@ -11,6 +11,7 @@
 #ifndef SMARTDS_COMMON_RATE_METER_H_
 #define SMARTDS_COMMON_RATE_METER_H_
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/time.h"
 #include "common/units.h"
@@ -41,7 +42,7 @@ class RateMeter
     void
     close(Tick now)
     {
-        SMARTDS_ASSERT(openFlag_,
+        SMARTDS_CHECK(openFlag_,
                        "RateMeter::close() without a matching open()");
         closeTick_ = now;
         openFlag_ = false;

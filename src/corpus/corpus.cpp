@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 
@@ -323,7 +324,7 @@ SyntheticCorpus::SyntheticCorpus(std::size_t total_bytes, std::uint64_t seed)
 const std::uint8_t *
 SyntheticCorpus::sampleBlockPtr(std::size_t block_size, Rng &rng) const
 {
-    SMARTDS_ASSERT(block_size > 0 && block_size <= data_.size(),
+    SMARTDS_CHECK(block_size > 0 && block_size <= data_.size(),
                    "block size %zu vs corpus %zu", block_size, data_.size());
     const std::size_t blocks = data_.size() / block_size;
     const std::size_t idx = rng.below(blocks);
@@ -341,7 +342,7 @@ RatioSampler::RatioSampler(const SyntheticCorpus &corpus,
                            std::size_t block_size, int effort,
                            std::size_t samples, std::uint64_t seed)
 {
-    SMARTDS_ASSERT(samples > 0, "need at least one sample");
+    SMARTDS_CHECK(samples > 0, "need at least one sample");
     Rng rng(seed);
     ratios_.reserve(samples);
     double sum = 0.0;

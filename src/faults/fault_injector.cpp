@@ -1,5 +1,7 @@
 #include "faults/fault_injector.h"
 
+#include "common/check.h"
+
 #include <utility>
 
 namespace smartds::faults {
@@ -64,8 +66,8 @@ void
 FaultInjector::startCrashChurn(std::vector<net::NodeId> nodes,
                                Tick mean_interval, Tick outage)
 {
-    SMARTDS_ASSERT(!nodes.empty(), "crash churn over an empty pool");
-    SMARTDS_ASSERT(mean_interval > 0, "crash churn needs a positive interval");
+    SMARTDS_CHECK(!nodes.empty(), "crash churn over an empty pool");
+    SMARTDS_CHECK(mean_interval > 0, "crash churn needs a positive interval");
     running_ = true;
     sim::spawn(sim_, churn(std::move(nodes), mean_interval, outage));
 }
@@ -79,6 +81,8 @@ FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
     for (net::NodeId n : nodes)
         profile(n);
     while (running_) {
+        // simlint: allow(tick-float): exponential jitter from the seeded
+        // Rng; identical across runs of the same binary by construction
         const auto wait = static_cast<Tick>(
             rng_.exponential(static_cast<double>(mean_interval)));
         co_await sim::delay(sim_, std::max<Tick>(1, wait));

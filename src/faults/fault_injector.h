@@ -55,6 +55,9 @@ class FaultProfile
     {
         if (latencyFactor_ <= 1.0)
             return 0;
+        // simlint: allow(tick-float): latencyFactor_ is a config-supplied
+        // slowdown ratio; the product is computed identically on every
+        // run of the same binary and feeds one node's delay, not ordering
         return static_cast<Tick>(static_cast<double>(base) *
                                  (latencyFactor_ - 1.0));
     }

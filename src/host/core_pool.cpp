@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::host {
@@ -9,7 +10,7 @@ namespace smartds::host {
 CorePool::CorePool(sim::Simulator &sim, std::string name, unsigned cores)
     : sim_(sim), name_(std::move(name)), cores_(cores)
 {
-    SMARTDS_ASSERT(cores > 0, "core pool '%s' needs at least one core",
+    SMARTDS_CHECK(cores > 0, "core pool '%s' needs at least one core",
                    name_.c_str());
 }
 
@@ -73,7 +74,7 @@ CorePool::acquire()
 void
 CorePool::release()
 {
-    SMARTDS_ASSERT(busy_ > 0, "core pool '%s' release underflow",
+    SMARTDS_CHECK(busy_ > 0, "core pool '%s' release underflow",
                    name_.c_str());
     if (!waiting_.empty()) {
         auto next = std::move(waiting_.front());
@@ -101,7 +102,7 @@ softwareCompressionRate(unsigned cores_used)
 BytesPerSecond
 perCoreCompressionRate(unsigned cores_used)
 {
-    SMARTDS_ASSERT(cores_used > 0, "need at least one core");
+    SMARTDS_CHECK(cores_used > 0, "need at least one core");
     return softwareCompressionRate(cores_used) / cores_used;
 }
 

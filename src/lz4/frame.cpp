@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/checksum.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 
@@ -78,7 +79,7 @@ maxBlockFromBd(std::uint8_t bd)
 std::vector<std::uint8_t>
 compressFrame(const std::vector<std::uint8_t> &src, FrameOptions options)
 {
-    SMARTDS_ASSERT(options.blockSize >= 1024, "block size too small");
+    SMARTDS_CHECK(options.blockSize >= 1024, "block size too small");
     std::vector<std::uint8_t> out;
     out.reserve(src.size() / 2 + 64);
 
@@ -105,7 +106,7 @@ compressFrame(const std::vector<std::uint8_t> &src, FrameOptions options)
         const auto compressed = compress(src.data() + off, n,
                                          scratch.data(), scratch.size(),
                                          options.effort);
-        SMARTDS_ASSERT(compressed.has_value(), "block compression failed");
+        SMARTDS_CHECK(compressed.has_value(), "block compression failed");
         const bool store_raw = *compressed >= n;
         const std::uint8_t *data = store_raw ? src.data() + off
                                              : scratch.data();

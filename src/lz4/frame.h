@@ -47,7 +47,7 @@ compressFrame(const std::vector<std::uint8_t> &src,
  * encoder). Fully validated: bad magic, truncated sections, oversized
  * blocks, or any checksum mismatch yield std::nullopt.
  */
-std::optional<std::vector<std::uint8_t>>
+[[nodiscard]] std::optional<std::vector<std::uint8_t>>
 decompressFrame(const std::vector<std::uint8_t> &frame);
 
 /** Quick validity check without producing the content. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::lz4 {
@@ -108,7 +109,7 @@ class Writer
                 : static_cast<unsigned>(lit_len);
         unsigned match_code = 0;
         if (match_len > 0) {
-            SMARTDS_ASSERT(match_len >= minMatch, "match below minMatch");
+            SMARTDS_CHECK(match_len >= minMatch, "match below minMatch");
             const std::size_t m = match_len - minMatch;
             match_code = m >= tokenMatchMax ? tokenMatchMax
                                             : static_cast<unsigned>(m);
@@ -223,7 +224,7 @@ std::optional<std::size_t>
 compress(const std::uint8_t *src, std::size_t src_size, std::uint8_t *dst,
          std::size_t dst_cap, int effort)
 {
-    SMARTDS_ASSERT(effort >= minEffort && effort <= maxEffort,
+    SMARTDS_CHECK(effort >= minEffort && effort <= maxEffort,
                    "effort %d out of range", effort);
     Writer out(dst, dst_cap);
     if (src_size == 0) {
@@ -371,7 +372,7 @@ compress(const std::vector<std::uint8_t> &src, int effort)
     std::vector<std::uint8_t> out(maxCompressedSize(src.size()));
     const auto n = compress(src.data(), src.size(), out.data(), out.size(),
                             effort);
-    SMARTDS_ASSERT(n.has_value(), "maxCompressedSize() was insufficient");
+    SMARTDS_CHECK(n.has_value(), "maxCompressedSize() was insufficient");
     out.resize(*n);
     return out;
 }
@@ -394,7 +395,7 @@ compressionRatio(const std::uint8_t *src, std::size_t src_size, int effort)
         return 1.0;
     std::vector<std::uint8_t> out(maxCompressedSize(src_size));
     const auto n = compress(src, src_size, out.data(), out.size(), effort);
-    SMARTDS_ASSERT(n.has_value(), "maxCompressedSize() was insufficient");
+    SMARTDS_CHECK(n.has_value(), "maxCompressedSize() was insufficient");
     const double ratio =
         static_cast<double>(*n) / static_cast<double>(src_size);
     // Stored blocks can expand slightly; the storage layer would keep the
@@ -405,7 +406,7 @@ compressionRatio(const std::uint8_t *src, std::size_t src_size, int effort)
 double
 effortSpeedFactor(int effort)
 {
-    SMARTDS_ASSERT(effort >= minEffort && effort <= maxEffort,
+    SMARTDS_CHECK(effort >= minEffort && effort <= maxEffort,
                    "effort %d out of range", effort);
     // Doubling the chain-search attempts costs roughly 35% throughput per
     // step on mixed data; anchored at 1.0 for effort 1.

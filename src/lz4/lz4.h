@@ -55,7 +55,7 @@ maxCompressedSize(std::size_t src_size)
  * @param effort  match-search effort in [minEffort, maxEffort]
  * @return number of bytes written, or std::nullopt if dst was too small
  */
-std::optional<std::size_t> compress(const std::uint8_t *src,
+[[nodiscard]] std::optional<std::size_t> compress(const std::uint8_t *src,
                                     std::size_t src_size, std::uint8_t *dst,
                                     std::size_t dst_cap, int effort = 1);
 
@@ -72,7 +72,7 @@ std::optional<std::size_t> compress(const std::uint8_t *src,
  * @return number of bytes produced, or std::nullopt on malformed input
  *         or insufficient capacity
  */
-std::optional<std::size_t> decompress(const std::uint8_t *src,
+[[nodiscard]] std::optional<std::size_t> decompress(const std::uint8_t *src,
                                       std::size_t src_size,
                                       std::uint8_t *dst,
                                       std::size_t dst_cap);
@@ -82,7 +82,7 @@ std::vector<std::uint8_t> compress(const std::vector<std::uint8_t> &src,
                                    int effort = 1);
 
 /** Convenience: decompress a vector given the known decompressed size. */
-std::optional<std::vector<std::uint8_t>>
+[[nodiscard]] std::optional<std::vector<std::uint8_t>>
 decompress(const std::vector<std::uint8_t> &src, std::size_t decompressed_size);
 
 /**

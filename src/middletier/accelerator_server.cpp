@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
@@ -49,7 +50,7 @@ AcceleratorServer::AcceleratorServer(net::Fabric &fabric,
 net::NodeId
 AcceleratorServer::frontNode(unsigned port) const
 {
-    SMARTDS_ASSERT(port == 0, "Acc server has a single NIC port");
+    SMARTDS_CHECK(port == 0, "Acc server has a single NIC port");
     return nic_->nodeId();
 }
 
@@ -106,7 +107,7 @@ AcceleratorServer::serveWrite(net::Message msg)
         const auto n =
             lz4::compress(msg.payload.data->data(), msg.payload.data->size(),
                           out.data(), out.size(), config_.effort);
-        SMARTDS_ASSERT(n.has_value(), "engine compression failed");
+        SMARTDS_CHECK(n.has_value(), "engine compression failed");
         out.resize(*n);
         compressed = *n;
         compressed_data =

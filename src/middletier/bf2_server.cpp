@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "middletier/protocol.h"
 #include "sim/awaitables.h"
@@ -38,6 +39,8 @@ Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config, Bf2Config bf2)
         sim_, "bf2.engine", bf2_.engineRate, bf2_.engineLatency);
     // BF2's software path is SmartDS-like (headers only, no payload
     // touch), but runs on wimpy Arm cores.
+    // simlint: allow(tick-float): one-time setup from calibration
+    // constants; every run of the same binary computes the same cost
     armRequestCost_ = static_cast<Tick>(
         static_cast<double>(calibration::smartdsHostRequestCost) *
         bf2_.armSlowdown);
@@ -47,7 +50,7 @@ Bf2Server::Bf2Server(net::Fabric &fabric, ServerConfig config, Bf2Config bf2)
 net::NodeId
 Bf2Server::frontNode(unsigned port) const
 {
-    SMARTDS_ASSERT(port < ports_.size(), "BF2 port index out of range");
+    SMARTDS_CHECK(port < ports_.size(), "BF2 port index out of range");
     return ports_[port]->id();
 }
 

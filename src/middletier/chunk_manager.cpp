@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::middletier {
@@ -12,10 +13,10 @@ ChunkManager::ChunkManager(Config config,
     : config_(config), storageNodes_(std::move(storage_nodes)),
       rng_(config.seed)
 {
-    SMARTDS_ASSERT(config_.chunkBytes > 0 &&
+    SMARTDS_CHECK(config_.chunkBytes > 0 &&
                        config_.segmentBytes >= config_.chunkBytes,
                    "segment must hold at least one chunk");
-    SMARTDS_ASSERT(storageNodes_.size() >= config_.replication,
+    SMARTDS_CHECK(storageNodes_.size() >= config_.replication,
                    "need at least %u storage servers", config_.replication);
 }
 
@@ -106,7 +107,7 @@ ChunkManager::compacted(const ChunkRef &chunk)
     if (it == chunks_.end())
         return;
     if (it->second.compactionQueued) {
-        SMARTDS_ASSERT(compactionsDue_ > 0, "compaction accounting");
+        SMARTDS_CHECK(compactionsDue_ > 0, "compaction accounting");
         --compactionsDue_;
     }
     it->second.writesSinceCompaction = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
@@ -38,7 +39,7 @@ CpuOnlyServer::CpuOnlyServer(net::Fabric &fabric, mem::MemorySystem &memory,
 net::NodeId
 CpuOnlyServer::frontNode(unsigned port) const
 {
-    SMARTDS_ASSERT(port == 0, "CPU-only server has a single NIC port");
+    SMARTDS_CHECK(port == 0, "CPU-only server has a single NIC port");
     return nic_->nodeId();
 }
 
@@ -133,7 +134,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
         const auto n =
             lz4::compress(msg.payload.data->data(), msg.payload.data->size(),
                           out.data(), out.size(), config_.effort);
-        SMARTDS_ASSERT(n.has_value(), "software compression failed");
+        SMARTDS_CHECK(n.has_value(), "software compression failed");
         out.resize(*n);
         compressed = *n;
         compressed_data =
@@ -262,7 +263,7 @@ CpuOnlyServer::serveRead(net::Message msg)
                        sim_.now(), parse_depth);
 
     const auto candidates = readCandidates(config_, msg);
-    SMARTDS_ASSERT(!candidates.empty(), "read with no storage candidates");
+    SMARTDS_CHECK(!candidates.empty(), "read with no storage candidates");
     const std::size_t start = rng_.below(candidates.size());
 
     net::Message stored;
@@ -306,7 +307,7 @@ CpuOnlyServer::serveRead(net::Message msg)
         health_.noteAck(target);
 
         const auto it = fetchReplies_.find(msg.tag);
-        SMARTDS_ASSERT(it != fetchReplies_.end(), "lost fetch reply");
+        SMARTDS_CHECK(it != fetchReplies_.end(), "lost fetch reply");
         net::Message candidate = std::move(it->second);
         fetchReplies_.erase(it);
 

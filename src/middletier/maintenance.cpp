@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "sim/awaitables.h"
 
@@ -24,7 +25,7 @@ MaintenanceService::MaintenanceService(sim::Simulator &sim,
       readFlow_(memory.createFlow(name + ".compact-read")),
       writeFlow_(memory.createFlow(name + ".compact-write"))
 {
-    SMARTDS_ASSERT(config_.cores >= 1, "maintenance needs a core");
+    SMARTDS_CHECK(config_.cores >= 1, "maintenance needs a core");
     sim::spawn(sim_, loop());
 }
 
@@ -32,6 +33,8 @@ sim::Process
 MaintenanceService::loop()
 {
     while (running_) {
+        // simlint: allow(tick-float): exponential jitter from the seeded
+        // Rng; identical across runs of the same binary by construction
         const Tick wait = static_cast<Tick>(rng_.exponential(
             static_cast<double>(config_.meanInterval)));
         co_await sim::delay(sim_, wait);

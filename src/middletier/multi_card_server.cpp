@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::middletier {
@@ -13,8 +14,8 @@ MultiCardSmartDsServer::MultiCardSmartDsServer(net::Fabric &fabric,
                                                MultiCardConfig multi)
     : multi_(multi)
 {
-    SMARTDS_ASSERT(multi.cards >= 1, "need at least one card");
-    SMARTDS_ASSERT(multi.cardsPerSwitch >= 1, "cards per switch >= 1");
+    SMARTDS_CHECK(multi.cards >= 1, "need at least one card");
+    SMARTDS_CHECK(multi.cardsPerSwitch >= 1, "cards per switch >= 1");
 
     const unsigned n_switches =
         (multi.cards + multi.cardsPerSwitch - 1) / multi.cardsPerSwitch;
@@ -44,7 +45,7 @@ MultiCardSmartDsServer::frontPorts() const
 net::NodeId
 MultiCardSmartDsServer::frontNode(unsigned port) const
 {
-    SMARTDS_ASSERT(port < frontPorts(), "port index out of range");
+    SMARTDS_CHECK(port < frontPorts(), "port index out of range");
     return cards_[port / multi_.card.ports]->frontNode(
         port % multi_.card.ports);
 }
@@ -52,7 +53,7 @@ MultiCardSmartDsServer::frontNode(unsigned port) const
 net::QpId
 MultiCardSmartDsServer::frontQp(unsigned port) const
 {
-    SMARTDS_ASSERT(port < frontPorts(), "port index out of range");
+    SMARTDS_CHECK(port < frontPorts(), "port index out of range");
     return cards_[port / multi_.card.ports]->frontQp(
         port % multi_.card.ports);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "middletier/maintenance.h"
 
@@ -44,7 +45,7 @@ std::vector<net::NodeId>
 MiddleTierServer::chooseReplicas(const std::vector<net::NodeId> &candidates,
                                  unsigned replication, Rng &rng)
 {
-    SMARTDS_ASSERT(candidates.size() >= replication,
+    SMARTDS_CHECK(candidates.size() >= replication,
                    "need at least %u storage servers, have %zu", replication,
                    candidates.size());
     // Partial Fisher-Yates over a scratch copy of indices.
@@ -95,7 +96,7 @@ MiddleTierServer::expectAck(sim::Simulator &sim, std::uint64_t tag,
     sim::Completion ack(sim);
     const AckKey key{tag, node};
     const auto [it, fresh] = pendingAcks_.emplace(key, AckEntry{ack, {}});
-    SMARTDS_ASSERT(fresh, "duplicate ack expectation for tag %llu",
+    SMARTDS_CHECK(fresh, "duplicate ack expectation for tag %llu",
                    static_cast<unsigned long long>(tag));
     if (timeout > 0) {
         // The timer completes the same completion the waiter holds, so a

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
@@ -40,7 +41,7 @@ SmartDsServer::frontNode(unsigned port) const
 net::QpId
 SmartDsServer::frontQp(unsigned port) const
 {
-    SMARTDS_ASSERT(port < requestQps_.size(), "port index out of range");
+    SMARTDS_CHECK(port < requestQps_.size(), "port index out of range");
     return requestQps_[port].local;
 }
 
@@ -119,7 +120,7 @@ SmartDsServer::worker(unsigned port)
                                        max_block);
         co_await recv.completion;
         const Bytes payload_size = recv.size();
-        SMARTDS_ASSERT(recv.message, "recv completed without a message");
+        SMARTDS_CHECK(recv.message, "recv completed without a message");
         const net::Message &req = *recv.message;
         trace::Tracer *tracer = fabric_.tracer();
         const trace::TraceContext tctx = req.trace;
@@ -245,7 +246,7 @@ SmartDsServer::worker(unsigned port)
         Placement placement = placeWrite(config_, req, rng_);
         auto nodes = std::make_shared<std::vector<net::NodeId>>(
             std::move(placement.nodes));
-        SMARTDS_ASSERT(nodes->size() <= replica_qps.size(),
+        SMARTDS_CHECK(nodes->size() <= replica_qps.size(),
                        "placement wider than the worker's replica QPs");
         const unsigned quorum = writeQuorum(config_, nodes->size());
         auto quorum_acks = std::make_shared<sim::CountLatch>(sim_, quorum);

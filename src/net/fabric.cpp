@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::net {
@@ -34,7 +35,7 @@ Port::send(Message msg, std::function<void()> on_sent)
 void
 Port::onReceive(Handler handler)
 {
-    SMARTDS_ASSERT(!handler_, "port '%s' already has a receive handler",
+    SMARTDS_CHECK(!handler_, "port '%s' already has a receive handler",
                    name_.c_str());
     handler_ = std::move(handler);
 }
@@ -45,7 +46,7 @@ Port::arrive(Message msg)
     const Bytes wire = framing_.wireBytes(msg.wireBytes());
     rxMeter_.add(msg.wireBytes());
     rx_.transfer(wire, [this, msg = std::move(msg)]() mutable {
-        SMARTDS_ASSERT(handler_, "port '%s' received with no handler",
+        SMARTDS_CHECK(handler_, "port '%s' received with no handler",
                        name_.c_str());
         trace::Tracer *tracer = fabric_.tracer();
         if (tracer && msg.trace && msg.trace.mark != 0) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::net {
@@ -19,7 +20,7 @@ ReliableQueuePair::ReliableQueuePair(Fabric &fabric,
       config_(config), port_(fabric.createPort(name + ".port")),
       rng_(config.seed)
 {
-    SMARTDS_ASSERT(config_.windowMessages >= 1, "window must be >= 1");
+    SMARTDS_CHECK(config_.windowMessages >= 1, "window must be >= 1");
     port_->onReceive([this](Message msg) { onReceive(std::move(msg)); });
 }
 
@@ -39,7 +40,7 @@ ReliableQueuePair::onDeliver(std::function<void(Message)> handler)
 void
 ReliableQueuePair::send(Message msg)
 {
-    SMARTDS_ASSERT(remote_ != 0, "qp '%s' is not connected",
+    SMARTDS_CHECK(remote_ != 0, "qp '%s' is not connected",
                    name_.c_str());
     msg.dst = remote_;
     msg.psn = nextPsn_++;
@@ -57,6 +58,7 @@ ReliableQueuePair::pump()
         ++sent_;
         transmit(msg);
     }
+    checkWindowInvariants();
     armTimer();
 }
 
@@ -118,7 +120,7 @@ ReliableQueuePair::handleData(Message msg)
         ++expectedPsn_;
         ++delivered_;
         sendAck();
-        SMARTDS_ASSERT(handler_, "qp '%s' delivered with no handler",
+        SMARTDS_CHECK(handler_, "qp '%s' delivered with no handler",
                        name_.c_str());
         handler_(std::move(msg));
     } else {
@@ -168,6 +170,32 @@ ReliableQueuePair::handleAck(const Message &msg)
     if (advanced)
         timer_.cancel();
     pump();
+}
+
+void
+ReliableQueuePair::checkWindowInvariants() const
+{
+#if SMARTDS_CHECKED_BUILD
+    SMARTDS_SIM_INVARIANT(
+        window_.size() <= config_.windowMessages,
+        "qp '%s': %zu outstanding frames exceed the %u-message window",
+        name_.c_str(), window_.size(), config_.windowMessages);
+    // Go-back-N keeps PSNs dense: the window holds [basePsn_, basePsn_ +
+    // window_.size()) and the backlog continues straight to nextPsn_.
+    SMARTDS_SIM_INVARIANT(
+        window_.empty() || window_.front().psn == basePsn_,
+        "qp '%s': window front psn %llu does not match base %llu",
+        name_.c_str(),
+        static_cast<unsigned long long>(window_.front().psn),
+        static_cast<unsigned long long>(basePsn_));
+    SMARTDS_SIM_INVARIANT(
+        basePsn_ + window_.size() + backlog_.size() == nextPsn_,
+        "qp '%s': psn accounting broke (base=%llu window=%zu backlog=%zu "
+        "next=%llu)",
+        name_.c_str(), static_cast<unsigned long long>(basePsn_),
+        window_.size(), backlog_.size(),
+        static_cast<unsigned long long>(nextPsn_));
+#endif
 }
 
 } // namespace smartds::net

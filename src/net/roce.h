@@ -79,6 +79,8 @@ class ReliableQueuePair
     void sendAck();
     void armTimer();
     void onTimeout();
+    /** Checked-build validation of go-back-N window/PSN accounting. */
+    void checkWindowInvariants() const;
 
     sim::Simulator &sim_;
     Fabric &fabric_;

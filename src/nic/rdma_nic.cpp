@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::nic {
@@ -27,7 +28,7 @@ RdmaNic::RdmaNic(net::Fabric &fabric, const std::string &name,
         const Tick dma_start = fabric_.simulator().now();
         dma_.write(bytes, rxOptions_,
                    [this, dma_start, msg = std::move(msg)](Tick) mutable {
-                       SMARTDS_ASSERT(handler_,
+                       SMARTDS_CHECK(handler_,
                                       "NIC delivered with no host handler");
                        trace::Tracer *tracer = fabric_.tracer();
                        if (tracer && msg.trace) {
@@ -43,7 +44,7 @@ RdmaNic::RdmaNic(net::Fabric &fabric, const std::string &name,
 void
 RdmaNic::onHostReceive(std::function<void(net::Message)> handler)
 {
-    SMARTDS_ASSERT(!handler_, "NIC already has a host receive handler");
+    SMARTDS_CHECK(!handler_, "NIC already has a host receive handler");
     handler_ = std::move(handler);
 }
 

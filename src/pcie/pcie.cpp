@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::pcie {
@@ -51,14 +52,14 @@ PcieSwitch::addDownstream(const std::string &name, PcieLink::Config config)
 std::vector<sim::BandwidthServer *>
 PcieSwitch::h2dPath(std::size_t i)
 {
-    SMARTDS_ASSERT(i < downstream_.size(), "downstream index out of range");
+    SMARTDS_CHECK(i < downstream_.size(), "downstream index out of range");
     return {&downstream_[i]->h2d(), &root_->h2d()};
 }
 
 std::vector<sim::BandwidthServer *>
 PcieSwitch::d2hPath(std::size_t i)
 {
-    SMARTDS_ASSERT(i < downstream_.size(), "downstream index out of range");
+    SMARTDS_CHECK(i < downstream_.size(), "downstream index out of range");
     return {&downstream_[i]->d2h(), &root_->d2h()};
 }
 
@@ -80,9 +81,9 @@ DmaEngine::DmaEngine(sim::Simulator &sim, std::string name,
       h2dPath_(std::move(h2d_path)), d2hPath_(std::move(d2h_path)),
       config_(config)
 {
-    SMARTDS_ASSERT(!h2dPath_.empty() && !d2hPath_.empty(),
+    SMARTDS_CHECK(!h2dPath_.empty() && !d2hPath_.empty(),
                    "DMA engine '%s' needs link paths", name_.c_str());
-    SMARTDS_ASSERT(config_.chunkBytes > 0, "chunk size must be positive");
+    SMARTDS_CHECK(config_.chunkBytes > 0, "chunk size must be positive");
 }
 
 void
@@ -215,7 +216,7 @@ DmaEngine::startChunk(const std::shared_ptr<Job> &job, Bytes chunk)
 void
 DmaEngine::completeJobChunk(const std::shared_ptr<Job> &job)
 {
-    SMARTDS_ASSERT(job->chunksOutstanding > 0, "chunk accounting underflow");
+    SMARTDS_CHECK(job->chunksOutstanding > 0, "chunk accounting underflow");
     --job->chunksOutstanding;
     if (job->chunksOutstanding == 0 && job->remainingToIssue == 0) {
         const Tick latency = sim_.now() - job->start;
@@ -227,10 +228,10 @@ void
 DmaEngine::releaseSlot(bool is_read, Bytes chunk)
 {
     if (is_read) {
-        SMARTDS_ASSERT(inflightReadBytes_ >= chunk, "read window underflow");
+        SMARTDS_CHECK(inflightReadBytes_ >= chunk, "read window underflow");
         inflightReadBytes_ -= chunk;
     } else {
-        SMARTDS_ASSERT(inflightWriteBytes_ >= chunk,
+        SMARTDS_CHECK(inflightWriteBytes_ >= chunk,
                        "write window underflow");
         inflightWriteBytes_ -= chunk;
     }

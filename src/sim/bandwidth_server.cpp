@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::sim {
@@ -12,7 +13,7 @@ BandwidthServer::BandwidthServer(Simulator &sim, std::string name,
     : sim_(sim), name_(std::move(name)), rate_(rate),
       baseLatency_(base_latency)
 {
-    SMARTDS_ASSERT(rate > 0.0, "bandwidth server '%s' needs a positive rate",
+    SMARTDS_CHECK(rate > 0.0, "bandwidth server '%s' needs a positive rate",
                    name_.c_str());
 }
 

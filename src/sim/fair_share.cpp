@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::sim {
@@ -21,7 +22,7 @@ constexpr double utilizationTauSeconds = 20e-6;
 void
 FairShareResource::Flow::transfer(Bytes bytes, std::function<void()> done)
 {
-    SMARTDS_ASSERT(demand_ == 0.0,
+    SMARTDS_CHECK(demand_ == 0.0,
                    "flow '%s' mixes transfers with background demand",
                    name_.c_str());
     if (bytes == 0) {
@@ -35,7 +36,7 @@ FairShareResource::Flow::transfer(Bytes bytes, std::function<void()> done)
 void
 FairShareResource::Flow::setDemand(BytesPerSecond demand)
 {
-    SMARTDS_ASSERT(queue_.empty(),
+    SMARTDS_CHECK(queue_.empty(),
                    "flow '%s' mixes background demand with transfers",
                    name_.c_str());
     demand_ = demand;
@@ -61,14 +62,14 @@ FairShareResource::FairShareResource(Simulator &sim, std::string name,
                                      BytesPerSecond capacity)
     : sim_(sim), name_(std::move(name)), capacity_(capacity)
 {
-    SMARTDS_ASSERT(capacity > 0.0, "fair-share resource '%s' needs capacity",
+    SMARTDS_CHECK(capacity > 0.0, "fair-share resource '%s' needs capacity",
                    name_.c_str());
 }
 
 FairShareResource::Flow *
 FairShareResource::createFlow(std::string name, double weight)
 {
-    SMARTDS_ASSERT(weight > 0.0, "flow weight must be positive");
+    SMARTDS_CHECK(weight > 0.0, "flow weight must be positive");
     flows_.push_back(std::unique_ptr<Flow>(
         new Flow(*this, std::move(name), weight)));
     return flows_.back().get();
@@ -77,7 +78,7 @@ FairShareResource::createFlow(std::string name, double weight)
 void
 FairShareResource::setCapacity(BytesPerSecond capacity)
 {
-    SMARTDS_ASSERT(capacity > 0.0, "capacity must be positive");
+    SMARTDS_CHECK(capacity > 0.0, "capacity must be positive");
     update();
     capacity_ = capacity;
     reallocate();
@@ -209,6 +210,9 @@ FairShareResource::scheduleNext()
         if (flow->queue_.empty() || flow->rate_ <= 0.0)
             continue;
         const double seconds = flow->queue_.front().remaining / flow->rate_;
+        // simlint: allow(tick-float): the fair-share model is defined on
+        // double rates; ceil + 1 makes the ETA conservative so rounding
+        // can only delay (never reorder) a completion
         const Tick eta = static_cast<Tick>(
                              std::ceil(seconds *
                                        static_cast<double>(ticksPerSecond))) +

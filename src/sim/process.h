@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/time.h"
 #include "sim/simulator.h"
@@ -80,7 +81,7 @@ inline void
 spawn(Simulator &sim, Process p)
 {
     auto h = p.release();
-    SMARTDS_ASSERT(h, "spawning an empty process");
+    SMARTDS_CHECK(h, "spawning an empty process");
     sim.schedule(0, [h]() { h.resume(); });
 }
 
@@ -129,7 +130,7 @@ class Completion
     void
     complete(std::uint64_t value = 0)
     {
-        SMARTDS_ASSERT(!state_->done, "double completion");
+        SMARTDS_CHECK(!state_->done, "double completion");
         state_->done = true;
         state_->value = value;
         auto waiters = std::move(state_->waiters);
@@ -207,7 +208,7 @@ class CountLatch
     void
     arrive()
     {
-        SMARTDS_ASSERT(remaining_ > 0, "latch arrive() past zero");
+        SMARTDS_CHECK(remaining_ > 0, "latch arrive() past zero");
         if (--remaining_ == 0)
             completion_.complete(0);
     }

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "common/time.h"
 
@@ -63,6 +64,9 @@ class EventCallback
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
             ops_ = &inlineOps<Fn>;
         } else {
+            // simlint: allow(naked-new): the SBO fallback box; ownership
+            // is carried by ops_ (boxedOps destroy deletes it), and a
+            // unique_ptr would not fit the type-erased inline buffer
             ::new (static_cast<void *>(buf_))
                 (Fn *)(new Fn(std::forward<F>(f)));
             ops_ = &boxedOps<Fn>;
@@ -206,7 +210,7 @@ class Simulator
     EventHandle
     scheduleAt(Tick when, EventCallback fn)
     {
-        SMARTDS_ASSERT(when >= now_,
+        SMARTDS_CHECK(when >= now_,
                        "scheduling into the past (when=%llu now=%llu)",
                        static_cast<unsigned long long>(when),
                        static_cast<unsigned long long>(now_));
@@ -239,6 +243,17 @@ class Simulator
             Event &event = pool_[top.slot];
             if (event.gen != top.gen)
                 continue; // cancelled; slot already recycled
+            // Only live events must dispatch in (tick, seq) order.
+            // Cancelled shells may legally pop "backwards": runUntil()'s
+            // dropStaleTop() can discard a dead entry past its deadline
+            // before time has advanced that far.
+            SMARTDS_SIM_INVARIANT(
+                top.key >= lastPoppedKey_,
+                "event dispatched out of (tick, seq) order at tick %llu",
+                static_cast<unsigned long long>(top.when()));
+#if SMARTDS_CHECKED_BUILD
+            lastPoppedKey_ = top.key;
+#endif
             now_ = top.when();
             // Move the callback out and recycle the slot *before*
             // invoking, so the callback may schedule freely (including
@@ -313,9 +328,16 @@ class Simulator
     void
     releaseSlot(std::uint32_t slot)
     {
+        SMARTDS_SIM_INVARIANT(slot < pool_.size(),
+                              "releasing slot %u beyond the %zu-slot pool",
+                              slot, pool_.size());
         pool_[slot].fn.reset();
         ++pool_[slot].gen;
         freeSlots_.push_back(slot);
+        SMARTDS_SIM_INVARIANT(
+            freeSlots_.size() <= pool_.size(),
+            "free list (%zu) larger than the pool (%zu): double release",
+            freeSlots_.size(), pool_.size());
     }
 
     /** Drop cancelled entries sitting at the top of the heap. */
@@ -347,6 +369,16 @@ class Simulator
     void
     heapPop()
     {
+#if SMARTDS_CHECKED_BUILD
+        SMARTDS_SIM_INVARIANT(!heap_.empty(), "popping an empty event heap");
+        SMARTDS_SIM_INVARIANT(
+            heap_.front().slot < pool_.size(),
+            "heap entry names slot %u beyond the %zu-slot pool",
+            heap_.front().slot, pool_.size());
+        // Full heap validation is O(n); amortise it across pops.
+        if ((++popCount_ & 0xfffu) == 0)
+            verifyHeapOrdering();
+#endif
         const HeapEntry last = heap_.back();
         heap_.pop_back();
         const std::size_t n = heap_.size();
@@ -374,12 +406,30 @@ class Simulator
         h[i] = last;
     }
 
+#if SMARTDS_CHECKED_BUILD
+    /** Full O(n) validation of the 4-ary heap property. */
+    void
+    verifyHeapOrdering() const
+    {
+        for (std::size_t i = 1; i < heap_.size(); ++i)
+            SMARTDS_SIM_INVARIANT(
+                heap_[(i - 1) / 4].key <= heap_[i].key,
+                "heap property violated between index %zu and its parent",
+                i);
+    }
+#endif
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::vector<Event> pool_;
     std::vector<std::uint32_t> freeSlots_;
     std::vector<HeapEntry> heap_;
+#if SMARTDS_CHECKED_BUILD
+    /** Largest (tick, seq) key dispatched so far; must be monotone. */
+    unsigned __int128 lastPoppedKey_ = 0;
+    std::uint64_t popCount_ = 0;
+#endif
 };
 
 bool

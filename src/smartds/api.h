@@ -26,6 +26,8 @@
 
 #include <memory>
 
+#include "common/check.h"
+
 #include "smartds/device.h"
 
 namespace smartds::api {
@@ -111,7 +113,7 @@ class Session
     RoceInstance &
     open_roce_instance(unsigned instance_index)
     {
-        SMARTDS_ASSERT(instance_index < instances_.size(),
+        SMARTDS_CHECK(instance_index < instances_.size(),
                        "no RoCE instance %u", instance_index);
         return instances_[instance_index];
     }

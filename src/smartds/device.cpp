@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 
@@ -49,7 +50,7 @@ SmartDsDevice::SmartDsDevice(net::Fabric &fabric, const std::string &name,
                return dma;
            }())
 {
-    SMARTDS_ASSERT(config.ports >= 1 &&
+    SMARTDS_CHECK(config.ports >= 1 &&
                        config.ports <= calibration::smartdsMaxPorts,
                    "SmartDS supports 1..%u ports, got %u",
                    calibration::smartdsMaxPorts, config.ports);
@@ -95,14 +96,14 @@ SmartDsDevice::devAlloc(Bytes size)
 net::NodeId
 SmartDsDevice::nodeId(unsigned port) const
 {
-    SMARTDS_ASSERT(port < portStates_.size(), "port index out of range");
+    SMARTDS_CHECK(port < portStates_.size(), "port index out of range");
     return portStates_[port]->port->id();
 }
 
 SmartDsDevice::Qp
 SmartDsDevice::createQp(unsigned port)
 {
-    SMARTDS_ASSERT(port < portStates_.size(), "port index out of range");
+    SMARTDS_CHECK(port < portStates_.size(), "port index out of range");
     Qp qp;
     qp.port = port;
     qp.local = portStates_[port]->nextQp++;
@@ -119,7 +120,7 @@ SmartDsDevice::connect(Qp &qp, net::NodeId remote_node, net::QpId remote_qp)
 void
 SmartDsDevice::resetQp(const Qp &qp)
 {
-    SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
+    SMARTDS_CHECK(qp.port < portStates_.size(), "bad qp port");
     auto &state = *portStates_[qp.port];
     if (const auto rq = state.recvQueues.find(qp.local);
         rq != state.recvQueues.end()) {
@@ -138,14 +139,14 @@ SmartDsDevice::resetQp(const Qp &qp)
 net::Port &
 SmartDsDevice::port(unsigned i)
 {
-    SMARTDS_ASSERT(i < portStates_.size(), "port index out of range");
+    SMARTDS_CHECK(i < portStates_.size(), "port index out of range");
     return *portStates_[i]->port;
 }
 
 sim::BandwidthServer &
 SmartDsDevice::compressEngine(unsigned i)
 {
-    SMARTDS_ASSERT(i < portStates_.size(), "port index out of range");
+    SMARTDS_CHECK(i < portStates_.size(), "port index out of range");
     return *portStates_[i]->compressEngine;
 }
 
@@ -183,7 +184,7 @@ SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
     const Bytes total = msg.wireBytes();
     const Bytes host_part = std::min(desc.hSize, total);
     const Bytes dev_part = total - host_part;
-    SMARTDS_ASSERT(dev_part <= desc.dSize,
+    SMARTDS_CHECK(dev_part <= desc.dSize,
                    "split overflow: %llu payload bytes into %llu-byte "
                    "device buffer",
                    static_cast<unsigned long long>(dev_part),
@@ -256,7 +257,7 @@ SmartDsDevice::Event
 SmartDsDevice::mixedRecv(const Qp &qp, BufferRef h, Bytes h_size,
                          BufferRef d, Bytes d_size)
 {
-    SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
+    SMARTDS_CHECK(qp.port < portStates_.size(), "bad qp port");
     auto &state = *portStates_[qp.port];
     RecvDescriptor desc{std::move(h), h_size, std::move(d), d_size,
                         Event{sim::Completion(sim_),
@@ -280,8 +281,8 @@ SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
                          std::uint64_t tag, Tick issue_tick,
                          trace::TraceContext tctx)
 {
-    SMARTDS_ASSERT(qp.port < portStates_.size(), "bad qp port");
-    SMARTDS_ASSERT(qp.remoteNode != 0, "sending on an unconnected qp");
+    SMARTDS_CHECK(qp.port < portStates_.size(), "bad qp port");
+    SMARTDS_CHECK(qp.remoteNode != 0, "sending on an unconnected qp");
     auto &state = *portStates_[qp.port];
 
     net::Message msg;
@@ -352,8 +353,8 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
                        Bytes dst_cap, unsigned port, EngineOp op,
                        trace::TraceContext tctx)
 {
-    SMARTDS_ASSERT(port < portStates_.size(), "engine index out of range");
-    SMARTDS_ASSERT(src && dst, "devFunc needs source and destination");
+    SMARTDS_CHECK(port < portStates_.size(), "engine index out of range");
+    SMARTDS_CHECK(src && dst, "devFunc needs source and destination");
     auto &state = *portStates_[port];
 
     // Determine the functional result (and its size) up front; the timing
@@ -383,7 +384,7 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
                                          result_bytes.data(),
                                          result_bytes.size(),
                                          config_.effort);
-            SMARTDS_ASSERT(n.has_value(), "engine compression failed");
+            SMARTDS_CHECK(n.has_value(), "engine compression failed");
             result_size = *n;
             compressibility =
                 std::min(1.0, static_cast<double>(*n) /
@@ -424,7 +425,7 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
         result_compressed = false;
         result_original = 0;
     }
-    SMARTDS_ASSERT(result_size <= dst_cap,
+    SMARTDS_CHECK(result_size <= dst_cap,
                    "engine output %llu exceeds destination capacity %llu",
                    static_cast<unsigned long long>(result_size),
                    static_cast<unsigned long long>(dst_cap));

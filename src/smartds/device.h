@@ -23,9 +23,9 @@
 #define SMARTDS_SMARTDS_DEVICE_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/calibration.h"
@@ -230,8 +230,11 @@ class SmartDsDevice
         sim::FairShareResource::Flow *assembleRead = nullptr;
         sim::FairShareResource::Flow *engineRead = nullptr;
         sim::FairShareResource::Flow *engineWrite = nullptr;
-        std::unordered_map<net::QpId, std::deque<RecvDescriptor>> recvQueues;
-        std::unordered_map<net::QpId, std::deque<net::Message>> pendingMsgs;
+        // Ordered maps: pendingMessages() iterates these, and QP counts
+        // per port are tiny — hash-order iteration is the risk, not the
+        // lookup cost.
+        std::map<net::QpId, std::deque<RecvDescriptor>> recvQueues;
+        std::map<net::QpId, std::deque<net::Message>> pendingMsgs;
         net::QpId nextQp = 1;
     };
 

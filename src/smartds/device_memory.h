@@ -12,6 +12,7 @@
 #ifndef SMARTDS_SMARTDS_DEVICE_MEMORY_H_
 #define SMARTDS_SMARTDS_DEVICE_MEMORY_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/calibration.h"
@@ -45,6 +46,7 @@ class DeviceMemory
   private:
     Bytes capacity_;
     Bytes used_ = 0;
+    std::uint64_t allocations_ = 0;
     bool functional_;
     sim::FairShareResource share_;
 };

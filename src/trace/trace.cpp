@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::trace {
@@ -51,7 +52,7 @@ stageName(Stage stage)
 
 Tracer::Tracer(Config config) : config_(config)
 {
-    SMARTDS_ASSERT(config_.sampleEvery >= 1,
+    SMARTDS_CHECK(config_.sampleEvery >= 1,
                    "trace sample period must be >= 1");
     stageHist_.reserve(kStages);
     for (unsigned i = 0; i < kStages; ++i)
@@ -74,9 +75,26 @@ Tracer::record(const TraceContext &ctx, Stage stage, Tick start, Tick end,
 {
     if (!ctx)
         return;
-    SMARTDS_ASSERT(end >= start, "span for stage %s ends before it starts",
+    SMARTDS_CHECK(end >= start, "span for stage %s ends before it starts",
                    stageName(stage));
     const unsigned index = static_cast<unsigned>(stage);
+    SMARTDS_CHECK(index < kStages, "span names stage %u past kCount", index);
+#if SMARTDS_CHECKED_BUILD
+    // Spans are recorded when the stage completes, so within one tracer
+    // the stream of end ticks is nondecreasing — a violation means a
+    // component cached a stale tick across an asynchronous boundary.
+    SMARTDS_SIM_INVARIANT(
+        end >= lastRecordedEnd_,
+        "stage %s span ends at %llu, before the previous span's %llu",
+        stageName(stage), static_cast<unsigned long long>(end),
+        static_cast<unsigned long long>(lastRecordedEnd_));
+    lastRecordedEnd_ = end;
+    // Nesting depth is bumped once per sub-request fan-out (split chunks,
+    // replicas); anything past 8 means a context was recycled in a loop.
+    SMARTDS_SIM_INVARIANT(ctx.depth < 8,
+                          "span nesting depth %u is implausible",
+                          static_cast<unsigned>(ctx.depth));
+#endif
     stageHist_[index].record(end - start);
     ++stageCount_[index];
     if (config_.keepEvents) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/histogram.h"
 #include "common/time.h"
 #include "trace/context.h"
@@ -102,6 +103,10 @@ class Tracer
     std::vector<Span> spans_;
     std::vector<LogHistogram> stageHist_;
     std::vector<std::uint64_t> stageCount_;
+#if SMARTDS_CHECKED_BUILD
+    /** Checked builds: spans must be recorded in completion order. */
+    Tick lastRecordedEnd_ = 0;
+#endif
 };
 
 /**

@@ -33,7 +33,12 @@ const corpus::RatioSampler &
 cachedRatios(int effort, Bytes block_bytes)
 {
     static const corpus::SyntheticCorpus corpus(4u << 20, 42);
+    // simlint: allow(mutable-global): guards the cache below; audited in
+    // the PR 2 global-state sweep and safe under concurrent SweepRunner
     static std::mutex mutex;
+    // simlint: allow(mutable-global): keyed by (effort, block size) with
+    // a fixed seed, so every thread reads identical samplers; protected
+    // by the mutex above and never iterated
     static std::map<std::pair<int, Bytes>,
                     std::unique_ptr<corpus::RatioSampler>>
         cache;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace smartds::workload {
@@ -22,7 +23,7 @@ SweepRunner::SweepRunner(unsigned jobs)
 std::size_t
 SweepRunner::add(ExperimentConfig config)
 {
-    SMARTDS_ASSERT(!ran_, "add() after run()");
+    SMARTDS_CHECK(!ran_, "add() after run()");
     configs_.push_back(config);
     return configs_.size() - 1;
 }
@@ -30,7 +31,7 @@ SweepRunner::add(ExperimentConfig config)
 const std::vector<ExperimentResult> &
 SweepRunner::run()
 {
-    SMARTDS_ASSERT(!ran_, "run() is callable once");
+    SMARTDS_CHECK(!ran_, "run() is callable once");
     ran_ = true;
     results_.resize(configs_.size());
 
@@ -69,8 +70,8 @@ SweepRunner::run()
 const ExperimentResult &
 SweepRunner::result(std::size_t index) const
 {
-    SMARTDS_ASSERT(ran_, "result() before run()");
-    SMARTDS_ASSERT(index < results_.size(), "result index out of range");
+    SMARTDS_CHECK(ran_, "result() before run()");
+    SMARTDS_CHECK(index < results_.size(), "result index out of range");
     return results_[index];
 }
 

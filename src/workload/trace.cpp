@@ -4,12 +4,56 @@
 #include <cctype>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "middletier/protocol.h"
 
 namespace smartds::workload {
+
+namespace {
+
+/**
+ * Parse a decimal microsecond timestamp ("12.345") into integer
+ * picosecond ticks without a double round trip: std::stod would round
+ * the fraction in binary floating point, and a half-ulp difference in a
+ * timestamp is enough to reorder two trace records.  Fractional digits
+ * beyond picosecond resolution (6) are truncated.  Throws
+ * std::invalid_argument on malformed input (caught by the caller like
+ * the std::stoull fields).
+ */
+Tick
+parseMicrosecondsToTicks(const std::string &cell)
+{
+    std::size_t i = cell.find_first_not_of(" \t");
+    if (i == std::string::npos)
+        throw std::invalid_argument("empty timestamp");
+    Tick whole = 0;
+    bool any = false;
+    for (; i < cell.size() && std::isdigit(static_cast<unsigned char>(
+                                  cell[i])); ++i) {
+        whole = whole * 10 + static_cast<Tick>(cell[i] - '0');
+        any = true;
+    }
+    Tick frac = 0;
+    if (i < cell.size() && cell[i] == '.') {
+        ++i;
+        Tick scale = ticksPerMicrosecond / 10;
+        for (; i < cell.size() && std::isdigit(static_cast<unsigned char>(
+                                      cell[i])); ++i) {
+            frac += static_cast<Tick>(cell[i] - '0') * scale;
+            scale /= 10;
+            any = true;
+        }
+    }
+    if (!any || cell.find_first_not_of(" \t\r", i) != std::string::npos)
+        throw std::invalid_argument("bad timestamp '" + cell + "'");
+    return whole * ticksPerMicrosecond + frac;
+}
+
+} // namespace
 
 std::optional<std::vector<TraceRecord>>
 parseCsvTrace(const std::string &csv)
@@ -39,9 +83,7 @@ parseCsvTrace(const std::string &csv)
         }
         try {
             TraceRecord rec;
-            rec.at = static_cast<Tick>(std::stod(cells[0]) *
-                                       static_cast<double>(
-                                           ticksPerMicrosecond));
+            rec.at = parseMicrosecondsToTicks(cells[0]);
             rec.vmId = std::stoull(cells[1]);
             rec.offsetBytes = std::stoull(cells[2]);
             rec.sizeBytes = std::stoull(cells[3]);
@@ -94,7 +136,7 @@ formatCsvTrace(const std::vector<TraceRecord> &records)
 std::vector<TraceRecord>
 synthesizeTrace(const TraceSynthesis &config)
 {
-    SMARTDS_ASSERT(config.meanRatePerSecond > 0, "rate must be positive");
+    SMARTDS_CHECK(config.meanRatePerSecond > 0, "rate must be positive");
     Rng rng(config.seed);
     std::vector<TraceRecord> records;
     records.reserve(config.records);
@@ -140,9 +182,9 @@ TraceReplayer::TraceReplayer(net::Fabric &fabric, const std::string &name,
       port_(fabric.createPort(name + ".port")), trace_(std::move(trace)),
       rng_(config.seed)
 {
-    SMARTDS_ASSERT(config_.metrics && config_.tagCounter,
+    SMARTDS_CHECK(config_.metrics && config_.tagCounter,
                    "replayer needs shared metrics and tag counter");
-    SMARTDS_ASSERT(config_.ratios, "replayer needs a ratio sampler");
+    SMARTDS_CHECK(config_.ratios, "replayer needs a ratio sampler");
     port_->onReceive([this](net::Message msg) { onReply(std::move(msg)); });
     start_ = sim_.now();
     sim::spawn(sim_, replay());
@@ -158,7 +200,7 @@ void
 TraceReplayer::onReply(net::Message msg)
 {
     const auto it = inflight_.find(msg.tag);
-    SMARTDS_ASSERT(it != inflight_.end(), "reply for unknown tag");
+    SMARTDS_CHECK(it != inflight_.end(), "reply for unknown tag");
     config_.metrics->latency.record(sim_.now() - it->second);
     if (msg.kind == net::MessageKind::WriteReply)
         config_.metrics->served.add(msg.payload.size ? msg.payload.size

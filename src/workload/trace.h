@@ -45,7 +45,7 @@ struct TraceRecord
  * Parse a CSV trace. @return std::nullopt on malformed input (the line
  * number is reported through warn()).
  */
-std::optional<std::vector<TraceRecord>>
+[[nodiscard]] std::optional<std::vector<TraceRecord>>
 parseCsvTrace(const std::string &csv);
 
 /** Serialise records back to the CSV schema (for round trips/exports). */

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/check.h"
 #include "common/logging.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
@@ -15,9 +16,9 @@ VmClient::VmClient(net::Fabric &fabric, const std::string &name,
       port_(fabric.createPort(name + ".port")),
       rng_(config.seed)
 {
-    SMARTDS_ASSERT(config_.metrics && config_.tagCounter,
+    SMARTDS_CHECK(config_.metrics && config_.tagCounter,
                    "client needs shared metrics and tag counter");
-    SMARTDS_ASSERT(config_.ratios || config_.corpus,
+    SMARTDS_CHECK(config_.ratios || config_.corpus,
                    "client needs a ratio sampler or a functional corpus");
     port_->onReceive([this](net::Message msg) { onReply(std::move(msg)); });
     for (unsigned i = 0; i < config_.outstanding; ++i)
@@ -28,7 +29,7 @@ void
 VmClient::onReply(net::Message msg)
 {
     const auto it = pending_.find(msg.tag);
-    SMARTDS_ASSERT(it != pending_.end(), "reply for unknown tag %llu",
+    SMARTDS_CHECK(it != pending_.end(), "reply for unknown tag %llu",
                    static_cast<unsigned long long>(msg.tag));
     sim::Completion done = it->second;
     pending_.erase(it);
@@ -45,6 +46,8 @@ VmClient::issuer(unsigned index)
     (void)index;
 
     while (running_) {
+        // simlint: allow(tick-float): exponential think time from the
+        // seeded per-client Rng; identical across runs of the same binary
         const Tick think =
             static_cast<Tick>(rng.exponential(
                 static_cast<double>(config_.thinkMean)));

@@ -1,0 +1,56 @@
+# Runs fig07 --smoke twice under deliberately different process layouts
+# (malloc perturbation plus environment-block padding, which shifts the
+# heap and the initial stack and with them every pointer value the run
+# ever hashes) and requires byte-identical CSVs and tables. Any
+# hash-order or address dependence in the simulation shows up as a diff
+# here long before it corrupts a full figure sweep.
+#
+# Invoked by ctest as:
+#   cmake -DFIG07=<binary> -DWORKDIR=<scratch> -P fig07_determinism.cmake
+
+foreach(side A B)
+    file(REMOVE_RECURSE ${WORKDIR}/${side})
+    file(MAKE_DIRECTORY ${WORKDIR}/${side}/results)
+endforeach()
+
+string(REPEAT "x" 4096 padding)
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env MALLOC_PERTURB_=1 SMARTDS_ENV_PAD=a
+        ${FIG07} --smoke
+    WORKING_DIRECTORY ${WORKDIR}/A
+    OUTPUT_FILE ${WORKDIR}/A/stdout.txt
+    RESULT_VARIABLE rc_a)
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env MALLOC_PERTURB_=254
+        SMARTDS_ENV_PAD=${padding} ${FIG07} --smoke
+    WORKING_DIRECTORY ${WORKDIR}/B
+    OUTPUT_FILE ${WORKDIR}/B/stdout.txt
+    RESULT_VARIABLE rc_b)
+if(NOT rc_a EQUAL 0 OR NOT rc_b EQUAL 0)
+    message(FATAL_ERROR "fig07 --smoke failed (A=${rc_a} B=${rc_b})")
+endif()
+
+foreach(csv results/fig07_throughput.csv results/fig07_latency.csv)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/A/${csv} ${WORKDIR}/B/${csv}
+        RESULT_VARIABLE differs)
+    if(NOT differs EQUAL 0)
+        message(FATAL_ERROR
+            "${csv} differs across process layouts: the sweep leaked "
+            "hash order or address values into its results")
+    endif()
+endforeach()
+
+# Stdout must match too, except the [bench_perf] telemetry line, which
+# legitimately carries wall-clock timings.
+foreach(side A B)
+    file(READ ${WORKDIR}/${side}/stdout.txt out_${side})
+    string(REGEX REPLACE "[^\n]*bench_perf[^\n]*\n?" "" out_${side}
+           "${out_${side}}")
+endforeach()
+if(NOT out_A STREQUAL out_B)
+    message(FATAL_ERROR
+        "fig07 --smoke stdout differs across process layouts")
+endif()

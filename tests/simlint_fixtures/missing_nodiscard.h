@@ -1,0 +1,21 @@
+// simlint fixture: optional-returning declarations.
+#ifndef FX_MISSING_NODISCARD_H_
+#define FX_MISSING_NODISCARD_H_
+
+#include <optional>
+#include <string>
+
+namespace fx {
+
+std::optional<int> parsePort(const std::string &text);
+
+[[nodiscard]] std::optional<int> parseCount(const std::string &text);
+
+struct Options
+{
+    std::optional<std::string> label;
+};
+
+} // namespace fx
+
+#endif // FX_MISSING_NODISCARD_H_

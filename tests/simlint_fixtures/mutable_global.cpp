@@ -1,0 +1,22 @@
+// simlint fixture: shared mutable state.
+#include <cstdint>
+
+namespace fx {
+
+std::uint64_t totalBytes = 0;
+
+const std::uint64_t limitBytes = 1024;
+
+std::uint64_t
+nextId()
+{
+    static std::uint64_t counter = 0;
+    return ++counter;
+}
+
+struct Widget
+{
+    std::uint64_t perInstance = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,29 @@
+// simlint fixture: owning allocations.
+#include <memory>
+
+namespace fx {
+
+struct Node
+{
+    int value = 0;
+};
+
+Node *
+leakyMake()
+{
+    return new Node();
+}
+
+std::unique_ptr<Node>
+ownedMake()
+{
+    return std::unique_ptr<Node>(new Node());
+}
+
+void
+placementMake(void *storage)
+{
+    ::new (storage) Node();
+}
+
+} // namespace fx

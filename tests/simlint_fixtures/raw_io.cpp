@@ -1,0 +1,26 @@
+// simlint fixture: raw output paths.
+#include <cstdio>
+#include <iostream>
+
+namespace fx {
+
+void
+reportPlain(int value)
+{
+    printf("value=%d\n", value);
+}
+
+void
+reportStream(int value)
+{
+    std::cout << value << "\n";
+}
+
+void
+reportFile(FILE *f, int value)
+{
+    // Writing to a caller-supplied stream is not stdout abuse.
+    fprintf(f, "value=%d\n", value);
+}
+
+} // namespace fx

@@ -1,0 +1,28 @@
+// simlint fixture: raw randomness sources.
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+int
+hardwareEntropy()
+{
+    std::random_device rd;
+    return static_cast<int>(rd());
+}
+
+int
+libcRand()
+{
+    return rand();
+}
+
+int
+randomish(int x)
+{
+    // A variable merely *named* rand is not a call.
+    int rand = x;
+    return rand + 1;
+}
+
+} // namespace fx

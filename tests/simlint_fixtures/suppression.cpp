@@ -1,0 +1,25 @@
+// simlint fixture: suppression handling.
+#include <cstdio>
+
+namespace fx {
+
+void
+suppressedPrint(int value)
+{
+    // simlint: allow(raw-io): fixture proves a justified suppression works
+    printf("value=%d\n", value);
+}
+
+void
+unjustifiedPrint(int value)
+{
+    printf("value=%d\n", value); // simlint: allow(raw-io)
+}
+
+void
+unknownRule(int value)
+{
+    printf("value=%d\n", value); // simlint: allow(no-such-rule): because
+}
+
+} // namespace fx

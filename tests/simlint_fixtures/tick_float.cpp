@@ -1,0 +1,30 @@
+// simlint fixture: float-contaminated tick arithmetic.
+
+namespace fx {
+
+using Tick = unsigned long long;
+
+Tick
+scaledDelay(Tick base)
+{
+    return static_cast<Tick>(static_cast<double>(base) * 1.5);
+}
+
+Tick
+literalDelay()
+{
+    Tick t = 2.5 * 1000;
+    return t;
+}
+
+Tick run(double fraction);
+
+Tick
+callWithFloatArgument()
+{
+    // A float literal as a function argument is not tick arithmetic.
+    Tick clean = run(0.5);
+    return clean;
+}
+
+} // namespace fx

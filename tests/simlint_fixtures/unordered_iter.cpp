@@ -1,0 +1,41 @@
+// simlint fixture: hash-order iteration.
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fx {
+
+struct Table
+{
+    std::unordered_map<int, int> counts;
+};
+
+std::size_t
+sumKeys(const Table &table)
+{
+    std::size_t sum = 0;
+    for (const auto &kv : table.counts)
+        sum += static_cast<std::size_t>(kv.first);
+    return sum;
+}
+
+std::size_t
+iteratorWalk(std::unordered_set<int> &keys)
+{
+    std::size_t n = 0;
+    for (auto it = keys.begin(); it != keys.end(); ++it)
+        ++n;
+    return n;
+}
+
+std::size_t
+orderedWalk(const std::map<int, int> &sorted)
+{
+    std::size_t n = 0;
+    for (const auto &kv : sorted)
+        n += static_cast<std::size_t>(kv.second);
+    return n;
+}
+
+} // namespace fx

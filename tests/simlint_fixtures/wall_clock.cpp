@@ -1,0 +1,28 @@
+// simlint fixture: wall-clock violations and a suppressed use.
+#include <chrono>
+#include <ctime>
+
+namespace fx {
+
+long
+hostNow()
+{
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+long
+epoch()
+{
+    return time(nullptr);
+}
+
+long
+allowedCalibration()
+{
+    // simlint: allow(wall-clock): fixture exercises a justified suppression
+    auto t = std::chrono::system_clock::now();
+    return t.time_since_epoch().count();
+}
+
+} // namespace fx

@@ -26,11 +26,13 @@ struct RoceFixture : ::testing::Test
     std::pair<ReliableQueuePair *, ReliableQueuePair *>
     makePair(ReliableQueuePair::Config config = {})
     {
-        auto *a = new ReliableQueuePair(fabric, "a", config);
-        auto *b = new ReliableQueuePair(fabric, "b", config);
+        owned_.push_back(
+            std::make_unique<ReliableQueuePair>(fabric, "a", config));
+        auto *a = owned_.back().get();
+        owned_.push_back(
+            std::make_unique<ReliableQueuePair>(fabric, "b", config));
+        auto *b = owned_.back().get();
         ReliableQueuePair::connect(*a, *b);
-        owned_.emplace_back(a);
-        owned_.emplace_back(b);
         return {a, b};
     }
 

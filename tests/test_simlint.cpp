@@ -1,0 +1,230 @@
+// Drives the simlint rule engine over tests/simlint_fixtures/: every
+// seeded violation must be reported with its exact rule id and line, and
+// every false-positive / suppression case must stay silent. The fixture
+// directory is excluded from the repo-wide lint_tree run (rules.toml), so
+// these files exist only for this test.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linter.h"
+
+namespace {
+
+using simlint::Config;
+using simlint::Finding;
+using simlint::Severity;
+using simlint::Source;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(SIMLINT_FIXTURE_DIR) + "/" + name;
+}
+
+Source
+loadFixture(const std::string &name)
+{
+    std::ifstream in(fixturePath(name));
+    EXPECT_TRUE(in.good()) << "missing fixture " << name;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return Source{name, text.str()};
+}
+
+/** (file, line, rule) triples, sorted, for exact-set comparison. */
+using Triple = std::tuple<std::string, int, std::string>;
+
+std::vector<Triple>
+triples(const std::vector<Finding> &findings)
+{
+    std::vector<Triple> out;
+    for (const Finding &f : findings)
+        out.emplace_back(f.file, f.line, f.rule);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Triple>
+lintFixture(const std::string &name)
+{
+    return triples(simlint::lint({loadFixture(name)}, Config{}));
+}
+
+TEST(SimlintFixtures, WallClock)
+{
+    EXPECT_EQ(lintFixture("wall_clock.cpp"),
+              (std::vector<Triple>{
+                  {"wall_clock.cpp", 10, "wall-clock"},
+                  {"wall_clock.cpp", 17, "wall-clock"},
+              }));
+}
+
+TEST(SimlintFixtures, RawRand)
+{
+    EXPECT_EQ(lintFixture("raw_rand.cpp"),
+              (std::vector<Triple>{
+                  {"raw_rand.cpp", 10, "raw-rand"},
+                  {"raw_rand.cpp", 17, "raw-rand"},
+              }));
+}
+
+TEST(SimlintFixtures, UnorderedIter)
+{
+    EXPECT_EQ(lintFixture("unordered_iter.cpp"),
+              (std::vector<Triple>{
+                  {"unordered_iter.cpp", 18, "unordered-iter"},
+                  {"unordered_iter.cpp", 27, "unordered-iter"},
+              }));
+}
+
+TEST(SimlintFixtures, MutableGlobal)
+{
+    EXPECT_EQ(lintFixture("mutable_global.cpp"),
+              (std::vector<Triple>{
+                  {"mutable_global.cpp", 6, "mutable-global"},
+                  {"mutable_global.cpp", 13, "mutable-global"},
+              }));
+}
+
+TEST(SimlintFixtures, RawIo)
+{
+    EXPECT_EQ(lintFixture("raw_io.cpp"),
+              (std::vector<Triple>{
+                  {"raw_io.cpp", 10, "raw-io"},
+                  {"raw_io.cpp", 16, "raw-io"},
+              }));
+}
+
+TEST(SimlintFixtures, NakedNew)
+{
+    EXPECT_EQ(lintFixture("naked_new.cpp"),
+              (std::vector<Triple>{
+                  {"naked_new.cpp", 14, "naked-new"},
+              }));
+}
+
+TEST(SimlintFixtures, TickFloat)
+{
+    EXPECT_EQ(lintFixture("tick_float.cpp"),
+              (std::vector<Triple>{
+                  {"tick_float.cpp", 10, "tick-float"},
+                  {"tick_float.cpp", 16, "tick-float"},
+              }));
+}
+
+TEST(SimlintFixtures, MissingNodiscard)
+{
+    EXPECT_EQ(lintFixture("missing_nodiscard.h"),
+              (std::vector<Triple>{
+                  {"missing_nodiscard.h", 10, "missing-nodiscard"},
+              }));
+}
+
+TEST(SimlintFixtures, Suppressions)
+{
+    // Line 10: justified suppression silences the finding entirely.
+    // Line 16: suppression without justification is itself a finding,
+    //          but the named (known) rule is still honoured.
+    // Line 22: unknown rule suppresses nothing, and is a finding.
+    EXPECT_EQ(lintFixture("suppression.cpp"),
+              (std::vector<Triple>{
+                  {"suppression.cpp", 16, "bad-suppression"},
+                  {"suppression.cpp", 22, "bad-suppression"},
+                  {"suppression.cpp", 22, "raw-io"},
+              }));
+}
+
+TEST(SimlintFixtures, CrossFileUnorderedIndex)
+{
+    // A container declared in one file and iterated in another is still
+    // caught: the unordered-decl index spans the whole source set.
+    const Source header{"registry.h",
+                        "#pragma once\n"
+                        "#include <unordered_map>\n"
+                        "struct Registry\n"
+                        "{\n"
+                        "    std::unordered_map<int, int> entries;\n"
+                        "};\n"};
+    const Source user{"user.cpp",
+                      "#include \"registry.h\"\n"
+                      "int sum(const Registry &r)\n"
+                      "{\n"
+                      "    int s = 0;\n"
+                      "    for (const auto &kv : r.entries)\n"
+                      "        s += kv.second;\n"
+                      "    return s;\n"
+                      "}\n"};
+    EXPECT_EQ(triples(simlint::lint({header, user}, Config{})),
+              (std::vector<Triple>{
+                  {"user.cpp", 5, "unordered-iter"},
+              }));
+}
+
+TEST(SimlintConfig, SeverityAllowAndExclude)
+{
+    Config config;
+    std::string error;
+    const std::string toml = "# comment\n"
+                             "[lint]\n"
+                             "exclude = [\"vendored\"]\n"
+                             "\n"
+                             "[rules.raw-io]\n"
+                             "severity = \"off\"\n"
+                             "\n"
+                             "[rules.wall-clock]\n"
+                             "severity = \"warn\"\n"
+                             "allow = [\"bench\"]\n";
+    ASSERT_TRUE(parseRulesConfig(toml, config, error)) << error;
+    EXPECT_EQ(config.severityFor("raw-io"), Severity::Off);
+    EXPECT_EQ(config.severityFor("wall-clock"), Severity::Warn);
+    EXPECT_EQ(config.severityFor("naked-new"), Severity::Error);
+    EXPECT_TRUE(config.allowsPath("wall-clock", "bench/micro.cpp"));
+    EXPECT_FALSE(config.allowsPath("wall-clock", "src/micro.cpp"));
+    EXPECT_EQ(config.exclude, std::vector<std::string>{"vendored"});
+
+    // severity = "off" drops findings; allow prefixes drop per path.
+    const Source noisy{"bench/noisy.cpp",
+                       "#include <chrono>\n"
+                       "#include <cstdio>\n"
+                       "void f()\n"
+                       "{\n"
+                       "    auto t = std::chrono::steady_clock::now();\n"
+                       "    (void)t;\n"
+                       "    printf(\"x\");\n"
+                       "}\n"};
+    const auto found = triples(simlint::lint({noisy}, config));
+    EXPECT_TRUE(found.empty()) << simlint::renderText(
+        simlint::lint({noisy}, config));
+}
+
+TEST(SimlintConfig, RejectsMalformedToml)
+{
+    Config config;
+    std::string error;
+    EXPECT_FALSE(parseRulesConfig("[rules.raw-io]\nseverity = \"loud\"\n",
+                                  config, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SimlintReporters, JsonAndTextNameEveryFinding)
+{
+    const auto findings =
+        simlint::lint({loadFixture("naked_new.cpp")}, Config{});
+    ASSERT_EQ(findings.size(), 1u);
+    const std::string json = simlint::renderJson(findings);
+    EXPECT_NE(json.find("\"rule\":\"naked-new\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"line\":14"), std::string::npos) << json;
+    const std::string text = simlint::renderText(findings);
+    EXPECT_NE(text.find("naked_new.cpp:14:"), std::string::npos) << text;
+}
+
+} // namespace

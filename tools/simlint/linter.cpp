@@ -1,0 +1,1150 @@
+#include "linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <sstream>
+
+namespace simlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: strip comments / string literals / preprocessor lines, keeping
+// every remaining character at its original (line, column) position.
+// ---------------------------------------------------------------------------
+
+struct Suppression
+{
+    std::vector<std::string> rules;
+    bool justified = false;
+    bool standalone = false; ///< comment-only line: applies to next line
+};
+
+struct StrippedFile
+{
+    std::vector<std::string> raw;  ///< original lines
+    std::vector<std::string> code; ///< comments/strings/pp blanked
+    std::map<int, Suppression> suppressions; ///< keyed by 1-based line
+};
+
+/** Parse `simlint: allow(rule[, rule...])[: justification]` in @p comment. */
+bool
+parseSuppression(const std::string &comment, Suppression &out)
+{
+    const std::size_t mark = comment.find("simlint:");
+    if (mark == std::string::npos)
+        return false;
+    std::size_t p = comment.find("allow", mark);
+    if (p == std::string::npos)
+        return true; // malformed: "simlint:" with no allow(...)
+    p = comment.find('(', p);
+    const std::size_t close = comment.find(')', p == std::string::npos
+                                                    ? mark : p);
+    if (p == std::string::npos || close == std::string::npos)
+        return true; // malformed
+    std::string inside = comment.substr(p + 1, close - p - 1);
+    std::string rule;
+    std::istringstream list(inside);
+    while (std::getline(list, rule, ','))
+        if (!trim(rule).empty())
+            out.rules.push_back(trim(rule));
+    // Mandatory justification: a ':' after the ')' followed by text.
+    const std::size_t colon = comment.find(':', close);
+    if (colon != std::string::npos &&
+        !trim(comment.substr(colon + 1)).empty())
+        out.justified = true;
+    return true;
+}
+
+StrippedFile
+stripFile(const std::string &text)
+{
+    StrippedFile out;
+    {
+        std::string line;
+        std::istringstream in(text);
+        while (std::getline(in, line)) {
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            out.raw.push_back(line);
+        }
+    }
+    out.code.reserve(out.raw.size());
+
+    enum State { Code, Block };
+    State state = Code;
+    bool ppContinuation = false;
+    for (std::size_t li = 0; li < out.raw.size(); ++li) {
+        const std::string &src = out.raw[li];
+        std::string dst(src.size(), ' ');
+
+        // Preprocessor directives (and their backslash continuations)
+        // carry no scope or statements we want to lint structurally.
+        const std::string lead = trim(src);
+        const bool isPp = ppContinuation ||
+                          (state == Code && !lead.empty() && lead[0] == '#');
+        if (isPp) {
+            ppContinuation = !src.empty() && src.back() == '\\';
+            out.code.push_back(dst);
+            continue;
+        }
+
+        std::string comment; // accumulated // comment text on this line
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            if (state == Block) {
+                if (src[i] == '*' && i + 1 < src.size() &&
+                    src[i + 1] == '/') {
+                    state = Code;
+                    ++i;
+                }
+                continue;
+            }
+            const char c = src[i];
+            if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+                comment = src.substr(i + 2);
+                break;
+            }
+            if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+                state = Block;
+                ++i;
+                continue;
+            }
+            if (c == '"' || c == '\'') {
+                // Raw strings: R"delim( ... )delim"
+                if (c == '"' && i > 0 && src[i - 1] == 'R') {
+                    const std::size_t open = src.find('(', i);
+                    if (open != std::string::npos) {
+                        const std::string delim =
+                            ")" + src.substr(i + 1, open - i - 1) + "\"";
+                        const std::size_t end = src.find(delim, open);
+                        i = end == std::string::npos
+                                ? src.size()
+                                : end + delim.size() - 1;
+                        continue;
+                    }
+                }
+                const char quote = c;
+                ++i;
+                while (i < src.size()) {
+                    if (src[i] == '\\')
+                        ++i;
+                    else if (src[i] == quote)
+                        break;
+                    ++i;
+                }
+                continue;
+            }
+            dst[i] = c;
+        }
+
+        if (!comment.empty()) {
+            Suppression sup;
+            if (parseSuppression(comment, sup)) {
+                sup.standalone = trim(dst).empty();
+                out.suppressions[static_cast<int>(li) + 1] = sup;
+            }
+        }
+        out.code.push_back(dst);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: tokenize the stripped code.
+// ---------------------------------------------------------------------------
+
+struct Token
+{
+    std::string text;
+    int line = 0; ///< 1-based
+
+    bool is(const char *s) const { return text == s; }
+    bool ident() const { return !text.empty() && isIdentStart(text[0]); }
+    bool number() const
+    {
+        return !text.empty() &&
+               std::isdigit(static_cast<unsigned char>(text[0]));
+    }
+    /** A floating-point literal: 1.5, .5f, 1e9, 0x1.8p3 — but not 1'000. */
+    bool
+    floatLiteral() const
+    {
+        if (!number())
+            return false;
+        if (text.size() > 1 && text[1] == 'x')
+            return text.find('.') != std::string::npos ||
+                   text.find('p') != std::string::npos ||
+                   text.find('P') != std::string::npos;
+        return text.find('.') != std::string::npos ||
+               text.find('e') != std::string::npos ||
+               text.find('E') != std::string::npos ||
+               text.back() == 'f' || text.back() == 'F';
+    }
+};
+
+std::vector<Token>
+tokenize(const std::vector<std::string> &code)
+{
+    std::vector<Token> out;
+    for (std::size_t li = 0; li < code.size(); ++li) {
+        const std::string &s = code[li];
+        const int line = static_cast<int>(li) + 1;
+        for (std::size_t i = 0; i < s.size();) {
+            const char c = s[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (isIdentStart(c)) {
+                std::size_t j = i + 1;
+                while (j < s.size() && isIdentChar(s[j]))
+                    ++j;
+                out.push_back({s.substr(i, j - i), line});
+                i = j;
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                std::size_t j = i + 1;
+                while (j < s.size() &&
+                       (isIdentChar(s[j]) || s[j] == '.' || s[j] == '\'' ||
+                        ((s[j] == '+' || s[j] == '-') &&
+                         (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                          s[j - 1] == 'p' || s[j - 1] == 'P'))))
+                    ++j;
+                out.push_back({s.substr(i, j - i), line});
+                i = j;
+                continue;
+            }
+            // Multi-char punctuation the rules care about.
+            if (i + 1 < s.size()) {
+                const char n = s[i + 1];
+                if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
+                    (c == '[' && n == '[') || (c == ']' && n == ']')) {
+                    out.push_back({s.substr(i, 2), line});
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push_back({std::string(1, c), line});
+            ++i;
+        }
+    }
+    return out;
+}
+
+/** Index of the matching close for the opener at @p open, or npos. */
+std::size_t
+matchForward(const std::vector<Token> &t, std::size_t open,
+             const char *openSym, const char *closeSym)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].is(openSym))
+            ++depth;
+        else if (t[i].is(closeSym) && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine plumbing
+// ---------------------------------------------------------------------------
+
+struct FileCtx
+{
+    const Source *source = nullptr;
+    StrippedFile stripped;
+    std::vector<Token> tokens;
+};
+
+struct Sink
+{
+    const std::string *path = nullptr;
+    std::vector<Finding> *out = nullptr;
+
+    void
+    add(int line, const std::string &rule, const std::string &message) const
+    {
+        out->push_back({*path, line, rule, Severity::Error, message});
+    }
+};
+
+const std::set<std::string> &
+wallClockIdents()
+{
+    static const std::set<std::string> names = {
+        "steady_clock",  "system_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",        "mktime",
+    };
+    return names;
+}
+
+const std::set<std::string> &
+rawRandIdents()
+{
+    static const std::set<std::string> names = {
+        "random_device", "mt19937",      "mt19937_64",
+        "default_random_engine", "minstd_rand", "minstd_rand0",
+        "knuth_b",       "ranlux24",     "ranlux48",
+    };
+    return names;
+}
+
+// --- wall-clock ------------------------------------------------------------
+
+void
+ruleWallClock(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident())
+            continue;
+        if (wallClockIdents().count(t[i].text)) {
+            sink.add(t[i].line, "wall-clock",
+                     "'" + t[i].text + "' reads host time; simulations "
+                     "must use sim::Simulator::now()");
+            continue;
+        }
+        const bool call = i + 1 < t.size() && t[i + 1].is("(");
+        if (call && (t[i].is("time") || t[i].is("clock"))) {
+            sink.add(t[i].line, "wall-clock",
+                     "'" + t[i].text + "()' reads host time; simulations "
+                     "must use sim::Simulator::now()");
+        }
+    }
+}
+
+// --- raw-rand ---------------------------------------------------------------
+
+void
+ruleRawRand(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident())
+            continue;
+        if (rawRandIdents().count(t[i].text)) {
+            sink.add(t[i].line, "raw-rand",
+                     "'" + t[i].text + "' is unseeded/implementation-"
+                     "defined; use the seeded smartds::Rng "
+                     "(src/common/random.h)");
+            continue;
+        }
+        const bool call = i + 1 < t.size() && t[i + 1].is("(");
+        if (call && (t[i].is("rand") || t[i].is("srand"))) {
+            sink.add(t[i].line, "raw-rand",
+                     "'" + t[i].text + "()' is not seed-deterministic; "
+                     "use the seeded smartds::Rng (src/common/random.h)");
+        }
+    }
+}
+
+// --- unordered-iter ---------------------------------------------------------
+
+/**
+ * Collect, across the whole source set, identifiers declared with an
+ * unordered container type (including one level of using-alias
+ * indirection). Iterating such a container visits hash order, which
+ * varies with seed/ASLR/libstdc++ version — any visit-order-dependent
+ * result is a nondeterminism bug.
+ */
+struct UnorderedIndex
+{
+    std::set<std::string> vars;
+    std::set<std::string> aliases;
+};
+
+void
+collectUnorderedDecls(const std::vector<Token> &t, UnorderedIndex &index)
+{
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].is("unordered_map") && !t[i].is("unordered_set") &&
+            !t[i].is("unordered_multimap") && !t[i].is("unordered_multiset"))
+            continue;
+        if (i + 1 >= t.size() || !t[i + 1].is("<"))
+            continue;
+
+        // `using Name = std::unordered_map<...>` / `typedef ... Name;`
+        // record the alias; a second sweep resolves variables of alias
+        // type.
+        std::size_t back = i;
+        while (back > 0 && !t[back - 1].is(";") && !t[back - 1].is("{") &&
+               !t[back - 1].is("}"))
+            --back;
+        bool isUsing = false, isTypedef = false;
+        std::string usingName;
+        for (std::size_t j = back; j < i; ++j) {
+            if (t[j].is("using") && j + 1 < i && t[j + 1].ident())
+                usingName = t[j + 1].text, isUsing = true;
+            if (t[j].is("typedef"))
+                isTypedef = true;
+        }
+
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == std::string::npos)
+            continue;
+        std::size_t j = close + 1;
+        while (j < t.size() &&
+               (t[j].is("&") || t[j].is("*") || t[j].is("const")))
+            ++j;
+        if (j >= t.size() || !t[j].ident())
+            continue;
+        if (isUsing) {
+            index.aliases.insert(usingName);
+            continue;
+        }
+        if (isTypedef) {
+            index.aliases.insert(t[j].text);
+            continue;
+        }
+        // Function returning an unordered container — not a variable.
+        if (j + 1 < t.size() && t[j + 1].is("("))
+            continue;
+        index.vars.insert(t[j].text);
+        // Comma-separated declarators: `map<K,V> a, b;`
+        while (j + 1 < t.size() && t[j + 1].is(",") && j + 2 < t.size() &&
+               t[j + 2].ident()) {
+            index.vars.insert(t[j + 2].text);
+            j += 2;
+        }
+    }
+}
+
+void
+collectAliasVars(const std::vector<Token> &t, UnorderedIndex &index)
+{
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].ident() && index.aliases.count(t[i].text) &&
+            t[i + 1].ident() &&
+            (i + 2 >= t.size() || !t[i + 2].is("(")))
+            index.vars.insert(t[i + 1].text);
+    }
+}
+
+void
+ruleUnorderedIter(const FileCtx &ctx, const UnorderedIndex &index,
+                  const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].is("for") || !t[i + 1].is("("))
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "(", ")");
+        if (close == std::string::npos)
+            continue;
+        // Range-for: a ':' at parenthesis depth 1.
+        std::size_t colon = std::string::npos;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (t[j].is("("))
+                ++depth;
+            else if (t[j].is(")"))
+                --depth;
+            else if (t[j].is(":") && depth == 1) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon != std::string::npos) {
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                const std::string &name = t[j].text;
+                if (t[j].ident() &&
+                    (index.vars.count(name) ||
+                     name.rfind("unordered_", 0) == 0)) {
+                    sink.add(t[i].line, "unordered-iter",
+                             "range-for over unordered container '" +
+                                 name + "' visits hash order; use "
+                                 "std::map or a sorted vector if any "
+                                 "result depends on visit order");
+                    break;
+                }
+            }
+            continue;
+        }
+        // Iterator-style: `ident.begin()` / `ident->begin()` in header.
+        for (std::size_t j = i + 2; j + 2 < close; ++j) {
+            if (t[j].ident() && index.vars.count(t[j].text) &&
+                (t[j + 1].is(".") || t[j + 1].is("->")) &&
+                t[j + 2].is("begin")) {
+                sink.add(t[i].line, "unordered-iter",
+                         "iterator loop over unordered container '" +
+                             t[j].text + "' visits hash order; use "
+                             "std::map or a sorted vector if any result "
+                             "depends on visit order");
+                break;
+            }
+        }
+    }
+}
+
+// --- mutable-global ---------------------------------------------------------
+
+bool
+spanHasConst(const std::vector<Token> &t, std::size_t b, std::size_t e)
+{
+    for (std::size_t j = b; j < e; ++j)
+        if (t[j].is("const") || t[j].is("constexpr") ||
+            t[j].is("constinit") || t[j].is("consteval"))
+            return true;
+    return false;
+}
+
+/** Whether [b,e) looks like a function declaration: `ident (` with no
+ *  preceding `=` (an initializer call like `int x = f();` is not). */
+bool
+spanIsFunction(const std::vector<Token> &t, std::size_t b, std::size_t e)
+{
+    for (std::size_t j = b; j + 1 < e; ++j) {
+        if (t[j].is("="))
+            return false;
+        if ((t[j].ident() || t[j].is("]")) && t[j + 1].is("("))
+            return !t[j].is("alignas") && !t[j].is("decltype") &&
+                   !t[j].is("sizeof");
+    }
+    return false;
+}
+
+void
+ruleMutableGlobal(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    std::vector<char> scopes; // 'n' namespace, 'c' class, 'o' other
+    std::size_t stmtStart = 0;
+    int parenDepth = 0;
+
+    auto atNsScope = [&]() {
+        for (const char s : scopes)
+            if (s != 'n')
+                return false;
+        return true;
+    };
+    auto declEnd = [&](std::size_t from) {
+        int pd = 0;
+        for (std::size_t j = from; j < t.size(); ++j) {
+            if (t[j].is("("))
+                ++pd;
+            else if (t[j].is(")"))
+                --pd;
+            else if (pd == 0 &&
+                     (t[j].is(";") || t[j].is("{") || t[j].is("}")))
+                return j;
+        }
+        return t.size();
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].is("("))
+            ++parenDepth;
+        else if (t[i].is(")"))
+            --parenDepth;
+        else if (t[i].is("{")) {
+            char kind = 'o';
+            bool sawEq = false;
+            for (std::size_t j = stmtStart; j < i; ++j) {
+                if (t[j].is("="))
+                    sawEq = true;
+                else if (t[j].is("namespace"))
+                    kind = 'n';
+                else if (!sawEq && (t[j].is("class") || t[j].is("struct") ||
+                                    t[j].is("union") || t[j].is("enum")))
+                    kind = 'c';
+            }
+            if (sawEq && kind != 'n')
+                kind = 'o'; // brace initializer, not a scope worth naming
+            scopes.push_back(kind);
+            stmtStart = i + 1;
+            continue;
+        } else if (t[i].is("}")) {
+            if (!scopes.empty())
+                scopes.pop_back();
+            stmtStart = i + 1;
+            continue;
+        } else if (t[i].is(";") && parenDepth == 0) {
+            stmtStart = i + 1;
+            continue;
+        }
+
+        // (a) `static` mutable state at any scope (function-local,
+        //     class-static data member, namespace scope).
+        if (t[i].is("static") && parenDepth == 0) {
+            const std::size_t end = declEnd(i);
+            if (!spanHasConst(t, i, end) && !spanIsFunction(t, i, end)) {
+                std::string name;
+                for (std::size_t j = i + 1; j < end; ++j) {
+                    if (t[j].is("=") || t[j].is("{"))
+                        break;
+                    if (t[j].ident())
+                        name = t[j].text;
+                }
+                if (!name.empty())
+                    sink.add(t[i].line, "mutable-global",
+                             "mutable static '" + name + "' is shared "
+                             "state across Simulator instances; thread "
+                             "it through the owning object instead");
+            }
+            // Resume just before the terminator so the brace/semicolon
+            // handlers above keep the scope stack balanced.
+            i = end == t.size() ? end : end - 1;
+            continue;
+        }
+
+        // (b) bare namespace-scope variable declarations.
+        if (i == stmtStart && atNsScope() && t[i].ident() &&
+            parenDepth == 0) {
+            static const std::set<std::string> skipLead = {
+                "using",  "typedef",  "namespace", "template", "extern",
+                "friend", "struct",   "class",     "union",    "enum",
+                "public", "private",  "protected", "operator",
+                "if",     "for",      "while",     "return",   "switch",
+            };
+            const std::size_t end = declEnd(i);
+            if (end < t.size() && t[end].is(";")) {
+                bool skip = skipLead.count(t[i].text) ||
+                            spanHasConst(t, i, end) ||
+                            spanIsFunction(t, i, end);
+                std::size_t idents = 0;
+                std::string name;
+                for (std::size_t j = i; j < end && !skip; ++j) {
+                    if (t[j].is("(") || t[j].is("operator") ||
+                        skipLead.count(t[j].text))
+                        skip = true;
+                    if (t[j].is("="))
+                        break;
+                    if (t[j].ident() && !t[j].is("std") && !t[j].is("inline"))
+                        ++idents, name = t[j].text;
+                }
+                if (!skip && idents >= 2)
+                    sink.add(t[i].line, "mutable-global",
+                             "non-const global '" + name + "' breaks "
+                             "run-to-run determinism and concurrent "
+                             "sweeps; make it const or move it into the "
+                             "owning object");
+                i = end - 1;
+                continue;
+            }
+        }
+    }
+}
+
+// --- raw-io -----------------------------------------------------------------
+
+void
+ruleRawIo(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].ident())
+            continue;
+        const bool call = i + 1 < t.size() && t[i + 1].is("(");
+        if (call && (t[i].is("printf") || t[i].is("puts") ||
+                     t[i].is("putchar") || t[i].is("vprintf"))) {
+            sink.add(t[i].line, "raw-io",
+                     "'" + t[i].text + "' writes raw stdout; route "
+                     "output through common/logging (inform/warn) so it "
+                     "respects quiet mode and does not interleave under "
+                     "parallel sweeps");
+            continue;
+        }
+        if (call && t[i].is("fprintf") && i + 2 < t.size() &&
+            (t[i + 2].is("stdout") || t[i + 2].is("stderr"))) {
+            sink.add(t[i].line, "raw-io",
+                     "'fprintf(" + t[i + 2].text + ", ...)' bypasses "
+                     "common/logging; use inform/warn instead");
+            continue;
+        }
+        if ((t[i].is("cout") || t[i].is("cerr") || t[i].is("clog")) &&
+            i >= 1 && t[i - 1].is("::") && i >= 2 && t[i - 2].is("std")) {
+            sink.add(t[i].line, "raw-io",
+                     "'std::" + t[i].text + "' bypasses common/logging; "
+                     "use inform/warn (or the bench harness) instead");
+        }
+    }
+}
+
+// --- naked-new --------------------------------------------------------------
+
+void
+ruleNakedNew(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].is("new"))
+            continue;
+        // Placement new (`new (addr) T`, `::new (addr) T`) does not own.
+        if (i + 1 < t.size() && t[i + 1].is("("))
+            continue;
+        if (i >= 1 && t[i - 1].is("::"))
+            continue;
+        // A `new` whose full statement hands ownership to a smart
+        // pointer is managed, not naked.
+        std::size_t b = i;
+        while (b > 0 && !t[b - 1].is(";") && !t[b - 1].is("{") &&
+               !t[b - 1].is("}"))
+            --b;
+        std::size_t e = i;
+        while (e < t.size() && !t[e].is(";") && !t[e].is("{"))
+            ++e;
+        bool managed = false;
+        for (std::size_t j = b; j < e; ++j) {
+            if (t[j].is("unique_ptr") || t[j].is("shared_ptr") ||
+                t[j].is("make_unique") || t[j].is("make_shared") ||
+                t[j].is("reset")) {
+                managed = true;
+                break;
+            }
+        }
+        if (!managed)
+            sink.add(t[i].line, "naked-new",
+                     "naked owning 'new' in the datapath; use "
+                     "std::make_unique/make_shared or a pool");
+    }
+}
+
+// --- tick-float -------------------------------------------------------------
+
+/**
+ * Whether [b,e) contains float-typed tokens. With @p topLevelOnly, only
+ * tokens outside nested parentheses count — a float literal passed as a
+ * function *argument* (`run(0.0)`) is not float arithmetic on the
+ * result.
+ */
+bool
+spanHasFloatiness(const std::vector<Token> &t, std::size_t b, std::size_t e,
+                  bool topLevelOnly = false)
+{
+    int depth = 0;
+    for (std::size_t j = b; j < e; ++j) {
+        if (t[j].is("("))
+            ++depth;
+        else if (t[j].is(")"))
+            --depth;
+        else if ((!topLevelOnly || depth == 0) &&
+                 (t[j].floatLiteral() || t[j].is("double") ||
+                  t[j].is("float")))
+            return true;
+    }
+    return false;
+}
+
+void
+ruleTickFloat(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // static_cast<Tick>(<float-tainted expr>)
+        if (t[i].is("static_cast") && i + 4 < t.size() && t[i + 1].is("<") &&
+            (t[i + 2].is("Tick") || t[i + 2].is("TickDelta")) &&
+            t[i + 3].is(">") && t[i + 4].is("(")) {
+            const std::size_t close = matchForward(t, i + 4, "(", ")");
+            if (close != std::string::npos &&
+                spanHasFloatiness(t, i + 5, close)) {
+                sink.add(t[i].line, "tick-float",
+                         "float arithmetic narrowed into a Tick; "
+                         "rounding can reorder events across platforms "
+                         "— compute ticks in integers (see "
+                         "common/time.h)");
+            }
+            continue;
+        }
+        // `Tick name = <expr with float literal>;`
+        if ((t[i].is("Tick") || t[i].is("TickDelta")) && i + 2 < t.size() &&
+            t[i + 1].ident() && t[i + 2].is("=")) {
+            std::size_t e = i + 3;
+            while (e < t.size() && !t[e].is(";"))
+                ++e;
+            bool casted = false;
+            for (std::size_t j = i + 3; j < e; ++j)
+                if (t[j].is("static_cast"))
+                    casted = true; // the cast form above already covers it
+            if (!casted && spanHasFloatiness(t, i + 3, e, true))
+                sink.add(t[i].line, "tick-float",
+                         "Tick '" + t[i + 1].text + "' initialized from "
+                         "float arithmetic; compute ticks in integers "
+                         "(see common/time.h)");
+        }
+    }
+}
+
+// --- missing-nodiscard ------------------------------------------------------
+
+void
+ruleMissingNodiscard(const FileCtx &ctx, const Sink &sink)
+{
+    const std::string &path = *sink.path;
+    if (path.size() < 2 || path.compare(path.size() - 2, 2, ".h") != 0)
+        return; // declarations live in headers; definitions repeat them
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].is("optional") || i + 1 >= t.size() || !t[i + 1].is("<"))
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == std::string::npos)
+            continue;
+        std::size_t j = close + 1;
+        if (j + 1 >= t.size() || !t[j].ident() || !t[j + 1].is("("))
+            continue; // not a function declaration returning optional
+        // Scan back over the declaration for a [[nodiscard]] attribute.
+        std::size_t b = i;
+        while (b > 0 && !t[b - 1].is(";") && !t[b - 1].is("{") &&
+               !t[b - 1].is("}") && !t[b - 1].is(":"))
+            --b;
+        bool nodiscard = false;
+        for (std::size_t k = b; k < i; ++k)
+            if (t[k].is("nodiscard"))
+                nodiscard = true;
+        if (!nodiscard)
+            sink.add(t[i].line, "missing-nodiscard",
+                     "'" + t[j].text + "' returns std::optional (an "
+                     "error signal); declare it [[nodiscard]] so "
+                     "callers cannot silently drop failures");
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> rules = {
+        "wall-clock",     "raw-rand",       "unordered-iter",
+        "mutable-global", "raw-io",         "naked-new",
+        "tick-float",     "missing-nodiscard", "bad-suppression",
+    };
+    return rules;
+}
+
+namespace {
+
+bool
+pathHasPrefix(std::string path, const std::string &prefix)
+{
+    if (path.rfind("./", 0) == 0)
+        path = path.substr(2);
+    if (path == prefix)
+        return true;
+    return path.size() > prefix.size() && path.rfind(prefix, 0) == 0 &&
+           (prefix.back() == '/' || path[prefix.size()] == '/');
+}
+
+} // namespace
+
+Severity
+Config::severityFor(const std::string &rule) const
+{
+    const auto it = rules.find(rule);
+    return it == rules.end() ? Severity::Error : it->second.severity;
+}
+
+bool
+Config::allowsPath(const std::string &rule, const std::string &path) const
+{
+    const auto it = rules.find(rule);
+    if (it == rules.end())
+        return false;
+    for (const std::string &prefix : it->second.allow)
+        if (pathHasPrefix(path, prefix))
+            return true;
+    return false;
+}
+
+bool
+parseRulesConfig(const std::string &text, Config &config,
+                 std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string s = trim(line);
+        if (s.empty() || s[0] == '#')
+            continue;
+        if (s.front() == '[') {
+            if (s == "[lint]") {
+                section = "@lint";
+                continue;
+            }
+            if (s.back() != ']' || s.rfind("[rules.", 0) != 0) {
+                error = "line " + std::to_string(lineNo) +
+                        ": expected [lint] or [rules.<id>] section, got '" +
+                        s + "'";
+                return false;
+            }
+            section = s.substr(7, s.size() - 8);
+            const auto &known = allRules();
+            if (std::find(known.begin(), known.end(), section) ==
+                known.end()) {
+                error = "line " + std::to_string(lineNo) +
+                        ": unknown rule '" + section + "'";
+                return false;
+            }
+            config.rules[section]; // materialize with defaults
+            continue;
+        }
+        const std::size_t eq = s.find('=');
+        if (eq == std::string::npos || section.empty()) {
+            error = "line " + std::to_string(lineNo) +
+                    ": expected key = value inside a [rules.<id>] section";
+            return false;
+        }
+        const std::string key = trim(s.substr(0, eq));
+        const std::string value = trim(s.substr(eq + 1));
+        auto parseStringArray = [&](std::vector<std::string> &out) {
+            if (value.size() < 2 || value.front() != '[' ||
+                value.back() != ']') {
+                error = "line " + std::to_string(lineNo) + ": '" + key +
+                        "' must be a [\"...\"] array on one line";
+                return false;
+            }
+            std::string inside = value.substr(1, value.size() - 2);
+            std::istringstream items(inside);
+            std::string item;
+            while (std::getline(items, item, ',')) {
+                item = trim(item);
+                if (item.size() >= 2 && item.front() == '"' &&
+                    item.back() == '"')
+                    out.push_back(item.substr(1, item.size() - 2));
+                else if (!item.empty()) {
+                    error = "line " + std::to_string(lineNo) + ": '" + key +
+                            "' entries must be quoted strings";
+                    return false;
+                }
+            }
+            return true;
+        };
+        if (section == "@lint") {
+            if (key != "exclude") {
+                error = "line " + std::to_string(lineNo) +
+                        ": [lint] only supports 'exclude'";
+                return false;
+            }
+            if (!parseStringArray(config.exclude))
+                return false;
+            continue;
+        }
+        RuleConfig &rule = config.rules[section];
+        if (key == "severity") {
+            if (value == "\"off\"")
+                rule.severity = Severity::Off;
+            else if (value == "\"warn\"")
+                rule.severity = Severity::Warn;
+            else if (value == "\"error\"")
+                rule.severity = Severity::Error;
+            else {
+                error = "line " + std::to_string(lineNo) +
+                        ": severity must be \"off\", \"warn\" or "
+                        "\"error\"";
+                return false;
+            }
+        } else if (key == "allow") {
+            if (!parseStringArray(rule.allow))
+                return false;
+        } else {
+            error = "line " + std::to_string(lineNo) + ": unknown key '" +
+                    key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<Finding>
+lint(const std::vector<Source> &sources, const Config &config)
+{
+    std::vector<FileCtx> ctxs;
+    ctxs.reserve(sources.size());
+    UnorderedIndex index;
+    for (const Source &src : sources) {
+        bool excluded = false;
+        for (const std::string &prefix : config.exclude)
+            if (pathHasPrefix(src.path, prefix))
+                excluded = true;
+        if (excluded)
+            continue;
+        FileCtx ctx;
+        ctx.source = &src;
+        ctx.stripped = stripFile(src.text);
+        ctx.tokens = tokenize(ctx.stripped.code);
+        collectUnorderedDecls(ctx.tokens, index);
+        ctxs.push_back(std::move(ctx));
+    }
+    for (const FileCtx &ctx : ctxs)
+        collectAliasVars(ctx.tokens, index);
+
+    std::vector<Finding> findings;
+    for (const FileCtx &ctx : ctxs) {
+        std::vector<Finding> raw;
+        const Sink sink{&ctx.source->path, &raw};
+        ruleWallClock(ctx, sink);
+        ruleRawRand(ctx, sink);
+        ruleUnorderedIter(ctx, index, sink);
+        ruleMutableGlobal(ctx, sink);
+        ruleRawIo(ctx, sink);
+        ruleNakedNew(ctx, sink);
+        ruleTickFloat(ctx, sink);
+        ruleMissingNodiscard(ctx, sink);
+
+        // Validate suppressions and build the (line -> rules) map.
+        std::map<int, std::set<std::string>> allowed;
+        for (const auto &[line, sup] : ctx.stripped.suppressions) {
+            // A standalone suppression comment covers the next statement
+            // that holds code — from the first code line through the line
+            // that closes it — so multi-line justification comments and
+            // multi-line statements both work.
+            int target = line;
+            int targetEnd = line;
+            if (sup.standalone) {
+                const auto &code = ctx.stripped.code;
+                const int n = static_cast<int>(code.size());
+                int next = line; // `line` is 1-based; code[line] is next
+                while (next < n && trim(code[next]).empty())
+                    ++next;
+                target = next + 1;
+                targetEnd = target;
+                while (targetEnd <= n) {
+                    const std::string t = trim(code[targetEnd - 1]);
+                    if (!t.empty() &&
+                        (t.back() == ';' || t.back() == '{' ||
+                         t.back() == '}'))
+                        break;
+                    ++targetEnd;
+                }
+                if (targetEnd > n)
+                    targetEnd = n;
+            }
+            bool ok = sup.justified && !sup.rules.empty();
+            for (const std::string &rule : sup.rules) {
+                const auto &known = allRules();
+                if (std::find(known.begin(), known.end(), rule) ==
+                    known.end())
+                    ok = false;
+                else
+                    for (int covered = target; covered <= targetEnd;
+                         ++covered)
+                        allowed[covered].insert(rule);
+            }
+            if (!ok)
+                raw.push_back(
+                    {ctx.source->path, line, "bad-suppression",
+                     Severity::Error,
+                     sup.rules.empty()
+                         ? "malformed suppression; use `// simlint: "
+                           "allow(<rule>): <justification>`"
+                         : (sup.justified
+                                ? "suppression names an unknown rule"
+                                : "suppression is missing its mandatory "
+                                  "justification (`: <why this is "
+                                  "safe>`)")});
+        }
+
+        for (Finding &f : raw) {
+            const Severity sev = config.severityFor(f.rule);
+            if (sev == Severity::Off)
+                continue;
+            if (config.allowsPath(f.rule, f.file))
+                continue;
+            const auto it = allowed.find(f.line);
+            if (f.rule != "bad-suppression" && it != allowed.end() &&
+                it->second.count(f.rule))
+                continue;
+            f.severity = sev;
+            findings.push_back(std::move(f));
+        }
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::string
+renderText(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &f : findings) {
+        out += f.file + ":" + std::to_string(f.line) + ": " +
+               (f.severity == Severity::Warn ? "warning" : "error") + "[" +
+               f.rule + "] " + f.message + "\n";
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderJson(const std::vector<Finding> &findings)
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += "  {\"file\":\"" + jsonEscape(f.file) +
+               "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"" +
+               jsonEscape(f.rule) + "\",\"severity\":\"" +
+               (f.severity == Severity::Warn ? "warning" : "error") +
+               "\",\"message\":\"" + jsonEscape(f.message) + "\"}";
+        out += i + 1 < findings.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+} // namespace simlint

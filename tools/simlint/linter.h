@@ -1,0 +1,120 @@
+/**
+ * @file
+ * simlint — repo-specific determinism & invariant static analysis.
+ *
+ * A from-scratch token/heuristic-level C++ linter (no libclang) that
+ * enforces the conventions the simulator's headline guarantees rest on:
+ * byte-identical sweeps for any `--jobs N` and deterministic traces.
+ * Each rule catches a bug class that previously had to be audited by
+ * hand:
+ *
+ *  - wall-clock:         reading host time into simulation state
+ *  - raw-rand:           rand()/std::random_device/<random> engines
+ *                        instead of the seeded smartds::Rng
+ *  - unordered-iter:     iterating std::unordered_{map,set} (hash-order
+ *                        nondeterminism) anywhere results could depend
+ *                        on visit order
+ *  - mutable-global:     non-const globals / function-local mutable
+ *                        `static` state (breaks concurrent SweepRunner
+ *                        instances and run-to-run reproducibility)
+ *  - raw-io:             printf/std::cout outside the logging module
+ *                        and the bench harness (interleaves under -j)
+ *  - naked-new:          owning `new` in the datapath (leak-prone; the
+ *                        tree is smart-pointer / slab-pool based)
+ *  - tick-float:         float/double arithmetic producing Tick values
+ *                        (rounding may reorder events across platforms)
+ *  - missing-nodiscard:  error-returning APIs (std::optional returns)
+ *                        without [[nodiscard]]
+ *  - bad-suppression:    a `// simlint: allow(...)` comment that names
+ *                        an unknown rule or omits the justification
+ *
+ * Findings can be suppressed per line with
+ *     // simlint: allow(rule-id): <mandatory justification>
+ * either trailing the offending line or on a line of its own (then it
+ * applies to the next line). Severity and per-rule allowed path
+ * prefixes come from rules.toml (see parseRulesConfig()).
+ */
+
+#ifndef SMARTDS_TOOLS_SIMLINT_LINTER_H_
+#define SMARTDS_TOOLS_SIMLINT_LINTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simlint {
+
+/** Per-rule reporting level. */
+enum class Severity { Off, Warn, Error };
+
+/** One finding: a rule violated at file:line. */
+struct Finding
+{
+    std::string file;    ///< path as given to the linter
+    int line = 0;        ///< 1-based
+    std::string rule;    ///< rule id, e.g. "unordered-iter"
+    Severity severity = Severity::Error;
+    std::string message; ///< human-readable explanation
+};
+
+/** Configuration for one rule. */
+struct RuleConfig
+{
+    Severity severity = Severity::Error;
+    /** Path prefixes (relative, '/'-separated) the rule ignores. */
+    std::vector<std::string> allow;
+};
+
+/** Whole-linter configuration: rule id -> config. */
+struct Config
+{
+    std::map<std::string, RuleConfig> rules;
+    /** Path prefixes excluded from linting entirely (e.g. fixtures). */
+    std::vector<std::string> exclude;
+
+    /** Effective severity for @p rule (default Error for known rules). */
+    Severity severityFor(const std::string &rule) const;
+
+    /** Whether @p rule ignores @p path via its allow prefixes. */
+    bool allowsPath(const std::string &rule, const std::string &path) const;
+};
+
+/** A file to lint: path (used for reporting + allow lists) and text. */
+struct Source
+{
+    std::string path;
+    std::string text;
+};
+
+/** All rule ids simlint knows, in reporting order. */
+const std::vector<std::string> &allRules();
+
+/**
+ * Parse the rules.toml subset: a `[lint]` table with
+ * `exclude = ["prefix", ...]`, and `[rules.<id>]` tables containing
+ * `severity = "off"|"warn"|"error"` and `allow = ["prefix", ...]`.
+ * Lines starting with '#' are comments. On failure returns false and
+ * sets @p error.
+ */
+bool parseRulesConfig(const std::string &text, Config &config,
+                      std::string &error);
+
+/**
+ * Lint @p sources under @p config. Two-pass: the first pass collects
+ * identifiers declared with unordered container types anywhere in the
+ * set (so iteration in a .cpp over a member declared in a .h is still
+ * caught); the second applies every rule per file. Findings are sorted
+ * by (file, line, rule).
+ */
+std::vector<Finding> lint(const std::vector<Source> &sources,
+                          const Config &config);
+
+/** Render findings as "file:line: severity[rule] message" lines. */
+std::string renderText(const std::vector<Finding> &findings);
+
+/** Render findings as a JSON array (stable key order). */
+std::string renderJson(const std::vector<Finding> &findings);
+
+} // namespace simlint
+
+#endif // SMARTDS_TOOLS_SIMLINT_LINTER_H_

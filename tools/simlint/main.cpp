@@ -1,0 +1,186 @@
+/**
+ * @file
+ * simlint command-line driver.
+ *
+ *   simlint [--config rules.toml] [--root DIR] [--json] PATH...
+ *
+ * Each PATH is a file or a directory (recursed for .h/.cpp, skipping
+ * hidden and build* directories). Paths are reported relative to
+ * --root (default: current directory) so rules.toml allow prefixes
+ * like "bench/" match regardless of where the tool is invoked from.
+ *
+ * Exit status: 0 = clean (or warnings only), 1 = error-severity
+ * findings, 2 = usage / configuration problem.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "linter.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+readFile(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+bool
+lintableFile(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+bool
+skippableDir(const fs::path &path)
+{
+    const std::string name = path.filename().string();
+    return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0;
+}
+
+void
+collect(const fs::path &path, std::vector<fs::path> &out)
+{
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        std::vector<fs::path> entries;
+        for (const auto &entry : fs::directory_iterator(path, ec))
+            entries.push_back(entry.path());
+        std::sort(entries.begin(), entries.end());
+        for (const fs::path &child : entries) {
+            if (fs::is_directory(child, ec)) {
+                if (!skippableDir(child))
+                    collect(child, out);
+            } else if (lintableFile(child)) {
+                out.push_back(child);
+            }
+        }
+        return;
+    }
+    out.push_back(path);
+}
+
+std::string
+relativeTo(const fs::path &path, const fs::path &root)
+{
+    std::error_code ec;
+    const fs::path rel = fs::proximate(path, root, ec);
+    std::string s = (ec || rel.empty()) ? path.string() : rel.string();
+    if (s.rfind("./", 0) == 0)
+        s = s.substr(2);
+    return s;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--config rules.toml] [--root DIR] [--json] "
+                 "[--list-rules] PATH...\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string configPath;
+    fs::path root = fs::current_path();
+    bool json = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(arg, "--config") == 0 && i + 1 < argc) {
+            configPath = argv[++i];
+        } else if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            for (const std::string &rule : simlint::allRules())
+                std::printf("%s\n", rule.c_str());
+            return 0;
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage(argv[0]);
+
+    simlint::Config config;
+    if (!configPath.empty()) {
+        std::string text;
+        if (!readFile(configPath, text)) {
+            std::fprintf(stderr, "simlint: cannot read config '%s'\n",
+                         configPath.c_str());
+            return 2;
+        }
+        std::string error;
+        if (!simlint::parseRulesConfig(text, config, error)) {
+            std::fprintf(stderr, "simlint: %s: %s\n", configPath.c_str(),
+                         error.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (!fs::exists(p, ec)) {
+            std::fprintf(stderr, "simlint: no such path '%s'\n", p.c_str());
+            return 2;
+        }
+        collect(p, files);
+    }
+
+    std::vector<simlint::Source> sources;
+    sources.reserve(files.size());
+    for (const fs::path &file : files) {
+        simlint::Source src;
+        src.path = relativeTo(file, root);
+        if (!readFile(file, src.text)) {
+            std::fprintf(stderr, "simlint: cannot read '%s'\n",
+                         file.string().c_str());
+            return 2;
+        }
+        sources.push_back(std::move(src));
+    }
+
+    const std::vector<simlint::Finding> findings =
+        simlint::lint(sources, config);
+    if (json) {
+        std::fputs(simlint::renderJson(findings).c_str(), stdout);
+    } else {
+        std::fputs(simlint::renderText(findings).c_str(), stdout);
+        std::size_t errors = 0, warnings = 0;
+        for (const simlint::Finding &f : findings)
+            (f.severity == simlint::Severity::Error ? errors : warnings)++;
+        std::printf("simlint: %zu file(s), %zu error(s), %zu warning(s)\n",
+                    sources.size(), errors, warnings);
+    }
+    for (const simlint::Finding &f : findings)
+        if (f.severity == simlint::Severity::Error)
+            return 1;
+    return 0;
+}
