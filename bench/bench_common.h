@@ -61,6 +61,37 @@ traceSampleFlag()
 }
 
 /**
+ * Wall-clock stopwatch for bench-side speedup measurements. This header
+ * is the only place the wall-clock lint rule allows: elapsed real time
+ * is telemetry (events/sec, cache-on vs cache-off speedups) and never
+ * feeds back into simulation state.
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Elapsed real time since construction, seconds. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Unix timestamp for bench_perf telemetry records. */
+inline long long
+unixTime()
+{
+    return static_cast<long long>(std::time(nullptr));
+}
+
+/**
  * Under `--smoke`, trim a sweep's value list to its first element (the
  * first value is always each sweep's baseline point, so relative columns
  * like "vs-calm" stay well-defined).
@@ -109,9 +140,7 @@ class Harness
 {
   public:
     Harness(int &argc, char **argv, std::string name)
-        : name_(std::move(name)),
-          start_(std::chrono::steady_clock::now()),
-          startEvents_(sim::totalEventsExecuted())
+        : name_(std::move(name)), startEvents_(sim::totalEventsExecuted())
     {
         int out = 1;
         for (int i = 1; i < argc; ++i) {
@@ -142,9 +171,7 @@ class Harness
 
     ~Harness()
     {
-        const double wall = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - start_)
-                                .count();
+        const double wall = watch_.seconds();
         const std::uint64_t events =
             sim::totalEventsExecuted() - startEvents_;
         struct rusage usage;
@@ -161,7 +188,7 @@ class Harness
             name_.c_str(), jobs_, smoke() ? "true" : "false",
             static_cast<unsigned long long>(events), wall,
             wall > 0.0 ? static_cast<double>(events) / wall : 0.0, rss_mb,
-            static_cast<long long>(std::time(nullptr)));
+            unixTime());
 
         // One write() on an O_APPEND fd: several bench binaries running
         // under ctest -j append here concurrently, and buffered ofstream
@@ -251,7 +278,7 @@ class Harness
 
     std::string name_;
     unsigned jobs_ = workload::SweepRunner::defaultJobs();
-    std::chrono::steady_clock::time_point start_;
+    Stopwatch watch_;
     std::uint64_t startEvents_;
 };
 

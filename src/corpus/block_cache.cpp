@@ -1,0 +1,134 @@
+#include "corpus/block_cache.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+#include "common/checksum.h"
+#include "lz4/lz4.h"
+
+namespace smartds::corpus {
+
+BlockCodecCache::BlockCodecCache(const SyntheticCorpus &corpus,
+                                 std::size_t block_bytes, int effort)
+    : block_bytes_(block_bytes),
+      effort_(effort),
+      plain_storage_(
+          std::make_shared<std::vector<std::vector<std::uint8_t>>>()),
+      compressed_storage_(
+          std::make_shared<std::vector<std::vector<std::uint8_t>>>())
+{
+    const std::size_t blocks = corpus.blockCount(block_bytes);
+    plain_storage_->reserve(blocks);
+    compressed_storage_->reserve(blocks);
+    entries_.reserve(blocks);
+    for (std::size_t i = 0; i < blocks; ++i) {
+        const std::uint8_t *src = corpus.blockPtr(block_bytes, i);
+        plain_storage_->emplace_back(src, src + block_bytes);
+
+        std::vector<std::uint8_t> out(lz4::maxCompressedSize(block_bytes));
+        const auto n =
+            lz4::compress(src, block_bytes, out.data(), out.size(), effort);
+        SMARTDS_CHECK(n.has_value(), "block cache compress failed");
+        out.resize(*n);
+        out.shrink_to_fit();
+        compressed_storage_->push_back(std::move(out));
+    }
+    for (std::size_t i = 0; i < blocks; ++i) {
+        Entry e;
+        // Aliasing constructor: the Entry pointers share ownership of the
+        // whole storage vector but point at one block, so outstanding
+        // payloads keep the storage alive past the cache's destruction.
+        e.plain = std::shared_ptr<const std::vector<std::uint8_t>>(
+            plain_storage_, &(*plain_storage_)[i]);
+        e.compressed = std::shared_ptr<const std::vector<std::uint8_t>>(
+            compressed_storage_, &(*compressed_storage_)[i]);
+        // Exactly lz4::compressionRatio()'s formula, so swapping a ratio
+        // computation for a lookup is bit-identical.
+        e.ratio = block_bytes == 0
+                      ? 1.0
+                      : std::min(1.0, static_cast<double>(e.compressed->size()) /
+                                          static_cast<double>(block_bytes));
+        e.plainChecksum = xxhash32(*e.plain);
+        e.compressedChecksum = xxhash32(*e.compressed);
+        entries_.push_back(std::move(e));
+    }
+}
+
+const BlockCodecCache::Entry &
+BlockCodecCache::entry(std::size_t block_index) const
+{
+    SMARTDS_CHECK(block_index < entries_.size(), "block index %zu out of %zu",
+                   block_index, entries_.size());
+    return entries_[block_index];
+}
+
+const BlockCodecCache::Entry *
+BlockCodecCache::guarded(std::uint32_t block_id, const std::uint8_t *data,
+                         std::size_t size, bool compressed) const
+{
+    if (block_id == 0 || block_id > entries_.size() || data == nullptr)
+        return nullptr;
+    const Entry &e = entries_[block_id - 1];
+    const std::vector<std::uint8_t> &want =
+        compressed ? *e.compressed : *e.plain;
+    if (size != want.size())
+        return nullptr;
+    // Fast path: the bytes ARE the cache's aliased buffer (shared const
+    // vectors are never mutated in place — the fault layer copies before
+    // flipping bits), so identity proves equality without hashing.
+    if (data == want.data())
+        return &e;
+    // Slow path: equal content elsewhere in memory (e.g. bytes that were
+    // DMA-copied through a device buffer). The hash is the guard: mutated
+    // bytes miss here and the caller falls back to the real codec.
+    const std::uint32_t checksum =
+        compressed ? e.compressedChecksum : e.plainChecksum;
+    return xxhash32(data, size) == checksum ? &e : nullptr;
+}
+
+const BlockCodecCache::Entry *
+BlockCodecCache::lookupPlain(std::uint32_t block_id, const std::uint8_t *data,
+                             std::size_t size) const
+{
+    return guarded(block_id, data, size, false);
+}
+
+const BlockCodecCache::Entry *
+BlockCodecCache::lookupCompressed(std::uint32_t block_id,
+                                  const std::uint8_t *data,
+                                  std::size_t size) const
+{
+    return guarded(block_id, data, size, true);
+}
+
+const BlockCodecCache &
+sharedBlockCache(const SyntheticCorpus &corpus, std::size_t block_bytes,
+                 int effort)
+{
+    using Key = std::tuple<std::uint64_t, std::size_t, std::size_t, int>;
+    // simlint: allow(mutable-global): guards the registry below; same
+    // audited pattern as the RatioSampler cache in experiment.cpp, safe
+    // under concurrent SweepRunner jobs
+    static std::mutex mutex;
+    // simlint: allow(mutable-global): keyed by (corpus seed, corpus size,
+    // block size, effort) whose build is deterministic, so every thread
+    // observes identical tables; protected by the mutex above and never
+    // iterated
+    static std::map<Key, std::unique_ptr<BlockCodecCache>> registry;
+    const Key key{corpus.seed(), corpus.size(), block_bytes, effort};
+    const std::lock_guard<std::mutex> lock(mutex);
+    auto it = registry.find(key);
+    if (it == registry.end()) {
+        it = registry
+                 .emplace(key, std::make_unique<BlockCodecCache>(
+                                   corpus, block_bytes, effort))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace smartds::corpus

@@ -292,6 +292,7 @@ generate(Profile p, std::size_t size, Rng &rng)
 }
 
 SyntheticCorpus::SyntheticCorpus(std::size_t total_bytes, std::uint64_t seed)
+    : seed_(seed)
 {
     // Mixture approximating the Silesia composition by data kind.
     struct Part
@@ -324,11 +325,30 @@ SyntheticCorpus::SyntheticCorpus(std::size_t total_bytes, std::uint64_t seed)
 const std::uint8_t *
 SyntheticCorpus::sampleBlockPtr(std::size_t block_size, Rng &rng) const
 {
+    return blockPtr(block_size, sampleBlockIndex(block_size, rng));
+}
+
+std::size_t
+SyntheticCorpus::sampleBlockIndex(std::size_t block_size, Rng &rng) const
+{
+    return rng.below(blockCount(block_size));
+}
+
+std::size_t
+SyntheticCorpus::blockCount(std::size_t block_size) const
+{
     SMARTDS_CHECK(block_size > 0 && block_size <= data_.size(),
                    "block size %zu vs corpus %zu", block_size, data_.size());
-    const std::size_t blocks = data_.size() / block_size;
-    const std::size_t idx = rng.below(blocks);
-    return data_.data() + idx * block_size;
+    return data_.size() / block_size;
+}
+
+const std::uint8_t *
+SyntheticCorpus::blockPtr(std::size_t block_size, std::size_t index) const
+{
+    SMARTDS_CHECK(index < blockCount(block_size),
+                   "block index %zu out of %zu", index,
+                   blockCount(block_size));
+    return data_.data() + index * block_size;
 }
 
 std::vector<std::uint8_t>

@@ -78,10 +78,30 @@ class SyntheticCorpus
     const std::uint8_t *sampleBlockPtr(std::size_t block_size,
                                        Rng &rng) const;
 
+    /**
+     * Draw a random block-aligned index in [0, blockCount(block_size)).
+     * Consumes exactly the same single RNG draw as sampleBlockPtr() /
+     * sampleBlock(), so swapping a call site from copying to index-based
+     * zero-copy sampling leaves every downstream random stream — and with
+     * it every result CSV — byte-identical.
+     */
+    std::size_t sampleBlockIndex(std::size_t block_size, Rng &rng) const;
+
+    /** Number of whole @p block_size blocks the corpus holds. */
+    std::size_t blockCount(std::size_t block_size) const;
+
+    /** Pointer to block @p index (no copy; valid while the corpus lives). */
+    const std::uint8_t *blockPtr(std::size_t block_size,
+                                 std::size_t index) const;
+
     std::size_t size() const { return data_.size(); }
+
+    /** Seed the corpus was synthesised from (cache-registry key part). */
+    std::uint64_t seed() const { return seed_; }
 
   private:
     std::vector<std::uint8_t> data_;
+    std::uint64_t seed_;
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "corpus/block_cache.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
 #include "sim/awaitables.h"
@@ -103,15 +104,26 @@ AcceleratorServer::serveWrite(net::Message msg)
     Bytes compressed = 0;
     std::shared_ptr<const std::vector<std::uint8_t>> compressed_data;
     if (msg.payload.data) {
-        std::vector<std::uint8_t> out(lz4::maxCompressedSize(payload));
-        const auto n =
-            lz4::compress(msg.payload.data->data(), msg.payload.data->size(),
-                          out.data(), out.size(), config_.effort);
-        SMARTDS_CHECK(n.has_value(), "engine compression failed");
-        out.resize(*n);
-        compressed = *n;
-        compressed_data =
-            std::make_shared<const std::vector<std::uint8_t>>(std::move(out));
+        const corpus::BlockCodecCache::Entry *cached =
+            config_.blockCache
+                ? config_.blockCache->lookupPlain(msg.payload.blockId,
+                                                  msg.payload.data->data(),
+                                                  msg.payload.data->size())
+                : nullptr;
+        if (cached) {
+            compressed = cached->compressed->size();
+            compressed_data = cached->compressed;
+        } else {
+            std::vector<std::uint8_t> out(lz4::maxCompressedSize(payload));
+            const auto n = lz4::compress(msg.payload.data->data(),
+                                         msg.payload.data->size(), out.data(),
+                                         out.size(), config_.effort);
+            SMARTDS_CHECK(n.has_value(), "engine compression failed");
+            out.resize(*n);
+            compressed = *n;
+            compressed_data = std::make_shared<const std::vector<std::uint8_t>>(
+                std::move(out));
+        }
     } else {
         compressed = static_cast<Bytes>(static_cast<double>(payload) *
                                         msg.payload.compressibility);
@@ -196,6 +208,7 @@ AcceleratorServer::serveWrite(net::Message msg)
                      issue = msg.issueTick, tctx,
                      ratio = msg.payload.compressibility,
                      data = compressed_data, hdr = msg.headerData,
+                     block_id = msg.payload.blockId,
                      first = (!acc_.ddio && r == 0)](net::NodeId dst) mutable {
             net::Message replica;
             replica.dst = dst;
@@ -209,6 +222,7 @@ AcceleratorServer::serveWrite(net::Message msg)
             replica.payload.originalSize = payload;
             replica.payload.compressibility = ratio;
             replica.payload.data = data;
+            replica.payload.blockId = block_id;
             replica.headerData = hdr;
             pcie::DmaEngine::Options tx;
             tx.memFlow = first ? txRead_ : nullptr;

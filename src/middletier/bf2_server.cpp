@@ -146,6 +146,7 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
         task.send = [this, out_port, compressed, payload, tag = msg.tag,
                      issue = msg.issueTick, tctx,
                      ratio = msg.payload.compressibility,
+                     block_id = msg.payload.blockId,
                      hdr = msg.headerData](net::NodeId dst) {
             auto replica = std::make_shared<net::Message>();
             replica->dst = dst;
@@ -158,6 +159,7 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
             replica->payload.compressed = true;
             replica->payload.originalSize = payload;
             replica->payload.compressibility = ratio;
+            replica->payload.blockId = block_id;
             replica->headerData = hdr;
             txRead_->transfer(compressed, [out_port, replica]() {
                 out_port->send(std::move(*replica));

@@ -6,6 +6,7 @@
 #include "common/checksum.h"
 #include "common/check.h"
 #include "common/logging.h"
+#include "corpus/block_cache.h"
 #include "lz4/lz4.h"
 #include "middletier/protocol.h"
 #include "sim/awaitables.h"
@@ -130,15 +131,28 @@ CpuOnlyServer::serveWrite(net::Message msg)
     Bytes compressed = 0;
     std::shared_ptr<const std::vector<std::uint8_t>> compressed_data;
     if (msg.payload.data) {
-        std::vector<std::uint8_t> out(lz4::maxCompressedSize(payload));
-        const auto n =
-            lz4::compress(msg.payload.data->data(), msg.payload.data->size(),
-                          out.data(), out.size(), config_.effort);
-        SMARTDS_CHECK(n.has_value(), "software compression failed");
-        out.resize(*n);
-        compressed = *n;
-        compressed_data =
-            std::make_shared<const std::vector<std::uint8_t>>(std::move(out));
+        // Corpus-backed payloads resolve to the precomputed compressed
+        // buffer (hash-guarded: mutated bytes fall through to the codec).
+        const corpus::BlockCodecCache::Entry *cached =
+            config_.blockCache
+                ? config_.blockCache->lookupPlain(msg.payload.blockId,
+                                                  msg.payload.data->data(),
+                                                  msg.payload.data->size())
+                : nullptr;
+        if (cached) {
+            compressed = cached->compressed->size();
+            compressed_data = cached->compressed;
+        } else {
+            std::vector<std::uint8_t> out(lz4::maxCompressedSize(payload));
+            const auto n = lz4::compress(msg.payload.data->data(),
+                                         msg.payload.data->size(), out.data(),
+                                         out.size(), config_.effort);
+            SMARTDS_CHECK(n.has_value(), "software compression failed");
+            out.resize(*n);
+            compressed = *n;
+            compressed_data = std::make_shared<const std::vector<std::uint8_t>>(
+                std::move(out));
+        }
     } else {
         compressed = static_cast<Bytes>(static_cast<double>(payload) *
                                         msg.payload.compressibility);
@@ -192,6 +206,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
                      issue = msg.issueTick, tctx,
                      ratio = msg.payload.compressibility,
                      data = compressed_data, hdr = msg.headerData,
+                     block_id = msg.payload.blockId,
                      first = (r == 0)](net::NodeId dst) mutable {
             net::Message replica;
             replica.dst = dst;
@@ -205,6 +220,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
             replica.payload.originalSize = payload;
             replica.payload.compressibility = ratio;
             replica.payload.data = data;
+            replica.payload.blockId = block_id;
             replica.headerData = hdr;
             pcie::DmaEngine::Options tx;
             tx.memFlow = first ? txRead_ : nullptr;
@@ -315,7 +331,30 @@ CpuOnlyServer::serveRead(net::Message msg)
         // VM stamped into the storage header at write time.
         bool corrupt = candidate.payload.corrupted;
         plain_data.reset();
-        if (!corrupt && candidate.payload.data) {
+        const corpus::BlockCodecCache::Entry *cached =
+            !corrupt && candidate.payload.data && config_.blockCache
+                ? config_.blockCache->lookupCompressed(
+                      candidate.payload.blockId,
+                      candidate.payload.data->data(),
+                      candidate.payload.data->size())
+                : nullptr;
+        if (cached) {
+            // The guard proved the stored bytes are the cached compressed
+            // block (a bit-flipped copy hashes differently and takes the
+            // real-codec path below), so decompression is a lookup. The
+            // stored header checksum is still compared, as on the slow
+            // path.
+            if (candidate.headerData &&
+                candidate.headerData->size() >= StorageHeader::wireSize) {
+                const StorageHeader hdr =
+                    StorageHeader::decode(candidate.headerData->data());
+                if (hdr.blockChecksum != 0 &&
+                    cached->plainChecksum != hdr.blockChecksum)
+                    corrupt = true;
+            }
+            if (!corrupt)
+                plain_data = cached->plain;
+        } else if (!corrupt && candidate.payload.data) {
             const Bytes plain_size = candidate.payload.originalSize
                                          ? candidate.payload.originalSize
                                          : candidate.payload.size;

@@ -30,25 +30,49 @@ std::array<std::uint8_t, StorageHeader::wireSize>
 StorageHeader::encode() const
 {
     std::array<std::uint8_t, wireSize> out{};
-    std::size_t at = 0;
-    put(out.data(), at, vmId);
-    put(out.data(), at, segmentId);
-    put(out.data(), at, blockOffset);
-    put(out.data(), at, tag);
-    put(out.data(), at, payloadSize);
-    put(out.data(), at, serviceType);
-    put(out.data(), at, blockChecksum);
-    put(out.data(), at, latencySensitive);
-    put(out.data(), at, compressionEffort);
+    encodeInto(out.data());
     return out;
+}
+
+void
+StorageHeader::encodeInto(std::uint8_t *dst) const
+{
+    std::memset(dst, 0, wireSize);
+    std::size_t at = 0;
+    put(dst, at, vmId);
+    put(dst, at, segmentId);
+    put(dst, at, blockOffset);
+    put(dst, at, tag);
+    put(dst, at, payloadSize);
+    put(dst, at, serviceType);
+    put(dst, at, blockChecksum);
+    put(dst, at, latencySensitive);
+    put(dst, at, compressionEffort);
 }
 
 std::shared_ptr<const std::vector<std::uint8_t>>
 StorageHeader::encodeShared() const
 {
-    const auto arr = encode();
-    return std::make_shared<const std::vector<std::uint8_t>>(arr.begin(),
-                                                             arr.end());
+    // One-entry memo: the replication fan-out encodes the same header
+    // once per replica back to back, and the VM issue loop re-encodes
+    // headers differing only in a few fields. thread_local keeps
+    // SweepRunner jobs independent (and lock-free).
+    struct Memo
+    {
+        StorageHeader fields;
+        std::shared_ptr<const std::vector<std::uint8_t>> buffer;
+    };
+    // Thread-local, so SweepRunner jobs stay independent; the memo only
+    // changes allocation counts, never encoded bytes, so results remain
+    // deterministic.
+    thread_local Memo memo;
+    if (memo.buffer && memo.fields == *this)
+        return memo.buffer;
+    auto out = std::make_shared<std::vector<std::uint8_t>>(wireSize);
+    encodeInto(out->data());
+    memo.fields = *this;
+    memo.buffer = std::move(out);
+    return memo.buffer;
 }
 
 StorageHeader

@@ -41,11 +41,22 @@ struct StorageHeader
     /** Serialise to exactly wireSize bytes (little-endian, zero padded). */
     std::array<std::uint8_t, wireSize> encode() const;
 
-    /** Encode into a fresh shared byte vector (for net::Message). */
+    /** Serialise into @p dst (at least wireSize bytes), no allocation. */
+    void encodeInto(std::uint8_t *dst) const;
+
+    /**
+     * Encode into a shared byte vector (for net::Message). Consecutive
+     * calls with identical field values on the same thread return the
+     * same cached buffer, so the replication fan-out (which re-encodes
+     * one header per replica) costs one allocation per *distinct* header
+     * instead of one per message.
+     */
     std::shared_ptr<const std::vector<std::uint8_t>> encodeShared() const;
 
     /** Parse from a buffer of at least wireSize bytes. */
     static StorageHeader decode(const std::uint8_t *data);
+
+    bool operator==(const StorageHeader &other) const = default;
 };
 
 } // namespace smartds::middletier

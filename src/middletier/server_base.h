@@ -29,6 +29,10 @@
 #include "sim/process.h"
 #include "sim/simulator.h"
 
+namespace smartds::corpus {
+class BlockCodecCache;
+}
+
 namespace smartds::middletier {
 
 class MaintenanceService;
@@ -86,6 +90,12 @@ struct ServerConfig
     ChunkManager *chunkManager = nullptr;
     /** Failure handling (timeouts, retries, quorum). */
     FailoverConfig failover;
+    /**
+     * Optional corpus codec cache for the functional datapath. Lookups
+     * are hash-guarded (see corpus::BlockCodecCache), so enabling it
+     * changes wall-clock cost only, never results.
+     */
+    const corpus::BlockCodecCache *blockCache = nullptr;
 };
 
 /** Cumulative failure-handling counters a server exposes. */

@@ -143,9 +143,7 @@ SmartDsServer::worker(unsigned port)
             // host_fill_send_h_buf: the reply/replica header.
             StorageHeader out = hdr;
             out.payloadSize = static_cast<std::uint32_t>(payload_size);
-            const auto encoded = out.encode();
-            std::copy(encoded.begin(), encoded.end(),
-                      h_send->bytes()->begin());
+            out.encodeInto(h_send->bytes()->data());
         }
 
         if (req.kind == net::MessageKind::ReadRequest) {

@@ -74,6 +74,16 @@ struct Payload
      * from this flag.
      */
     bool corrupted = false;
+
+    /**
+     * Corpus block key for the codec cache: 1-based block-aligned index
+     * into the workload corpus, 0 when the payload is not corpus-backed
+     * (trace-replay bytes, synthetic buffers). Purely an optimisation
+     * hint — every cache lookup re-verifies the bytes against the cached
+     * checksum (BlockCodecCache's corruption guard), so a stale or wrong
+     * id costs a miss, never wrong data.
+     */
+    std::uint32_t blockId = 0;
 };
 
 /** A message in flight on the fabric. */

@@ -46,6 +46,12 @@ struct BufferContent
      * for what checksums detect from real bytes.
      */
     bool corrupted = false;
+    /**
+     * Corpus block key riding along from net::Payload::blockId so
+     * functional engines can resolve buffer bytes against the codec
+     * cache (hash-guarded; 0 = not corpus-backed).
+     */
+    std::uint32_t blockId = 0;
 };
 
 /** A buffer handle; share via BufferRef. */

@@ -38,6 +38,10 @@
 #include "smartds/device_memory.h"
 #include "smartds/resource_model.h"
 
+namespace smartds::corpus {
+class BlockCodecCache;
+}
+
 namespace smartds::device {
 
 /**
@@ -89,6 +93,13 @@ class SmartDsDevice
         bool functional = false;
         /** LZ4 effort used by functional engines. */
         int effort = 1;
+        /**
+         * Optional corpus codec cache for functional engines: compress /
+         * decompress of corpus-backed buffers become hash-guarded
+         * lookups. Wall-clock only; simulated timing and results are
+         * unchanged.
+         */
+        const corpus::BlockCodecCache *blockCache = nullptr;
         /**
          * CacheDirector-style header steering (the related-work
          * combination the paper points out): header DMA writes land in

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "corpus/block_cache.h"
 #include "corpus/corpus.h"
 #include "faults/fault_injector.h"
 #include "mem/memory_system.h"
@@ -54,6 +55,19 @@ cachedRatios(int effort, Bytes block_bytes)
     return *it->second;
 }
 
+/**
+ * Corpus for the functional datapath: 8 MiB of synthetic Silesia-like
+ * data = 2048 distinct 4 KiB blocks, built once per process. Separate
+ * from the (smaller) ratio-sampling corpus so enabling functional mode
+ * does not perturb the timing-mode ratio distribution.
+ */
+const corpus::SyntheticCorpus &
+functionalCorpus()
+{
+    static const corpus::SyntheticCorpus corpus(8u << 20, 42);
+    return corpus;
+}
+
 /** Default client count that saturates the given design configuration. */
 unsigned
 autoClients(const ExperimentConfig &config)
@@ -99,15 +113,26 @@ runWriteExperiment(const ExperimentConfig &config)
     const corpus::RatioSampler &ratios =
         cachedRatios(config.effort, config.blockBytes);
 
+    // Functional mode: real corpus bytes flow end to end; the codec
+    // cache (on by default, `blockCache = false` to force the real codec
+    // per request) only changes wall-clock cost, never results.
+    const corpus::BlockCodecCache *block_cache = nullptr;
+    if (config.functional && config.blockCache) {
+        block_cache = &corpus::sharedBlockCache(
+            functionalCorpus(), config.blockBytes, config.effort);
+    }
+
     // --- Storage pool ----------------------------------------------------
     unsigned n_storage = config.storageServers;
     if (n_storage == 0)
         n_storage = std::max<unsigned>(6, 6 * config.ports * config.cards);
+    storage::StorageServer::Config storage_config;
+    storage_config.functionalStore = config.functional;
     std::vector<std::unique_ptr<storage::StorageServer>> storage_pool;
     std::vector<net::NodeId> storage_nodes;
     for (unsigned i = 0; i < n_storage; ++i) {
         storage_pool.push_back(std::make_unique<storage::StorageServer>(
-            fabric, "storage" + std::to_string(i)));
+            fabric, "storage" + std::to_string(i), storage_config));
         storage_nodes.push_back(storage_pool.back()->nodeId());
     }
 
@@ -155,6 +180,7 @@ runWriteExperiment(const ExperimentConfig &config)
         std::max(calibration::replicaAckTimeoutCap,
                  config.replicaAckTimeout * 8);
     server_config.failover.maxRetries = config.replicaMaxRetries;
+    server_config.blockCache = block_cache;
 
     std::unique_ptr<middletier::MiddleTierServer> server;
     switch (config.design) {
@@ -182,6 +208,8 @@ runWriteExperiment(const ExperimentConfig &config)
         sd.ports = config.ports;
         sd.workersPerPort = config.workersPerPort;
         sd.maxBlockBytes = config.blockBytes;
+        sd.device.functional = config.functional;
+        sd.device.blockCache = block_cache;
         if (config.cards > 1) {
             middletier::MultiCardSmartDsServer::MultiCardConfig multi;
             multi.cards = config.cards;
@@ -263,6 +291,10 @@ runWriteExperiment(const ExperimentConfig &config)
         cc.outstanding = config.outstandingPerClient;
         cc.blockBytes = config.blockBytes;
         cc.ratios = &ratios;
+        if (config.functional) {
+            cc.corpus = &functionalCorpus();
+            cc.blockCache = block_cache;
+        }
         cc.effort = config.effort;
         cc.latencySensitiveFraction = config.latencySensitiveFraction;
         cc.readFraction = config.readFraction;

@@ -156,6 +156,24 @@ struct ExperimentConfig
      */
     bool tracePrint = false;
 
+    // --- Functional datapath --------------------------------------------
+
+    /**
+     * Carry and transform real corpus bytes end to end (clients attach
+     * blocks, servers run the real codec, storage keeps stored bytes,
+     * checksums are verified) instead of the timing-only ratio model.
+     */
+    bool functional = false;
+
+    /**
+     * Use the corpus block codec cache on the functional datapath
+     * (precomputed compress/decompress/checksum results, zero-copy block
+     * handout). Results are byte-identical either way — `false` is the
+     * escape hatch that forces the real codec on every request. Ignored
+     * in timing mode.
+     */
+    bool blockCache = true;
+
     /** Whether any fault-injection knob is active. */
     bool
     faultsEnabled() const

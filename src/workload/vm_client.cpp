@@ -20,6 +20,12 @@ VmClient::VmClient(net::Fabric &fabric, const std::string &name,
                    "client needs shared metrics and tag counter");
     SMARTDS_CHECK(config_.ratios || config_.corpus,
                    "client needs a ratio sampler or a functional corpus");
+    SMARTDS_CHECK(!config_.blockCache ||
+                       (config_.corpus &&
+                        config_.blockCache->blockBytes() ==
+                            config_.blockBytes &&
+                        config_.blockCache->effort() == config_.effort),
+                   "block cache must match the corpus block size and effort");
     port_->onReceive([this](net::Message msg) { onReply(std::move(msg)); });
     for (unsigned i = 0; i < config_.outstanding; ++i)
         sim::spawn(sim_, issuer(i));
@@ -83,21 +89,39 @@ VmClient::issuer(unsigned index)
 
         if (config_.corpus) {
             // Functional: carry real block bytes and an encoded header.
-            auto block = std::make_shared<const std::vector<std::uint8_t>>(
-                config_.corpus->sampleBlock(config_.blockBytes, rng));
-            if (!is_read) {
-                msg.payload.data = block;
-                msg.payload.compressibility = lz4::compressionRatio(
-                    block->data(), block->size(), config_.effort);
-            }
+            // The draw happens for reads too (even though reads carry no
+            // bytes) so the per-issuer random stream — and with it every
+            // existing CSV — stays byte-identical to the old
+            // sample-and-copy code.
+            const std::size_t corpus_block =
+                config_.corpus->sampleBlockIndex(config_.blockBytes, rng);
             middletier::StorageHeader hdr;
+            if (!is_read) {
+                msg.payload.blockId =
+                    static_cast<std::uint32_t>(corpus_block + 1);
+                if (config_.blockCache) {
+                    // Zero-copy: alias the cache's materialised block and
+                    // reuse its precomputed ratio and checksum.
+                    const auto &e = config_.blockCache->entry(corpus_block);
+                    msg.payload.data = e.plain;
+                    msg.payload.compressibility = e.ratio;
+                    hdr.blockChecksum = e.plainChecksum;
+                } else {
+                    const std::uint8_t *src = config_.corpus->blockPtr(
+                        config_.blockBytes, corpus_block);
+                    msg.payload.data =
+                        std::make_shared<const std::vector<std::uint8_t>>(
+                            src, src + config_.blockBytes);
+                    msg.payload.compressibility = lz4::compressionRatio(
+                        src, config_.blockBytes, config_.effort);
+                    hdr.blockChecksum = xxhash32(src, config_.blockBytes);
+                }
+            }
             hdr.vmId = port_->id();
             hdr.blockOffset = msg.blockOffset;
             hdr.tag = tag;
             hdr.payloadSize =
                 static_cast<std::uint32_t>(msg.payload.size);
-            if (msg.payload.data)
-                hdr.blockChecksum = xxhash32(*msg.payload.data);
             hdr.latencySensitive = latency_sensitive ? 1 : 0;
             hdr.compressionEffort =
                 static_cast<std::uint8_t>(config_.effort);
@@ -107,10 +131,8 @@ VmClient::issuer(unsigned index)
         }
         if (is_read) {
             // Hint the expected compressed size for the timing-only path.
-            const double ratio = msg.payload.compressibility;
             msg.payload.originalSize = config_.blockBytes;
             msg.payload.size = 0;
-            msg.payload.compressibility = ratio;
         }
 
         trace::Tracer *tracer = fabric_.tracer();

@@ -21,6 +21,7 @@
 #include "common/latency_recorder.h"
 #include "common/random.h"
 #include "common/rate_meter.h"
+#include "corpus/block_cache.h"
 #include "corpus/corpus.h"
 #include "net/fabric.h"
 #include "sim/process.h"
@@ -51,6 +52,14 @@ class VmClient
         const corpus::RatioSampler *ratios = nullptr;
         /** Functional mode: attach real block bytes from this corpus. */
         const corpus::SyntheticCorpus *corpus = nullptr;
+        /**
+         * Optional codec cache over `corpus` (same blockBytes/effort).
+         * When set, writes alias cached corpus blocks instead of copying
+         * and reuse cached ratios/checksums instead of running the codec
+         * per request. Must be built from the same corpus; results are
+         * byte-identical with and without it.
+         */
+        const corpus::BlockCodecCache *blockCache = nullptr;
         int effort = 1;
         /** Fraction of requests flagged latency sensitive. */
         double latencySensitiveFraction = 0.0;

@@ -1,0 +1,40 @@
+// simlint fixture: per-request corpus block copies on the datapath.
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+struct Rng
+{
+};
+
+struct Corpus
+{
+    std::vector<std::uint8_t> sampleBlock(std::size_t, Rng &) const;
+    const std::uint8_t *sampleBlockPtr(std::size_t, Rng &) const;
+    std::size_t sampleBlockIndex(std::size_t, Rng &) const;
+};
+
+std::vector<std::uint8_t>
+copiesPerRequest(const Corpus &corpus, Rng &rng)
+{
+    return corpus.sampleBlock(4096, rng);
+}
+
+const std::uint8_t *
+zeroCopy(const Corpus &corpus, Rng &rng)
+{
+    // The sanctioned spellings are distinct identifiers; neither fires.
+    const std::size_t index = corpus.sampleBlockIndex(4096, rng);
+    (void)index;
+    return corpus.sampleBlockPtr(4096, rng);
+}
+
+std::vector<std::uint8_t>
+allowedSeedData(const Corpus &corpus, Rng &rng)
+{
+    // simlint: allow(block-copy): fixture exercises a justified suppression
+    return corpus.sampleBlock(4096, rng);
+}
+
+} // namespace fx

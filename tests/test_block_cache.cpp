@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Corpus block codec cache tests: cached entries must agree bit-for-bit
+ * with the real codec, the content-hash corruption guard must reject
+ * mutated bytes, aliased block handles must outlive the cache, and the
+ * functional experiment harness must produce byte-identical results with
+ * the cache on and off — including under bit-flip fault injection, where
+ * flipped stored copies must miss the cache and still be detected end to
+ * end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/checksum.h"
+#include "corpus/block_cache.h"
+#include "corpus/corpus.h"
+#include "lz4/lz4.h"
+#include "mem/memory_system.h"
+#include "middletier/cpu_only_server.h"
+#include "middletier/protocol.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+#include "storage/storage_server.h"
+#include "workload/experiment.h"
+
+namespace smartds::corpus {
+namespace {
+
+constexpr std::size_t blockBytes = 4096;
+
+TEST(BlockCodecCache, EntriesMatchTheRealCodec)
+{
+    const SyntheticCorpus corpus(1u << 20, 42);
+    const BlockCodecCache cache(corpus, blockBytes, /*effort=*/2);
+    ASSERT_EQ(cache.blocks(), corpus.blockCount(blockBytes));
+
+    for (std::size_t i = 0; i < cache.blocks(); ++i) {
+        const BlockCodecCache::Entry &e = cache.entry(i);
+        const std::uint8_t *src = corpus.blockPtr(blockBytes, i);
+
+        ASSERT_TRUE(e.plain && e.compressed);
+        ASSERT_EQ(e.plain->size(), blockBytes);
+        EXPECT_EQ(0, std::memcmp(e.plain->data(), src, blockBytes));
+
+        std::vector<std::uint8_t> out(lz4::maxCompressedSize(blockBytes));
+        const auto n =
+            lz4::compress(src, blockBytes, out.data(), out.size(), 2);
+        ASSERT_TRUE(n.has_value());
+        out.resize(*n);
+        EXPECT_EQ(*e.compressed, out);
+
+        EXPECT_EQ(e.ratio, lz4::compressionRatio(src, blockBytes, 2));
+        EXPECT_EQ(e.plainChecksum, xxhash32(src, blockBytes));
+        EXPECT_EQ(e.compressedChecksum, xxhash32(out));
+
+        const auto plain = lz4::decompress(*e.compressed, blockBytes);
+        ASSERT_TRUE(plain.has_value());
+        EXPECT_EQ(*plain, *e.plain);
+    }
+}
+
+TEST(BlockCodecCache, GuardRejectsMutatedOrMiskeyedBytes)
+{
+    const SyntheticCorpus corpus(1u << 20, 42);
+    const BlockCodecCache cache(corpus, blockBytes, 1);
+    const BlockCodecCache::Entry &e = cache.entry(3);
+    const std::uint32_t id = 4; // blockId is 1-based
+
+    // Pointer-identity fast path: the cache's own buffer hits.
+    EXPECT_EQ(&e, cache.lookupPlain(id, e.plain->data(), e.plain->size()));
+    EXPECT_EQ(&e, cache.lookupCompressed(id, e.compressed->data(),
+                                         e.compressed->size()));
+
+    // Equal content at a different address hits via the hash guard (the
+    // DMA-copied-through-a-device-buffer case).
+    const std::vector<std::uint8_t> copy(*e.compressed);
+    EXPECT_EQ(&e, cache.lookupCompressed(id, copy.data(), copy.size()));
+
+    // A single flipped bit must miss: this is the corruption guard that
+    // keeps fault injection observable through the cache.
+    std::vector<std::uint8_t> flipped(*e.compressed);
+    flipped[flipped.size() / 2] ^= 0x10;
+    EXPECT_EQ(nullptr,
+              cache.lookupCompressed(id, flipped.data(), flipped.size()));
+
+    // Wrong key, zero key, out-of-range key, wrong size: all miss.
+    EXPECT_EQ(nullptr, cache.lookupCompressed(id + 1, copy.data(),
+                                              copy.size()));
+    EXPECT_EQ(nullptr, cache.lookupCompressed(0, copy.data(), copy.size()));
+    EXPECT_EQ(nullptr,
+              cache.lookupCompressed(
+                  static_cast<std::uint32_t>(cache.blocks()) + 1,
+                  copy.data(), copy.size()));
+    EXPECT_EQ(nullptr,
+              cache.lookupPlain(id, e.plain->data(), e.plain->size() - 1));
+}
+
+TEST(BlockCodecCache, AliasedBlocksOutliveTheCache)
+{
+    // Payloads hold aliased shared_ptrs into cache-owned storage; ASan
+    // verifies the storage stays alive after the cache itself is gone.
+    std::shared_ptr<const std::vector<std::uint8_t>> plain;
+    std::shared_ptr<const std::vector<std::uint8_t>> compressed;
+    std::uint32_t checksum = 0;
+    {
+        const SyntheticCorpus corpus(1u << 20, 7);
+        const auto cache =
+            std::make_unique<BlockCodecCache>(corpus, blockBytes, 1);
+        plain = cache->entry(0).plain;
+        compressed = cache->entry(0).compressed;
+        checksum = cache->entry(0).plainChecksum;
+    } // corpus and cache destroyed; the aliased blocks must survive
+    ASSERT_TRUE(plain && compressed);
+    EXPECT_EQ(xxhash32(*plain), checksum);
+    const auto decoded = lz4::decompress(*compressed, blockBytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, *plain);
+}
+
+TEST(BlockCodecCache, SharedRegistryReturnsOneTablePerKey)
+{
+    const SyntheticCorpus corpus(1u << 20, 42);
+    const BlockCodecCache &a = sharedBlockCache(corpus, blockBytes, 1);
+    const BlockCodecCache &b = sharedBlockCache(corpus, blockBytes, 1);
+    const BlockCodecCache &c = sharedBlockCache(corpus, blockBytes, 2);
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(a.blocks(), corpus.blockCount(blockBytes));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: experiments must not observe the cache
+// ---------------------------------------------------------------------
+
+/** Everything an experiment reports, as an exactly-comparable tuple. */
+auto
+resultKey(const workload::ExperimentResult &r)
+{
+    return std::make_tuple(
+        r.throughputGbps, r.requestsCompleted, r.avgLatencyUs,
+        r.p50LatencyUs, r.p99LatencyUs, r.p999LatencyUs,
+        r.failover.replicaTimeouts, r.failover.replicaRetries,
+        r.failover.replicaReplacements, r.failover.replicasAbandoned,
+        r.failover.corruptionsDetected, r.failover.readFailovers,
+        r.failover.readsUnserved, r.blocksCorrupted, r.crashesInjected);
+}
+
+workload::ExperimentResult
+runFunctional(middletier::Design design, bool cache_on, double read_fraction,
+              double corrupt_probability)
+{
+    workload::ExperimentConfig config;
+    config.design = design;
+    config.functional = true;
+    config.blockCache = cache_on;
+    config.cores = 4;
+    config.ports = 1;
+    config.effort = 1;
+    config.readFraction = read_fraction;
+    config.corruptProbability = corrupt_probability;
+    config.warmup = ticksPerMillisecond / 2;
+    config.window = 2 * ticksPerMillisecond;
+    return workload::runWriteExperiment(config);
+}
+
+TEST(BlockCacheEndToEnd, ExperimentResultsIdenticalCacheOnAndOff)
+{
+    for (const auto design : {middletier::Design::CpuOnly,
+                              middletier::Design::SmartDs}) {
+        const auto on = runFunctional(design, true, 0.0, 0.0);
+        const auto off = runFunctional(design, false, 0.0, 0.0);
+        ASSERT_GT(on.requestsCompleted, 0u);
+        EXPECT_EQ(resultKey(on), resultKey(off));
+        EXPECT_EQ(on.usageGbps, off.usageGbps);
+    }
+}
+
+TEST(BlockCacheEndToEnd, FaultInjectionResultsIdenticalCacheOnAndOff)
+{
+    // Bit-flipped stored copies miss the cache (hash guard) and fall
+    // back to the real codec, so every detection counter must agree
+    // with the cache-off run.
+    for (const auto design : {middletier::Design::CpuOnly,
+                              middletier::Design::SmartDs}) {
+        const auto on = runFunctional(design, true, 0.3, 0.5);
+        const auto off = runFunctional(design, false, 0.3, 0.5);
+        ASSERT_GT(on.requestsCompleted, 0u);
+        EXPECT_GT(on.blocksCorrupted, 0u);
+        EXPECT_EQ(resultKey(on), resultKey(off));
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a flipped stored replica is detected through the cache
+// ---------------------------------------------------------------------
+
+TEST(BlockCacheEndToEnd, BitFlippedReplicaMissesCacheAndIsDetected)
+{
+    using middletier::CpuOnlyServer;
+    using middletier::ServerConfig;
+    using middletier::StorageHeader;
+
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    mem::MemorySystem memory(sim, "mem", {});
+
+    storage::StorageServer::Config sc;
+    sc.functionalStore = true;
+    std::vector<std::unique_ptr<storage::StorageServer>> storage;
+    std::vector<net::NodeId> storage_nodes;
+    for (unsigned i = 0; i < 3; ++i) {
+        storage.push_back(std::make_unique<storage::StorageServer>(
+            fabric, "st" + std::to_string(i), sc));
+        storage_nodes.push_back(storage.back()->nodeId());
+    }
+
+    const SyntheticCorpus corpus(1u << 20, 42);
+    const BlockCodecCache &cache = sharedBlockCache(corpus, blockBytes, 1);
+    const BlockCodecCache::Entry &e = cache.entry(0);
+
+    ServerConfig config;
+    config.cores = 4;
+    config.storageNodes = storage_nodes;
+    config.blockCache = &cache;
+    CpuOnlyServer server(fabric, memory, config);
+
+    // Replicas 0 and 1 hold a bit-flipped copy of the cached compressed
+    // block — same blockId, mutated bytes, exactly what the fault layer
+    // produces. Replica 2 is clean.
+    auto flipped = std::make_shared<std::vector<std::uint8_t>>(*e.compressed);
+    (*flipped)[0] ^= 0x01;
+
+    constexpr std::uint64_t tag = 777;
+    StorageHeader hdr;
+    hdr.tag = tag;
+    hdr.payloadSize = blockBytes;
+    hdr.blockChecksum = e.plainChecksum;
+    const auto header = hdr.encodeShared();
+
+    net::Port *vm = fabric.createPort("vm-raw");
+    unsigned replies = 0;
+    vm->onReceive([&](net::Message msg) {
+        if (msg.kind != net::MessageKind::ReadReply)
+            return;
+        ++replies;
+        ASSERT_TRUE(msg.payload.data);
+        EXPECT_EQ(msg.payload.data->size(), blockBytes);
+        EXPECT_EQ(xxhash32(*msg.payload.data), e.plainChecksum);
+    });
+
+    for (unsigned i = 0; i < 3; ++i) {
+        net::Message w;
+        w.dst = storage_nodes[i];
+        w.kind = net::MessageKind::WriteReplica;
+        w.headerBytes = StorageHeader::wireSize;
+        w.headerData = header;
+        w.tag = tag;
+        w.payload.data = i == 2 ? e.compressed : flipped;
+        w.payload.size = w.payload.data->size();
+        w.payload.compressed = true;
+        w.payload.originalSize = blockBytes;
+        w.payload.blockId = 1;
+        vm->send(std::move(w));
+    }
+    sim.run();
+
+    constexpr unsigned reads = 20;
+    for (unsigned i = 0; i < reads; ++i) {
+        net::Message r;
+        r.dst = server.frontNode();
+        r.kind = net::MessageKind::ReadRequest;
+        r.headerBytes = StorageHeader::wireSize;
+        r.tag = tag;
+        r.payload.size = e.compressed->size();
+        r.payload.originalSize = blockBytes;
+        vm->send(std::move(r));
+        sim.run();
+    }
+
+    EXPECT_EQ(replies, reads);
+    const middletier::FailoverStats stats = server.failoverStats();
+    EXPECT_GT(stats.corruptionsDetected, 0u);
+    EXPECT_GT(stats.readFailovers, 0u);
+    EXPECT_EQ(stats.readsUnserved, 0u);
+}
+
+} // namespace
+} // namespace smartds::corpus

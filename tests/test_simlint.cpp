@@ -128,6 +128,18 @@ TEST(SimlintFixtures, MissingNodiscard)
               }));
 }
 
+TEST(SimlintFixtures, BlockCopy)
+{
+    // Line 13 is the declaration, line 21 the per-request copy; the
+    // sanctioned sampleBlockPtr()/sampleBlockIndex() spellings and the
+    // justified suppression stay silent.
+    EXPECT_EQ(lintFixture("block_copy.cpp"),
+              (std::vector<Triple>{
+                  {"block_copy.cpp", 13, "block-copy"},
+                  {"block_copy.cpp", 21, "block-copy"},
+              }));
+}
+
 TEST(SimlintFixtures, Suppressions)
 {
     // Line 10: justified suppression silences the finding entirely.

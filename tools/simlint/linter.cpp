@@ -831,6 +831,32 @@ ruleMissingNodiscard(const FileCtx &ctx, const Sink &sink)
     }
 }
 
+// --- block-copy -------------------------------------------------------------
+
+/**
+ * SyntheticCorpus::sampleBlock() materialises a fresh vector copy of a
+ * corpus block on every call. That is fine in tests and examples, but on
+ * the functional datapath it defeats the zero-copy design: block bytes
+ * are meant to be handed out as aliased shared_ptrs into the corpus
+ * block cache (sampleBlockPtr()/sampleBlockIndex() + BlockCodecCache).
+ */
+void
+ruleBlockCopy(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].ident() || !t[i].is("sampleBlock"))
+            continue;
+        if (!t[i + 1].is("("))
+            continue;
+        sink.add(t[i].line, "block-copy",
+                 "'sampleBlock()' copies a corpus block per call; "
+                 "datapath code must use sampleBlockPtr()/"
+                 "sampleBlockIndex() or the BlockCodecCache's zero-copy "
+                 "entries");
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -843,7 +869,8 @@ allRules()
     static const std::vector<std::string> rules = {
         "wall-clock",     "raw-rand",       "unordered-iter",
         "mutable-global", "raw-io",         "naked-new",
-        "tick-float",     "missing-nodiscard", "bad-suppression",
+        "tick-float",     "missing-nodiscard", "block-copy",
+        "bad-suppression",
     };
     return rules;
 }
@@ -1019,6 +1046,7 @@ lint(const std::vector<Source> &sources, const Config &config)
         ruleNakedNew(ctx, sink);
         ruleTickFloat(ctx, sink);
         ruleMissingNodiscard(ctx, sink);
+        ruleBlockCopy(ctx, sink);
 
         // Validate suppressions and build the (line -> rules) map.
         std::map<int, std::set<std::string>> allowed;
