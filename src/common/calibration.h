@@ -211,6 +211,34 @@ constexpr Tick storageAppendLatency = 25 * ticksPerMicrosecond;
 /** Per-storage-server ingest bandwidth (not a bottleneck by design). */
 constexpr BytesPerSecond storageIngestBandwidth = gbps(90.0);
 
+// ---------------------------------------------------- Erasure coding (EC)
+
+/**
+ * Software RS(k, m) encode rate per host core (stripe bytes/s). GF(256)
+ * table multiply-accumulate streams at tens of GB/s with SIMD (ISA-L
+ * class); a portable scalar loop on a 4.9 GHz core lands around 22 Gbps
+ * of stripe data for the m-parity products.
+ */
+constexpr BytesPerSecond hostEcEncodeRate = gbps(22.0);
+
+/**
+ * Software RS decode rate per host core on a *degraded* read (matrix
+ * inversion amortised away; dominated by k multiply-accumulate streams,
+ * slightly slower than encode due to the gather access pattern).
+ */
+constexpr BytesPerSecond hostEcDecodeRate = gbps(18.0);
+
+/**
+ * SmartDS RS engine throughput per port. The GF(256) MAC array is
+ * structurally the same systolic datapath as the LZ4 match engine and
+ * is provisioned to line rate so EC never throttles the split path
+ * (NetACC/Di Girolamo: erasure coding is a line-rate NIC offload).
+ */
+constexpr BytesPerSecond smartdsEcEnginePerPort = gbps(100.0);
+
+/** Fixed pipeline latency of the device RS engine per stripe. */
+constexpr Tick smartdsEcEngineLatency = 1 * ticksPerMicrosecond;
+
 // ------------------------------------------------------- Failure handling
 
 /**

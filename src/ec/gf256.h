@@ -1,0 +1,48 @@
+/**
+ * @file
+ * GF(2^8) arithmetic for the Reed-Solomon codec.
+ *
+ * The field is GF(256) with the AES/Rijndael-adjacent primitive
+ * polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial every
+ * practical storage RS implementation (ISA-L, Jerasure, Backblaze)
+ * uses. Multiplication and inversion go through exp/log tables built
+ * once at startup from the generator element 2 — fully deterministic,
+ * no per-run state.
+ */
+
+#ifndef SMARTDS_EC_GF256_H_
+#define SMARTDS_EC_GF256_H_
+
+#include <cstdint>
+
+namespace smartds::ec {
+
+/** The primitive polynomial (with the x^8 term dropped): 0x1d. */
+constexpr std::uint16_t gfPoly = 0x11d;
+
+/** Product of @p a and @p b in GF(256) via the exp/log tables. */
+[[nodiscard]] std::uint8_t gfMul(std::uint8_t a, std::uint8_t b);
+
+/** Quotient a/b in GF(256). @p b must be nonzero. */
+[[nodiscard]] std::uint8_t gfDiv(std::uint8_t a, std::uint8_t b);
+
+/** Multiplicative inverse. @p a must be nonzero. */
+[[nodiscard]] std::uint8_t gfInv(std::uint8_t a);
+
+/** Generator raised to @p power (mod 255). */
+[[nodiscard]] std::uint8_t gfExp(unsigned power);
+
+/**
+ * Reference multiply: Russian-peasant shift-and-reduce straight from
+ * the polynomial definition, no tables. Exists so tests can validate
+ * the table-driven path against first-principles math.
+ */
+[[nodiscard]] std::uint8_t gfMulSlow(std::uint8_t a, std::uint8_t b);
+
+/** dst[i] ^= c * src[i] for i in [0, n) — the codec inner loop. */
+void gfMulAdd(std::uint8_t *dst, const std::uint8_t *src, std::uint8_t c,
+              std::size_t n);
+
+} // namespace smartds::ec
+
+#endif // SMARTDS_EC_GF256_H_

@@ -72,6 +72,23 @@ FaultInjector::startCrashChurn(std::vector<net::NodeId> nodes,
     sim::spawn(sim_, churn(std::move(nodes), mean_interval, outage));
 }
 
+void
+FaultInjector::scheduleDomainCrash(
+    const std::vector<std::vector<net::NodeId>> &domains, Tick at,
+    Tick outage)
+{
+    SMARTDS_CHECK(!domains.empty(), "domain crash with no domains");
+    // Draw the victim domain now: the rng consumption order is fixed at
+    // configuration time, not at whatever event order the run produces.
+    const auto &victims = domains[rng_.below(domains.size())];
+    SMARTDS_CHECK(!victims.empty(), "domain crash on an empty domain");
+    for (net::NodeId node : victims) {
+        scheduleCrash(node, at);
+        if (outage > 0)
+            scheduleRecovery(node, at + outage);
+    }
+}
+
 sim::Process
 FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
                      Tick outage)

@@ -180,6 +180,18 @@ class FaultInjector
     void startCrashChurn(std::vector<net::NodeId> nodes, Tick mean_interval,
                          Tick outage);
 
+    /**
+     * Correlated failure-domain crash: at tick @p at, crash *every* node
+     * of one domain of @p domains (chosen from the injector's seeded rng
+     * at schedule time, so two runs at the same seed kill the same
+     * domain), and recover them all @p outage ticks later (0 = the
+     * domain stays down). This is the rack-loses-power event that
+     * domain-spread placement must survive.
+     */
+    void scheduleDomainCrash(
+        const std::vector<std::vector<net::NodeId>> &domains, Tick at,
+        Tick outage);
+
     /** Stop the churn loop (profiles keep their current state). */
     void stop() { running_ = false; }
 

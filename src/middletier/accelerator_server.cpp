@@ -177,6 +177,42 @@ AcceleratorServer::serveWrite(net::Message msg)
     if (tracer && tctx)
         tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
 
+    // --- Optional EC pass: second trip through the accelerator ----------
+    // The FPGA exposes the RS engine next to the compressor, so erasure
+    // coding costs another DMA round trip: compressed stripe in, k + m
+    // shards out.
+    std::vector<net::Payload> shards;
+    if (config_.policy == ReplicationPolicy::ErasureCode) {
+        net::Payload block;
+        block.size = compressed;
+        block.data = compressed_data;
+        block.compressed = true;
+        block.originalSize = payload;
+        block.compressibility = msg.payload.compressibility;
+        const Tick ec_start = sim_.now();
+        sim::Completion ec_in(sim_);
+        pcie::DmaEngine::Options ec_read;
+        ec_read.memFlow = fpgaRead_;
+        ec_read.stallOnMemory = false;
+        fpgaDma_->read(compressed, ec_read,
+                       [ec_in](Tick) mutable { ec_in.complete(0); });
+        co_await ec_in;
+        co_await sim::transferAsync(sim_, *engine_, compressed);
+        shards = encodeShards(config_, msg.tag, block);
+        const Bytes shard_total =
+            shards.front().size * static_cast<Bytes>(shards.size());
+        sim::Completion ec_out(sim_);
+        pcie::DmaEngine::Options ec_write;
+        ec_write.memFlow = fpgaWrite_;
+        ec_write.stallOnMemory = false;
+        fpgaDma_->write(shard_total, ec_write,
+                        [ec_out](Tick) mutable { ec_out.complete(0); });
+        co_await ec_out;
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::EcEncode, ec_start,
+                           sim_.now());
+    }
+
     // --- CPU phase 2: completion handling, post the replicated sends ----
     // Completion notification crosses PCIe before software observes it.
     co_await sim::delay(sim_, calibration::pcieIdleLatency);
@@ -191,12 +227,25 @@ AcceleratorServer::serveWrite(net::Message msg)
         sim_, static_cast<unsigned>(nodes->size()));
     const Tick replicate_start = sim_.now();
 
+    const bool ec = config_.policy == ReplicationPolicy::ErasureCode;
     for (unsigned r = 0; r < nodes->size(); ++r) {
+        net::Payload replica_payload;
+        if (ec) {
+            replica_payload = shards[r];
+        } else {
+            replica_payload.size = compressed;
+            replica_payload.compressed = true;
+            replica_payload.originalSize = payload;
+            replica_payload.compressibility = msg.payload.compressibility;
+            replica_payload.data = compressed_data;
+            replica_payload.blockId = msg.payload.blockId;
+        }
         ReplicaTask task;
         task.tag = msg.tag;
-        task.blockBytes = compressed;
+        task.blockBytes = replica_payload.size;
         task.target = (*nodes)[r];
         task.slot = r;
+        task.ec = ec;
         task.placement = nodes;
         task.chunk = placement.chunk;
         task.chunked = placement.chunked;
@@ -204,11 +253,8 @@ AcceleratorServer::serveWrite(net::Message msg)
         task.allLatch = all_acks;
         // With DDIO the FPGA's result write is still LLC-resident for the
         // NIC's reads; without DDIO the first send fetches from DRAM.
-        task.send = [this, compressed, payload, tag = msg.tag,
-                     issue = msg.issueTick, tctx,
-                     ratio = msg.payload.compressibility,
-                     data = compressed_data, hdr = msg.headerData,
-                     block_id = msg.payload.blockId,
+        task.send = [this, tag = msg.tag, issue = msg.issueTick, tctx,
+                     pl = replica_payload, hdr = msg.headerData,
                      first = (!acc_.ddio && r == 0)](net::NodeId dst) mutable {
             net::Message replica;
             replica.dst = dst;
@@ -217,12 +263,7 @@ AcceleratorServer::serveWrite(net::Message msg)
             replica.tag = tag;
             replica.issueTick = issue;
             replica.trace = tctx;
-            replica.payload.size = compressed;
-            replica.payload.compressed = true;
-            replica.payload.originalSize = payload;
-            replica.payload.compressibility = ratio;
-            replica.payload.data = data;
-            replica.payload.blockId = block_id;
+            replica.payload = pl;
             replica.headerData = hdr;
             pcie::DmaEngine::Options tx;
             tx.memFlow = first ? txRead_ : nullptr;

@@ -120,6 +120,29 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
     if (tracer && tctx)
         tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
 
+    // --- Optional EC pass: another engine trip through device DRAM ------
+    // BF2 runs erasure coding on the same off-path accelerator complex:
+    // read the compressed stripe from DRAM, RS-encode, write k + m
+    // shards back — more pressure on the already-narrow device DRAM.
+    std::vector<net::Payload> shards;
+    if (config_.policy == ReplicationPolicy::ErasureCode) {
+        net::Payload block;
+        block.size = compressed;
+        block.compressed = true;
+        block.originalSize = payload;
+        block.compressibility = msg.payload.compressibility;
+        const Tick ec_start = sim_.now();
+        co_await sim::transferAsync(sim_, *engineRead_, compressed);
+        co_await sim::transferAsync(sim_, *engine_, compressed);
+        shards = encodeShards(config_, msg.tag, block);
+        const Bytes shard_total =
+            shards.front().size * static_cast<Bytes>(shards.size());
+        co_await sim::transferAsync(sim_, *engineWrite_, shard_total);
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::EcEncode, ec_start,
+                           sim_.now());
+    }
+
     // --- Replicate: each send re-reads the block from device DRAM -------
     // (the narrow on-card DRAM is the 3.5x-traffic bottleneck of 3.4).
     Placement placement = placeWrite(config_, msg, rng_);
@@ -131,22 +154,32 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
         sim_, static_cast<unsigned>(nodes->size()));
     const Tick replicate_start = sim_.now();
 
+    const bool ec = config_.policy == ReplicationPolicy::ErasureCode;
     for (unsigned r = 0; r < nodes->size(); ++r) {
+        net::Payload replica_payload;
+        if (ec) {
+            replica_payload = shards[r];
+        } else {
+            replica_payload.size = compressed;
+            replica_payload.compressed = true;
+            replica_payload.originalSize = payload;
+            replica_payload.compressibility = msg.payload.compressibility;
+            replica_payload.blockId = msg.payload.blockId;
+        }
         ReplicaTask task;
         task.tag = msg.tag;
-        task.blockBytes = compressed;
+        task.blockBytes = replica_payload.size;
         task.target = (*nodes)[r];
         task.slot = r;
+        task.ec = ec;
         task.placement = nodes;
         task.chunk = placement.chunk;
         task.chunked = placement.chunked;
         task.quorumLatch = quorum_acks;
         task.allLatch = all_acks;
         auto *out_port = ports_[(port + r) % ports_.size()];
-        task.send = [this, out_port, compressed, payload, tag = msg.tag,
-                     issue = msg.issueTick, tctx,
-                     ratio = msg.payload.compressibility,
-                     block_id = msg.payload.blockId,
+        task.send = [this, out_port, tag = msg.tag, issue = msg.issueTick,
+                     tctx, pl = replica_payload,
                      hdr = msg.headerData](net::NodeId dst) {
             auto replica = std::make_shared<net::Message>();
             replica->dst = dst;
@@ -155,13 +188,10 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
             replica->tag = tag;
             replica->issueTick = issue;
             replica->trace = tctx;
-            replica->payload.size = compressed;
-            replica->payload.compressed = true;
-            replica->payload.originalSize = payload;
-            replica->payload.compressibility = ratio;
-            replica->payload.blockId = block_id;
+            replica->payload = pl;
             replica->headerData = hdr;
-            txRead_->transfer(compressed, [out_port, replica]() {
+            const Bytes tx_bytes = pl.size;
+            txRead_->transfer(tx_bytes, [out_port, replica]() {
                 out_port->send(std::move(*replica));
             });
         };

@@ -73,7 +73,10 @@ CpuOnlyServer::dispatch(net::Message msg)
         deliverAck(msg.tag, msg.src);
         break;
       case net::MessageKind::ReadRequest:
-        sim::spawn(sim_, serveRead(std::move(msg)));
+        if (config_.policy == ReplicationPolicy::ErasureCode)
+            sim::spawn(sim_, serveReadEc(std::move(msg)));
+        else
+            sim::spawn(sim_, serveRead(std::move(msg)));
         break;
       case net::MessageKind::ReadFetchReply: {
         const auto it = pendingFetches_.find(msg.tag);
@@ -82,7 +85,8 @@ CpuOnlyServer::dispatch(net::Message msg)
             ++failover_.staleAcks;
             break;
         }
-        sim::Completion done = it->second;
+        sim::Completion done = it->second.completion;
+        it->second.timer.cancel();
         pendingFetches_.erase(it);
         fetchReplies_[msg.tag] = std::move(msg);
         done.complete(1);
@@ -177,9 +181,44 @@ CpuOnlyServer::serveWrite(net::Message msg)
         tracer->record(tctx, trace::Stage::HostCompute, compute_start,
                        sim_.now(), compute_depth);
 
+    // --- Erasure-code the compressed block into k + m shards ------------
+    // Under the EC policy the host pays the GF(256) multiply-accumulate
+    // work in software: the compressed stripe streams back through the
+    // core once for the parity products (NIC designs offload exactly
+    // this; Di Girolamo et al.).
+    std::vector<net::Payload> shards;
+    if (config_.policy == ReplicationPolicy::ErasureCode) {
+        net::Payload block;
+        block.size = compressed;
+        block.data = compressed_data;
+        block.compressed = true;
+        block.originalSize = payload;
+        block.compressibility = msg.payload.compressibility;
+        const Tick encode_start = sim_.now();
+        co_await cores_.acquire();
+        const Tick encode_ticks =
+            calibration::hostPerRequestSoftwareCost +
+            transferTicks(compressed, calibration::hostEcEncodeRate);
+        auto enc_cpu = sim::timerAsync(sim_, encode_ticks);
+        auto enc_in = sim::transferAsync(sim_, *compressRead_, compressed);
+        shards = encodeShards(config_, msg.tag, block);
+        const Bytes shard_total =
+            shards.front().size * static_cast<Bytes>(shards.size());
+        auto enc_out =
+            sim::transferAsync(sim_, *compressWrite_, shard_total);
+        co_await enc_cpu;
+        co_await enc_in;
+        co_await enc_out;
+        cores_.release();
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::EcEncode, encode_start,
+                           sim_.now());
+    }
+
     // --- Replicate to the chosen storage servers ------------------------
-    // Each replica runs its own failover loop (timeout, retry,
-    // re-placement); the VM is acknowledged once the quorum is durable.
+    // Each replica (or RS shard) runs its own failover loop (timeout,
+    // retry, re-placement); the VM is acknowledged once the quorum is
+    // durable.
     Placement placement = placeWrite(config_, msg, rng_);
     auto nodes =
         std::make_shared<std::vector<net::NodeId>>(std::move(placement.nodes));
@@ -189,12 +228,27 @@ CpuOnlyServer::serveWrite(net::Message msg)
         sim_, static_cast<unsigned>(nodes->size()));
     const Tick replicate_start = sim_.now();
 
+    const bool ec = config_.policy == ReplicationPolicy::ErasureCode;
     for (unsigned r = 0; r < nodes->size(); ++r) {
+        // Under EC, slot r carries shard r of the stripe; under
+        // replication it carries a whole-block copy.
+        net::Payload replica_payload;
+        if (ec) {
+            replica_payload = shards[r];
+        } else {
+            replica_payload.size = compressed;
+            replica_payload.compressed = true;
+            replica_payload.originalSize = payload;
+            replica_payload.compressibility = msg.payload.compressibility;
+            replica_payload.data = compressed_data;
+            replica_payload.blockId = msg.payload.blockId;
+        }
         ReplicaTask task;
         task.tag = msg.tag;
-        task.blockBytes = compressed;
+        task.blockBytes = replica_payload.size;
         task.target = (*nodes)[r];
         task.slot = r;
+        task.ec = ec;
         task.placement = nodes;
         task.chunk = placement.chunk;
         task.chunked = placement.chunked;
@@ -202,11 +256,8 @@ CpuOnlyServer::serveWrite(net::Message msg)
         task.allLatch = all_acks;
         // The first replica read misses the LLC (the compressed block is
         // fetched once from memory); the remaining sends hit.
-        task.send = [this, compressed, payload, tag = msg.tag,
-                     issue = msg.issueTick, tctx,
-                     ratio = msg.payload.compressibility,
-                     data = compressed_data, hdr = msg.headerData,
-                     block_id = msg.payload.blockId,
+        task.send = [this, tag = msg.tag, issue = msg.issueTick, tctx,
+                     pl = replica_payload, hdr = msg.headerData,
                      first = (r == 0)](net::NodeId dst) mutable {
             net::Message replica;
             replica.dst = dst;
@@ -215,12 +266,7 @@ CpuOnlyServer::serveWrite(net::Message msg)
             replica.tag = tag;
             replica.issueTick = issue;
             replica.trace = tctx;
-            replica.payload.size = compressed;
-            replica.payload.compressed = true;
-            replica.payload.originalSize = payload;
-            replica.payload.compressibility = ratio;
-            replica.payload.data = data;
-            replica.payload.blockId = block_id;
+            replica.payload = pl;
             replica.headerData = hdr;
             pcie::DmaEngine::Options tx;
             tx.memFlow = first ? txRead_ : nullptr;
@@ -300,17 +346,20 @@ CpuOnlyServer::serveRead(net::Message msg)
         fetch.trace = tctx;
 
         sim::Completion fetched(sim_);
-        pendingFetches_.emplace(msg.tag, fetched);
+        const auto [pending, fresh] =
+            pendingFetches_.emplace(msg.tag, FetchEntry{fetched, {}});
+        SMARTDS_CHECK(fresh, "duplicate pending fetch for tag %llu",
+                      static_cast<unsigned long long>(msg.tag));
         if (config_.failover.ackTimeout > 0) {
-            sim_.schedule(config_.failover.ackTimeout,
-                          [this, tag = msg.tag]() {
-                              const auto it = pendingFetches_.find(tag);
-                              if (it == pendingFetches_.end())
-                                  return;
-                              sim::Completion waiter = it->second;
-                              pendingFetches_.erase(it);
-                              waiter.complete(0);
-                          });
+            pending->second.timer = sim_.schedule(
+                config_.failover.ackTimeout, [this, tag = msg.tag]() {
+                    const auto it = pendingFetches_.find(tag);
+                    if (it == pendingFetches_.end())
+                        return;
+                    sim::Completion waiter = it->second.completion;
+                    pendingFetches_.erase(it);
+                    waiter.complete(0);
+                });
         }
         nic_->setTxDmaOptions({nullptr, false});
         nic_->sendFromHost(std::move(fetch));
@@ -428,6 +477,256 @@ CpuOnlyServer::serveRead(net::Message msg)
     reply.payload.size = original;
     reply.payload.data = plain_data;
     reply.payload.compressibility = stored.payload.compressibility;
+    pcie::DmaEngine::Options tx;
+    tx.memFlow = txRead_;
+    tx.stallOnMemory = true;
+    nic_->setTxDmaOptions(tx);
+    nic_->sendFromHost(std::move(reply));
+}
+
+sim::Process
+CpuOnlyServer::serveReadEc(net::Message msg)
+{
+    // EC read: probe the pool for any k healthy shards of the stripe,
+    // then reassemble (concat when the k data shards answered, RS decode
+    // from parity otherwise) and decompress as usual. Each shard probe
+    // reuses the read-path timeout/health machinery.
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick parse_start = sim_.now();
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
+
+    const ec::RsCodec &codec = ecCodec(config_);
+    const unsigned k = codec.k();
+    const auto candidates = readCandidates(config_, msg);
+    SMARTDS_CHECK(candidates.size() >= k,
+                  "EC read needs %u storage nodes, have %zu", k,
+                  candidates.size());
+    const std::size_t ring_start = rng_.below(candidates.size());
+
+    // Shard-size hint for timing-mode storage synthesis: the client's
+    // compressed-size hint (or compressibility estimate) split k ways.
+    const Bytes stripe_hint = std::max<Bytes>(
+        msg.payload.size
+            ? msg.payload.size
+            : static_cast<Bytes>(
+                  static_cast<double>(msg.payload.originalSize) *
+                  msg.payload.compressibility),
+        1);
+    const Bytes shard_hint = ec::RsCodec::shardSize(stripe_hint, k);
+
+    // Collected shards: index + reply (bytes in functional mode).
+    std::vector<unsigned> shard_idx;
+    std::vector<net::Message> shard_msgs;
+    bool degraded = false;
+    const Tick collect_start = sim_.now();
+    for (std::size_t a = 0;
+         a < candidates.size() && shard_idx.size() < k;
+         ++a) {
+        const net::NodeId target =
+            candidates[(ring_start + a) % candidates.size()];
+        net::Message fetch;
+        fetch.dst = target;
+        fetch.kind = net::MessageKind::ReadFetch;
+        fetch.headerBytes = StorageHeader::wireSize;
+        fetch.tag = msg.tag;
+        fetch.issueTick = msg.issueTick;
+        fetch.payload.size = shard_hint;
+        fetch.payload.compressibility = msg.payload.compressibility;
+        fetch.payload.originalSize = msg.payload.originalSize;
+        fetch.payload.ecK = static_cast<std::uint8_t>(k);
+        fetch.payload.ecM = static_cast<std::uint8_t>(codec.m());
+        fetch.payload.ecShard = static_cast<std::uint8_t>(
+            std::min<std::size_t>(shard_idx.size(), codec.n() - 1));
+        fetch.payload.ecStripeBytes = stripe_hint;
+        fetch.trace = tctx;
+
+        sim::Completion fetched(sim_);
+        const auto [pending, fresh] =
+            pendingFetches_.emplace(msg.tag, FetchEntry{fetched, {}});
+        SMARTDS_CHECK(fresh, "duplicate pending fetch for tag %llu",
+                      static_cast<unsigned long long>(msg.tag));
+        if (config_.failover.ackTimeout > 0) {
+            pending->second.timer = sim_.schedule(
+                config_.failover.ackTimeout, [this, tag = msg.tag]() {
+                    const auto it = pendingFetches_.find(tag);
+                    if (it == pendingFetches_.end())
+                        return;
+                    sim::Completion waiter = it->second.completion;
+                    pendingFetches_.erase(it);
+                    waiter.complete(0);
+                });
+        }
+        nic_->setTxDmaOptions({nullptr, false});
+        nic_->sendFromHost(std::move(fetch));
+        if (co_await fetched == 0) {
+            ++failover_.readFailovers;
+            degraded = true;
+            if (health_.noteTimeout(target))
+                ++failover_.nodesSuspected;
+            continue;
+        }
+        health_.noteAck(target);
+
+        const auto it = fetchReplies_.find(msg.tag);
+        SMARTDS_CHECK(it != fetchReplies_.end(), "lost fetch reply");
+        net::Message candidate = std::move(it->second);
+        fetchReplies_.erase(it);
+
+        if (candidate.payload.ecK == 0) {
+            // Functional mode: this node holds no shard of the stripe
+            // (the stub reply) — normal when probing the whole pool.
+            degraded = true;
+            continue;
+        }
+        if (candidate.payload.corrupted ||
+            (candidate.payload.data &&
+             xxhash32(*candidate.payload.data) !=
+                 candidate.payload.ecShardChecksum)) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readFailovers;
+            degraded = true;
+            continue;
+        }
+        const unsigned idx = candidate.payload.ecShard;
+        if (std::find(shard_idx.begin(), shard_idx.end(), idx) !=
+            shard_idx.end())
+            continue; // duplicate shard index (repaired copy)
+        shard_idx.push_back(idx);
+        shard_msgs.push_back(std::move(candidate));
+    }
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::DegradedRead, collect_start,
+                       sim_.now(),
+                       static_cast<std::uint32_t>(shard_idx.size()));
+
+    const bool have = shard_idx.size() >= k;
+    bool corrupt = !have;
+    if (!have)
+        ++failover_.readsUnserved;
+
+    // Reassemble the stripe. The concat fast path (all data shards) is
+    // plain memory movement; a parity decode pays the GF(256) math.
+    const bool systematic =
+        have && std::all_of(shard_idx.begin(), shard_idx.end(),
+                            [k](unsigned i) { return i < k; });
+    if (have && !systematic)
+        degraded = true;
+    if (degraded && have)
+        ++failover_.degradedReads;
+
+    const Bytes stripe_bytes = std::max<Bytes>(
+        have ? shard_msgs.front().payload.ecStripeBytes : stripe_hint, 1);
+    const Bytes shard_bytes = ec::RsCodec::shardSize(stripe_bytes, k);
+
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    net::Message stored; // carries header/meta of one shard
+    if (have)
+        stored = shard_msgs.front();
+    if (have && !systematic) {
+        // Charge the software decode: stream k shards through the core
+        // and write the reconstructed stripe.
+        const Tick decode_start = sim_.now();
+        co_await cores_.acquire();
+        const Tick decode_ticks =
+            calibration::hostPerRequestSoftwareCost +
+            transferTicks(stripe_bytes, calibration::hostEcDecodeRate);
+        auto dec_cpu = sim::timerAsync(sim_, decode_ticks);
+        auto dec_in = sim::transferAsync(
+            sim_, *compressRead_, shard_bytes * static_cast<Bytes>(k));
+        auto dec_out =
+            sim::transferAsync(sim_, *compressWrite_, stripe_bytes);
+        co_await dec_cpu;
+        co_await dec_in;
+        co_await dec_out;
+        cores_.release();
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::EcDecode, decode_start,
+                           sim_.now());
+    }
+    if (have && shard_msgs.front().payload.data) {
+        // Functional reassembly, byte for byte.
+        std::vector<
+            std::pair<unsigned, const std::vector<std::uint8_t> *>>
+            pairs;
+        pairs.reserve(shard_idx.size());
+        for (std::size_t i = 0; i < shard_idx.size(); ++i)
+            pairs.emplace_back(shard_idx[i],
+                               shard_msgs[i].payload.data.get());
+        auto stripe = codec.decode(pairs, stripe_bytes);
+        if (!stripe) {
+            corrupt = true;
+        } else {
+            // The stripe is the compressed block; decompress and verify
+            // the header checksum the VM stamped at write time.
+            const Bytes plain_size = stored.payload.originalSize
+                                         ? stored.payload.originalSize
+                                         : stripe_bytes;
+            auto plain = lz4::decompress(*stripe, plain_size);
+            if (!plain) {
+                corrupt = true;
+            } else {
+                if (stored.headerData &&
+                    stored.headerData->size() >= StorageHeader::wireSize) {
+                    const StorageHeader hdr =
+                        StorageHeader::decode(stored.headerData->data());
+                    if (hdr.blockChecksum != 0 &&
+                        xxhash32(*plain) != hdr.blockChecksum)
+                        corrupt = true;
+                }
+                if (!corrupt)
+                    plain_data = std::make_shared<
+                        const std::vector<std::uint8_t>>(std::move(*plain));
+            }
+        }
+        if (corrupt && have) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readsUnserved;
+        }
+    }
+
+    // Software decompression of the reassembled stripe, as on the
+    // replicated read path.
+    const Bytes original = std::max<Bytes>(
+        have && stored.payload.originalSize ? stored.payload.originalSize
+                                            : msg.payload.originalSize,
+        1);
+    const Tick cpu_time =
+        calibration::hostPerRequestSoftwareCost +
+        compressTicksPerByte_ * original /
+            static_cast<Tick>(calibration::lz4DecompressSpeedup);
+    const std::uint32_t compute_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick compute_start = sim_.now();
+    co_await cores_.acquire();
+    auto cpu = sim::timerAsync(sim_, cpu_time);
+    auto mem_in = sim::transferAsync(sim_, *compressRead_, stripe_bytes);
+    auto mem_out = sim::transferAsync(sim_, *compressWrite_, original);
+    co_await cpu;
+    co_await mem_in;
+    co_await mem_out;
+    cores_.release();
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostCompute, compute_start,
+                       sim_.now(), compute_depth);
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::ReadReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
+    reply.payload.size = original;
+    reply.payload.data = plain_data;
+    reply.payload.compressibility =
+        have ? stored.payload.compressibility : msg.payload.compressibility;
     pcie::DmaEngine::Options tx;
     tx.memFlow = txRead_;
     tx.stallOnMemory = true;

@@ -42,6 +42,7 @@ class CpuOnlyServer : public MiddleTierServer
     void dispatch(net::Message msg);
     sim::Process serveWrite(net::Message msg);
     sim::Process serveRead(net::Message msg);
+    sim::Process serveReadEc(net::Message msg);
 
     sim::Simulator &sim_;
     net::Fabric &fabric_;
@@ -58,8 +59,17 @@ class CpuOnlyServer : public MiddleTierServer
     sim::FairShareResource::Flow *compressWrite_;
     sim::FairShareResource::Flow *txRead_;
 
-    /** Outstanding storage fetches (read path), keyed by tag. */
-    std::unordered_map<std::uint64_t, sim::Completion> pendingFetches_;
+    /**
+     * Outstanding storage fetch (read path), keyed by tag. The timer is
+     * cancelled on delivery so a timeout armed for an earlier probe of
+     * the same read can never fire into a later probe's wait.
+     */
+    struct FetchEntry
+    {
+        sim::Completion completion;
+        sim::EventHandle timer;
+    };
+    std::unordered_map<std::uint64_t, FetchEntry> pendingFetches_;
     std::unordered_map<std::uint64_t, net::Message> fetchReplies_;
 };
 

@@ -73,28 +73,52 @@ MaintenanceService::loop()
     }
 }
 
-void
-MaintenanceService::scheduleRepair(Bytes bytes, std::function<void()> resend)
+bool
+MaintenanceService::scheduleRepair(RepairKey key, Bytes bytes,
+                                   unsigned read_fan_in,
+                                   std::function<void()> resend)
 {
-    sim::spawn(sim_, repair(bytes, std::move(resend)));
+    if (!inFlight_.insert(key).second) {
+        ++deduped_;
+        return false;
+    }
+    sim::spawn(sim_, repair(key, bytes, read_fan_in, std::move(resend)));
+    return true;
 }
 
 sim::Process
-MaintenanceService::repair(Bytes bytes, std::function<void()> resend)
+MaintenanceService::repair(RepairKey key, Bytes bytes, unsigned read_fan_in,
+                           std::function<void()> resend)
 {
-    // A repair behaves like a miniature compaction burst: one core reads
-    // the block back out of the retained write buffers and re-issues the
-    // replica to its new home.
+    // A repair behaves like a miniature compaction burst: one core
+    // streams the recovery source back through host memory and re-issues
+    // the replica to its new home. Plain replication reads the block
+    // once (fan-in 1); an RS(k, m) shard reconstruction reads k
+    // surviving shards and re-encodes the lost one (fan-in k).
+    const unsigned fan_in = std::max(1u, read_fan_in);
+    const Tick start = sim_.now();
     co_await pool_.acquire();
-    const Tick processing = transferTicks(bytes, config_.perCoreRate);
+    const Bytes read_bytes = bytes * fan_in;
+    const Tick processing = transferTicks(read_bytes, config_.perCoreRate);
     auto compute = sim::timerAsync(sim_, processing);
-    auto mem_read = sim::transferAsync(sim_, *readFlow_, bytes);
+    auto mem_read = sim::transferAsync(sim_, *readFlow_, read_bytes);
     co_await compute;
     co_await mem_read;
     pool_.release();
     if (resend)
         resend();
     ++repairs_;
+    inFlight_.erase(key);
+    if (fan_in > 1) {
+        ++reconstructions_;
+        reconstructionTicks_ += sim_.now() - start;
+        if (tracer_) {
+            const trace::TraceContext tctx = tracer_->admit(key.tag);
+            if (tctx)
+                tracer_->record(tctx, trace::Stage::Reconstruct, start,
+                                sim_.now());
+        }
+    }
 }
 
 } // namespace smartds::middletier

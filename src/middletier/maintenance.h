@@ -16,17 +16,40 @@
 #ifndef SMARTDS_MIDDLETIER_MAINTENANCE_H_
 #define SMARTDS_MIDDLETIER_MAINTENANCE_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 
 #include "common/calibration.h"
 #include "common/random.h"
 #include "host/core_pool.h"
 #include "mem/memory_system.h"
 #include "sim/process.h"
+#include "trace/trace.h"
 
 namespace smartds::middletier {
+
+/**
+ * Identity of one replica/shard repair: the write's tag plus the
+ * replica slot (or EC shard index) being re-homed. Keyed so a flapping
+ * node that abandons the same shard repeatedly cannot enqueue duplicate
+ * reconstructions.
+ */
+struct RepairKey
+{
+    std::uint64_t tag = 0;
+    std::uint32_t slot = 0;
+
+    bool
+    operator<(const RepairKey &o) const
+    {
+        return std::tie(tag, slot) < std::tie(o.tag, o.slot);
+    }
+};
 
 /** Periodic compaction/scrubbing bursts on a middle-tier host. */
 class MaintenanceService
@@ -68,23 +91,48 @@ class MaintenanceService
     Bytes bytesCompacted() const { return bytesCompacted_; }
 
     /**
-     * Queue a background replica repair (Section 2.2.3's fail-over
-     * handling): re-reading the block and pushing it to its new home
-     * costs a core and memory traffic like any maintenance work, then
-     * @p resend re-issues the replica on the wire. Fire-and-forget from
-     * the serving path's point of view.
+     * Queue a background replica/shard repair (Section 2.2.3's
+     * fail-over handling): re-reading the source data and pushing it to
+     * its new home costs a core and memory traffic like any maintenance
+     * work, then @p resend re-issues the replica on the wire.
+     * Fire-and-forget from the serving path's point of view.
+     *
+     * @p key identifies the (block, replica/shard) being repaired;
+     * while one repair for a key is in flight, further requests for the
+     * same key are dropped (returns false) so a flapping node cannot
+     * enqueue duplicate reconstructions.
+     *
+     * @p read_fan_in models the recovery read: 1 for plain replication
+     * (re-read the block), k for an RS(k, m) shard reconstruction
+     * (stream k surviving shards of @p bytes each through the host and
+     * re-encode). Fan-in > 1 repairs are counted as reconstructions and
+     * traced as Reconstruct spans.
      */
-    void scheduleRepair(Bytes bytes, std::function<void()> resend);
+    bool scheduleRepair(RepairKey key, Bytes bytes, unsigned read_fan_in,
+                        std::function<void()> resend);
 
     /** Background replica repairs finished so far. */
     std::uint64_t repairsCompleted() const { return repairs_; }
+
+    /** Repair requests dropped because the key was already queued. */
+    std::uint64_t repairsDeduped() const { return deduped_; }
+
+    /** EC shard reconstructions (fan-in > 1 repairs) finished so far. */
+    std::uint64_t reconstructionsCompleted() const { return reconstructions_; }
+
+    /** Total ticks spent inside finished reconstructions. */
+    Tick reconstructionTicks() const { return reconstructionTicks_; }
+
+    /** Attach the run's tracer so reconstructions emit Reconstruct spans. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
     /** Stop after the current burst. */
     void stop() { running_ = false; }
 
   private:
     sim::Process loop();
-    sim::Process repair(Bytes bytes, std::function<void()> resend);
+    sim::Process repair(RepairKey key, Bytes bytes, unsigned read_fan_in,
+                        std::function<void()> resend);
 
     sim::Simulator &sim_;
     host::CorePool &pool_;
@@ -96,6 +144,11 @@ class MaintenanceService
     std::uint64_t bursts_ = 0;
     Bytes bytesCompacted_ = 0;
     std::uint64_t repairs_ = 0;
+    std::uint64_t deduped_ = 0;
+    std::uint64_t reconstructions_ = 0;
+    Tick reconstructionTicks_ = 0;
+    trace::Tracer *tracer_ = nullptr;
+    std::set<RepairKey> inFlight_; // ordered: deterministic, lookup-only
 };
 
 } // namespace smartds::middletier

@@ -86,10 +86,32 @@ class NodeHealthView
         return healthy;
     }
 
+    /**
+     * Record the failure domain (rack / ToR) @p node lives in. Domain
+     * ids are dense small integers from the cluster topology; nodes
+     * never registered report domain 0.
+     */
+    void setDomain(net::NodeId node, unsigned domain)
+    {
+        domains_[node] = domain;
+    }
+
+    /** Failure domain of @p node (0 when topology is unknown). */
+    unsigned
+    domainOf(net::NodeId node) const
+    {
+        const auto it = domains_.find(node);
+        return it == domains_.end() ? 0 : it->second;
+    }
+
+    /** Whether any node has a registered (nonzero-information) domain. */
+    bool hasDomains() const { return !domains_.empty(); }
+
   private:
     unsigned threshold_;
     std::unordered_map<net::NodeId, unsigned> strikes_;
     std::unordered_set<net::NodeId> suspected_;
+    std::unordered_map<net::NodeId, unsigned> domains_; // lookup only
 };
 
 } // namespace smartds::middletier

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/checksum.h"
 #include "common/logging.h"
+#include "ec/reed_solomon.h"
 #include "middletier/maintenance.h"
 
 namespace smartds::middletier {
@@ -38,6 +40,9 @@ FailoverStats::operator+=(const FailoverStats &o)
     corruptionsDetected += o.corruptionsDetected;
     readFailovers += o.readFailovers;
     readsUnserved += o.readsUnserved;
+    stripesEncoded += o.stripesEncoded;
+    degradedReads += o.degradedReads;
+    replicaBytesSent += o.replicaBytesSent;
     return *this;
 }
 
@@ -60,11 +65,75 @@ MiddleTierServer::chooseReplicas(const std::vector<net::NodeId> &candidates,
     return chosen;
 }
 
+std::vector<net::NodeId>
+MiddleTierServer::chooseDomainSpreadReplicas(
+    const std::vector<net::NodeId> &candidates, unsigned count,
+    Rng &rng) const
+{
+    if (!health_.hasDomains())
+        return chooseHealthyReplicas(candidates, count, rng);
+    const std::vector<net::NodeId> healthy =
+        health_.filterHealthy(candidates, count);
+    SMARTDS_CHECK(healthy.size() >= count,
+                  "need at least %u storage servers, have %zu", count,
+                  healthy.size());
+    // Group the healthy pool by domain, domains ordered by first
+    // appearance (deterministic for a fixed candidate order).
+    std::vector<unsigned> domain_ids;
+    std::vector<std::vector<net::NodeId>> groups;
+    for (const net::NodeId n : healthy) {
+        const unsigned d = health_.domainOf(n);
+        const auto it = std::find(domain_ids.begin(), domain_ids.end(), d);
+        if (it == domain_ids.end()) {
+            domain_ids.push_back(d);
+            groups.push_back({n});
+        } else {
+            groups[it - domain_ids.begin()].push_back(n);
+        }
+    }
+    // Shuffle the domain order, then deal one random node per domain per
+    // round: shards co-locate in a domain only once every domain already
+    // holds one (the "never co-locate when topology permits" rule).
+    std::vector<std::size_t> order(groups.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i)
+        std::swap(order[i], order[i + rng.below(order.size() - i)]);
+    std::vector<net::NodeId> chosen;
+    chosen.reserve(count);
+    while (chosen.size() < count) {
+        bool any = false;
+        for (const std::size_t g : order) {
+            auto &pool = groups[g];
+            if (pool.empty())
+                continue;
+            const std::size_t j = rng.below(pool.size());
+            std::swap(pool[j], pool.back());
+            chosen.push_back(pool.back());
+            pool.pop_back();
+            any = true;
+            if (chosen.size() == count)
+                break;
+        }
+        SMARTDS_CHECK(any, "domain spread ran out of nodes at %zu of %u",
+                      chosen.size(), count);
+    }
+    return chosen;
+}
+
 MiddleTierServer::Placement
 MiddleTierServer::placeWrite(const ServerConfig &config,
                              const net::Message &msg, Rng &rng)
 {
     Placement p;
+    if (config.policy == ReplicationPolicy::ErasureCode) {
+        // EC stripes are placed per request and domain-spread; the
+        // chunk manager's sticky whole-chunk replica sets do not apply
+        // to shard placement.
+        p.nodes = chooseDomainSpreadReplicas(config.storageNodes,
+                                             config.writeFanout(), rng);
+        return p;
+    }
     if (config.chunkManager) {
         p.chunk = config.chunkManager->locate(msg.vmId, msg.blockOffset);
         p.chunked = true;
@@ -72,8 +141,8 @@ MiddleTierServer::placeWrite(const ServerConfig &config,
         p.nodes = config.chunkManager->replicas(p.chunk, &health_);
         return p;
     }
-    p.nodes =
-        chooseHealthyReplicas(config.storageNodes, config.replication, rng);
+    p.nodes = chooseDomainSpreadReplicas(config.storageNodes,
+                                         config.replication, rng);
     return p;
 }
 
@@ -81,6 +150,8 @@ std::vector<net::NodeId>
 MiddleTierServer::readCandidates(const ServerConfig &config,
                                  const net::Message &msg)
 {
+    if (config.policy == ReplicationPolicy::ErasureCode)
+        return config.storageNodes; // shards are placed per request
     if (config.chunkManager) {
         const ChunkRef chunk =
             config.chunkManager->locate(msg.vmId, msg.blockOffset);
@@ -139,10 +210,30 @@ MiddleTierServer::pickReplacement(const ServerConfig &config, Rng &rng,
         return std::find(placement.begin(), placement.end(), n) !=
                placement.end();
     };
+    // With topology known, a domain already holding a shard/replica of
+    // this block is as lost to a correlated failure as the bad node
+    // itself — prefer nodes from untouched domains.
+    const auto domain_used = [this, &placement](net::NodeId n) {
+        if (!health_.hasDomains())
+            return false;
+        const unsigned d = health_.domainOf(n);
+        for (const net::NodeId p : placement)
+            if (p != n && health_.domainOf(p) == d)
+                return true;
+        return false;
+    };
     std::vector<net::NodeId> candidates;
     for (const net::NodeId n : config.storageNodes)
-        if (n != bad && !placed(n) && !health_.suspected(n))
+        if (n != bad && !placed(n) && !health_.suspected(n) &&
+            !domain_used(n))
             candidates.push_back(n);
+    if (candidates.empty()) {
+        // No untouched domain offers a healthy node; fall back to any
+        // healthy node outside the placement.
+        for (const net::NodeId n : config.storageNodes)
+            if (n != bad && !placed(n) && !health_.suspected(n))
+                candidates.push_back(n);
+    }
     if (candidates.empty()) {
         // Every spare node is suspected; any distinct node still beats
         // hammering the one that just timed out.
@@ -166,6 +257,7 @@ MiddleTierServer::replicateWithFailover(sim::Simulator &sim, Rng &rng,
     for (unsigned attempt = 0;; ++attempt) {
         sim::Completion ack = expectAck(sim, task.tag, target, timeout);
         task.send(target);
+        failover_.replicaBytesSent += task.blockBytes;
         if (co_await ack != 0) {
             health_.noteAck(target);
             durable = true;
@@ -207,15 +299,70 @@ MiddleTierServer::replicateWithFailover(sim::Simulator &sim, Rng &rng,
                     config.chunkManager->replaceReplica(task.chunk, target,
                                                         repair_target);
             }
-            ++failover_.repairsScheduled;
-            maintenance_->scheduleRepair(task.blockBytes,
-                                         task.makeRepair(repair_target));
+            // An abandoned EC shard is reconstructed from k surviving
+            // shards; a whole-block replica is simply re-read and
+            // re-sent. Keyed by (tag, slot) so a flapping node cannot
+            // enqueue the same shard twice.
+            const unsigned fan_in = task.ec ? config.ec.dataShards : 1;
+            if (maintenance_->scheduleRepair({task.tag, task.slot},
+                                             task.blockBytes, fan_in,
+                                             task.makeRepair(repair_target)))
+                ++failover_.repairsScheduled;
         }
     }
+    if (task.ec)
+        ecLedgerArrive(task.tag, task.slot);
     if (task.quorumLatch)
         task.quorumLatch->tryArrive();
     if (task.allLatch)
         task.allLatch->arrive();
+}
+
+const ec::RsCodec &
+MiddleTierServer::ecCodec(const ServerConfig &config)
+{
+    if (!codec_)
+        codec_ = std::make_unique<ec::RsCodec>(config.ec.dataShards,
+                                               config.ec.parityShards);
+    SMARTDS_CHECK(codec_->k() == config.ec.dataShards &&
+                      codec_->m() == config.ec.parityShards,
+                  "EC geometry changed mid-run: RS(%u, %u) vs RS(%u, %u)",
+                  codec_->k(), codec_->m(), config.ec.dataShards,
+                  config.ec.parityShards);
+    return *codec_;
+}
+
+std::vector<net::Payload>
+MiddleTierServer::encodeShards(const ServerConfig &config, std::uint64_t tag,
+                               const net::Payload &block)
+{
+    const ec::RsCodec &codec = ecCodec(config);
+    const unsigned n = codec.n();
+    const Bytes shard_bytes = ec::RsCodec::shardSize(block.size, codec.k());
+    std::vector<std::vector<std::uint8_t>> encoded;
+    if (block.data)
+        encoded = codec.encode(block.data->data(), block.data->size());
+    std::vector<net::Payload> shards(n);
+    for (unsigned s = 0; s < n; ++s) {
+        net::Payload &p = shards[s];
+        p.size = shard_bytes;
+        p.compressibility = block.compressibility;
+        p.compressed = block.compressed;
+        p.originalSize = block.originalSize;
+        p.ecK = static_cast<std::uint8_t>(codec.k());
+        p.ecM = static_cast<std::uint8_t>(codec.m());
+        p.ecShard = static_cast<std::uint8_t>(s);
+        p.ecStripeBytes = block.size;
+        if (!encoded.empty()) {
+            auto bytes = std::make_shared<std::vector<std::uint8_t>>(
+                std::move(encoded[s]));
+            p.ecShardChecksum = xxhash32(*bytes);
+            p.data = std::move(bytes);
+        }
+    }
+    ++failover_.stripesEncoded;
+    ecLedgerOpen(tag, n);
+    return shards;
 }
 
 void
@@ -239,6 +386,10 @@ MiddleTierServer::addFailoverProbes(UsageProbes &probes)
                counter(&FailoverStats::corruptionsDetected));
     probes.add("failover.read_failovers",
                counter(&FailoverStats::readFailovers));
+    probes.add("ec.stripes_encoded", counter(&FailoverStats::stripesEncoded));
+    probes.add("ec.degraded_reads", counter(&FailoverStats::degradedReads));
+    probes.add("replica.bytes_sent",
+               counter(&FailoverStats::replicaBytesSent));
 }
 
 } // namespace smartds::middletier

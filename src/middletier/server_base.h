@@ -14,14 +14,18 @@
 #ifndef SMARTDS_MIDDLETIER_SERVER_BASE_H_
 #define SMARTDS_MIDDLETIER_SERVER_BASE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/calibration.h"
+#include "common/check.h"
+#include "ec/reed_solomon.h"
 #include "common/random.h"
 #include "middletier/chunk_manager.h"
 #include "middletier/node_health.h"
@@ -48,6 +52,24 @@ enum class Design : std::uint8_t
 
 /** Human-readable design label matching the paper's figure legends. */
 const char *designName(Design d);
+
+/** How a write's payload is made durable across storage nodes. */
+enum class ReplicationPolicy : std::uint8_t
+{
+    /** Whole-block copies on `replication` nodes (paper: 3-way). */
+    Replicate,
+    /** RS(k, m) erasure-coded stripes on k + m nodes. */
+    ErasureCode,
+};
+
+/** Erasure-coding geometry when policy is ErasureCode. */
+struct EcConfig
+{
+    /** Data shards per stripe. */
+    unsigned dataShards = 4;
+    /** Parity shards per stripe (tolerated shard losses). */
+    unsigned parityShards = 2;
+};
 
 /** Failure-handling knobs shared by all designs. */
 struct FailoverConfig
@@ -77,6 +99,24 @@ struct ServerConfig
     std::vector<net::NodeId> storageNodes;
     /** Replication factor for writes (paper: 3). */
     unsigned replication = calibration::replicationFactor;
+    /** Durability policy: whole-block replication or RS(k, m) EC. */
+    ReplicationPolicy policy = ReplicationPolicy::Replicate;
+    /** RS geometry when policy is ErasureCode. */
+    EcConfig ec;
+    /**
+     * Failure domain (rack / ToR) of each entry in storageNodes, parallel
+     * by index. Empty = topology unknown: placement falls back to the
+     * domain-oblivious uniform choice.
+     */
+    std::vector<unsigned> storageDomains;
+    /** Storage targets one write fans out to under the current policy. */
+    unsigned
+    writeFanout() const
+    {
+        return policy == ReplicationPolicy::ErasureCode
+                   ? ec.dataShards + ec.parityShards
+                   : replication;
+    }
     /** Compression effort the tier applies when not latency sensitive. */
     int effort = 1;
     /** Seed for replica placement and jitter. */
@@ -123,6 +163,16 @@ struct FailoverStats
     std::uint64_t readFailovers = 0;
     /** Reads that exhausted every replica without clean data. */
     std::uint64_t readsUnserved = 0;
+    /** RS(k, m) stripes encoded on the write path. */
+    std::uint64_t stripesEncoded = 0;
+    /** EC reads that lost >= 1 shard and had to decode from parity. */
+    std::uint64_t degradedReads = 0;
+    /**
+     * Payload bytes pushed to storage nodes, including retries — the
+     * numerator of the network-amplification metric (3x for 3-rep,
+     * (k+m)/k for RS(k, m), plus failover resends).
+     */
+    std::uint64_t replicaBytesSent = 0;
 
     FailoverStats &operator+=(const FailoverStats &o);
 };
@@ -223,6 +273,12 @@ class MiddleTierServer
         std::function<std::function<void()>(net::NodeId)> makeRepair;
         std::shared_ptr<sim::CountLatch> quorumLatch;
         std::shared_ptr<sim::CountLatch> allLatch;
+        /**
+         * Whether this task carries one RS shard (slot = shard index)
+         * rather than a whole-block replica. Abandoned shards are handed
+         * to maintenance as k-fan-in reconstructions.
+         */
+        bool ec = false;
     };
 
     void
@@ -237,6 +293,12 @@ class MiddleTierServer
     initFailover(const ServerConfig &config)
     {
         health_.setSuspectThreshold(config.failover.suspectThreshold);
+        for (std::size_t i = 0;
+             i < config.storageDomains.size() &&
+             i < config.storageNodes.size();
+             ++i)
+            health_.setDomain(config.storageNodes[i],
+                              config.storageDomains[i]);
     }
 
     /**
@@ -255,6 +317,17 @@ class MiddleTierServer
         return chooseReplicas(health_.filterHealthy(candidates, replication),
                               replication, rng);
     }
+
+    /**
+     * Choose @p count distinct healthy nodes spread across failure
+     * domains: round-robin over the domains (in shuffled order), one
+     * random node per domain per round, so two picks share a domain only
+     * when there are more picks than domains. Falls back to
+     * chooseHealthyReplicas when no topology is registered.
+     */
+    std::vector<net::NodeId>
+    chooseDomainSpreadReplicas(const std::vector<net::NodeId> &candidates,
+                               unsigned count, Rng &rng) const;
 
     /**
      * Placement for one write: per-chunk sticky placement through the
@@ -298,21 +371,93 @@ class MiddleTierServer
 
     /**
      * A healthy node to move a failing replica to: not @p bad, not
-     * already in @p placement, preferring unsuspected nodes. Returns
-     * @p bad when the pool offers nothing better (retry in place).
+     * already in @p placement, preferring unsuspected nodes — and, when
+     * topology is known, nodes in domains the placement does not already
+     * occupy. Returns @p bad when the pool offers nothing better (retry
+     * in place).
      */
     net::NodeId pickReplacement(const ServerConfig &config, Rng &rng,
                                 const std::vector<net::NodeId> &placement,
                                 net::NodeId bad) const;
 
-    /** Acks this write needs before replying to the VM. */
+    /**
+     * Acks this write needs before replying to the VM. Under erasure
+     * coding the quorum never drops below k: fewer than k durable shards
+     * cannot reconstruct the stripe, so an ackQuorum of 2 on RS(4, 2)
+     * still waits for 4.
+     */
     static unsigned
     writeQuorum(const ServerConfig &config, std::size_t replicas)
     {
-        const unsigned q = config.failover.ackQuorum;
+        unsigned q = config.failover.ackQuorum;
         if (q == 0 || q > replicas)
             return static_cast<unsigned>(replicas);
+        if (config.policy == ReplicationPolicy::ErasureCode &&
+            q < config.ec.dataShards)
+            q = config.ec.dataShards;
         return q;
+    }
+
+    /**
+     * The RS codec for @p config's EC geometry (created on first use;
+     * the geometry is fixed per server).
+     */
+    const ec::RsCodec &ecCodec(const ServerConfig &config);
+
+    /**
+     * Split one (compressed) block payload into k + m shard payloads.
+     * Functional payloads are RS-encoded byte-for-byte, each shard
+     * carrying an xxhash32 checksum of its bytes; timing-only payloads
+     * get the shard geometry and sizes without data. Also opens the
+     * checked-build stripe ledger for @p tag and counts the stripe.
+     */
+    std::vector<net::Payload> encodeShards(const ServerConfig &config,
+                                           std::uint64_t tag,
+                                           const net::Payload &block);
+
+    /**
+     * Checked-build stripe accounting: every in-flight stripe tracks
+     * which of its k + m shards have arrived (ack or abandon); a slot
+     * arriving twice or out of range trips SMARTDS_SIM_INVARIANT.
+     * No-ops outside checked builds.
+     */
+    void
+    ecLedgerOpen(std::uint64_t tag, unsigned shards)
+    {
+#if SMARTDS_CHECKED_BUILD
+        SMARTDS_SIM_INVARIANT(!ecLedger_.count(tag),
+                              "stripe %llu opened twice",
+                              static_cast<unsigned long long>(tag));
+        ecLedger_[tag].assign(shards, false);
+#else
+        (void)tag;
+        (void)shards;
+#endif
+    }
+
+    void
+    ecLedgerArrive(std::uint64_t tag, unsigned slot)
+    {
+#if SMARTDS_CHECKED_BUILD
+        const auto it = ecLedger_.find(tag);
+        SMARTDS_SIM_INVARIANT(it != ecLedger_.end(),
+                              "shard arrival for unopened stripe %llu",
+                              static_cast<unsigned long long>(tag));
+        auto &arrived = it->second;
+        SMARTDS_SIM_INVARIANT(slot < arrived.size(),
+                              "stripe %llu shard slot %u out of range",
+                              static_cast<unsigned long long>(tag), slot);
+        SMARTDS_SIM_INVARIANT(!arrived[slot],
+                              "stripe %llu shard %u arrived twice",
+                              static_cast<unsigned long long>(tag), slot);
+        arrived[slot] = true;
+        if (std::all_of(arrived.begin(), arrived.end(),
+                        [](bool b) { return b; }))
+            ecLedger_.erase(it);
+#else
+        (void)tag;
+        (void)slot;
+#endif
     }
 
     /** Register the failover counters with @p probes. */
@@ -351,6 +496,10 @@ class MiddleTierServer
     std::uint64_t requestsCompleted_ = 0;
     Bytes payloadBytesServed_ = 0;
     std::unordered_map<AckKey, AckEntry, AckKeyHash> pendingAcks_;
+    std::unique_ptr<ec::RsCodec> codec_;
+#if SMARTDS_CHECKED_BUILD
+    std::map<std::uint64_t, std::vector<bool>> ecLedger_;
+#endif
 };
 
 } // namespace smartds::middletier

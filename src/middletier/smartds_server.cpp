@@ -22,6 +22,9 @@ SmartDsServer::SmartDsServer(net::Fabric &fabric, mem::MemorySystem &memory,
 {
     smartds_.device.ports = smartds_.ports;
     smartds_.device.effort = config_.effort;
+    // The EC policy loads the optional RS engine bitstream component.
+    if (config_.policy == ReplicationPolicy::ErasureCode)
+        smartds_.device.ecEngine = true;
     device_ = std::make_unique<SmartDsDevice>(fabric, "smartds", &memory,
                                               smartds_.device);
     initFailover(config_);
@@ -104,9 +107,23 @@ SmartDsServer::worker(unsigned port)
     // receive; plus a fetch QP for reads and a reply QP toward the VM.
     std::vector<SmartDsDevice::Qp> replica_qps;
     std::vector<device::BufferRef> h_acks;
-    for (unsigned r = 0; r < config_.replication; ++r) {
+    const unsigned fanout = config_.writeFanout();
+    for (unsigned r = 0; r < fanout; ++r) {
         replica_qps.push_back(device_->createQp(port));
         h_acks.push_back(device_->hostAlloc(StorageHeader::wireSize));
+    }
+    // Erasure coding: one HBM buffer per shard slot (writes RS-encode
+    // into them; reads gather fetched shards into them), plus a zero-byte
+    // hint buffer that rides on header-only shard fetches so timing-mode
+    // storage synthesises shard-sized replies.
+    std::vector<device::BufferRef> d_shards;
+    device::BufferRef d_hint;
+    if (config_.policy == ReplicationPolicy::ErasureCode) {
+        const Bytes shard_cap = ec::RsCodec::shardSize(
+            lz4::maxCompressedSize(max_block), config_.ec.dataShards);
+        for (unsigned s = 0; s < fanout; ++s)
+            d_shards.push_back(device_->devAlloc(shard_cap));
+        d_hint = device_->devAlloc(1);
     }
     SmartDsDevice::Qp fetch_qp = device_->createQp(port);
     SmartDsDevice::Qp reply_qp = device_->createQp(port);
@@ -144,6 +161,164 @@ SmartDsServer::worker(unsigned port)
             StorageHeader out = hdr;
             out.payloadSize = static_cast<std::uint32_t>(payload_size);
             out.encodeInto(h_send->bytes()->data());
+        }
+
+        if (req.kind == net::MessageKind::ReadRequest &&
+            config_.policy == ReplicationPolicy::ErasureCode) {
+            // --- EC read: gather any k shards, decode on-card, reply ----
+            // Each shard probe reuses the fetch QP timeout/reset idiom of
+            // the replicated read path below; the RS engine reassembles
+            // the stripe in HBM and the LZ4 engine decompresses it.
+            const ec::RsCodec &codec = ecCodec(config_);
+            const unsigned k = codec.k();
+            const unsigned n = codec.n();
+            const auto candidates = readCandidates(config_, req);
+            SMARTDS_CHECK(candidates.size() >= k,
+                           "EC read needs %u storage nodes, have %zu", k,
+                           candidates.size());
+            const std::size_t ring_start = rng_.below(candidates.size());
+            const Bytes stripe_hint =
+                req.payload.size
+                    ? req.payload.size
+                    : static_cast<Bytes>(
+                          static_cast<double>(req.payload.originalSize) *
+                          req.payload.compressibility);
+            Tick timeout = config_.failover.ackTimeout;
+            bool degraded = false;
+            std::vector<std::pair<unsigned, device::BufferRef>> got;
+            std::vector<bool> have_idx(n, false);
+            Bytes shard_sz = 0;
+            Bytes stripe_bytes = 0;
+            const Tick collect_start = sim_.now();
+            for (std::size_t a = 0;
+                 a < candidates.size() && got.size() < k; ++a) {
+                const net::NodeId target =
+                    candidates[(ring_start + a) % candidates.size()];
+                device_->resetQp(fetch_qp);
+                device_->connect(fetch_qp, target, 0);
+                device::BufferRef dest = d_shards[got.size()];
+                auto fetch_reply = device_->mixedRecv(
+                    fetch_qp, h_fetch, StorageHeader::wireSize, dest,
+                    dest->capacity());
+                d_hint->content = device::BufferContent{};
+                d_hint->content.compressibility = 0.0;
+                d_hint->content.originalSize = req.payload.originalSize;
+                d_hint->content.ecK = static_cast<std::uint8_t>(k);
+                d_hint->content.ecM = static_cast<std::uint8_t>(codec.m());
+                d_hint->content.ecShard = static_cast<std::uint8_t>(
+                    std::min<std::size_t>(got.size(), n - 1));
+                d_hint->content.ecStripeBytes = stripe_hint;
+                auto fetch = device_->mixedSend(
+                    fetch_qp, h_send, StorageHeader::wireSize, d_hint, 0,
+                    net::MessageKind::ReadFetch, tag, req.issueTick, tctx);
+                co_await fetch.completion;
+                sim::EventHandle timer;
+                if (timeout > 0)
+                    timer = sim_.schedule(timeout, [this, &fetch_qp]() {
+                        device_->resetQp(fetch_qp);
+                    });
+                co_await fetch_reply.completion;
+                timer.cancel();
+                const net::Message *rep = fetch_reply.message.get();
+                if (!rep ||
+                    rep->kind != net::MessageKind::ReadFetchReply ||
+                    rep->tag != tag) {
+                    if (rep &&
+                        rep->kind == net::MessageKind::ReadFetchReply)
+                        ++failover_.staleAcks;
+                    else if (health_.noteTimeout(target))
+                        ++failover_.nodesSuspected;
+                    ++failover_.readFailovers;
+                    degraded = true;
+                    timeout = std::min(timeout * 2,
+                                       config_.failover.ackTimeoutCap);
+                    continue;
+                }
+                health_.noteAck(target);
+                if (rep->payload.ecK == 0) {
+                    // Functional stub: this node holds no shard.
+                    degraded = true;
+                    continue;
+                }
+                // Scrub the shard with the checksum engine before use.
+                auto scrub = device_->devFunc(
+                    dest, fetch_reply.size(), d_recv, d_recv->capacity(),
+                    port, device::EngineOp::Checksum, tctx);
+                co_await scrub.completion;
+                bool shard_corrupt = rep->payload.corrupted;
+                if (dest->bytes())
+                    shard_corrupt =
+                        shard_corrupt || scrub.completion.value() !=
+                                             rep->payload.ecShardChecksum;
+                if (shard_corrupt) {
+                    ++failover_.corruptionsDetected;
+                    ++failover_.readFailovers;
+                    degraded = true;
+                    continue;
+                }
+                const unsigned idx = rep->payload.ecShard;
+                if (idx >= n || have_idx[idx])
+                    continue; // duplicate shard (repaired copy)
+                have_idx[idx] = true;
+                shard_sz = fetch_reply.size();
+                if (rep->payload.ecStripeBytes)
+                    stripe_bytes = rep->payload.ecStripeBytes;
+                got.emplace_back(idx, dest);
+            }
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::DegradedRead,
+                               collect_start, sim_.now(),
+                               static_cast<std::uint32_t>(got.size()));
+
+            const bool have = got.size() >= k;
+            bool systematic = have;
+            for (std::size_t i = 0; i < got.size(); ++i)
+                systematic = systematic && got[i].first < k;
+            if (have && !systematic)
+                degraded = true;
+            if (degraded && have)
+                ++failover_.degradedReads;
+
+            bool served = false;
+            Bytes plain_size = 0;
+            if (have) {
+                if (stripe_bytes == 0)
+                    stripe_bytes = shard_sz * static_cast<Bytes>(k);
+                auto decoded = device_->ecDecode(got, stripe_bytes, d_send,
+                                                 port, k, codec.m(), tctx);
+                co_await decoded.completion;
+                auto plain = device_->devFunc(
+                    d_send, stripe_bytes, d_recv, d_recv->capacity(), port,
+                    device::EngineOp::Decompress, tctx);
+                co_await plain.completion;
+                bool corrupt = d_recv->content.corrupted;
+                if (!corrupt && device_->config().functional &&
+                    d_recv->bytes() && h_fetch->bytes()) {
+                    const StorageHeader stored =
+                        StorageHeader::decode(h_fetch->bytes()->data());
+                    corrupt =
+                        stored.blockChecksum != 0 &&
+                        xxhash32(d_recv->bytes()->data(), plain.size()) !=
+                            stored.blockChecksum;
+                }
+                if (corrupt) {
+                    ++failover_.corruptionsDetected;
+                    ++failover_.readsUnserved;
+                } else {
+                    plain_size = plain.size();
+                    served = true;
+                }
+            } else {
+                ++failover_.readsUnserved;
+            }
+
+            device_->connect(reply_qp, req.src, req.srcQp);
+            auto reply = device_->mixedSend(
+                reply_qp, h_send, StorageHeader::wireSize,
+                served ? d_recv : nullptr, plain_size,
+                net::MessageKind::ReadReply, tag, req.issueTick, tctx);
+            co_await reply.completion;
+            continue;
         }
 
         if (req.kind == net::MessageKind::ReadRequest) {
@@ -241,6 +416,21 @@ SmartDsServer::worker(unsigned port)
             send_size = compressed.size();
         }
 
+        // Erasure coding: RS-encode the (compressed) stripe on-card into
+        // the k + m shard buffers; each replica slot then sends one shard
+        // instead of the whole block.
+        const bool ec = config_.policy == ReplicationPolicy::ErasureCode;
+        Bytes shard_size = 0;
+        if (ec) {
+            auto encoded = device_->ecEncode(send_buf, send_size, d_shards,
+                                             port, config_.ec.dataShards,
+                                             config_.ec.parityShards, tctx);
+            co_await encoded.completion;
+            shard_size = encoded.size();
+            ++failover_.stripesEncoded;
+            ecLedgerOpen(tag, d_shards.size());
+        }
+
         Placement placement = placeWrite(config_, req, rng_);
         auto nodes = std::make_shared<std::vector<net::NodeId>>(
             std::move(placement.nodes));
@@ -253,11 +443,14 @@ SmartDsServer::worker(unsigned port)
         const Tick replicate_start = sim_.now();
 
         for (unsigned r = 0; r < nodes->size(); ++r) {
+            const device::BufferRef out_buf = ec ? d_shards[r] : send_buf;
+            const Bytes out_size = ec ? shard_size : send_size;
             ReplicaTask task;
             task.tag = tag;
-            task.blockBytes = send_size;
+            task.blockBytes = out_size;
             task.target = (*nodes)[r];
             task.slot = r;
+            task.ec = ec;
             task.placement = nodes;
             task.chunk = placement.chunk;
             task.chunked = placement.chunked;
@@ -265,7 +458,7 @@ SmartDsServer::worker(unsigned port)
             task.allLatch = all_acks;
             SmartDsDevice::Qp *qp = &replica_qps[r];
             device::BufferRef h_ack = h_acks[r];
-            task.send = [this, qp, h_ack, h_send, send_buf, send_size, tag,
+            task.send = [this, qp, h_ack, h_send, out_buf, out_size, tag,
                          tctx, issue = req.issueTick](net::NodeId dst) {
                 // Re-targeting tears down the previous attempt first (QP
                 // reset), so a late ack from the old peer cannot match
@@ -283,32 +476,32 @@ SmartDsServer::worker(unsigned port)
                         deliverAck(ack_msg->tag, ack_msg->src);
                 });
                 device_->mixedSend(*qp, h_send, StorageHeader::wireSize,
-                                   send_buf, send_size,
+                                   out_buf, out_size,
                                    net::MessageKind::WriteReplica, tag,
                                    issue, tctx);
             };
-            task.makeRepair = [this, port, h_send, send_buf, send_size, tag,
+            task.makeRepair = [this, port, h_send, out_buf, out_size, tag,
                                issue = req.issueTick](net::NodeId dst) {
                 // Snapshot header and payload now — the worker reuses its
                 // buffers for the next request once the all-replicas
                 // latch releases, but the repair runs much later.
                 auto h_copy = device_->hostAlloc(StorageHeader::wireSize);
                 auto d_copy =
-                    device_->devAlloc(send_size ? send_size : 1);
+                    device_->devAlloc(out_size ? out_size : 1);
                 if (h_copy->bytes() && h_send->bytes())
                     *h_copy->bytes() = *h_send->bytes();
                 h_copy->content = h_send->content;
-                if (d_copy->bytes() && send_buf->bytes())
-                    std::copy(send_buf->bytes()->begin(),
-                              send_buf->bytes()->begin() +
-                                  static_cast<std::ptrdiff_t>(send_size),
+                if (d_copy->bytes() && out_buf->bytes())
+                    std::copy(out_buf->bytes()->begin(),
+                              out_buf->bytes()->begin() +
+                                  static_cast<std::ptrdiff_t>(out_size),
                               d_copy->bytes()->begin());
-                d_copy->content = send_buf->content;
-                return [this, port, h_copy, d_copy, send_size, tag, issue,
+                d_copy->content = out_buf->content;
+                return [this, port, h_copy, d_copy, out_size, tag, issue,
                         dst]() {
                     sim::spawn(sim_,
                                repairReplica(port, dst, h_copy, d_copy,
-                                             send_size, tag, issue));
+                                             out_size, tag, issue));
                 };
             };
             sim::spawn(sim_, replicateWithFailover(sim_, rng_, config_,

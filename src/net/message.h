@@ -84,6 +84,21 @@ struct Payload
      * id costs a miss, never wrong data.
      */
     std::uint32_t blockId = 0;
+
+    /**
+     * Erasure-coding geometry when this payload is one RS(k, m) shard
+     * of a stripe: ecK == 0 means "not erasure-coded" (whole-block
+     * replication). Shards of one stripe share the message tag and are
+     * told apart by ecShard (0..k-1 data, k..k+m-1 parity). The wire
+     * size of a shard payload is the shard size; ecStripeBytes is the
+     * (compressed) stripe length before padding so a reader can strip
+     * the zero pad after decode.
+     */
+    std::uint8_t ecK = 0;
+    std::uint8_t ecM = 0;
+    std::uint8_t ecShard = 0;
+    std::uint32_t ecShardChecksum = 0;
+    Bytes ecStripeBytes = 0;
 };
 
 /** A message in flight on the fabric. */

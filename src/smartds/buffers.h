@@ -52,6 +52,17 @@ struct BufferContent
      * cache (hash-guarded; 0 = not corpus-backed).
      */
     std::uint32_t blockId = 0;
+    /**
+     * Erasure-coding geometry mirrored from net::Payload: ecK == 0
+     * means the content is not an RS shard. Kept in the descriptor so
+     * performSplit()/mixedSend() round-trip shard identity between
+     * messages and device buffers.
+     */
+    std::uint8_t ecK = 0;
+    std::uint8_t ecM = 0;
+    std::uint8_t ecShard = 0;
+    std::uint32_t ecShardChecksum = 0;
+    Bytes ecStripeBytes = 0;
 };
 
 /** A buffer handle; share via BufferRef. */

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "corpus/block_cache.h"
+#include "ec/reed_solomon.h"
 #include "lz4/lz4.h"
 
 namespace smartds::device {
@@ -68,6 +69,10 @@ SmartDsDevice::SmartDsDevice(net::Fabric &fabric, const std::string &name,
         state->decompressEngine = std::make_unique<sim::BandwidthServer>(
             sim_, pname + ".decomp", config.engineRate,
             config.engineLatency);
+        if (config.ecEngine)
+            state->ecEngine = std::make_unique<sim::BandwidthServer>(
+                sim_, pname + ".ec", config.ecEngineRate,
+                config.ecEngineLatency);
         state->splitWrite = hbm_.createFlow(pname + ".split-w");
         state->assembleRead = hbm_.createFlow(pname + ".assemble-r");
         state->engineRead = hbm_.createFlow(pname + ".engine-r");
@@ -217,6 +222,11 @@ SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
         desc.d->content.compressibility = msg.payload.compressibility;
         desc.d->content.corrupted = msg.payload.corrupted;
         desc.d->content.blockId = msg.payload.blockId;
+        desc.d->content.ecK = msg.payload.ecK;
+        desc.d->content.ecM = msg.payload.ecM;
+        desc.d->content.ecShard = msg.payload.ecShard;
+        desc.d->content.ecShardChecksum = msg.payload.ecShardChecksum;
+        desc.d->content.ecStripeBytes = msg.payload.ecStripeBytes;
     }
 
     // Timing: fixed split latency, then the header DMA to host memory and
@@ -303,6 +313,11 @@ SmartDsDevice::mixedSend(const Qp &qp, BufferRef h, Bytes h_size,
         msg.payload.compressibility = d->content.compressibility;
         msg.payload.corrupted = d->content.corrupted;
         msg.payload.blockId = d->content.blockId;
+        msg.payload.ecK = d->content.ecK;
+        msg.payload.ecM = d->content.ecM;
+        msg.payload.ecShard = d->content.ecShard;
+        msg.payload.ecShardChecksum = d->content.ecShardChecksum;
+        msg.payload.ecStripeBytes = d->content.ecStripeBytes;
         if (config_.functional && d->bytes()) {
             // Corpus-backed payloads are sent as aliases of the cache's
             // immutable buffer instead of copying out of the (reusable)
@@ -544,10 +559,176 @@ SmartDsDevice::devFunc(BufferRef src, Bytes src_size, BufferRef dst,
                     dst->content.compressibility = compressibility;
                     dst->content.corrupted = result_corrupted;
                     dst->content.blockId = block_id;
+                    // Engine outputs are whole blocks, never RS shards:
+                    // clear any stale shard identity left in the buffer.
+                    dst->content.ecK = 0;
+                    dst->content.ecM = 0;
+                    dst->content.ecShard = 0;
+                    dst->content.ecShardChecksum = 0;
+                    dst->content.ecStripeBytes = 0;
                     event.completion.complete(result_size);
                 });
         });
     });
+    return event;
+}
+
+SmartDsDevice::Event
+SmartDsDevice::ecEncode(BufferRef src, Bytes src_size,
+                        const std::vector<BufferRef> &shards, unsigned port,
+                        unsigned k, unsigned m, trace::TraceContext tctx)
+{
+    SMARTDS_CHECK(config_.ecEngine, "device built without the EC engine");
+    SMARTDS_CHECK(port < portStates_.size(), "engine index out of range");
+    SMARTDS_CHECK(src, "ecEncode needs a source buffer");
+    SMARTDS_CHECK(shards.size() == static_cast<std::size_t>(k) + m,
+                   "ecEncode wants k + m shard buffers, got %zu for "
+                   "RS(%u, %u)",
+                   shards.size(), k, m);
+    auto &state = *portStates_[port];
+    const Bytes shard_bytes = ec::RsCodec::shardSize(src_size, k);
+    for (const auto &shard : shards)
+        SMARTDS_CHECK(shard && shard->capacity() >= shard_bytes,
+                       "EC shard buffer smaller than the shard");
+
+    // Functional encode up front; the pipeline below charges time for it
+    // and writes the results back when the HBM write lands.
+    std::vector<std::vector<std::uint8_t>> encoded;
+    if (config_.functional && src->bytes()) {
+        ec::RsCodec codec(k, m);
+        encoded = codec.encode(src->bytes()->data(), src_size);
+    }
+
+    Event event{sim::Completion(sim_), nullptr};
+    const Bytes shard_total = shard_bytes * static_cast<Bytes>(shards.size());
+    trace::Tracer *tracer = tctx ? fabric_.tracer() : nullptr;
+    const Tick start = sim_.now();
+    auto finish = [this, src, shards, k, m, src_size, shard_bytes, event,
+                   tracer, tctx, start,
+                   encoded = std::move(encoded)]() mutable {
+        for (unsigned s = 0; s < shards.size(); ++s) {
+            auto &shard = *shards[s];
+            std::uint32_t checksum = 0;
+            if (!encoded.empty() && shard.bytes()) {
+                std::memcpy(shard.bytes()->data(), encoded[s].data(),
+                            shard_bytes);
+                checksum = xxhash32(encoded[s].data(), shard_bytes);
+            }
+            shard.content.size = shard_bytes;
+            shard.content.compressed = src->content.compressed;
+            shard.content.originalSize = src->content.originalSize;
+            shard.content.compressibility = src->content.compressibility;
+            shard.content.corrupted = src->content.corrupted;
+            shard.content.blockId = src->content.blockId;
+            shard.content.ecK = static_cast<std::uint8_t>(k);
+            shard.content.ecM = static_cast<std::uint8_t>(m);
+            shard.content.ecShard = static_cast<std::uint8_t>(s);
+            shard.content.ecShardChecksum = checksum;
+            shard.content.ecStripeBytes = src_size;
+        }
+        if (tracer)
+            tracer->record(tctx, trace::Stage::EcEncode, start, sim_.now());
+        event.completion.complete(shard_bytes);
+    };
+
+    // Pipeline: HBM read -> GF(256) MAC array -> HBM write of all shards.
+    state.engineRead->transfer(
+        src_size, [&state, src_size, shard_total,
+                   finish = std::move(finish)]() mutable {
+            state.ecEngine->transfer(
+                src_size, [&state, shard_total,
+                           finish = std::move(finish)]() mutable {
+                    state.engineWrite->transfer(shard_total,
+                                                std::move(finish));
+                });
+        });
+    return event;
+}
+
+SmartDsDevice::Event
+SmartDsDevice::ecDecode(
+    const std::vector<std::pair<unsigned, BufferRef>> &shards,
+    Bytes stripe_bytes, BufferRef dst, unsigned port, unsigned k, unsigned m,
+    trace::TraceContext tctx)
+{
+    SMARTDS_CHECK(config_.ecEngine, "device built without the EC engine");
+    SMARTDS_CHECK(port < portStates_.size(), "engine index out of range");
+    SMARTDS_CHECK(dst, "ecDecode needs a destination buffer");
+    SMARTDS_CHECK(dst->capacity() >= stripe_bytes,
+                   "EC destination smaller than the stripe");
+    SMARTDS_CHECK(!shards.empty(), "ecDecode with no shards");
+    auto &state = *portStates_[port];
+    const Bytes shard_bytes = ec::RsCodec::shardSize(stripe_bytes, k);
+
+    // Metadata travels on every shard; take it from the first.
+    const Buffer &exemplar = *shards.front().second;
+    bool corrupted = exemplar.content.corrupted;
+
+    std::vector<std::uint8_t> result;
+    if (config_.functional) {
+        // Copy each shard out of its (reusable) HBM buffer, then decode.
+        std::vector<std::vector<std::uint8_t>> staged;
+        staged.reserve(shards.size());
+        std::vector<std::pair<unsigned, const std::vector<std::uint8_t> *>>
+            present;
+        for (const auto &[index, buf] : shards) {
+            if (!buf || !buf->bytes() ||
+                buf->bytes()->size() < shard_bytes)
+                continue;
+            staged.emplace_back(
+                buf->bytes()->begin(),
+                buf->bytes()->begin() +
+                    static_cast<std::ptrdiff_t>(shard_bytes));
+            present.emplace_back(index, &staged.back());
+        }
+        ec::RsCodec codec(k, m);
+        auto stripe = codec.decode(present, stripe_bytes);
+        if (stripe)
+            result = std::move(*stripe);
+        else
+            corrupted = true;
+    } else if (shards.size() < k) {
+        corrupted = true;
+    }
+
+    Event event{sim::Completion(sim_), nullptr};
+    const Bytes read_bytes = shard_bytes * static_cast<Bytes>(k);
+    trace::Tracer *tracer = tctx ? fabric_.tracer() : nullptr;
+    const Tick start = sim_.now();
+    const BufferContent meta = exemplar.content;
+    auto finish = [this, dst, stripe_bytes, corrupted, meta, event, tracer,
+                   tctx, start, result = std::move(result)]() mutable {
+        if (dst->bytes() && !result.empty()) {
+            const Bytes n = std::min<Bytes>(result.size(), dst->capacity());
+            std::memcpy(dst->bytes()->data(), result.data(), n);
+        }
+        dst->content.size = stripe_bytes;
+        dst->content.compressed = meta.compressed;
+        dst->content.originalSize = meta.originalSize;
+        dst->content.compressibility = meta.compressibility;
+        dst->content.corrupted = corrupted;
+        dst->content.blockId = meta.blockId;
+        dst->content.ecK = 0;
+        dst->content.ecM = 0;
+        dst->content.ecShard = 0;
+        dst->content.ecShardChecksum = 0;
+        dst->content.ecStripeBytes = 0;
+        if (tracer)
+            tracer->record(tctx, trace::Stage::EcDecode, start, sim_.now());
+        event.completion.complete(stripe_bytes);
+    };
+
+    // Pipeline: read k shards from HBM -> MAC array -> write the stripe.
+    state.engineRead->transfer(
+        read_bytes, [&state, stripe_bytes,
+                     finish = std::move(finish)]() mutable {
+            state.ecEngine->transfer(
+                stripe_bytes, [&state, stripe_bytes,
+                               finish = std::move(finish)]() mutable {
+                    state.engineWrite->transfer(stripe_bytes,
+                                                std::move(finish));
+                });
+        });
     return event;
 }
 

@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/calibration.h"
@@ -107,6 +108,16 @@ class SmartDsDevice
          * shaving the memory access off the header path.
          */
         bool headerLlcSteering = false;
+        /**
+         * Instantiate the optional per-port RS(k, m) erasure-coding
+         * engine (ecEncode/ecDecode below). Adds its Table 3 component
+         * per port; the baseline bitstream rows are unchanged when off.
+         */
+        bool ecEngine = false;
+        /** Per-port EC engine throughput. */
+        BytesPerSecond ecEngineRate = calibration::smartdsEcEnginePerPort;
+        /** EC engine fixed pipeline latency per invocation. */
+        Tick ecEngineLatency = calibration::smartdsEcEngineLatency;
     };
 
     /** A connected queue pair on one of the device's RoCE instances. */
@@ -203,6 +214,33 @@ class SmartDsDevice
                   Bytes dst_cap, unsigned port, EngineOp op,
                   trace::TraceContext tctx = {});
 
+    /**
+     * RS(k, m)-encode a device buffer (the EC-engine extension of the
+     * Table 2 dev_func interface; requires Config::ecEngine): read
+     * @p src_size bytes from @p src, split into k data shards, compute
+     * m parity shards over GF(256), and write each shard into the
+     * matching entry of @p shards (k data shards first, then m parity).
+     * Every shard buffer's content records the stripe geometry
+     * (ecK/ecM/ecShard/ecStripeBytes) and, in functional mode, the
+     * shard's xxHash32, so mixedSend carries them on the wire.
+     * Completes with the per-shard size.
+     */
+    Event ecEncode(BufferRef src, Bytes src_size,
+                   const std::vector<BufferRef> &shards, unsigned port,
+                   unsigned k, unsigned m, trace::TraceContext tctx = {});
+
+    /**
+     * Reconstruct a stripe from any k shards (inverse of ecEncode;
+     * requires Config::ecEngine): read each (shard index, buffer) pair
+     * in @p shards, invert the generator submatrix, and write the
+     * @p stripe_bytes stripe into @p dst. Marks @p dst corrupted if
+     * fewer than k distinct valid shards were supplied. Completes with
+     * the stripe size.
+     */
+    Event ecDecode(const std::vector<std::pair<unsigned, BufferRef>> &shards,
+                   Bytes stripe_bytes, BufferRef dst, unsigned port,
+                   unsigned k, unsigned m, trace::TraceContext tctx = {});
+
     // ------------------------------------------------------ inspection
 
     unsigned ports() const { return config_.ports; }
@@ -213,7 +251,15 @@ class SmartDsDevice
     sim::BandwidthServer &compressEngine(unsigned i);
 
     /** FPGA resource consumption of this configuration (Table 3). */
-    ResourceVec resources() const { return smartdsResources(config_.ports); }
+    ResourceVec
+    resources() const
+    {
+        ResourceVec r = smartdsResources(config_.ports);
+        if (config_.ecEngine)
+            r = r + ecEngineComponent().cost *
+                        static_cast<double>(config_.ports);
+        return r;
+    }
 
     /** Host-memory flows carrying header traffic (for Fig 8a meters). */
     sim::FairShareResource::Flow *headerWriteFlow() { return hdrWrite_; }
@@ -237,6 +283,7 @@ class SmartDsDevice
         net::Port *port = nullptr;
         std::unique_ptr<sim::BandwidthServer> compressEngine;
         std::unique_ptr<sim::BandwidthServer> decompressEngine;
+        std::unique_ptr<sim::BandwidthServer> ecEngine; // when configured
         sim::FairShareResource::Flow *splitWrite = nullptr;
         sim::FairShareResource::Flow *assembleRead = nullptr;
         sim::FairShareResource::Flow *engineRead = nullptr;

@@ -17,6 +17,18 @@ smartdsPortComponents()
     return components;
 }
 
+const Component &
+ecEngineComponent()
+{
+    // A GF(256) MAC array at line rate is far smaller than the LZ4
+    // match engine: no history window, no hash tables — coefficient
+    // ROMs, the multiplier lattice and shard staging buffers. Sized
+    // from published RS-encoder FPGA implementations scaled to the
+    // 512-bit datapath the 100G ports need.
+    static const Component component = {"rs-ec-engine", {23.0, 19.5, 36.0}};
+    return component;
+}
+
 const std::vector<Component> &
 accComponents()
 {

@@ -47,6 +47,15 @@ struct Component
 /** Per-port SmartDS components (extended RoCE stack + engine). */
 const std::vector<Component> &smartdsPortComponents();
 
+/**
+ * Optional per-port RS(k, m) erasure-coding engine (GF(256) systolic
+ * multiply-accumulate array + shard staging BRAM). Not part of the
+ * baseline Table 3 bitstream: added per port only when the device is
+ * configured with the EC engine, so the pinned Table 3 rows are
+ * unchanged.
+ */
+const Component &ecEngineComponent();
+
 /** Components of the accelerator baseline bitstream ("Acc"). */
 const std::vector<Component> &accComponents();
 

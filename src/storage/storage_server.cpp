@@ -159,11 +159,27 @@ StorageServer::handleFetch(net::Message msg)
                            ? msg.payload.size
                            : static_cast<Bytes>(
                                  static_cast<double>(original) * ratio);
+        // EC fetch with no explicit size hint (SmartDS fetches are
+        // header-only): synthesise one shard of the hinted stripe.
+        if (msg.payload.size == 0 && msg.payload.ecK > 0) {
+            const Bytes stripe = msg.payload.ecStripeBytes
+                                     ? msg.payload.ecStripeBytes
+                                     : payload.size;
+            payload.size =
+                (stripe + msg.payload.ecK - 1) / msg.payload.ecK;
+        }
         if (payload.size == 0)
             payload.size = 1;
         payload.compressibility = ratio;
         payload.compressed = true;
         payload.originalSize = original;
+        // Echo the EC shard geometry the reader hinted at, so timing-mode
+        // EC reads see shard-shaped replies (functional mode returns the
+        // stored shard's real geometry instead).
+        payload.ecK = msg.payload.ecK;
+        payload.ecM = msg.payload.ecM;
+        payload.ecShard = msg.payload.ecShard;
+        payload.ecStripeBytes = msg.payload.ecStripeBytes;
         if (corruptTags_.count(msg.tag))
             payload.corrupted = true;
     }

@@ -32,6 +32,10 @@ enum class Stage : std::uint8_t
     Assemble,   ///< SmartDS Assemble: header DMA read + HBM gather + send
     Replicate,  ///< replication fan-out: first send -> write quorum
     Storage,    ///< storage server: replica arrival -> ack on the wire
+    EcEncode,   ///< RS(k, m) stripe encode (host cycles or device engine)
+    EcDecode,   ///< RS(k, m) stripe decode on a degraded read
+    DegradedRead, ///< shard collection for an EC read (probe -> k shards)
+    Reconstruct,  ///< background re-encode of a lost shard (maintenance)
     kCount
 };
 

@@ -45,6 +45,10 @@ stageName(Stage stage)
       case Stage::Assemble:    return "smartds.assemble";
       case Stage::Replicate:   return "replicate";
       case Stage::Storage:     return "storage";
+      case Stage::EcEncode:    return "ec.encode";
+      case Stage::EcDecode:    return "ec.decode";
+      case Stage::DegradedRead: return "ec.degraded_read";
+      case Stage::Reconstruct:  return "ec.reconstruct";
       case Stage::kCount:      break;
     }
     return "?";

@@ -122,10 +122,16 @@ runWriteExperiment(const ExperimentConfig &config)
             functionalCorpus(), config.blockBytes, config.effort);
     }
 
+    const bool ec = config.replicationPolicy ==
+                    middletier::ReplicationPolicy::ErasureCode;
+
     // --- Storage pool ----------------------------------------------------
     unsigned n_storage = config.storageServers;
     if (n_storage == 0)
         n_storage = std::max<unsigned>(6, 6 * config.ports * config.cards);
+    if (ec)
+        n_storage = std::max(n_storage,
+                             config.ecDataShards + config.ecParityShards);
     storage::StorageServer::Config storage_config;
     storage_config.functionalStore = config.functional;
     std::vector<std::unique_ptr<storage::StorageServer>> storage_pool;
@@ -154,11 +160,24 @@ runWriteExperiment(const ExperimentConfig &config)
             injector->startCrashChurn(storage_nodes,
                                       config.crashMeanInterval,
                                       config.crashOutage);
+        if (config.domainCrashAt > 0) {
+            // One rack loses power: group the pool by failure domain
+            // (each node its own domain when no topology is configured).
+            const unsigned n_domains =
+                config.failureDomains ? config.failureDomains : n_storage;
+            std::vector<std::vector<net::NodeId>> domains(n_domains);
+            for (unsigned i = 0; i < n_storage; ++i)
+                domains[i % n_domains].push_back(storage_nodes[i]);
+            injector->scheduleDomainCrash(domains, config.domainCrashAt,
+                                          config.domainCrashOutage);
+        }
     }
 
     // --- Middle-tier server ----------------------------------------------
+    // EC stripes are placed per request (domain-spread over the healthy
+    // pool), so the sticky per-chunk replica sets do not apply.
     std::unique_ptr<middletier::ChunkManager> chunk_manager;
-    if (config.useChunkManager) {
+    if (config.useChunkManager && !ec) {
         middletier::ChunkManager::Config cm;
         cm.replication = config.replication;
         cm.compactionThreshold = config.compactionThreshold;
@@ -174,6 +193,15 @@ runWriteExperiment(const ExperimentConfig &config)
     server_config.effort = config.effort;
     server_config.seed = config.seed;
     server_config.chunkManager = chunk_manager.get();
+    server_config.policy = config.replicationPolicy;
+    server_config.ec.dataShards = config.ecDataShards;
+    server_config.ec.parityShards = config.ecParityShards;
+    if (config.failureDomains > 0) {
+        server_config.storageDomains.reserve(n_storage);
+        for (unsigned i = 0; i < n_storage; ++i)
+            server_config.storageDomains.push_back(i %
+                                                   config.failureDomains);
+    }
     server_config.failover.ackQuorum = config.ackQuorum;
     server_config.failover.ackTimeout = config.replicaAckTimeout;
     server_config.failover.ackTimeoutCap =
@@ -265,8 +293,11 @@ runWriteExperiment(const ExperimentConfig &config)
             sim, "maintenance", *maintenance_pool, memory, mc);
         maintenance->stop();
     }
-    if (maintenance)
+    if (maintenance) {
+        if (tracer)
+            maintenance->setTracer(tracer.get());
         server->setMaintenanceService(maintenance.get());
+    }
 
     // --- MLC pressure injector --------------------------------------------
     std::unique_ptr<mem::MlcInjector> mlc;
@@ -348,8 +379,23 @@ runWriteExperiment(const ExperimentConfig &config)
         result.compactionsDue = chunk_manager->compactionsDue();
     }
     result.failover = server->failoverStats();
-    if (maintenance)
+    for (const auto &s : storage_pool) {
+        result.storageBlocksStored += s->blocksStored();
+        result.storageBytesStored += s->bytesStored();
+    }
+    if (maintenance) {
         result.repairsCompleted = maintenance->repairsCompleted();
+        result.repairsDeduped = maintenance->repairsDeduped();
+        result.reconstructionsCompleted =
+            maintenance->reconstructionsCompleted();
+        if (result.reconstructionsCompleted > 0) {
+            // simlint: allow(tick-float): post-run reporting only
+            result.avgReconstructionUs =
+                static_cast<double>(maintenance->reconstructionTicks()) /
+                static_cast<double>(result.reconstructionsCompleted) /
+                static_cast<double>(ticksPerMicrosecond);
+        }
+    }
     if (injector) {
         result.crashesInjected = injector->crashesInjected();
         for (const net::NodeId node : storage_nodes) {

@@ -77,6 +77,25 @@ struct ExperimentConfig
     /** Replication factor. */
     unsigned replication = calibration::replicationFactor;
 
+    // --- Durability policy ------------------------------------------------
+
+    /** Full-copy replication (default) or RS(k, m) erasure coding. */
+    middletier::ReplicationPolicy replicationPolicy =
+        middletier::ReplicationPolicy::Replicate;
+
+    /** RS data shards (k) when erasure coding. */
+    unsigned ecDataShards = 4;
+
+    /** RS parity shards (m) when erasure coding. */
+    unsigned ecParityShards = 2;
+
+    /**
+     * Failure domains (racks) the storage pool is spread over: node i
+     * lives in domain i % failureDomains. 0 = no topology (placement
+     * falls back to plain healthy-node choice).
+     */
+    unsigned failureDomains = 0;
+
     /** RNG seed. */
     std::uint64_t seed = 42;
 
@@ -129,6 +148,15 @@ struct ExperimentConfig
     double slowLatencyFactor = 4.0;
     double slowBandwidthFactor = 0.5;
 
+    /**
+     * Correlated domain crash: at this tick every node of one failure
+     * domain (drawn from the fault seed) goes down together (0 = off).
+     */
+    Tick domainCrashAt = 0;
+
+    /** How long the crashed domain stays down (0 = permanently). */
+    Tick domainCrashOutage = 2 * ticksPerMillisecond;
+
     /** Replica acks that complete the VM write (0 = all replicas). */
     unsigned ackQuorum = 0;
 
@@ -179,7 +207,8 @@ struct ExperimentConfig
     faultsEnabled() const
     {
         return crashMeanInterval > 0 || ackDropProbability > 0.0 ||
-               corruptProbability > 0.0 || slowNodes > 0;
+               corruptProbability > 0.0 || slowNodes > 0 ||
+               domainCrashAt > 0;
     }
 };
 
@@ -219,6 +248,20 @@ struct ExperimentResult
 
     /** Background replica repairs that finished (whole run). */
     std::uint64_t repairsCompleted = 0;
+
+    /** Repair requests dropped as duplicates of an in-flight repair. */
+    std::uint64_t repairsDeduped = 0;
+
+    /** EC shard reconstructions (k-way re-encode repairs) finished. */
+    std::uint64_t reconstructionsCompleted = 0;
+
+    /** Mean wall time of a finished reconstruction, microseconds. */
+    double avgReconstructionUs = 0.0;
+
+    /** Blocks/bytes the storage pool holds at the end of the run (the
+     * durability policy's storage overhead, incl. repaired copies). */
+    std::uint64_t storageBlocksStored = 0;
+    Bytes storageBytesStored = 0;
 
     /** Acks dropped by gray-failing storage nodes (whole run). */
     std::uint64_t acksDropped = 0;
