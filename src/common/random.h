@@ -96,18 +96,32 @@ class Rng
     }
 
     /**
-     * Zipf-like rank selection over @p n items with skew @p s, via
-     * rejection-inversion would be overkill; a simple cumulative-free
-     * power-law transform is sufficient for block-address skew.
+     * DEPRECATED power-law transform, kept only for the legacy
+     * `addressSkew` knob whose draw order existing CSV byte-identity
+     * gates (fig07_determinism) pin down. The `u^(s+1)` transform is NOT
+     * a Zipf distribution — its mass concentrates near index 0 far more
+     * sharply than rank^-s — so new skew knobs must use ZipfSampler /
+     * Rng::zipf() instead. New call sites trip the simlint `zipf-approx`
+     * rule.
      */
     std::uint64_t
     zipfApprox(std::uint64_t n, double s)
     {
+        if (n == 0)
+            return 0; // empty range: the old code underflowed to n - 1
         const double u = uniform();
         const double v = std::pow(u, s + 1.0);
         auto idx = static_cast<std::uint64_t>(v * static_cast<double>(n));
         return idx >= n ? n - 1 : idx;
     }
+
+    /**
+     * Zipf(n, theta) rank draw: index i in [0, n) with probability
+     * proportional to (i + 1)^-theta. One-shot convenience over
+     * ZipfSampler — prefer holding a ZipfSampler when drawing many
+     * values with the same (n, theta).
+     */
+    std::uint64_t zipf(std::uint64_t n, double theta);
 
     /** Derive an independent child generator (for per-flow streams). */
     Rng
@@ -134,6 +148,131 @@ class Rng
 
     std::uint64_t state_[4];
 };
+
+/**
+ * Exact Zipf(n, theta) sampler via Hörmann–Derflinger rejection
+ * inversion (the algorithm behind Apache Commons' RejectionInversionZipf
+ * and YCSB-style generators). Index i in [0, n) is drawn with
+ * probability (i + 1)^-theta / H(n, theta); rank 1 (index 0) is the
+ * hottest item. Constants are precomputed at construction, so a draw
+ * costs a handful of log/exp calls and on average fewer than two
+ * uniforms — no O(n) tables, which matters for multi-million-block
+ * virtual disks.
+ *
+ * theta == 0 degenerates to the uniform distribution and n == 0 always
+ * returns 0 (callers with an empty range get a safe index, unlike the
+ * deprecated zipfApprox underflow).
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta)
+        : n_(n), theta_(theta < 0.0 ? 0.0 : theta)
+    {
+        if (n_ < 2 || theta_ == 0.0)
+            return; // trivial draws need no constants
+        hIntegralX1_ = hIntegral(1.5) - 1.0;
+        hIntegralN_ = hIntegral(static_cast<double>(n_) + 0.5);
+        s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+    }
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+    /** Draw one index in [0, n). */
+    std::uint64_t
+    sample(Rng &rng)
+    {
+        if (n_ < 2)
+            return 0;
+        if (theta_ == 0.0)
+            return rng.below(n_);
+        while (true) {
+            const double u =
+                hIntegralN_ +
+                rng.uniform() * (hIntegralX1_ - hIntegralN_);
+            const double x = hIntegralInverse(u);
+            double k = std::floor(x + 0.5);
+            if (k < 1.0)
+                k = 1.0;
+            else if (k > static_cast<double>(n_))
+                k = static_cast<double>(n_);
+            // Accept when x landed within s of the integer rank (the
+            // dominating density's bulk) or on the explicit h(k) check.
+            if (k - x <= s_ || u >= hIntegral(k + 0.5) - h(k))
+                return static_cast<std::uint64_t>(k) - 1;
+        }
+    }
+
+    /** Analytic pmf of index @p i (for tests; O(n) normalisation). */
+    double
+    pmf(std::uint64_t i) const
+    {
+        if (n_ == 0 || i >= n_)
+            return 0.0;
+        double norm = 0.0;
+        for (std::uint64_t r = 1; r <= n_; ++r)
+            norm += std::pow(static_cast<double>(r), -theta_);
+        return std::pow(static_cast<double>(i + 1), -theta_) / norm;
+    }
+
+  private:
+    /**
+     * H(x) = integral of x^-theta: ((x^(1-theta)) - 1) / (1 - theta),
+     * computed via expm1/log1p helpers so theta == 1 and small exponents
+     * stay numerically stable.
+     */
+    double
+    hIntegral(double x) const
+    {
+        const double log_x = std::log(x);
+        return helper2((1.0 - theta_) * log_x) * log_x;
+    }
+
+    /** h(x) = x^-theta. */
+    double h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+    /** Inverse of hIntegral. */
+    double
+    hIntegralInverse(double x) const
+    {
+        double t = x * (1.0 - theta_);
+        if (t < -1.0)
+            t = -1.0; // clamp rounding overshoot at the distribution tail
+        return std::exp(helper1(t) * x);
+    }
+
+    /** log1p(x)/x with a Taylor fallback near 0. */
+    static double
+    helper1(double x)
+    {
+        if (std::abs(x) > 1e-8)
+            return std::log1p(x) / x;
+        return 1.0 - x * 0.5 + x * x / 3.0 - x * x * x * 0.25;
+    }
+
+    /** expm1(x)/x with a Taylor fallback near 0. */
+    static double
+    helper2(double x)
+    {
+        if (std::abs(x) > 1e-8)
+            return std::expm1(x) / x;
+        return 1.0 + x * 0.5 + x * x / 6.0 + x * x * x / 24.0;
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    double hIntegralX1_ = 0.0;
+    double hIntegralN_ = 0.0;
+    double s_ = 0.0;
+};
+
+inline std::uint64_t
+Rng::zipf(std::uint64_t n, double theta)
+{
+    ZipfSampler sampler(n, theta);
+    return sampler.sample(*this);
+}
 
 } // namespace smartds
 

@@ -1,8 +1,10 @@
 #include "middletier/accelerator_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "corpus/block_cache.h"
 #include "lz4/lz4.h"
@@ -89,6 +91,15 @@ AcceleratorServer::dispatch(net::Message msg)
       case net::MessageKind::WriteReplicaAck:
         deliverAck(msg.tag, msg.src);
         break;
+      case net::MessageKind::ReadRequest:
+        if (config_.policy == ReplicationPolicy::ErasureCode)
+            sim::spawn(sim_, serveReadEc(std::move(msg)));
+        else
+            sim::spawn(sim_, serveRead(std::move(msg)));
+        break;
+      case net::MessageKind::ReadFetchReply:
+        deliverFetch(std::move(msg));
+        break;
       default:
         panic("Acc server: unexpected message kind %u",
               static_cast<unsigned>(msg.kind));
@@ -99,6 +110,14 @@ sim::Process
 AcceleratorServer::serveWrite(net::Message msg)
 {
     const Bytes payload = msg.payload.size;
+
+    // Write-through coherence: the cached copy goes stale the moment the
+    // write is accepted, before any concurrent read can hit it.
+    if (cacheInvalidate(msg.vmId, msg.blockOffset)) {
+        if (trace::Tracer *t = fabric_.tracer(); t && msg.trace)
+            t->record(msg.trace, trace::Stage::CacheInvalidate, sim_.now(),
+                      sim_.now());
+    }
 
     // Determine the compression result (real codec when bytes present).
     Bytes compressed = 0;
@@ -246,6 +265,8 @@ AcceleratorServer::serveWrite(net::Message msg)
         task.target = (*nodes)[r];
         task.slot = r;
         task.ec = ec;
+        task.vmId = msg.vmId;
+        task.blockOffset = msg.blockOffset;
         task.placement = nodes;
         task.chunk = placement.chunk;
         task.chunked = placement.chunked;
@@ -299,6 +320,410 @@ AcceleratorServer::serveWrite(net::Message msg)
     nic_->sendFromHost(std::move(reply));
 
     noteCompleted(payload);
+}
+
+sim::Process
+AcceleratorServer::serveRead(net::Message msg)
+{
+    // Read path of the Acc design: the host still fronts the request
+    // (parse, storage fetch, failover) but decompression is a round trip
+    // through the FPGA card — payload DMAs in compressed and back out
+    // decompressed, costing PCIe both ways like the write path.
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick parse_start = sim_.now();
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
+
+    // Hot-block cache (host DRAM): a hit replies straight from memory,
+    // skipping the storage fetch and the FPGA trip entirely.
+    if (readCache_) {
+        if (const HotBlockCache::Entry *hit =
+                readCache_->lookup(msg.vmId, msg.blockOffset)) {
+            // Snapshot the entry: the lookup pointer dies if another
+            // request inserts or invalidates while we are suspended.
+            const HotBlockCache::Entry cached = *hit;
+            const Tick hit_start = sim_.now();
+            co_await cores_.executeAsync(
+                calibration::hostPerRequestSoftwareCost);
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheHit, hit_start,
+                               sim_.now());
+            net::Message reply;
+            reply.dst = msg.src;
+            reply.dstQp = msg.srcQp;
+            reply.kind = net::MessageKind::ReadReply;
+            reply.headerBytes = StorageHeader::wireSize;
+            reply.tag = msg.tag;
+            reply.issueTick = msg.issueTick;
+            reply.trace = tctx;
+            reply.payload.size = cached.plainSize;
+            reply.payload.data = cached.plain;
+            reply.payload.compressibility = cached.compressibility;
+            pcie::DmaEngine::Options tx;
+            tx.memFlow = txRead_;
+            tx.stallOnMemory = true;
+            nic_->setTxDmaOptions(tx);
+            nic_->sendFromHost(std::move(reply));
+            co_return;
+        }
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                           sim_.now());
+    }
+
+    const auto candidates = readCandidates(config_, msg);
+    SMARTDS_CHECK(!candidates.empty(), "read with no storage candidates");
+    const std::size_t start = rng_.below(candidates.size());
+
+    net::Message stored;
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    bool have = false;
+    for (std::size_t a = 0; a < candidates.size() && !have; ++a) {
+        const net::NodeId target =
+            candidates[(start + a) % candidates.size()];
+        net::Message fetch;
+        fetch.dst = target;
+        fetch.kind = net::MessageKind::ReadFetch;
+        fetch.headerBytes = StorageHeader::wireSize;
+        fetch.tag = msg.tag;
+        fetch.issueTick = msg.issueTick;
+        fetch.payload.size = msg.payload.size; // compressed size hint
+        fetch.payload.compressibility = msg.payload.compressibility;
+        fetch.payload.originalSize = msg.payload.originalSize;
+        fetch.trace = tctx;
+
+        sim::Completion fetched =
+            expectFetch(sim_, msg.tag, config_.failover.ackTimeout);
+        nic_->setTxDmaOptions({nullptr, false});
+        nic_->sendFromHost(std::move(fetch));
+        if (co_await fetched == 0) {
+            ++failover_.readFailovers;
+            if (health_.noteTimeout(target))
+                ++failover_.nodesSuspected;
+            continue;
+        }
+        health_.noteAck(target);
+
+        net::Message candidate = takeFetchReply(msg.tag);
+        const VerifiedBlock verified = verifyFetchedBlock(config_, candidate);
+        plain_data = verified.plain;
+        if (verified.corrupt) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readFailovers;
+            if (cacheInvalidate(msg.vmId, msg.blockOffset) && tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
+            continue;
+        }
+        stored = std::move(candidate);
+        have = true;
+    }
+    if (!have)
+        ++failover_.readsUnserved;
+
+    const Bytes compressed = std::max<Bytes>(
+        have ? stored.payload.size : msg.payload.size, 1);
+    const Bytes original = std::max<Bytes>(
+        stored.payload.originalSize
+            ? stored.payload.originalSize
+            : (msg.payload.originalSize ? msg.payload.originalSize
+                                        : compressed),
+        1);
+
+    // Doorbell + descriptor fetch, then the FPGA decompress round trip:
+    // compressed block in, decompressed block out.
+    co_await sim::delay(sim_, calibration::pcieIdleLatency);
+    const Tick engine_start = sim_.now();
+    sim::Completion dma_in(sim_);
+    pcie::DmaEngine::Options in;
+    in.memFlow = fpgaRead_;
+    in.stallOnMemory = true;
+    fpgaDma_->read(compressed, in,
+                   [dma_in](Tick) mutable { dma_in.complete(0); });
+    co_await dma_in;
+    co_await sim::transferAsync(sim_, *engine_, original);
+    sim::Completion dma_out(sim_);
+    pcie::DmaEngine::Options out_opts;
+    out_opts.memFlow = fpgaWrite_;
+    out_opts.stallOnMemory = false;
+    fpgaDma_->write(original, out_opts,
+                    [dma_out](Tick) mutable { dma_out.complete(0); });
+    co_await dma_out;
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
+    co_await sim::delay(sim_, calibration::pcieIdleLatency);
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+
+    if (have && readCache_)
+        readCache_->insert(msg.vmId, msg.blockOffset,
+                           {original, stored.payload.compressibility,
+                            plain_data});
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::ReadReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
+    reply.payload.size = original;
+    reply.payload.data = plain_data;
+    reply.payload.compressibility = stored.payload.compressibility;
+    pcie::DmaEngine::Options tx;
+    tx.memFlow = txRead_;
+    tx.stallOnMemory = true;
+    nic_->setTxDmaOptions(tx);
+    nic_->sendFromHost(std::move(reply));
+}
+
+sim::Process
+AcceleratorServer::serveReadEc(net::Message msg)
+{
+    // EC read: the host gathers any k healthy shards (same probe loop as
+    // CPU-only), then the FPGA pays the RS decode trip when parity was
+    // needed and the decompress trip either way.
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(cores_.queueDepth());
+    const Tick parse_start = sim_.now();
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
+
+    if (readCache_) {
+        if (const HotBlockCache::Entry *hit =
+                readCache_->lookup(msg.vmId, msg.blockOffset)) {
+            // Snapshot the entry: the lookup pointer dies if another
+            // request inserts or invalidates while we are suspended.
+            const HotBlockCache::Entry cached = *hit;
+            const Tick hit_start = sim_.now();
+            co_await cores_.executeAsync(
+                calibration::hostPerRequestSoftwareCost);
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheHit, hit_start,
+                               sim_.now());
+            net::Message reply;
+            reply.dst = msg.src;
+            reply.dstQp = msg.srcQp;
+            reply.kind = net::MessageKind::ReadReply;
+            reply.headerBytes = StorageHeader::wireSize;
+            reply.tag = msg.tag;
+            reply.issueTick = msg.issueTick;
+            reply.trace = tctx;
+            reply.payload.size = cached.plainSize;
+            reply.payload.data = cached.plain;
+            reply.payload.compressibility = cached.compressibility;
+            pcie::DmaEngine::Options tx;
+            tx.memFlow = txRead_;
+            tx.stallOnMemory = true;
+            nic_->setTxDmaOptions(tx);
+            nic_->sendFromHost(std::move(reply));
+            co_return;
+        }
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                           sim_.now());
+    }
+
+    const ec::RsCodec &codec = ecCodec(config_);
+    const unsigned k = codec.k();
+    const auto candidates = readCandidates(config_, msg);
+    SMARTDS_CHECK(candidates.size() >= k,
+                  "EC read needs %u storage nodes, have %zu", k,
+                  candidates.size());
+    const std::size_t ring_start = rng_.below(candidates.size());
+
+    const Bytes stripe_hint = std::max<Bytes>(
+        msg.payload.size
+            ? msg.payload.size
+            : static_cast<Bytes>(
+                  static_cast<double>(msg.payload.originalSize) *
+                  msg.payload.compressibility),
+        1);
+    const Bytes shard_hint = ec::RsCodec::shardSize(stripe_hint, k);
+
+    std::vector<unsigned> shard_idx;
+    std::vector<net::Message> shard_msgs;
+    bool degraded = false;
+    const Tick collect_start = sim_.now();
+    for (std::size_t a = 0;
+         a < candidates.size() && shard_idx.size() < k;
+         ++a) {
+        const net::NodeId target =
+            candidates[(ring_start + a) % candidates.size()];
+        net::Message fetch;
+        fetch.dst = target;
+        fetch.kind = net::MessageKind::ReadFetch;
+        fetch.headerBytes = StorageHeader::wireSize;
+        fetch.tag = msg.tag;
+        fetch.issueTick = msg.issueTick;
+        fetch.payload.size = shard_hint;
+        fetch.payload.compressibility = msg.payload.compressibility;
+        fetch.payload.originalSize = msg.payload.originalSize;
+        fetch.payload.ecK = static_cast<std::uint8_t>(k);
+        fetch.payload.ecM = static_cast<std::uint8_t>(codec.m());
+        fetch.payload.ecShard = static_cast<std::uint8_t>(
+            std::min<std::size_t>(shard_idx.size(), codec.n() - 1));
+        fetch.payload.ecStripeBytes = stripe_hint;
+        fetch.trace = tctx;
+
+        sim::Completion fetched =
+            expectFetch(sim_, msg.tag, config_.failover.ackTimeout);
+        nic_->setTxDmaOptions({nullptr, false});
+        nic_->sendFromHost(std::move(fetch));
+        if (co_await fetched == 0) {
+            ++failover_.readFailovers;
+            degraded = true;
+            if (health_.noteTimeout(target))
+                ++failover_.nodesSuspected;
+            continue;
+        }
+        health_.noteAck(target);
+
+        net::Message candidate = takeFetchReply(msg.tag);
+        if (candidate.payload.ecK == 0) {
+            degraded = true; // node holds no shard of this stripe
+            continue;
+        }
+        if (candidate.payload.corrupted ||
+            (candidate.payload.data &&
+             xxhash32(*candidate.payload.data) !=
+                 candidate.payload.ecShardChecksum)) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readFailovers;
+            degraded = true;
+            continue;
+        }
+        const unsigned idx = candidate.payload.ecShard;
+        if (std::find(shard_idx.begin(), shard_idx.end(), idx) !=
+            shard_idx.end())
+            continue; // duplicate shard index (repaired copy)
+        shard_idx.push_back(idx);
+        shard_msgs.push_back(std::move(candidate));
+    }
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::DegradedRead, collect_start,
+                       sim_.now(),
+                       static_cast<std::uint32_t>(shard_idx.size()));
+
+    const bool have = shard_idx.size() >= k;
+    bool corrupt = !have;
+    if (!have)
+        ++failover_.readsUnserved;
+
+    const bool systematic =
+        have && std::all_of(shard_idx.begin(), shard_idx.end(),
+                            [k](unsigned i) { return i < k; });
+    if (have && !systematic)
+        degraded = true;
+    if (degraded && have)
+        ++failover_.degradedReads;
+
+    const Bytes stripe_bytes = std::max<Bytes>(
+        have ? shard_msgs.front().payload.ecStripeBytes : stripe_hint, 1);
+    const Bytes shard_bytes = ec::RsCodec::shardSize(stripe_bytes, k);
+
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    net::Message stored;
+    if (have)
+        stored = shard_msgs.front();
+    if (have && !systematic) {
+        // RS decode trip through the card: k shards DMA in, the engine
+        // runs the GF(256) math, the stripe DMAs back out.
+        co_await sim::delay(sim_, calibration::pcieIdleLatency);
+        const Tick decode_start = sim_.now();
+        sim::Completion dec_in(sim_);
+        pcie::DmaEngine::Options in;
+        in.memFlow = fpgaRead_;
+        in.stallOnMemory = false;
+        fpgaDma_->read(shard_bytes * static_cast<Bytes>(k), in,
+                       [dec_in](Tick) mutable { dec_in.complete(0); });
+        co_await dec_in;
+        co_await sim::transferAsync(sim_, *engine_, stripe_bytes);
+        sim::Completion dec_out(sim_);
+        pcie::DmaEngine::Options out_opts;
+        out_opts.memFlow = fpgaWrite_;
+        out_opts.stallOnMemory = false;
+        fpgaDma_->write(stripe_bytes, out_opts,
+                        [dec_out](Tick) mutable { dec_out.complete(0); });
+        co_await dec_out;
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::EcDecode, decode_start,
+                           sim_.now());
+    }
+    if (have && shard_msgs.front().payload.data) {
+        const VerifiedBlock recovered =
+            decodeEcStripe(config_, shard_idx, shard_msgs, stripe_bytes);
+        corrupt = recovered.corrupt;
+        plain_data = recovered.plain;
+        if (corrupt) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readsUnserved;
+            if (cacheInvalidate(msg.vmId, msg.blockOffset) && tracer &&
+                tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
+        }
+    }
+
+    const Bytes original = std::max<Bytes>(
+        have && stored.payload.originalSize ? stored.payload.originalSize
+                                            : msg.payload.originalSize,
+        1);
+
+    // Decompress round trip, as on the replicated read path.
+    co_await sim::delay(sim_, calibration::pcieIdleLatency);
+    const Tick engine_start = sim_.now();
+    sim::Completion dma_in(sim_);
+    pcie::DmaEngine::Options in;
+    in.memFlow = fpgaRead_;
+    in.stallOnMemory = true;
+    fpgaDma_->read(stripe_bytes, in,
+                   [dma_in](Tick) mutable { dma_in.complete(0); });
+    co_await dma_in;
+    co_await sim::transferAsync(sim_, *engine_, original);
+    sim::Completion dma_out(sim_);
+    pcie::DmaEngine::Options out_opts;
+    out_opts.memFlow = fpgaWrite_;
+    out_opts.stallOnMemory = false;
+    fpgaDma_->write(original, out_opts,
+                    [dma_out](Tick) mutable { dma_out.complete(0); });
+    co_await dma_out;
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
+    co_await sim::delay(sim_, calibration::pcieIdleLatency);
+    co_await cores_.executeAsync(calibration::hostHeaderParseCost);
+
+    if (have && !corrupt && readCache_)
+        readCache_->insert(msg.vmId, msg.blockOffset,
+                           {original, stored.payload.compressibility,
+                            plain_data});
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::ReadReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
+    reply.payload.size = original;
+    reply.payload.data = plain_data;
+    reply.payload.compressibility =
+        have ? stored.payload.compressibility : msg.payload.compressibility;
+    pcie::DmaEngine::Options tx;
+    tx.memFlow = txRead_;
+    tx.stallOnMemory = true;
+    nic_->setTxDmaOptions(tx);
+    nic_->sendFromHost(std::move(reply));
 }
 
 } // namespace smartds::middletier

@@ -54,6 +54,8 @@ class AcceleratorServer : public MiddleTierServer
   private:
     void dispatch(net::Message msg);
     sim::Process serveWrite(net::Message msg);
+    sim::Process serveRead(net::Message msg);
+    sim::Process serveReadEc(net::Message msg);
 
     sim::Simulator &sim_;
     net::Fabric &fabric_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "middletier/protocol.h"
 #include "sim/awaitables.h"
@@ -86,6 +87,25 @@ Bf2Server::dispatch(unsigned port, net::Message msg)
       case net::MessageKind::WriteReplicaAck:
         deliverAck(msg.tag, msg.src);
         break;
+      case net::MessageKind::ReadRequest: {
+        auto msg_ptr = std::make_shared<net::Message>(std::move(msg));
+        rxWrite_->transfer(msg_ptr->wireBytes(), [this, port, msg_ptr]() {
+            if (config_.policy == ReplicationPolicy::ErasureCode)
+                sim::spawn(sim_, serveReadEc(port, std::move(*msg_ptr)));
+            else
+                sim::spawn(sim_, serveRead(port, std::move(*msg_ptr)));
+        });
+        break;
+      }
+      case net::MessageKind::ReadFetchReply: {
+        // The fetched block lands in device DRAM before the Arm cores
+        // see the completion.
+        auto msg_ptr = std::make_shared<net::Message>(std::move(msg));
+        rxWrite_->transfer(msg_ptr->wireBytes(), [this, msg_ptr]() {
+            deliverFetch(std::move(*msg_ptr));
+        });
+        break;
+      }
       default:
         panic("BF2 server: unexpected message kind %u",
               static_cast<unsigned>(msg.kind));
@@ -96,6 +116,14 @@ sim::Process
 Bf2Server::serveWrite(unsigned port, net::Message msg)
 {
     const Bytes payload = msg.payload.size;
+
+    // Write-through coherence: the cached copy goes stale the moment the
+    // write is accepted, before any concurrent read can hit it.
+    if (cacheInvalidate(msg.vmId, msg.blockOffset)) {
+        if (trace::Tracer *t = fabric_.tracer(); t && msg.trace)
+            t->record(msg.trace, trace::Stage::CacheInvalidate, sim_.now(),
+                      sim_.now());
+    }
     Bytes compressed = static_cast<Bytes>(static_cast<double>(payload) *
                                           msg.payload.compressibility);
     if (compressed == 0)
@@ -172,6 +200,8 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
         task.target = (*nodes)[r];
         task.slot = r;
         task.ec = ec;
+        task.vmId = msg.vmId;
+        task.blockOffset = msg.blockOffset;
         task.placement = nodes;
         task.chunk = placement.chunk;
         task.chunked = placement.chunked;
@@ -225,6 +255,370 @@ Bf2Server::serveWrite(unsigned port, net::Message msg)
     ports_[port]->send(std::move(reply));
 
     noteCompleted(payload);
+}
+
+sim::Process
+Bf2Server::serveRead(unsigned port, net::Message msg)
+{
+    // On-card read path: Arm cores front the request, the fetched block
+    // lands in device DRAM, and the off-path engine decompresses it —
+    // every byte crossing the narrow on-card DRAM both ways.
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(arm_.queueDepth());
+    const Tick parse_start = sim_.now();
+    co_await arm_.executeAsync(armRequestCost_);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
+
+    // Hot-block cache in device DRAM: a hit costs one DRAM read of the
+    // plain bytes on the tx flow, no fabric fetch and no engine trip.
+    if (readCache_) {
+        if (const HotBlockCache::Entry *hit =
+                readCache_->lookup(msg.vmId, msg.blockOffset)) {
+            // Snapshot the entry: the lookup pointer dies if another
+            // request inserts or invalidates while we are suspended.
+            const HotBlockCache::Entry cached = *hit;
+            const Tick hit_start = sim_.now();
+            net::Message reply;
+            reply.dst = msg.src;
+            reply.dstQp = msg.srcQp;
+            reply.kind = net::MessageKind::ReadReply;
+            reply.headerBytes = StorageHeader::wireSize;
+            reply.tag = msg.tag;
+            reply.issueTick = msg.issueTick;
+            reply.trace = tctx;
+            reply.payload.size = cached.plainSize;
+            reply.payload.data = cached.plain;
+            reply.payload.compressibility = cached.compressibility;
+            sim::Completion cache_read(sim_);
+            txRead_->transfer(cached.plainSize, [cache_read]() mutable {
+                cache_read.complete(0);
+            });
+            co_await cache_read;
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheHit, hit_start,
+                               sim_.now());
+            ports_[port]->send(std::move(reply));
+            co_return;
+        }
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                           sim_.now());
+    }
+
+    const auto candidates = readCandidates(config_, msg);
+    SMARTDS_CHECK(!candidates.empty(), "read with no storage candidates");
+    const std::size_t start = rng_.below(candidates.size());
+
+    net::Message stored;
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    bool have = false;
+    for (std::size_t a = 0; a < candidates.size() && !have; ++a) {
+        const net::NodeId target =
+            candidates[(start + a) % candidates.size()];
+        net::Message fetch;
+        fetch.dst = target;
+        fetch.kind = net::MessageKind::ReadFetch;
+        fetch.headerBytes = StorageHeader::wireSize;
+        fetch.tag = msg.tag;
+        fetch.issueTick = msg.issueTick;
+        fetch.payload.size = msg.payload.size; // compressed size hint
+        fetch.payload.compressibility = msg.payload.compressibility;
+        fetch.payload.originalSize = msg.payload.originalSize;
+        fetch.trace = tctx;
+
+        sim::Completion fetched =
+            expectFetch(sim_, msg.tag, config_.failover.ackTimeout);
+        auto fetch_ptr = std::make_shared<net::Message>(std::move(fetch));
+        auto *out_port = ports_[(port + a) % ports_.size()];
+        txRead_->transfer(StorageHeader::wireSize,
+                          [out_port, fetch_ptr]() {
+                              out_port->send(std::move(*fetch_ptr));
+                          });
+        if (co_await fetched == 0) {
+            ++failover_.readFailovers;
+            if (health_.noteTimeout(target))
+                ++failover_.nodesSuspected;
+            continue;
+        }
+        health_.noteAck(target);
+
+        net::Message candidate = takeFetchReply(msg.tag);
+        const VerifiedBlock verified = verifyFetchedBlock(config_, candidate);
+        plain_data = verified.plain;
+        if (verified.corrupt) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readFailovers;
+            if (cacheInvalidate(msg.vmId, msg.blockOffset) && tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
+            continue;
+        }
+        stored = std::move(candidate);
+        have = true;
+    }
+    if (!have)
+        ++failover_.readsUnserved;
+
+    const Bytes compressed = std::max<Bytes>(
+        have ? stored.payload.size : msg.payload.size, 1);
+    const Bytes original = std::max<Bytes>(
+        stored.payload.originalSize
+            ? stored.payload.originalSize
+            : (msg.payload.originalSize ? msg.payload.originalSize
+                                        : compressed),
+        1);
+
+    // Off-path engine decompress: DRAM read -> engine -> DRAM write.
+    const Tick engine_start = sim_.now();
+    co_await sim::transferAsync(sim_, *engineRead_, compressed);
+    co_await sim::transferAsync(sim_, *engine_, original);
+    co_await sim::transferAsync(sim_, *engineWrite_, original);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
+
+    if (have && readCache_)
+        readCache_->insert(msg.vmId, msg.blockOffset,
+                           {original, stored.payload.compressibility,
+                            plain_data});
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::ReadReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
+    reply.payload.size = original;
+    reply.payload.data = plain_data;
+    reply.payload.compressibility = stored.payload.compressibility;
+    sim::Completion tx_read(sim_);
+    txRead_->transfer(original,
+                      [tx_read]() mutable { tx_read.complete(0); });
+    co_await tx_read;
+    ports_[port]->send(std::move(reply));
+}
+
+sim::Process
+Bf2Server::serveReadEc(unsigned port, net::Message msg)
+{
+    // EC read on-card: gather any k healthy shards over the ports, RS
+    // decode on the engine when parity was needed, then decompress.
+    trace::Tracer *tracer = fabric_.tracer();
+    const trace::TraceContext tctx = msg.trace;
+    const std::uint32_t parse_depth =
+        static_cast<std::uint32_t>(arm_.queueDepth());
+    const Tick parse_start = sim_.now();
+    co_await arm_.executeAsync(armRequestCost_);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::HostParse, parse_start,
+                       sim_.now(), parse_depth);
+
+    if (readCache_) {
+        if (const HotBlockCache::Entry *hit =
+                readCache_->lookup(msg.vmId, msg.blockOffset)) {
+            // Snapshot the entry: the lookup pointer dies if another
+            // request inserts or invalidates while we are suspended.
+            const HotBlockCache::Entry cached = *hit;
+            const Tick hit_start = sim_.now();
+            net::Message reply;
+            reply.dst = msg.src;
+            reply.dstQp = msg.srcQp;
+            reply.kind = net::MessageKind::ReadReply;
+            reply.headerBytes = StorageHeader::wireSize;
+            reply.tag = msg.tag;
+            reply.issueTick = msg.issueTick;
+            reply.trace = tctx;
+            reply.payload.size = cached.plainSize;
+            reply.payload.data = cached.plain;
+            reply.payload.compressibility = cached.compressibility;
+            sim::Completion cache_read(sim_);
+            txRead_->transfer(cached.plainSize, [cache_read]() mutable {
+                cache_read.complete(0);
+            });
+            co_await cache_read;
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheHit, hit_start,
+                               sim_.now());
+            ports_[port]->send(std::move(reply));
+            co_return;
+        }
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                           sim_.now());
+    }
+
+    const ec::RsCodec &codec = ecCodec(config_);
+    const unsigned k = codec.k();
+    const auto candidates = readCandidates(config_, msg);
+    SMARTDS_CHECK(candidates.size() >= k,
+                  "EC read needs %u storage nodes, have %zu", k,
+                  candidates.size());
+    const std::size_t ring_start = rng_.below(candidates.size());
+
+    const Bytes stripe_hint = std::max<Bytes>(
+        msg.payload.size
+            ? msg.payload.size
+            : static_cast<Bytes>(
+                  static_cast<double>(msg.payload.originalSize) *
+                  msg.payload.compressibility),
+        1);
+    const Bytes shard_hint = ec::RsCodec::shardSize(stripe_hint, k);
+
+    std::vector<unsigned> shard_idx;
+    std::vector<net::Message> shard_msgs;
+    bool degraded = false;
+    const Tick collect_start = sim_.now();
+    for (std::size_t a = 0;
+         a < candidates.size() && shard_idx.size() < k;
+         ++a) {
+        const net::NodeId target =
+            candidates[(ring_start + a) % candidates.size()];
+        net::Message fetch;
+        fetch.dst = target;
+        fetch.kind = net::MessageKind::ReadFetch;
+        fetch.headerBytes = StorageHeader::wireSize;
+        fetch.tag = msg.tag;
+        fetch.issueTick = msg.issueTick;
+        fetch.payload.size = shard_hint;
+        fetch.payload.compressibility = msg.payload.compressibility;
+        fetch.payload.originalSize = msg.payload.originalSize;
+        fetch.payload.ecK = static_cast<std::uint8_t>(k);
+        fetch.payload.ecM = static_cast<std::uint8_t>(codec.m());
+        fetch.payload.ecShard = static_cast<std::uint8_t>(
+            std::min<std::size_t>(shard_idx.size(), codec.n() - 1));
+        fetch.payload.ecStripeBytes = stripe_hint;
+        fetch.trace = tctx;
+
+        sim::Completion fetched =
+            expectFetch(sim_, msg.tag, config_.failover.ackTimeout);
+        auto fetch_ptr = std::make_shared<net::Message>(std::move(fetch));
+        auto *out_port = ports_[(port + a) % ports_.size()];
+        txRead_->transfer(StorageHeader::wireSize,
+                          [out_port, fetch_ptr]() {
+                              out_port->send(std::move(*fetch_ptr));
+                          });
+        if (co_await fetched == 0) {
+            ++failover_.readFailovers;
+            degraded = true;
+            if (health_.noteTimeout(target))
+                ++failover_.nodesSuspected;
+            continue;
+        }
+        health_.noteAck(target);
+
+        net::Message candidate = takeFetchReply(msg.tag);
+        if (candidate.payload.ecK == 0) {
+            degraded = true; // node holds no shard of this stripe
+            continue;
+        }
+        if (candidate.payload.corrupted ||
+            (candidate.payload.data &&
+             xxhash32(*candidate.payload.data) !=
+                 candidate.payload.ecShardChecksum)) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readFailovers;
+            degraded = true;
+            continue;
+        }
+        const unsigned idx = candidate.payload.ecShard;
+        if (std::find(shard_idx.begin(), shard_idx.end(), idx) !=
+            shard_idx.end())
+            continue; // duplicate shard index (repaired copy)
+        shard_idx.push_back(idx);
+        shard_msgs.push_back(std::move(candidate));
+    }
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::DegradedRead, collect_start,
+                       sim_.now(),
+                       static_cast<std::uint32_t>(shard_idx.size()));
+
+    const bool have = shard_idx.size() >= k;
+    bool corrupt = !have;
+    if (!have)
+        ++failover_.readsUnserved;
+
+    const bool systematic =
+        have && std::all_of(shard_idx.begin(), shard_idx.end(),
+                            [k](unsigned i) { return i < k; });
+    if (have && !systematic)
+        degraded = true;
+    if (degraded && have)
+        ++failover_.degradedReads;
+
+    const Bytes stripe_bytes = std::max<Bytes>(
+        have ? shard_msgs.front().payload.ecStripeBytes : stripe_hint, 1);
+    const Bytes shard_bytes = ec::RsCodec::shardSize(stripe_bytes, k);
+
+    std::shared_ptr<const std::vector<std::uint8_t>> plain_data;
+    net::Message stored;
+    if (have)
+        stored = shard_msgs.front();
+    if (have && !systematic) {
+        // RS decode on the engine: k shards from DRAM, stripe back.
+        const Tick decode_start = sim_.now();
+        co_await sim::transferAsync(sim_, *engineRead_,
+                                    shard_bytes * static_cast<Bytes>(k));
+        co_await sim::transferAsync(sim_, *engine_, stripe_bytes);
+        co_await sim::transferAsync(sim_, *engineWrite_, stripe_bytes);
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::EcDecode, decode_start,
+                           sim_.now());
+    }
+    if (have && shard_msgs.front().payload.data) {
+        const VerifiedBlock recovered =
+            decodeEcStripe(config_, shard_idx, shard_msgs, stripe_bytes);
+        corrupt = recovered.corrupt;
+        plain_data = recovered.plain;
+        if (corrupt) {
+            ++failover_.corruptionsDetected;
+            ++failover_.readsUnserved;
+            if (cacheInvalidate(msg.vmId, msg.blockOffset) && tracer &&
+                tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
+        }
+    }
+
+    const Bytes original = std::max<Bytes>(
+        have && stored.payload.originalSize ? stored.payload.originalSize
+                                            : msg.payload.originalSize,
+        1);
+
+    // Engine decompress of the reassembled stripe.
+    const Tick engine_start = sim_.now();
+    co_await sim::transferAsync(sim_, *engineRead_, stripe_bytes);
+    co_await sim::transferAsync(sim_, *engine_, original);
+    co_await sim::transferAsync(sim_, *engineWrite_, original);
+    if (tracer && tctx)
+        tracer->record(tctx, trace::Stage::Engine, engine_start, sim_.now());
+
+    if (have && !corrupt && readCache_)
+        readCache_->insert(msg.vmId, msg.blockOffset,
+                           {original, stored.payload.compressibility,
+                            plain_data});
+
+    net::Message reply;
+    reply.dst = msg.src;
+    reply.dstQp = msg.srcQp;
+    reply.kind = net::MessageKind::ReadReply;
+    reply.headerBytes = StorageHeader::wireSize;
+    reply.tag = msg.tag;
+    reply.issueTick = msg.issueTick;
+    reply.trace = tctx;
+    reply.payload.size = original;
+    reply.payload.data = plain_data;
+    reply.payload.compressibility =
+        have ? stored.payload.compressibility : msg.payload.compressibility;
+    sim::Completion tx_read(sim_);
+    txRead_->transfer(original,
+                      [tx_read]() mutable { tx_read.complete(0); });
+    co_await tx_read;
+    ports_[port]->send(std::move(reply));
 }
 
 } // namespace smartds::middletier

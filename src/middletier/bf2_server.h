@@ -58,6 +58,8 @@ class Bf2Server : public MiddleTierServer
   private:
     void dispatch(unsigned port, net::Message msg);
     sim::Process serveWrite(unsigned port, net::Message msg);
+    sim::Process serveRead(unsigned port, net::Message msg);
+    sim::Process serveReadEc(unsigned port, net::Message msg);
 
     sim::Simulator &sim_;
     net::Fabric &fabric_;

@@ -78,20 +78,9 @@ CpuOnlyServer::dispatch(net::Message msg)
         else
             sim::spawn(sim_, serveRead(std::move(msg)));
         break;
-      case net::MessageKind::ReadFetchReply: {
-        const auto it = pendingFetches_.find(msg.tag);
-        if (it == pendingFetches_.end()) {
-            // The fetch timed out and moved on; late data is dropped.
-            ++failover_.staleAcks;
-            break;
-        }
-        sim::Completion done = it->second.completion;
-        it->second.timer.cancel();
-        pendingFetches_.erase(it);
-        fetchReplies_[msg.tag] = std::move(msg);
-        done.complete(1);
+      case net::MessageKind::ReadFetchReply:
+        deliverFetch(std::move(msg));
         break;
-      }
       default:
         panic("CPU-only server: unexpected message kind %u",
               static_cast<unsigned>(msg.kind));
@@ -102,6 +91,14 @@ sim::Process
 CpuOnlyServer::serveWrite(net::Message msg)
 {
     const Bytes payload = msg.payload.size;
+
+    // Write-through coherence: the cached copy goes stale the moment the
+    // write is accepted, before any concurrent read can hit it.
+    if (cacheInvalidate(msg.vmId, msg.blockOffset)) {
+        if (trace::Tracer *t = fabric_.tracer(); t && msg.trace)
+            t->record(msg.trace, trace::Stage::CacheInvalidate, sim_.now(),
+                      sim_.now());
+    }
 
     // --- CPU phase: parse header, decide placement, compress ------------
     // The core is held for the software time; concurrently the
@@ -249,6 +246,8 @@ CpuOnlyServer::serveWrite(net::Message msg)
         task.target = (*nodes)[r];
         task.slot = r;
         task.ec = ec;
+        task.vmId = msg.vmId;
+        task.blockOffset = msg.blockOffset;
         task.placement = nodes;
         task.chunk = placement.chunk;
         task.chunked = placement.chunked;
@@ -324,6 +323,43 @@ CpuOnlyServer::serveRead(net::Message msg)
         tracer->record(tctx, trace::Stage::HostParse, parse_start,
                        sim_.now(), parse_depth);
 
+    // Hot-block cache: a hit serves the verified plaintext straight from
+    // host memory, skipping the storage fetch and decompression.
+    if (readCache_) {
+        if (const HotBlockCache::Entry *hit =
+                readCache_->lookup(msg.vmId, msg.blockOffset)) {
+            // Snapshot the entry: the lookup pointer dies if another
+            // request inserts or invalidates while we are suspended.
+            const HotBlockCache::Entry cached = *hit;
+            const Tick hit_start = sim_.now();
+            co_await cores_.executeAsync(
+                calibration::hostPerRequestSoftwareCost);
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheHit, hit_start,
+                               sim_.now());
+            net::Message reply;
+            reply.dst = msg.src;
+            reply.dstQp = msg.srcQp;
+            reply.kind = net::MessageKind::ReadReply;
+            reply.headerBytes = StorageHeader::wireSize;
+            reply.tag = msg.tag;
+            reply.issueTick = msg.issueTick;
+            reply.trace = tctx;
+            reply.payload.size = cached.plainSize;
+            reply.payload.data = cached.plain;
+            reply.payload.compressibility = cached.compressibility;
+            pcie::DmaEngine::Options tx;
+            tx.memFlow = txRead_;
+            tx.stallOnMemory = true;
+            nic_->setTxDmaOptions(tx);
+            nic_->sendFromHost(std::move(reply));
+            co_return;
+        }
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                           sim_.now());
+    }
+
     const auto candidates = readCandidates(config_, msg);
     SMARTDS_CHECK(!candidates.empty(), "read with no storage candidates");
     const std::size_t start = rng_.below(candidates.size());
@@ -345,22 +381,8 @@ CpuOnlyServer::serveRead(net::Message msg)
         fetch.payload.originalSize = msg.payload.originalSize;
         fetch.trace = tctx;
 
-        sim::Completion fetched(sim_);
-        const auto [pending, fresh] =
-            pendingFetches_.emplace(msg.tag, FetchEntry{fetched, {}});
-        SMARTDS_CHECK(fresh, "duplicate pending fetch for tag %llu",
-                      static_cast<unsigned long long>(msg.tag));
-        if (config_.failover.ackTimeout > 0) {
-            pending->second.timer = sim_.schedule(
-                config_.failover.ackTimeout, [this, tag = msg.tag]() {
-                    const auto it = pendingFetches_.find(tag);
-                    if (it == pendingFetches_.end())
-                        return;
-                    sim::Completion waiter = it->second.completion;
-                    pendingFetches_.erase(it);
-                    waiter.complete(0);
-                });
-        }
+        sim::Completion fetched =
+            expectFetch(sim_, msg.tag, config_.failover.ackTimeout);
         nic_->setTxDmaOptions({nullptr, false});
         nic_->sendFromHost(std::move(fetch));
         if (co_await fetched == 0) {
@@ -371,64 +393,21 @@ CpuOnlyServer::serveRead(net::Message msg)
         }
         health_.noteAck(target);
 
-        const auto it = fetchReplies_.find(msg.tag);
-        SMARTDS_CHECK(it != fetchReplies_.end(), "lost fetch reply");
-        net::Message candidate = std::move(it->second);
-        fetchReplies_.erase(it);
+        net::Message candidate = takeFetchReply(msg.tag);
 
         // End-to-end integrity: decompress, then verify the checksum the
         // VM stamped into the storage header at write time.
-        bool corrupt = candidate.payload.corrupted;
-        plain_data.reset();
-        const corpus::BlockCodecCache::Entry *cached =
-            !corrupt && candidate.payload.data && config_.blockCache
-                ? config_.blockCache->lookupCompressed(
-                      candidate.payload.blockId,
-                      candidate.payload.data->data(),
-                      candidate.payload.data->size())
-                : nullptr;
-        if (cached) {
-            // The guard proved the stored bytes are the cached compressed
-            // block (a bit-flipped copy hashes differently and takes the
-            // real-codec path below), so decompression is a lookup. The
-            // stored header checksum is still compared, as on the slow
-            // path.
-            if (candidate.headerData &&
-                candidate.headerData->size() >= StorageHeader::wireSize) {
-                const StorageHeader hdr =
-                    StorageHeader::decode(candidate.headerData->data());
-                if (hdr.blockChecksum != 0 &&
-                    cached->plainChecksum != hdr.blockChecksum)
-                    corrupt = true;
-            }
-            if (!corrupt)
-                plain_data = cached->plain;
-        } else if (!corrupt && candidate.payload.data) {
-            const Bytes plain_size = candidate.payload.originalSize
-                                         ? candidate.payload.originalSize
-                                         : candidate.payload.size;
-            auto plain =
-                lz4::decompress(*candidate.payload.data, plain_size);
-            if (!plain) {
-                corrupt = true;
-            } else {
-                if (candidate.headerData &&
-                    candidate.headerData->size() >=
-                        StorageHeader::wireSize) {
-                    const StorageHeader hdr =
-                        StorageHeader::decode(candidate.headerData->data());
-                    if (hdr.blockChecksum != 0 &&
-                        xxhash32(*plain) != hdr.blockChecksum)
-                        corrupt = true;
-                }
-                if (!corrupt)
-                    plain_data = std::make_shared<
-                        const std::vector<std::uint8_t>>(std::move(*plain));
-            }
-        }
-        if (corrupt) {
+        const VerifiedBlock verified = verifyFetchedBlock(config_, candidate);
+        plain_data = verified.plain;
+        if (verified.corrupt) {
             ++failover_.corruptionsDetected;
             ++failover_.readFailovers;
+            // Checksum failover is a cache coherence point: drop any
+            // cached copy of the block rather than trust it outlived
+            // whatever corrupted the replica.
+            if (cacheInvalidate(msg.vmId, msg.blockOffset) && tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
             continue;
         }
         stored = std::move(candidate);
@@ -466,6 +445,12 @@ CpuOnlyServer::serveRead(net::Message msg)
         tracer->record(tctx, trace::Stage::HostCompute, compute_start,
                        sim_.now(), compute_depth);
 
+    // Keep the verified plaintext for future hits on this block.
+    if (have && readCache_)
+        readCache_->insert(msg.vmId, msg.blockOffset,
+                           {original, stored.payload.compressibility,
+                            plain_data});
+
     net::Message reply;
     reply.dst = msg.src;
     reply.dstQp = msg.srcQp;
@@ -500,6 +485,42 @@ CpuOnlyServer::serveReadEc(net::Message msg)
     if (tracer && tctx)
         tracer->record(tctx, trace::Stage::HostParse, parse_start,
                        sim_.now(), parse_depth);
+
+    // A cached block skips the whole shard-gathering fan-out.
+    if (readCache_) {
+        if (const HotBlockCache::Entry *hit =
+                readCache_->lookup(msg.vmId, msg.blockOffset)) {
+            // Snapshot the entry: the lookup pointer dies if another
+            // request inserts or invalidates while we are suspended.
+            const HotBlockCache::Entry cached = *hit;
+            const Tick hit_start = sim_.now();
+            co_await cores_.executeAsync(
+                calibration::hostPerRequestSoftwareCost);
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheHit, hit_start,
+                               sim_.now());
+            net::Message reply;
+            reply.dst = msg.src;
+            reply.dstQp = msg.srcQp;
+            reply.kind = net::MessageKind::ReadReply;
+            reply.headerBytes = StorageHeader::wireSize;
+            reply.tag = msg.tag;
+            reply.issueTick = msg.issueTick;
+            reply.trace = tctx;
+            reply.payload.size = cached.plainSize;
+            reply.payload.data = cached.plain;
+            reply.payload.compressibility = cached.compressibility;
+            pcie::DmaEngine::Options tx;
+            tx.memFlow = txRead_;
+            tx.stallOnMemory = true;
+            nic_->setTxDmaOptions(tx);
+            nic_->sendFromHost(std::move(reply));
+            co_return;
+        }
+        if (tracer && tctx)
+            tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                           sim_.now());
+    }
 
     const ec::RsCodec &codec = ecCodec(config_);
     const unsigned k = codec.k();
@@ -546,22 +567,8 @@ CpuOnlyServer::serveReadEc(net::Message msg)
         fetch.payload.ecStripeBytes = stripe_hint;
         fetch.trace = tctx;
 
-        sim::Completion fetched(sim_);
-        const auto [pending, fresh] =
-            pendingFetches_.emplace(msg.tag, FetchEntry{fetched, {}});
-        SMARTDS_CHECK(fresh, "duplicate pending fetch for tag %llu",
-                      static_cast<unsigned long long>(msg.tag));
-        if (config_.failover.ackTimeout > 0) {
-            pending->second.timer = sim_.schedule(
-                config_.failover.ackTimeout, [this, tag = msg.tag]() {
-                    const auto it = pendingFetches_.find(tag);
-                    if (it == pendingFetches_.end())
-                        return;
-                    sim::Completion waiter = it->second.completion;
-                    pendingFetches_.erase(it);
-                    waiter.complete(0);
-                });
-        }
+        sim::Completion fetched =
+            expectFetch(sim_, msg.tag, config_.failover.ackTimeout);
         nic_->setTxDmaOptions({nullptr, false});
         nic_->sendFromHost(std::move(fetch));
         if (co_await fetched == 0) {
@@ -573,10 +580,7 @@ CpuOnlyServer::serveReadEc(net::Message msg)
         }
         health_.noteAck(target);
 
-        const auto it = fetchReplies_.find(msg.tag);
-        SMARTDS_CHECK(it != fetchReplies_.end(), "lost fetch reply");
-        net::Message candidate = std::move(it->second);
-        fetchReplies_.erase(it);
+        net::Message candidate = takeFetchReply(msg.tag);
 
         if (candidate.payload.ecK == 0) {
             // Functional mode: this node holds no shard of the stripe
@@ -650,43 +654,19 @@ CpuOnlyServer::serveReadEc(net::Message msg)
                            sim_.now());
     }
     if (have && shard_msgs.front().payload.data) {
-        // Functional reassembly, byte for byte.
-        std::vector<
-            std::pair<unsigned, const std::vector<std::uint8_t> *>>
-            pairs;
-        pairs.reserve(shard_idx.size());
-        for (std::size_t i = 0; i < shard_idx.size(); ++i)
-            pairs.emplace_back(shard_idx[i],
-                               shard_msgs[i].payload.data.get());
-        auto stripe = codec.decode(pairs, stripe_bytes);
-        if (!stripe) {
-            corrupt = true;
-        } else {
-            // The stripe is the compressed block; decompress and verify
-            // the header checksum the VM stamped at write time.
-            const Bytes plain_size = stored.payload.originalSize
-                                         ? stored.payload.originalSize
-                                         : stripe_bytes;
-            auto plain = lz4::decompress(*stripe, plain_size);
-            if (!plain) {
-                corrupt = true;
-            } else {
-                if (stored.headerData &&
-                    stored.headerData->size() >= StorageHeader::wireSize) {
-                    const StorageHeader hdr =
-                        StorageHeader::decode(stored.headerData->data());
-                    if (hdr.blockChecksum != 0 &&
-                        xxhash32(*plain) != hdr.blockChecksum)
-                        corrupt = true;
-                }
-                if (!corrupt)
-                    plain_data = std::make_shared<
-                        const std::vector<std::uint8_t>>(std::move(*plain));
-            }
-        }
-        if (corrupt && have) {
+        // Functional reassembly, byte for byte; the recovered stripe is
+        // decompressed and verified against the write-time checksum.
+        const VerifiedBlock recovered =
+            decodeEcStripe(config_, shard_idx, shard_msgs, stripe_bytes);
+        corrupt = recovered.corrupt;
+        plain_data = recovered.plain;
+        if (corrupt) {
             ++failover_.corruptionsDetected;
             ++failover_.readsUnserved;
+            if (cacheInvalidate(msg.vmId, msg.blockOffset) && tracer &&
+                tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
         }
     }
 
@@ -714,6 +694,12 @@ CpuOnlyServer::serveReadEc(net::Message msg)
     if (tracer && tctx)
         tracer->record(tctx, trace::Stage::HostCompute, compute_start,
                        sim_.now(), compute_depth);
+
+    // Keep the verified plaintext for future hits on this block.
+    if (have && !corrupt && readCache_)
+        readCache_->insert(msg.vmId, msg.blockOffset,
+                           {original, stored.payload.compressibility,
+                            plain_data});
 
     net::Message reply;
     reply.dst = msg.src;

@@ -58,19 +58,6 @@ class CpuOnlyServer : public MiddleTierServer
     sim::FairShareResource::Flow *compressRead_;
     sim::FairShareResource::Flow *compressWrite_;
     sim::FairShareResource::Flow *txRead_;
-
-    /**
-     * Outstanding storage fetch (read path), keyed by tag. The timer is
-     * cancelled on delivery so a timeout armed for an earlier probe of
-     * the same read can never fire into a later probe's wait.
-     */
-    struct FetchEntry
-    {
-        sim::Completion completion;
-        sim::EventHandle timer;
-    };
-    std::unordered_map<std::uint64_t, FetchEntry> pendingFetches_;
-    std::unordered_map<std::uint64_t, net::Message> fetchReplies_;
 };
 
 } // namespace smartds::middletier

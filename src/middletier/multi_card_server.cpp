@@ -130,6 +130,15 @@ MultiCardSmartDsServer::failoverStats() const
     return total;
 }
 
+HotBlockCache::Stats
+MultiCardSmartDsServer::readCacheStats() const
+{
+    HotBlockCache::Stats total;
+    for (const auto &card : cards_)
+        total += card->readCacheStats();
+    return total;
+}
+
 void
 MultiCardSmartDsServer::setMaintenanceService(MaintenanceService *m)
 {

@@ -60,6 +60,9 @@ class MultiCardSmartDsServer : public MiddleTierServer
     /** Failure-handling counters summed over all cards. */
     FailoverStats failoverStats() const override;
 
+    /** Read-cache counters summed over all cards. */
+    HotBlockCache::Stats readCacheStats() const override;
+
     /** Every card hands abandoned replicas to the same repair queue. */
     void setMaintenanceService(MaintenanceService *m) override;
 

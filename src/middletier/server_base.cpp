@@ -5,8 +5,11 @@
 #include "common/check.h"
 #include "common/checksum.h"
 #include "common/logging.h"
+#include "corpus/block_cache.h"
 #include "ec/reed_solomon.h"
+#include "lz4/lz4.h"
 #include "middletier/maintenance.h"
+#include "middletier/protocol.h"
 
 namespace smartds::middletier {
 
@@ -201,6 +204,153 @@ MiddleTierServer::deliverAck(std::uint64_t tag, net::NodeId node)
     waiter.complete(1);
 }
 
+sim::Completion
+MiddleTierServer::expectFetch(sim::Simulator &sim, std::uint64_t tag,
+                              Tick timeout)
+{
+    sim::Completion fetched(sim);
+    const auto [it, fresh] =
+        pendingFetches_.emplace(tag, FetchEntry{fetched, {}});
+    SMARTDS_CHECK(fresh, "duplicate pending fetch for tag %llu",
+                  static_cast<unsigned long long>(tag));
+    if (timeout > 0) {
+        // Holding the timer per-entry (and cancelling it on delivery)
+        // is load-bearing: with a bare schedule(), a timer armed for an
+        // earlier probe of the same tag would fire into a later probe's
+        // wait and fail it spuriously.
+        it->second.timer = sim.schedule(timeout, [this, tag]() {
+            const auto entry = pendingFetches_.find(tag);
+            if (entry == pendingFetches_.end())
+                return;
+            sim::Completion waiter = entry->second.completion;
+            pendingFetches_.erase(entry);
+            waiter.complete(0);
+        });
+    }
+    return fetched;
+}
+
+void
+MiddleTierServer::deliverFetch(net::Message msg)
+{
+    const auto it = pendingFetches_.find(msg.tag);
+    if (it == pendingFetches_.end()) {
+        // The fetch timed out and moved on; late data is dropped.
+        ++failover_.staleAcks;
+        return;
+    }
+    sim::Completion done = it->second.completion;
+    it->second.timer.cancel();
+    pendingFetches_.erase(it);
+    fetchReplies_[msg.tag] = std::move(msg);
+    done.complete(1);
+}
+
+net::Message
+MiddleTierServer::takeFetchReply(std::uint64_t tag)
+{
+    const auto it = fetchReplies_.find(tag);
+    SMARTDS_CHECK(it != fetchReplies_.end(), "lost fetch reply");
+    net::Message reply = std::move(it->second);
+    fetchReplies_.erase(it);
+    return reply;
+}
+
+MiddleTierServer::VerifiedBlock
+MiddleTierServer::verifyFetchedBlock(const ServerConfig &config,
+                                     const net::Message &reply)
+{
+    VerifiedBlock out;
+    out.corrupt = reply.payload.corrupted;
+    if (out.corrupt || !reply.payload.data)
+        return out;
+    const StorageHeader *hdr_ptr = nullptr;
+    StorageHeader hdr;
+    if (reply.headerData &&
+        reply.headerData->size() >= StorageHeader::wireSize) {
+        hdr = StorageHeader::decode(reply.headerData->data());
+        hdr_ptr = &hdr;
+    }
+    const corpus::BlockCodecCache::Entry *cached =
+        config.blockCache
+            ? config.blockCache->lookupCompressed(reply.payload.blockId,
+                                                  reply.payload.data->data(),
+                                                  reply.payload.data->size())
+            : nullptr;
+    if (cached) {
+        // The hash guard proved the stored bytes are the cached
+        // compressed block, so decompression is a lookup; the header
+        // checksum is still compared, as on the slow path.
+        if (hdr_ptr && hdr_ptr->blockChecksum != 0 &&
+            cached->plainChecksum != hdr_ptr->blockChecksum) {
+            out.corrupt = true;
+            return out;
+        }
+        out.plain = cached->plain;
+        return out;
+    }
+    const Bytes plain_size = reply.payload.originalSize
+                                 ? reply.payload.originalSize
+                                 : reply.payload.size;
+    auto plain = lz4::decompress(*reply.payload.data, plain_size);
+    if (!plain) {
+        out.corrupt = true;
+        return out;
+    }
+    if (hdr_ptr && hdr_ptr->blockChecksum != 0 &&
+        xxhash32(*plain) != hdr_ptr->blockChecksum) {
+        out.corrupt = true;
+        return out;
+    }
+    out.plain =
+        std::make_shared<const std::vector<std::uint8_t>>(std::move(*plain));
+    return out;
+}
+
+MiddleTierServer::VerifiedBlock
+MiddleTierServer::decodeEcStripe(const ServerConfig &config,
+                                 const std::vector<unsigned> &shard_idx,
+                                 const std::vector<net::Message> &shard_msgs,
+                                 Bytes stripe_bytes)
+{
+    VerifiedBlock out;
+    if (shard_msgs.empty() || !shard_msgs.front().payload.data)
+        return out; // timing-only stripe: nothing to reassemble
+    std::vector<std::pair<unsigned, const std::vector<std::uint8_t> *>>
+        pairs;
+    pairs.reserve(shard_idx.size());
+    for (std::size_t i = 0; i < shard_idx.size(); ++i)
+        pairs.emplace_back(shard_idx[i], shard_msgs[i].payload.data.get());
+    auto stripe = ecCodec(config).decode(pairs, stripe_bytes);
+    if (!stripe) {
+        out.corrupt = true;
+        return out;
+    }
+    // The stripe is the compressed block; decompress and verify the
+    // header checksum the VM stamped at write time.
+    const net::Message &stored = shard_msgs.front();
+    const Bytes plain_size = stored.payload.originalSize
+                                 ? stored.payload.originalSize
+                                 : stripe_bytes;
+    auto plain = lz4::decompress(*stripe, plain_size);
+    if (!plain) {
+        out.corrupt = true;
+        return out;
+    }
+    if (stored.headerData &&
+        stored.headerData->size() >= StorageHeader::wireSize) {
+        const StorageHeader hdr =
+            StorageHeader::decode(stored.headerData->data());
+        if (hdr.blockChecksum != 0 && xxhash32(*plain) != hdr.blockChecksum) {
+            out.corrupt = true;
+            return out;
+        }
+    }
+    out.plain =
+        std::make_shared<const std::vector<std::uint8_t>>(std::move(*plain));
+    return out;
+}
+
 net::NodeId
 MiddleTierServer::pickReplacement(const ServerConfig &config, Rng &rng,
                                   const std::vector<net::NodeId> &placement,
@@ -287,6 +437,9 @@ MiddleTierServer::replicateWithFailover(sim::Simulator &sim, Rng &rng,
     }
     if (!durable) {
         ++failover_.replicasAbandoned;
+        // The block is about to be rewritten by a background repair /
+        // reconstruction; the cached copy must not outlive it.
+        cacheInvalidate(task.vmId, task.blockOffset);
         if (maintenance_ && task.makeRepair) {
             // Move the replica off the failing node for good and hand the
             // resend to the background repair queue; the serving path
@@ -390,6 +543,17 @@ MiddleTierServer::addFailoverProbes(UsageProbes &probes)
     probes.add("ec.degraded_reads", counter(&FailoverStats::degradedReads));
     probes.add("replica.bytes_sent",
                counter(&FailoverStats::replicaBytesSent));
+    const auto cache = [this](std::uint64_t HotBlockCache::Stats::*field) {
+        return [this, field]() {
+            return static_cast<double>(readCacheStats().*field);
+        };
+    };
+    probes.add("cache.hits", cache(&HotBlockCache::Stats::hits));
+    probes.add("cache.misses", cache(&HotBlockCache::Stats::misses));
+    probes.add("cache.hit_bytes", cache(&HotBlockCache::Stats::hitBytes));
+    probes.add("cache.evictions", cache(&HotBlockCache::Stats::evictions));
+    probes.add("cache.invalidations",
+               cache(&HotBlockCache::Stats::invalidations));
 }
 
 } // namespace smartds::middletier

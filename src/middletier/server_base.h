@@ -28,6 +28,7 @@
 #include "ec/reed_solomon.h"
 #include "common/random.h"
 #include "middletier/chunk_manager.h"
+#include "middletier/hot_block_cache.h"
 #include "middletier/node_health.h"
 #include "net/fabric.h"
 #include "sim/process.h"
@@ -136,6 +137,13 @@ struct ServerConfig
      * changes wall-clock cost only, never results.
      */
     const corpus::BlockCodecCache *blockCache = nullptr;
+    /**
+     * Hot-block read cache (capacityBytes == 0 disables it). Entries
+     * hold checksum-verified plaintext keyed by (vmId, blockOffset) and
+     * are invalidated on writes, checksum failovers and reconstruction
+     * events, so enabling the cache never changes served bytes.
+     */
+    ReadCacheConfig readCache;
 };
 
 /** Cumulative failure-handling counters a server exposes. */
@@ -231,6 +239,13 @@ class MiddleTierServer
     /** Failure-handling counters (aggregated over cards for MultiCard). */
     virtual FailoverStats failoverStats() const { return failover_; }
 
+    /** Hot-block cache counters (zeros when the cache is disabled). */
+    virtual HotBlockCache::Stats
+    readCacheStats() const
+    {
+        return readCache_ ? readCache_->stats() : HotBlockCache::Stats{};
+    }
+
     /** Health view fed by this server's timeout observations. */
     const NodeHealthView &nodeHealth() const { return health_; }
 
@@ -279,6 +294,13 @@ class MiddleTierServer
          * to maintenance as k-fan-in reconstructions.
          */
         bool ec = false;
+        /**
+         * Block identity for read-cache coherence: abandoning a replica
+         * schedules a repair whose reconstruction will rewrite the block,
+         * so the cached copy is dropped at the same point.
+         */
+        std::uint64_t vmId = 0;
+        std::uint64_t blockOffset = 0;
     };
 
     void
@@ -299,6 +321,20 @@ class MiddleTierServer
              ++i)
             health_.setDomain(config.storageNodes[i],
                               config.storageDomains[i]);
+        if (config.readCache.capacityBytes > 0)
+            readCache_ = std::make_unique<HotBlockCache>(
+                config.readCache.capacityBytes);
+    }
+
+    /**
+     * Drop a block from the read cache (write / failover / reconstruction
+     * coherence point). Returns whether an entry was actually dropped, so
+     * callers can record a CacheInvalidate trace stage only when one was.
+     */
+    bool
+    cacheInvalidate(std::uint64_t vm_id, std::uint64_t block_offset)
+    {
+        return readCache_ && readCache_->invalidate(vm_id, block_offset);
     }
 
     /**
@@ -357,6 +393,56 @@ class MiddleTierServer
 
     /** Route an arriving ack into the table (stale acks are counted). */
     void deliverAck(std::uint64_t tag, net::NodeId node);
+
+    /**
+     * Register interest in a ReadFetchReply for @p tag. The returned
+     * completion fires with 1 on delivery and 0 on timeout. The timer
+     * handle is held per-entry and cancelled on delivery, so a timer
+     * armed for an earlier probe of the same tag can never fire into a
+     * later probe's wait (the stale-timer bug PR 6 fixed in CpuOnly —
+     * this shared table is what every design's read path now uses).
+     */
+    sim::Completion expectFetch(sim::Simulator &sim, std::uint64_t tag,
+                                Tick timeout);
+
+    /**
+     * Route an arriving fetch reply to its waiter (stale replies — the
+     * wait already timed out and retired — are counted and dropped).
+     */
+    void deliverFetch(net::Message msg);
+
+    /**
+     * Take the reply payload stashed by deliverFetch() for @p tag.
+     * Valid only after the expectFetch() completion fired with 1.
+     */
+    net::Message takeFetchReply(std::uint64_t tag);
+
+    /** Outcome of checksum-verifying (and decompressing) a fetched block. */
+    struct VerifiedBlock
+    {
+        bool corrupt = false;
+        /** Decompressed plaintext (null for timing-only payloads). */
+        std::shared_ptr<const std::vector<std::uint8_t>> plain;
+    };
+
+    /**
+     * End-to-end verify one fetched replica: recompute the payload
+     * checksum against the stored one and, for functional payloads,
+     * LZ4-decompress (codec-cache assisted) into plaintext. Timing-only
+     * payloads verify by the `corrupted` fault-injection bit alone.
+     */
+    VerifiedBlock verifyFetchedBlock(const ServerConfig &config,
+                                     const net::Message &reply);
+
+    /**
+     * Reassemble one EC stripe from k verified shard replies (erasure
+     * decode when @p shard_idx includes parity slots), then verify and
+     * decompress the recovered block like verifyFetchedBlock().
+     */
+    VerifiedBlock decodeEcStripe(const ServerConfig &config,
+                                 const std::vector<unsigned> &shard_idx,
+                                 const std::vector<net::Message> &shard_msgs,
+                                 Bytes stripe_bytes);
 
     /**
      * Drive one replica to durability: send, await the ack with an
@@ -466,6 +552,8 @@ class MiddleTierServer
     FailoverStats failover_;
     NodeHealthView health_;
     MaintenanceService *maintenance_ = nullptr;
+    /** Hot-block read cache (null when disabled). */
+    std::unique_ptr<HotBlockCache> readCache_;
 
   private:
     struct AckKey
@@ -492,10 +580,18 @@ class MiddleTierServer
         sim::Completion completion;
         sim::EventHandle timer;
     };
+    /** One awaited fetch reply; the timer is cancelled on delivery. */
+    struct FetchEntry
+    {
+        sim::Completion completion;
+        sim::EventHandle timer;
+    };
 
     std::uint64_t requestsCompleted_ = 0;
     Bytes payloadBytesServed_ = 0;
     std::unordered_map<AckKey, AckEntry, AckKeyHash> pendingAcks_;
+    std::unordered_map<std::uint64_t, FetchEntry> pendingFetches_;
+    std::unordered_map<std::uint64_t, net::Message> fetchReplies_;
     std::unique_ptr<ec::RsCodec> codec_;
 #if SMARTDS_CHECKED_BUILD
     std::map<std::uint64_t, std::vector<bool>> ecLedger_;

@@ -28,6 +28,15 @@ SmartDsServer::SmartDsServer(net::Fabric &fabric, mem::MemorySystem &memory,
     device_ = std::make_unique<SmartDsDevice>(fabric, "smartds", &memory,
                                               smartds_.device);
     initFailover(config_);
+    if (readCache_ &&
+        config_.readCache.placement == ReadCachePlacement::DeviceHbm) {
+        // The cache's capacity comes out of the HBM budget (alloc is
+        // fatal on exhaustion, so an oversized cache fails loudly), and
+        // every hit's device-DRAM read is billed to a fair-share flow
+        // competing with the datapath's own HBM traffic.
+        cacheReservation_ = device_->hbm().alloc(config_.readCache.capacityBytes);
+        cacheFlow_ = device_->hbm().createFlow("smartds.cache");
+    }
     for (unsigned p = 0; p < smartds_.ports; ++p) {
         requestQps_.push_back(device_->createQp(p));
         for (unsigned w = 0; w < smartds_.workersPerPort; ++w)
@@ -169,6 +178,49 @@ SmartDsServer::worker(unsigned port)
             // Each shard probe reuses the fetch QP timeout/reset idiom of
             // the replicated read path below; the RS engine reassembles
             // the stripe in HBM and the LZ4 engine decompresses it.
+            // Hot-block cache in HBM: a hit serves the verified plaintext
+            // with one device-DRAM read — no shard gather, no RS decode,
+            // no decompression.
+            if (readCache_) {
+                if (const HotBlockCache::Entry *hit =
+                        readCache_->lookup(req.vmId, req.blockOffset)) {
+                    // Snapshot the entry: the lookup pointer dies if
+                    // another worker touches the cache while we are
+                    // suspended below.
+                    const HotBlockCache::Entry cached = *hit;
+                    const Tick hit_start = sim_.now();
+                    if (cacheFlow_) {
+                        sim::Completion cache_read(sim_);
+                        cacheFlow_->transfer(cached.plainSize,
+                                             [cache_read]() mutable {
+                                                 cache_read.complete(0);
+                                             });
+                        co_await cache_read;
+                    } else {
+                        co_await cores_.executeAsync(
+                            calibration::smartdsHostRequestCost);
+                    }
+                    if (d_recv->bytes() && cached.plain)
+                        std::copy(cached.plain->begin(), cached.plain->end(),
+                                  d_recv->bytes()->begin());
+                    d_recv->content = device::BufferContent{};
+                    d_recv->content.size = cached.plainSize;
+                    d_recv->content.compressibility = cached.compressibility;
+                    if (tracer && tctx)
+                        tracer->record(tctx, trace::Stage::CacheHit,
+                                       hit_start, sim_.now());
+                    device_->connect(reply_qp, req.src, req.srcQp);
+                    auto reply = device_->mixedSend(
+                        reply_qp, h_send, StorageHeader::wireSize, d_recv,
+                        cached.plainSize, net::MessageKind::ReadReply, tag,
+                        req.issueTick, tctx);
+                    co_await reply.completion;
+                    continue;
+                }
+                if (tracer && tctx)
+                    tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                                   sim_.now());
+            }
             const ec::RsCodec &codec = ecCodec(config_);
             const unsigned k = codec.k();
             const unsigned n = codec.n();
@@ -253,6 +305,10 @@ SmartDsServer::worker(unsigned port)
                 if (shard_corrupt) {
                     ++failover_.corruptionsDetected;
                     ++failover_.readFailovers;
+                    if (cacheInvalidate(req.vmId, req.blockOffset) &&
+                        tracer && tctx)
+                        tracer->record(tctx, trace::Stage::CacheInvalidate,
+                                       sim_.now(), sim_.now());
                     degraded = true;
                     continue;
                 }
@@ -304,12 +360,29 @@ SmartDsServer::worker(unsigned port)
                 if (corrupt) {
                     ++failover_.corruptionsDetected;
                     ++failover_.readsUnserved;
+                    if (cacheInvalidate(req.vmId, req.blockOffset) &&
+                        tracer && tctx)
+                        tracer->record(tctx, trace::Stage::CacheInvalidate,
+                                       sim_.now(), sim_.now());
                 } else {
                     plain_size = plain.size();
                     served = true;
                 }
             } else {
                 ++failover_.readsUnserved;
+            }
+            if (served && readCache_) {
+                std::shared_ptr<const std::vector<std::uint8_t>> plain_bytes;
+                if (d_recv->bytes())
+                    plain_bytes =
+                        std::make_shared<const std::vector<std::uint8_t>>(
+                            d_recv->bytes()->begin(),
+                            d_recv->bytes()->begin() +
+                                static_cast<std::ptrdiff_t>(plain_size));
+                readCache_->insert(req.vmId, req.blockOffset,
+                                   {plain_size,
+                                    d_recv->content.compressibility,
+                                    std::move(plain_bytes)});
             }
 
             device_->connect(reply_qp, req.src, req.srcQp);
@@ -326,6 +399,49 @@ SmartDsServer::worker(unsigned port)
             // A fetch that times out resets the QP (flushing the posted
             // receive) and fails over to another replica; a fetched block
             // whose engine decode or checksum fails does the same.
+            // Hot-block cache in HBM: a hit serves the verified plaintext
+            // with one device-DRAM read, skipping the fetch round trip
+            // and the decompression engine.
+            if (readCache_) {
+                if (const HotBlockCache::Entry *hit =
+                        readCache_->lookup(req.vmId, req.blockOffset)) {
+                    // Snapshot the entry: the lookup pointer dies if
+                    // another worker touches the cache while we are
+                    // suspended below.
+                    const HotBlockCache::Entry cached = *hit;
+                    const Tick hit_start = sim_.now();
+                    if (cacheFlow_) {
+                        sim::Completion cache_read(sim_);
+                        cacheFlow_->transfer(cached.plainSize,
+                                             [cache_read]() mutable {
+                                                 cache_read.complete(0);
+                                             });
+                        co_await cache_read;
+                    } else {
+                        co_await cores_.executeAsync(
+                            calibration::smartdsHostRequestCost);
+                    }
+                    if (d_recv->bytes() && cached.plain)
+                        std::copy(cached.plain->begin(), cached.plain->end(),
+                                  d_recv->bytes()->begin());
+                    d_recv->content = device::BufferContent{};
+                    d_recv->content.size = cached.plainSize;
+                    d_recv->content.compressibility = cached.compressibility;
+                    if (tracer && tctx)
+                        tracer->record(tctx, trace::Stage::CacheHit,
+                                       hit_start, sim_.now());
+                    device_->connect(reply_qp, req.src, req.srcQp);
+                    auto reply = device_->mixedSend(
+                        reply_qp, h_send, StorageHeader::wireSize, d_recv,
+                        cached.plainSize, net::MessageKind::ReadReply, tag,
+                        req.issueTick, tctx);
+                    co_await reply.completion;
+                    continue;
+                }
+                if (tracer && tctx)
+                    tracer->record(tctx, trace::Stage::CacheMiss, sim_.now(),
+                                   sim_.now());
+            }
             const auto candidates = readCandidates(config_, req);
             const std::size_t start =
                 candidates.empty() ? 0 : rng_.below(candidates.size());
@@ -386,6 +502,10 @@ SmartDsServer::worker(unsigned port)
                 if (corrupt) {
                     ++failover_.corruptionsDetected;
                     ++failover_.readFailovers;
+                    if (cacheInvalidate(req.vmId, req.blockOffset) &&
+                        tracer && tctx)
+                        tracer->record(tctx, trace::Stage::CacheInvalidate,
+                                       sim_.now(), sim_.now());
                     continue;
                 }
                 plain_size = plain.size();
@@ -393,6 +513,19 @@ SmartDsServer::worker(unsigned port)
             }
             if (!served)
                 ++failover_.readsUnserved;
+            if (served && readCache_) {
+                std::shared_ptr<const std::vector<std::uint8_t>> plain_bytes;
+                if (d_recv->bytes())
+                    plain_bytes =
+                        std::make_shared<const std::vector<std::uint8_t>>(
+                            d_recv->bytes()->begin(),
+                            d_recv->bytes()->begin() +
+                                static_cast<std::ptrdiff_t>(plain_size));
+                readCache_->insert(req.vmId, req.blockOffset,
+                                   {plain_size,
+                                    d_recv->content.compressibility,
+                                    std::move(plain_bytes)});
+            }
 
             device_->connect(reply_qp, req.src, req.srcQp);
             auto reply = device_->mixedSend(
@@ -404,6 +537,13 @@ SmartDsServer::worker(unsigned port)
         }
 
         // --- Write path (Listing 1) -------------------------------------
+        // Write-through coherence: drop the cached copy before serving
+        // the write, so no concurrent read can hit stale bytes.
+        if (cacheInvalidate(req.vmId, req.blockOffset)) {
+            if (tracer && tctx)
+                tracer->record(tctx, trace::Stage::CacheInvalidate,
+                               sim_.now(), sim_.now());
+        }
         device::BufferRef send_buf = d_recv;
         Bytes send_size = payload_size;
         if (!latency_sensitive) {
@@ -447,6 +587,8 @@ SmartDsServer::worker(unsigned port)
             const Bytes out_size = ec ? shard_size : send_size;
             ReplicaTask task;
             task.tag = tag;
+            task.vmId = req.vmId;
+            task.blockOffset = req.blockOffset;
             task.blockBytes = out_size;
             task.target = (*nodes)[r];
             task.slot = r;

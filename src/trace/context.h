@@ -36,6 +36,9 @@ enum class Stage : std::uint8_t
     EcDecode,   ///< RS(k, m) stripe decode on a degraded read
     DegradedRead, ///< shard collection for an EC read (probe -> k shards)
     Reconstruct,  ///< background re-encode of a lost shard (maintenance)
+    CacheHit,     ///< read served from the middle-tier hot-block cache
+    CacheMiss,    ///< read that had to fetch from storage (cache enabled)
+    CacheInvalidate, ///< cached block dropped (write/failover coherence)
     kCount
 };
 

@@ -49,6 +49,9 @@ stageName(Stage stage)
       case Stage::EcDecode:    return "ec.decode";
       case Stage::DegradedRead: return "ec.degraded_read";
       case Stage::Reconstruct:  return "ec.reconstruct";
+      case Stage::CacheHit:    return "cache.hit";
+      case Stage::CacheMiss:   return "cache.miss";
+      case Stage::CacheInvalidate: return "cache.invalidate";
       case Stage::kCount:      break;
     }
     return "?";

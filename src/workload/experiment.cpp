@@ -209,6 +209,8 @@ runWriteExperiment(const ExperimentConfig &config)
                  config.replicaAckTimeout * 8);
     server_config.failover.maxRetries = config.replicaMaxRetries;
     server_config.blockCache = block_cache;
+    server_config.readCache.capacityBytes = config.readCacheBytes;
+    server_config.readCache.placement = config.readCachePlacement;
 
     std::unique_ptr<middletier::MiddleTierServer> server;
     switch (config.design) {
@@ -329,6 +331,18 @@ runWriteExperiment(const ExperimentConfig &config)
         cc.effort = config.effort;
         cc.latencySensitiveFraction = config.latencySensitiveFraction;
         cc.readFraction = config.readFraction;
+        cc.virtualDiskBytes = config.virtualDiskBytes;
+        cc.zipfTheta = config.zipfTheta;
+        if (!config.workloadClasses.empty()) {
+            const auto &cls = config.workloadClasses
+                                  [i % config.workloadClasses.size()];
+            cc.readFraction = cls.readFraction;
+            cc.latencySensitiveFraction = cls.latencySensitiveFraction;
+            if (cls.zipfTheta >= 0.0)
+                cc.zipfTheta = cls.zipfTheta;
+        }
+        for (const auto &ph : config.loadPhases)
+            cc.phases.push_back({ph.duration, ph.thinkScale});
         cc.seed = config.seed * 7919 + i;
         cc.tagCounter = &tag_counter;
         cc.metrics = &metrics;
@@ -379,6 +393,7 @@ runWriteExperiment(const ExperimentConfig &config)
         result.compactionsDue = chunk_manager->compactionsDue();
     }
     result.failover = server->failoverStats();
+    result.cache = server->readCacheStats();
     for (const auto &s : storage_pool) {
         result.storageBlocksStored += s->blocksStored();
         result.storageBytesStored += s->bytesStored();

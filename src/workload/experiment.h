@@ -74,6 +74,56 @@ struct ExperimentConfig
     /** Block size per request. */
     Bytes blockBytes = calibration::storageBlockBytes;
 
+    // --- Workload skew and shape (YCSB-style) ----------------------------
+
+    /** Virtual-disk size each client addresses (LBA space). */
+    Bytes virtualDiskBytes = gibibytes(64);
+
+    /**
+     * Zipfian address skew: >= 0 draws block indices with the exact
+     * rejection-inversion sampler at this theta (0 = uniform, YCSB
+     * default 0.99). The default -1 keeps the legacy zipfApprox address
+     * stream, so existing figures stay byte-identical.
+     */
+    double zipfTheta = -1.0;
+
+    /** One YCSB-style tenant class; clients are assigned round-robin. */
+    struct WorkloadClass
+    {
+        /** Fraction of this tenant's requests that are reads. */
+        double readFraction = 0.0;
+        /** Per-class skew override (-1 = inherit the global zipfTheta). */
+        double zipfTheta = -1.0;
+        /** Fraction flagged latency sensitive. */
+        double latencySensitiveFraction = 0.0;
+    };
+
+    /**
+     * Tenant mix: client i runs class i % classes.size(). Empty = every
+     * client uses the global readFraction / zipfTheta knobs above.
+     */
+    std::vector<WorkloadClass> workloadClasses;
+
+    /** One load phase (burst / diurnal shaping of the offered load). */
+    struct LoadPhase
+    {
+        Tick duration = 0;
+        /** Think-time multiplier while the phase is active (<1 = burst). */
+        double thinkScale = 1.0;
+    };
+
+    /** Phases cycle for the whole run; empty = steady load. */
+    std::vector<LoadPhase> loadPhases;
+
+    // --- Middle-tier hot-block read cache --------------------------------
+
+    /** Read-cache capacity at the middle tier (0 = cache off). */
+    Bytes readCacheBytes = 0;
+
+    /** Memory the cache capacity and hit bandwidth are charged to. */
+    middletier::ReadCachePlacement readCachePlacement =
+        middletier::ReadCachePlacement::HostDram;
+
     /** Replication factor. */
     unsigned replication = calibration::replicationFactor;
 
@@ -242,6 +292,9 @@ struct ExperimentResult
 
     /** Failure-handling counters of the middle tier (whole run). */
     middletier::FailoverStats failover;
+
+    /** Hot-block read-cache counters of the middle tier (whole run). */
+    middletier::HotBlockCache::Stats cache;
 
     /** Node crashes the injector produced (whole run). */
     std::uint64_t crashesInjected = 0;

@@ -167,6 +167,8 @@ synthesizeTrace(const TraceSynthesis &config)
         rec.at = fromSeconds(now_s);
         rec.vmId = 1 + rng.below(config.vms);
         rec.offsetBytes =
+            // simlint: allow(zipf-approx): synthetic trace replay must
+            // reproduce the legacy address stream byte-for-byte
             rng.zipfApprox(blocks, config.addressSkew) * config.blockBytes;
         rec.sizeBytes = config.blockBytes;
         rec.isRead = rng.chance(config.readFraction);

@@ -42,6 +42,25 @@ VmClient::onReply(net::Message msg)
     done.complete(msg.payload.size);
 }
 
+double
+VmClient::thinkScale(Tick now) const
+{
+    if (config_.phases.empty())
+        return 1.0;
+    Tick cycle = 0;
+    for (const auto &p : config_.phases)
+        cycle += p.duration;
+    if (cycle == 0)
+        return 1.0;
+    Tick t = now % cycle;
+    for (const auto &p : config_.phases) {
+        if (t < p.duration)
+            return p.thinkScale;
+        t -= p.duration;
+    }
+    return 1.0;
+}
+
 sim::Process
 VmClient::issuer(unsigned index)
 {
@@ -54,9 +73,14 @@ VmClient::issuer(unsigned index)
     while (running_) {
         // simlint: allow(tick-float): exponential think time from the
         // seeded per-client Rng; identical across runs of the same binary
-        const Tick think =
+        Tick think =
             static_cast<Tick>(rng.exponential(
                 static_cast<double>(config_.thinkMean)));
+        const double scale = thinkScale(sim_.now());
+        if (scale != 1.0)
+            // simlint: allow(tick-float): phase shaping scales the drawn
+            // think time; the random stream itself is untouched
+            think = static_cast<Tick>(static_cast<double>(think) * scale);
         co_await sim::delay(sim_, think);
         if (!running_)
             break;
@@ -66,13 +90,24 @@ VmClient::issuer(unsigned index)
         const bool latency_sensitive =
             rng.chance(config_.latencySensitiveFraction);
 
-        // Address a (possibly hot-skewed) block of this VM's disk.
+        // Address a (possibly hot-skewed) block of this VM's disk. A
+        // non-negative zipfTheta switches to the exact rejection-
+        // inversion Zipf sampler (YCSB-style hot set: rank 0 hottest);
+        // otherwise the legacy zipfApprox path keeps old runs
+        // byte-identical.
         const std::uint64_t blocks =
             config_.virtualDiskBytes / config_.blockBytes;
-        const std::uint64_t block_index =
-            config_.addressSkew > 0.0
-                ? rng.zipfApprox(blocks, config_.addressSkew)
-                : rng.below(blocks);
+        std::uint64_t block_index;
+        if (config_.zipfTheta >= 0.0) {
+            block_index = rng.zipf(blocks, config_.zipfTheta);
+        } else {
+            block_index =
+                config_.addressSkew > 0.0
+                    // simlint: allow(zipf-approx): legacy draw order;
+                    // existing CSV baselines depend on this stream
+                    ? rng.zipfApprox(blocks, config_.addressSkew)
+                    : rng.below(blocks);
+        }
 
         net::Message msg;
         msg.dst = config_.target;

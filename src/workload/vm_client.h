@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/calibration.h"
 #include "common/latency_recorder.h"
@@ -71,6 +72,27 @@ class VmClient
         Bytes virtualDiskBytes = gibibytes(64);
         /** Address skew (0 = uniform; larger = hotter chunks). */
         double addressSkew = 0.8;
+        /**
+         * YCSB-style Zipfian addressing: when >= 0 the block index is
+         * drawn with the exact rejection-inversion sampler (Rng::zipf)
+         * at this theta, replacing the legacy addressSkew/zipfApprox
+         * path. The default -1 keeps the legacy draw order so existing
+         * runs stay byte-identical.
+         */
+        double zipfTheta = -1.0;
+        /**
+         * Load phases (burst / diurnal shaping): the think time is
+         * scaled by the active phase's factor, cycling through the list
+         * by simulated time. Empty = steady closed-loop load. Scaling
+         * happens after the exponential draw, so the per-issuer random
+         * stream is untouched.
+         */
+        struct LoadPhase
+        {
+            Tick duration = 0;
+            double thinkScale = 1.0;
+        };
+        std::vector<LoadPhase> phases;
         std::uint64_t seed = 1;
         /** Shared tag counter across all clients (unique request ids). */
         std::uint64_t *tagCounter = nullptr;
@@ -88,6 +110,7 @@ class VmClient
   private:
     sim::Process issuer(unsigned index);
     void onReply(net::Message msg);
+    double thinkScale(Tick now) const;
 
     sim::Simulator &sim_;
     net::Fabric &fabric_;

@@ -1,0 +1,32 @@
+// simlint fixture: legacy biased Zipf draws in new workload code.
+#include <cstdint>
+
+namespace fx {
+
+struct Rng
+{
+    std::uint64_t zipfApprox(std::uint64_t, double);
+    std::uint64_t zipf(std::uint64_t, double);
+};
+
+std::uint64_t
+legacyDraw(Rng &rng)
+{
+    return rng.zipfApprox(16384, 0.99);
+}
+
+std::uint64_t
+exactDraw(Rng &rng)
+{
+    // The sanctioned sampler is a distinct identifier; does not fire.
+    return rng.zipf(16384, 0.99);
+}
+
+std::uint64_t
+allowedReplay(Rng &rng)
+{
+    // simlint: allow(zipf-approx): fixture exercises a justified suppression
+    return rng.zipfApprox(16384, 0.99);
+}
+
+} // namespace fx

@@ -140,6 +140,17 @@ TEST(SimlintFixtures, BlockCopy)
               }));
 }
 
+TEST(SimlintFixtures, ZipfApprox)
+{
+    // Line 8 is the declaration, line 15 the legacy draw; the exact
+    // Rng::zipf() spelling and the justified suppression stay silent.
+    EXPECT_EQ(lintFixture("zipf_approx.cpp"),
+              (std::vector<Triple>{
+                  {"zipf_approx.cpp", 8, "zipf-approx"},
+                  {"zipf_approx.cpp", 15, "zipf-approx"},
+              }));
+}
+
 TEST(SimlintFixtures, Suppressions)
 {
     // Line 10: justified suppression silences the finding entirely.

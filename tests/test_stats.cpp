@@ -216,6 +216,25 @@ TEST(LatencyRecorder, ReportsMicroseconds)
     EXPECT_NEAR(rec.p50Us(), 20.0, 1.0);
 }
 
+TEST(LatencyRecorder, AllReportersShareOneUnitConversion)
+{
+    // Regression for the reporters drifting apart: on a constant stream
+    // every reporter must return exactly the same microsecond value,
+    // which holds only if all six route through one tick->us conversion.
+    LatencyRecorder rec;
+    for (int i = 0; i < 1000; ++i)
+        rec.record(37_us);
+    const double expected = 37.0;
+    EXPECT_DOUBLE_EQ(rec.avgUs(), expected);
+    EXPECT_DOUBLE_EQ(rec.minUs(), expected);
+    EXPECT_DOUBLE_EQ(rec.maxUs(), expected);
+    // Quantiles come from the log histogram: same unit, bounded only by
+    // the histogram's small relative bucket error.
+    EXPECT_NEAR(rec.p50Us(), expected, expected * 0.02);
+    EXPECT_NEAR(rec.p99Us(), expected, expected * 0.02);
+    EXPECT_NEAR(rec.p999Us(), expected, expected * 0.02);
+}
+
 TEST(LatencyRecorder, TailQuantilesOrdered)
 {
     LatencyRecorder rec;

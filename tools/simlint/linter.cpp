@@ -857,6 +857,31 @@ ruleBlockCopy(const FileCtx &ctx, const Sink &sink)
     }
 }
 
+// --- zipf-approx ------------------------------------------------------------
+
+/**
+ * Rng::zipfApprox() is a biased two-branch approximation kept only so
+ * legacy address streams (and the CSV baselines derived from them) stay
+ * byte-identical. New code drawing skewed indices must use Rng::zipf(),
+ * the exact bounded rejection-inversion sampler.
+ */
+void
+ruleZipfApprox(const FileCtx &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].ident() || !t[i].is("zipfApprox"))
+            continue;
+        if (!t[i + 1].is("("))
+            continue;
+        sink.add(t[i].line, "zipf-approx",
+                 "'zipfApprox()' is a biased legacy approximation kept "
+                 "only for byte-identical replay of old address "
+                 "streams; draw skewed indices with Rng::zipf(), the "
+                 "exact rejection-inversion sampler");
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -870,7 +895,7 @@ allRules()
         "wall-clock",     "raw-rand",       "unordered-iter",
         "mutable-global", "raw-io",         "naked-new",
         "tick-float",     "missing-nodiscard", "block-copy",
-        "bad-suppression",
+        "zipf-approx",    "bad-suppression",
     };
     return rules;
 }
@@ -1047,6 +1072,7 @@ lint(const std::vector<Source> &sources, const Config &config)
         ruleTickFloat(ctx, sink);
         ruleMissingNodiscard(ctx, sink);
         ruleBlockCopy(ctx, sink);
+        ruleZipfApprox(ctx, sink);
 
         // Validate suppressions and build the (line -> rules) map.
         std::map<int, std::set<std::string>> allowed;
