@@ -44,6 +44,14 @@ smoke()
     return smokeFlag();
 }
 
+/** Whether `--dsan` was passed (determinism-sanitizer rerun mode). */
+inline bool &
+dsanFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
 /** `--trace-out` path ("" = tracing off, the default). */
 inline std::string &
 traceOutFlag()
@@ -130,6 +138,11 @@ sweep(std::initializer_list<T> full)
  *  - `--trace-sample N` / `--trace-sample=N`: trace every Nth request
  *    (default 1 = all sampled requests; only meaningful with
  *    `--trace-out`).
+ *  - `--dsan`: determinism sanitizer. Every queued experiment hashes its
+ *    dispatched event stream (see ExperimentConfig::dsan); after the
+ *    sweep, verifyDsan() reruns each config serially and fatals on the
+ *    first diverging event window, and writes the per-run hashes to
+ *    results/<bench>_statehash.csv for cross-process comparison.
  *
  * On destruction appends one JSON line to results/bench_perf.jsonl with
  * the events executed, wall-clock, events/sec and peak RSS of the run,
@@ -147,6 +160,8 @@ class Harness
             const char *arg = argv[i];
             if (std::strcmp(arg, "--smoke") == 0) {
                 smokeFlag() = true;
+            } else if (std::strcmp(arg, "--dsan") == 0) {
+                dsanFlag() = true;
             } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
                 jobs_ = parseJobs(argv[++i]);
             } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
@@ -206,6 +221,9 @@ class Harness
 
     bool smoke() const { return bench::smoke(); }
 
+    /** Whether `--dsan` was passed (determinism sanitizer on). */
+    bool dsan() const { return dsanFlag(); }
+
     /** Whether `--trace-out` was passed (tracing requested). */
     bool tracing() const { return !traceOutFlag().empty(); }
 
@@ -252,6 +270,58 @@ class Harness
             fatal("could not write stage CSV to '%s'", csv_path.c_str());
         std::printf("[trace] %u runs -> %s (stage breakdown: %s)\n",
                     writer.runs(), json_path.c_str(), csv_path.c_str());
+    }
+
+    /**
+     * Determinism-sanitizer pass (call after runner.run(); no-op unless
+     * `--dsan` was passed). Reruns every queued experiment serially and
+     * compares its event-stream hash with the sweep's: the sweep may have
+     * run the config on any worker thread in any order, so a divergence
+     * means simulation state leaked across runs or depends on process
+     * layout. On mismatch, reports the first diverging event window
+     * (index, event range, tick range) and aborts. Also writes
+     * results/<bench>_statehash.csv with one row per run, so a wrapper
+     * (tests/fig07_determinism.cmake) can diff hashes across deliberately
+     * perturbed process layouts.
+     */
+    void
+    verifyDsan(const workload::SweepRunner &runner) const
+    {
+        if (!dsanFlag())
+            return;
+
+        std::string csv = "run,design,state_hash\n";
+        char buf[160];
+        for (std::size_t i = 0; i < runner.size(); ++i) {
+            const workload::ExperimentConfig &config = runner.config(i);
+            const workload::ExperimentResult &swept = runner.result(i);
+            const workload::ExperimentResult rerun =
+                workload::runWriteExperiment(config);
+            if (rerun.stateHash != swept.stateHash) {
+                const sim::DsanDivergence div = sim::compareDsanWindows(
+                    swept.dsanWindows, rerun.dsanWindows);
+                fatal("[dsan] run %zu (%s): state hash %08x vs %08x on "
+                      "rerun; first diverging window %zu (events %llu..%llu,"
+                      " ticks %llu..%llu)",
+                      i, middletier::designName(config.design),
+                      swept.stateHash, rerun.stateHash, div.windowIndex,
+                      static_cast<unsigned long long>(div.firstEvent),
+                      static_cast<unsigned long long>(div.firstEvent +
+                                                      div.events),
+                      static_cast<unsigned long long>(div.firstTick),
+                      static_cast<unsigned long long>(div.lastTick));
+            }
+            std::snprintf(buf, sizeof(buf), "%zu,%s,%08x\n", i,
+                          middletier::designName(config.design),
+                          swept.stateHash);
+            csv += buf;
+        }
+        const std::string csv_path = "results/" + name_ + "_statehash.csv";
+        if (!writeFileAtomic(csv_path, csv))
+            fatal("could not write state hashes to '%s'", csv_path.c_str());
+        std::printf("[dsan] %zu runs rerun, event-stream hashes stable "
+                    "(%s)\n",
+                    runner.size(), csv_path.c_str());
     }
 
   private:
@@ -302,6 +372,9 @@ saturating(middletier::Design design, unsigned cores, unsigned ports = 1)
         config.traceSample = traceSampleFlag();
         config.traceEvents = true;
     }
+    // `--dsan` hashes the event stream of every queued run (including in
+    // non-checked builds, where hashing is otherwise off).
+    config.dsan = dsanFlag();
     return config;
 }
 

@@ -82,6 +82,7 @@ main(int argc, char **argv)
 
     runner.run();
     harness.exportTraces(runner);
+    harness.verifyDsan(runner);
 
     Table tput("Fig 7a + loaded latency - saturating load");
     tput.header({"design", "cores", "tput(Gbps)", "avg(us)", "p99(us)",

@@ -11,6 +11,8 @@ namespace {
 // Atomic so concurrent sweep workers (workload::SweepRunner) may warn or
 // query quietness without a data race; stderr writes themselves are
 // line-buffered through one vfprintf call and need no further locking.
+// simlint: allow(mutable-global): process-wide quiet switch is the
+// logging module's job; never read by simulation logic
 std::atomic<bool> quietFlag{false};
 
 void

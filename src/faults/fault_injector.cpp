@@ -110,7 +110,9 @@ FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
             continue;
         victim->crash();
         ++crashesInjected_;
-        sim_.schedule(outage, [victim]() { victim->recover(); });
+        sim_.schedule(
+            outage, [victim]() { victim->recover(); },
+            sim::EventTag::Maintenance);
     }
 }
 

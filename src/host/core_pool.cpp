@@ -33,10 +33,13 @@ void
 CorePool::execute(Tick duration, std::function<void()> done)
 {
     auto start = [this, duration, done = std::move(done)]() mutable {
-        sim_.schedule(duration, [this, done = std::move(done)]() mutable {
-            done();
-            release();
-        });
+        sim_.schedule(
+            duration,
+            [this, done = std::move(done)]() mutable {
+                done();
+                release();
+            },
+            sim::EventTag::Host);
     };
     if (busy_ < cores_) {
         accrue();
@@ -64,7 +67,7 @@ CorePool::acquire()
         accrue();
         ++busy_;
         // Complete via the event queue for deterministic ordering.
-        sim_.schedule(0, std::move(grant_fn));
+        sim_.schedule(0, std::move(grant_fn), sim::EventTag::Host);
     } else {
         waiting_.push_back(std::move(grant_fn));
     }

@@ -37,7 +37,7 @@ MaintenanceService::loop()
         // Rng; identical across runs of the same binary by construction
         const Tick wait = static_cast<Tick>(rng_.exponential(
             static_cast<double>(config_.meanInterval)));
-        co_await sim::delay(sim_, wait);
+        co_await sim::delay(sim_, wait, sim::EventTag::Maintenance);
         if (!running_)
             break;
 

@@ -175,15 +175,18 @@ MiddleTierServer::expectAck(sim::Simulator &sim, std::uint64_t tag,
     if (timeout > 0) {
         // The timer completes the same completion the waiter holds, so a
         // lost ack needs no watcher coroutine and cannot leak one.
-        it->second.timer = sim.schedule(timeout, [this, key]() {
-            const auto entry = pendingAcks_.find(key);
-            if (entry == pendingAcks_.end())
-                return;
-            sim::Completion waiter = entry->second.completion;
-            pendingAcks_.erase(entry);
-            ++failover_.replicaTimeouts;
-            waiter.complete(0);
-        });
+        it->second.timer = sim.schedule(
+            timeout,
+            [this, key]() {
+                const auto entry = pendingAcks_.find(key);
+                if (entry == pendingAcks_.end())
+                    return;
+                sim::Completion waiter = entry->second.completion;
+                pendingAcks_.erase(entry);
+                ++failover_.replicaTimeouts;
+                waiter.complete(0);
+            },
+            sim::EventTag::Nic);
     }
     return ack;
 }
@@ -218,14 +221,17 @@ MiddleTierServer::expectFetch(sim::Simulator &sim, std::uint64_t tag,
         // is load-bearing: with a bare schedule(), a timer armed for an
         // earlier probe of the same tag would fire into a later probe's
         // wait and fail it spuriously.
-        it->second.timer = sim.schedule(timeout, [this, tag]() {
-            const auto entry = pendingFetches_.find(tag);
-            if (entry == pendingFetches_.end())
-                return;
-            sim::Completion waiter = entry->second.completion;
-            pendingFetches_.erase(entry);
-            waiter.complete(0);
-        });
+        it->second.timer = sim.schedule(
+            timeout,
+            [this, tag]() {
+                const auto entry = pendingFetches_.find(tag);
+                if (entry == pendingFetches_.end())
+                    return;
+                sim::Completion waiter = entry->second.completion;
+                pendingFetches_.erase(entry);
+                waiter.complete(0);
+            },
+            sim::EventTag::Nic);
     }
     return fetched;
 }

@@ -280,6 +280,8 @@ class MiddleTierServer
         std::uint64_t tag = 0;
         Bytes blockBytes = 0;
         net::NodeId target = 0;
+        // simlint: allow(event-handle-misuse): replica/RS-shard index
+        // within the placement, not a recycled event pool slot
         unsigned slot = 0;
         std::shared_ptr<std::vector<net::NodeId>> placement;
         ChunkRef chunk;
@@ -522,6 +524,8 @@ class MiddleTierServer
     }
 
     void
+    // simlint: allow(event-handle-misuse): RS shard index within the
+    // stripe ledger, not a recycled event pool slot
     ecLedgerArrive(std::uint64_t tag, unsigned slot)
     {
 #if SMARTDS_CHECKED_BUILD

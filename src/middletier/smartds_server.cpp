@@ -266,9 +266,12 @@ SmartDsServer::worker(unsigned port)
                 co_await fetch.completion;
                 sim::EventHandle timer;
                 if (timeout > 0)
-                    timer = sim_.schedule(timeout, [this, &fetch_qp]() {
-                        device_->resetQp(fetch_qp);
-                    });
+                    timer = sim_.schedule(
+                        timeout,
+                        [this, &fetch_qp]() {
+                            device_->resetQp(fetch_qp);
+                        },
+                        sim::EventTag::Nic);
                 co_await fetch_reply.completion;
                 timer.cancel();
                 const net::Message *rep = fetch_reply.message.get();
@@ -462,9 +465,12 @@ SmartDsServer::worker(unsigned port)
                 co_await fetch.completion;
                 sim::EventHandle timer;
                 if (timeout > 0)
-                    timer = sim_.schedule(timeout, [this, &fetch_qp]() {
-                        device_->resetQp(fetch_qp);
-                    });
+                    timer = sim_.schedule(
+                        timeout,
+                        [this, &fetch_qp]() {
+                            device_->resetQp(fetch_qp);
+                        },
+                        sim::EventTag::Nic);
                 co_await fetch_reply.completion;
                 timer.cancel();
                 const net::Message *rep = fetch_reply.message.get();

@@ -91,9 +91,12 @@ Fabric::route(Message msg)
     if (it == ports_.end())
         fatal("message to unknown node id %u", msg.dst);
     Port *dst = it->second.get();
-    sim_.schedule(delay_, [dst, msg = std::move(msg)]() mutable {
-        dst->arrive(std::move(msg));
-    });
+    sim_.schedule(
+        delay_,
+        [dst, msg = std::move(msg)]() mutable {
+            dst->arrive(std::move(msg));
+        },
+        sim::EventTag::Net);
 }
 
 } // namespace smartds::net

@@ -85,8 +85,9 @@ ReliableQueuePair::armTimer()
     }
     if (timer_.pending())
         return;
-    timer_ = sim_.schedule(config_.retransmitTimeout,
-                           [this]() { onTimeout(); });
+    timer_ = sim_.schedule(
+        config_.retransmitTimeout, [this]() { onTimeout(); },
+        sim::EventTag::Net);
 }
 
 void
@@ -99,8 +100,9 @@ ReliableQueuePair::onTimeout()
         ++retransmits_;
         transmit(msg);
     }
-    timer_ = sim_.schedule(config_.retransmitTimeout,
-                           [this]() { onTimeout(); });
+    timer_ = sim_.schedule(
+        config_.retransmitTimeout, [this]() { onTimeout(); },
+        sim::EventTag::Net);
 }
 
 void

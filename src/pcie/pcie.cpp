@@ -111,7 +111,7 @@ DmaEngine::submit(Bytes bytes, bool is_read, Options options,
     job->options = options;
     job->done = std::move(done);
     if (bytes == 0) {
-        sim_.schedule(0, [job]() { job->done(0); });
+        sim_.schedule(0, [job]() { job->done(0); }, sim::EventTag::Device);
         return;
     }
     (is_read ? readQueue_ : writeQueue_).push_back(job);
@@ -183,10 +183,12 @@ DmaEngine::startChunk(const std::shared_ptr<Job> &job, Bytes chunk)
                     ? memory_->loadedLatency()
                     : 0;
             auto *flow = job->options.memFlow;
-            sim_.schedule(stall, [flow, chunk,
-                                  after_memory = std::move(after_memory)]() {
-                flow->transfer(chunk, std::move(after_memory));
-            });
+            sim_.schedule(
+                stall,
+                [flow, chunk, after_memory = std::move(after_memory)]() {
+                    flow->transfer(chunk, std::move(after_memory));
+                },
+                sim::EventTag::Device);
         } else {
             after_memory();
         }
@@ -201,11 +203,14 @@ DmaEngine::startChunk(const std::shared_ptr<Job> &job, Bytes chunk)
             if (job->options.memFlow) {
                 const Tick stall = memory_ ? memory_->loadedLatency() : 0;
                 auto *flow = job->options.memFlow;
-                sim_.schedule(stall, [this, flow, chunk]() {
-                    flow->transfer(chunk, [this, chunk]() {
-                        releaseSlot(false, chunk);
-                    });
-                });
+                sim_.schedule(
+                    stall,
+                    [this, flow, chunk]() {
+                        flow->transfer(chunk, [this, chunk]() {
+                            releaseSlot(false, chunk);
+                        });
+                    },
+                    sim::EventTag::Device);
             } else {
                 releaseSlot(false, chunk);
             }

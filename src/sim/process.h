@@ -89,26 +89,31 @@ spawn(Simulator &sim, Process p)
 class DelayAwaiter
 {
   public:
-    DelayAwaiter(Simulator &sim, Tick d) : sim_(sim), delay_(d) {}
+    DelayAwaiter(Simulator &sim, Tick d,
+                 EventTag tag = EventTag::Generic)
+        : sim_(sim), delay_(d), tag_(tag)
+    {
+    }
 
     bool await_ready() const noexcept { return delay_ == 0; }
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        sim_.schedule(delay_, [h]() { h.resume(); });
+        sim_.schedule(delay_, [h]() { h.resume(); }, tag_);
     }
     void await_resume() const noexcept {}
 
   private:
     Simulator &sim_;
     Tick delay_;
+    EventTag tag_;
 };
 
 /** Sleep for @p d ticks of simulated time. */
 inline DelayAwaiter
-delay(Simulator &sim, Tick d)
+delay(Simulator &sim, Tick d, EventTag tag = EventTag::Generic)
 {
-    return DelayAwaiter(sim, d);
+    return DelayAwaiter(sim, d, tag);
 }
 
 /**

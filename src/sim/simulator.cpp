@@ -1,12 +1,19 @@
 #include "sim/simulator.h"
 
 #include <atomic>
+#include <cstring>
+
+#include "common/checksum.h"
 
 namespace smartds::sim {
 
 namespace {
 
 /** Tally of executed events flushed by every Simulator destructor. */
+// simlint: allow(shared-sim-state): per-process bench telemetry only
+// (events/sec in bench_perf.jsonl); atomic, write-only from simulations
+// and never read back into simulation state, so PDES shards cannot
+// observe each other through it
 std::atomic<std::uint64_t> globalExecuted{0};
 
 } // namespace
@@ -28,6 +35,65 @@ Simulator::run()
     while (step()) {
     }
     return now_;
+}
+
+void
+Simulator::foldEvent(Tick when, std::uint64_t seq, EventTag tag)
+{
+    // Little-endian packed (tick, seq, tag): 8 + 8 + 1 bytes. memcpy of
+    // fixed-width integers is byte-order-stable on every platform this
+    // tree targets (all little-endian), so the hash is comparable across
+    // process layouts — which is exactly what the fig07_determinism
+    // perturbation harness relies on.
+    std::uint8_t buf[17];
+    const std::uint64_t w = static_cast<std::uint64_t>(when);
+    std::memcpy(buf, &w, 8);
+    std::memcpy(buf + 8, &seq, 8);
+    buf[16] = static_cast<std::uint8_t>(tag);
+    stateHash_ = xxhash32(buf, sizeof buf, stateHash_);
+    if (windowEvents_ != 0) {
+        if (windowCount_ == 0) {
+            windowFirstEvent_ = hashedEvents_;
+            windowFirstTick_ = when;
+        }
+        windowLastTick_ = when;
+        if (++windowCount_ >= windowEvents_)
+            flushWindow();
+    }
+    ++hashedEvents_;
+}
+
+void
+Simulator::flushWindow()
+{
+    windows_.push_back({stateHash_, windowFirstEvent_, windowCount_,
+                        windowFirstTick_, windowLastTick_});
+    windowCount_ = 0;
+}
+
+DsanDivergence
+compareDsanWindows(const std::vector<DsanWindow> &a,
+                   const std::vector<DsanWindow> &b)
+{
+    DsanDivergence out;
+    const std::size_t n = std::min(a.size(), b.size());
+    std::size_t at = n;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i].hash != b[i].hash || a[i].events != b[i].events) {
+            at = i;
+            break;
+        }
+    }
+    if (at == n && a.size() == b.size())
+        return out; // identical streams
+    out.diverged = true;
+    out.windowIndex = at;
+    const DsanWindow &w = at < a.size() ? a[at] : b[at];
+    out.firstEvent = w.firstEvent;
+    out.events = w.events;
+    out.firstTick = w.firstTick;
+    out.lastTick = w.lastTick;
+    return out;
 }
 
 Tick

@@ -181,6 +181,61 @@ class EventHandle
 };
 
 /**
+ * Stage tag recorded with every scheduled event, folded into the
+ * determinism-sanitizer state hash alongside (tick, seq). Tagging is
+ * optional (untagged events hash as Generic) but makes a divergence
+ * report name the subsystem whose event stream first differed.
+ */
+enum class EventTag : std::uint8_t
+{
+    Generic = 0,
+    Net,
+    Nic,
+    Host,
+    Device,
+    Storage,
+    Client,
+    Maintenance,
+    Test,
+};
+
+/**
+ * One window of the determinism sanitizer's event stream: the rolling
+ * state hash after @ref events dispatches covering simulated time
+ * [firstTick, lastTick]. Two runs of the same config must produce
+ * identical window sequences; the first window whose hash differs
+ * brackets the diverging dispatch.
+ */
+struct DsanWindow
+{
+    std::uint32_t hash = 0;       ///< rolling state hash at window end
+    std::uint64_t firstEvent = 0; ///< ordinal of the window's first event
+    std::uint64_t events = 0;     ///< dispatches folded into this window
+    Tick firstTick = 0;
+    Tick lastTick = 0;
+};
+
+/** Result of comparing two dsan window streams (see compareDsanWindows). */
+struct DsanDivergence
+{
+    bool diverged = false;
+    std::size_t windowIndex = 0;  ///< first differing window
+    std::uint64_t firstEvent = 0; ///< event-ordinal range of that window
+    std::uint64_t events = 0;
+    Tick firstTick = 0;           ///< simulated-time range of that window
+    Tick lastTick = 0;
+};
+
+/**
+ * Compare two runs' window streams; returns the first divergence (hash
+ * mismatch, or one stream ending early) with the offending window's
+ * event/tick range, so nondeterminism localizes to ~one window of
+ * dispatches instead of "the CSVs differ".
+ */
+DsanDivergence compareDsanWindows(const std::vector<DsanWindow> &a,
+                                  const std::vector<DsanWindow> &b);
+
+/**
  * The discrete-event simulator: a clock plus a pending-event queue.
  *
  * Components hold a reference to the Simulator, schedule callbacks, and
@@ -201,14 +256,15 @@ class Simulator
 
     /** Schedule @p fn to run @p delay ticks from now. */
     EventHandle
-    schedule(Tick delay, EventCallback fn)
+    schedule(Tick delay, EventCallback fn, EventTag tag = EventTag::Generic)
     {
-        return scheduleAt(now_ + delay, std::move(fn));
+        return scheduleAt(now_ + delay, std::move(fn), tag);
     }
 
     /** Schedule @p fn at absolute tick @p when (must be >= now). */
     EventHandle
-    scheduleAt(Tick when, EventCallback fn)
+    scheduleAt(Tick when, EventCallback fn,
+               EventTag tag = EventTag::Generic)
     {
         SMARTDS_CHECK(when >= now_,
                        "scheduling into the past (when=%llu now=%llu)",
@@ -229,6 +285,7 @@ class Simulator
         }
         Event &event = pool_[slot];
         event.fn = std::move(fn);
+        event.tag = tag;
         heapPush(HeapEntry{makeKey(when, nextSeq_++), slot, event.gen});
         return EventHandle(this, slot, event.gen);
     }
@@ -255,6 +312,12 @@ class Simulator
             lastPoppedKey_ = top.key;
 #endif
             now_ = top.when();
+            // Fold (tick, seq, stage tag) into the determinism hash
+            // before the slot is recycled (recycling does not clear the
+            // tag, but the callback below may overwrite it).
+            if (hashOn_)
+                foldEvent(top.when(),
+                          static_cast<std::uint64_t>(top.key), event.tag);
             // Move the callback out and recycle the slot *before*
             // invoking, so the callback may schedule freely (including
             // reusing this very slot) without invalidating anything we
@@ -289,6 +352,45 @@ class Simulator
      */
     std::size_t eventPoolSlots() const { return pool_.size(); }
 
+    // ---- determinism sanitizer ------------------------------------------
+    //
+    // A rolling xxHash32 over every dispatched event's (tick, seq, stage
+    // tag). On by default in checked builds (SMARTDS_CHECKED=ON), where
+    // it costs one short hash per dispatch; release builds can opt in at
+    // runtime (--dsan). Two runs of the same seeded config must end with
+    // identical hashes — any divergence is nondeterminism in the event
+    // stream itself, caught even when it cancels out of the CSV outputs.
+
+    /** Turn the per-dispatch state hash on or off. */
+    void enableStateHash(bool on) { hashOn_ = on; }
+
+    /** Whether the per-dispatch state hash is being maintained. */
+    bool stateHashEnabled() const { return hashOn_; }
+
+    /**
+     * Additionally record the hash every @p eventsPerWindow dispatches
+     * (implies enableStateHash). Window streams let --dsan report the
+     * first diverging event range instead of only "hashes differ".
+     */
+    void
+    enableDsanWindows(std::uint32_t eventsPerWindow = 1024)
+    {
+        hashOn_ = true;
+        windowEvents_ = eventsPerWindow == 0 ? 1 : eventsPerWindow;
+    }
+
+    /** Rolling (tick, seq, tag) hash over all dispatches so far. */
+    std::uint32_t stateHash() const { return stateHash_; }
+
+    /** Flush the partial window and return the recorded window stream. */
+    std::vector<DsanWindow>
+    takeDsanWindows()
+    {
+        if (windowCount_ > 0)
+            flushWindow();
+        return std::move(windows_);
+    }
+
   private:
     friend class EventHandle;
 
@@ -297,6 +399,8 @@ class Simulator
     {
         EventCallback fn;
         std::uint32_t gen = 0;
+        /** Stage tag for the determinism hash (fits existing padding). */
+        EventTag tag = EventTag::Generic;
     };
 
     /**
@@ -419,12 +523,30 @@ class Simulator
     }
 #endif
 
+    /** Fold one dispatch into the state hash (simulator.cpp). */
+    void foldEvent(Tick when, std::uint64_t seq, EventTag tag);
+
+    /** Close the current dsan window (simulator.cpp). */
+    void flushWindow();
+
+    /** Seed so an empty run's hash is a recognizable nonzero value. */
+    static constexpr std::uint32_t kStateHashSeed = 0x534d4453u; // "SMDS"
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::vector<Event> pool_;
     std::vector<std::uint32_t> freeSlots_;
     std::vector<HeapEntry> heap_;
+    bool hashOn_ = SMARTDS_CHECKED_BUILD != 0;
+    std::uint32_t stateHash_ = kStateHashSeed;
+    std::uint32_t windowEvents_ = 0; ///< 0 = window recording off
+    std::uint64_t hashedEvents_ = 0;
+    std::uint64_t windowCount_ = 0;
+    std::uint64_t windowFirstEvent_ = 0;
+    Tick windowFirstTick_ = 0;
+    Tick windowLastTick_ = 0;
+    std::vector<DsanWindow> windows_;
 #if SMARTDS_CHECKED_BUILD
     /** Largest (tick, seq) key dispatched so far; must be monotone. */
     unsigned __int128 lastPoppedKey_ = 0;

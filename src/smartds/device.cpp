@@ -253,16 +253,20 @@ SmartDsDevice::performSplit(unsigned port_index, RecvDescriptor desc,
     }(sim_, latch->wait(), event, dev_part, tracer, split_start,
       split_depth));
 
-    sim_.schedule(config_.splitLatency, [this, &state, host_part, dev_part,
-                                         latch, msg_ptr]() {
-        pcie::DmaEngine::Options options;
-        options.memFlow =
-            config_.headerLlcSteering ? nullptr : hdrWrite_;
-        options.stallOnMemory = false;
-        dma_.write(host_part, options, [latch](Tick) { latch->arrive(); });
-        state.splitWrite->transfer(dev_part, [latch]() { latch->arrive(); });
-        (void)msg_ptr; // keeps the message alive until the split lands
-    });
+    sim_.schedule(
+        config_.splitLatency,
+        [this, &state, host_part, dev_part, latch, msg_ptr]() {
+            pcie::DmaEngine::Options options;
+            options.memFlow =
+                config_.headerLlcSteering ? nullptr : hdrWrite_;
+            options.stallOnMemory = false;
+            dma_.write(host_part, options,
+                       [latch](Tick) { latch->arrive(); });
+            state.splitWrite->transfer(dev_part,
+                                       [latch]() { latch->arrive(); });
+            (void)msg_ptr; // keeps the message alive until the split lands
+        },
+        sim::EventTag::Device);
 }
 
 SmartDsDevice::Event

@@ -57,9 +57,11 @@ StorageServer::handleReplica(net::Message msg)
     disk_.transfer(charged, [this, msg = std::move(msg), extra]() mutable {
         if (extra > 0) {
             fabric_.simulator().schedule(
-                extra, [this, msg = std::move(msg)]() mutable {
+                extra,
+                [this, msg = std::move(msg)]() mutable {
                     finishReplica(std::move(msg));
-                });
+                },
+                sim::EventTag::Storage);
             return;
         }
         finishReplica(std::move(msg));

@@ -34,12 +34,14 @@ const corpus::RatioSampler &
 cachedRatios(int effort, Bytes block_bytes)
 {
     static const corpus::SyntheticCorpus corpus(4u << 20, 42);
-    // simlint: allow(mutable-global): guards the cache below; audited in
-    // the PR 2 global-state sweep and safe under concurrent SweepRunner
+    // simlint: allow(shared-sim-state): guards the cache below; audited
+    // in the PR 2 global-state sweep, safe under concurrent SweepRunner
+    // jobs and genuinely per-process (deterministic content, so PDES
+    // shards may share it read-mostly)
     static std::mutex mutex;
-    // simlint: allow(mutable-global): keyed by (effort, block size) with
-    // a fixed seed, so every thread reads identical samplers; protected
-    // by the mutex above and never iterated
+    // simlint: allow(shared-sim-state): keyed by (effort, block size)
+    // with a fixed seed, so every thread reads identical samplers;
+    // protected by the mutex above and never iterated
     static std::map<std::pair<int, Bytes>,
                     std::unique_ptr<corpus::RatioSampler>>
         cache;
@@ -92,6 +94,10 @@ ExperimentResult
 runWriteExperiment(const ExperimentConfig &config)
 {
     sim::Simulator sim;
+    if (config.dsan) {
+        sim.enableStateHash(true);
+        sim.enableDsanWindows();
+    }
     net::Fabric fabric(sim);
     mem::MemorySystem memory(sim, "host-mem", {});
 
@@ -440,6 +446,10 @@ runWriteExperiment(const ExperimentConfig &config)
         fabric.setTracer(nullptr);
         fabric.setMetrics(nullptr);
     }
+
+    result.stateHash = sim.stateHashEnabled() ? sim.stateHash() : 0;
+    if (config.dsan)
+        result.dsanWindows = sim.takeDsanWindows();
 
     // Stop the clients so the event queue can drain promptly.
     for (auto &c : clients)

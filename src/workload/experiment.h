@@ -234,6 +234,17 @@ struct ExperimentConfig
      */
     bool tracePrint = false;
 
+    // --- Determinism sanitizer ------------------------------------------
+
+    /**
+     * Fold every dispatched event's (tick, seq, stage tag) into a rolling
+     * state hash and keep per-window digests so two runs of the same
+     * config can pinpoint their first diverging event window. Checked
+     * builds hash unconditionally; this knob additionally records the
+     * window stream for --dsan reruns.
+     */
+    bool dsan = false;
+
     // --- Functional datapath --------------------------------------------
 
     /**
@@ -330,6 +341,17 @@ struct ExperimentResult
 
     /** Named module counters/gauges/histograms (when tracing is on). */
     std::vector<trace::MetricsRegistry::Row> metrics;
+
+    /**
+     * Rolling xxHash32 over every dispatched event's (tick, seq, stage
+     * tag). Identical configs must produce identical hashes regardless of
+     * process layout; 0 when event hashing was off (non-checked build
+     * without the dsan knob).
+     */
+    std::uint32_t stateHash = 0;
+
+    /** Per-window digests of the event stream (when config.dsan). */
+    std::vector<sim::DsanWindow> dsanWindows;
 };
 
 /** Run one write-serving experiment. */

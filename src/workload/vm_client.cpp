@@ -67,7 +67,8 @@ VmClient::issuer(unsigned index)
     Rng rng = rng_.fork();
     // Stagger issuer start so a fleet of clients does not phase-lock.
     co_await sim::delay(sim_,
-                        static_cast<Tick>(rng.below(2 * config_.thinkMean)));
+                        static_cast<Tick>(rng.below(2 * config_.thinkMean)),
+                        sim::EventTag::Client);
     (void)index;
 
     while (running_) {
@@ -81,7 +82,7 @@ VmClient::issuer(unsigned index)
             // simlint: allow(tick-float): phase shaping scales the drawn
             // think time; the random stream itself is untouched
             think = static_cast<Tick>(static_cast<double>(think) * scale);
-        co_await sim::delay(sim_, think);
+        co_await sim::delay(sim_, think, sim::EventTag::Client);
         if (!running_)
             break;
 

@@ -1,9 +1,17 @@
-# Runs fig07 --smoke twice under deliberately different process layouts
-# (malloc perturbation plus environment-block padding, which shifts the
-# heap and the initial stack and with them every pointer value the run
-# ever hashes) and requires byte-identical CSVs and tables. Any
+# Runs fig07 --smoke --dsan twice under deliberately different process
+# layouts (malloc perturbation plus environment-block padding, which
+# shifts the heap and the initial stack and with them every pointer value
+# the run ever hashes) and requires byte-identical CSVs and tables. Any
 # hash-order or address dependence in the simulation shows up as a diff
 # here long before it corrupts a full figure sweep.
+#
+# --dsan adds the determinism sanitizer: every run folds its dispatched
+# event stream (tick, seq, stage tag) into a rolling state hash, the
+# binary reruns each config serially and fatals on the first diverging
+# event window, and the per-run hashes land in
+# results/fig07_throughput_latency_statehash.csv — compared across the
+# two layouts below, so even a divergence that cancels out in the
+# throughput tables fails the test.
 #
 # Invoked by ctest as:
 #   cmake -DFIG07=<binary> -DWORKDIR=<scratch> -P fig07_determinism.cmake
@@ -17,13 +25,13 @@ string(REPEAT "x" 4096 padding)
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env MALLOC_PERTURB_=1 SMARTDS_ENV_PAD=a
-        ${FIG07} --smoke
+        ${FIG07} --smoke --dsan
     WORKING_DIRECTORY ${WORKDIR}/A
     OUTPUT_FILE ${WORKDIR}/A/stdout.txt
     RESULT_VARIABLE rc_a)
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env MALLOC_PERTURB_=254
-        SMARTDS_ENV_PAD=${padding} ${FIG07} --smoke
+        SMARTDS_ENV_PAD=${padding} ${FIG07} --smoke --dsan
     WORKING_DIRECTORY ${WORKDIR}/B
     OUTPUT_FILE ${WORKDIR}/B/stdout.txt
     RESULT_VARIABLE rc_b)
@@ -31,7 +39,8 @@ if(NOT rc_a EQUAL 0 OR NOT rc_b EQUAL 0)
     message(FATAL_ERROR "fig07 --smoke failed (A=${rc_a} B=${rc_b})")
 endif()
 
-foreach(csv results/fig07_throughput.csv results/fig07_latency.csv)
+foreach(csv results/fig07_throughput.csv results/fig07_latency.csv
+        results/fig07_throughput_latency_statehash.csv)
     execute_process(
         COMMAND ${CMAKE_COMMAND} -E compare_files
             ${WORKDIR}/A/${csv} ${WORKDIR}/B/${csv}

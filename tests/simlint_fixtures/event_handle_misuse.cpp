@@ -1,0 +1,37 @@
+// Fixture for event-handle-misuse: cancelling through a moved-from
+// EventHandle, and raw integer event slot indices. The sim::EventHandle
+// mention below arms the slot heuristic, exactly as in real event code.
+
+#include <utility>
+
+namespace sim {
+class EventHandle;
+}
+
+void
+movedFromCancel(sim::EventHandle &timer)
+{
+    auto parked = std::move(timer);
+    timer.cancel(); // violation: 'timer' no longer names the generation
+    (void)parked;
+}
+
+void
+revivedHandle(sim::EventHandle &timer, sim::EventHandle &fresh)
+{
+    auto parked = std::move(timer);
+    timer = std::move(fresh); // reassignment revives the handle...
+    timer.cancel();           // ...so this is fine (false positive guard)
+    (void)parked;
+}
+
+struct RetryQueue
+{
+    int timerSlot = 0; // violation: raw integer event slot index
+
+    // simlint: allow(event-handle-misuse): fixture: RS shard index
+    // within the stripe, not a recycled event pool slot
+    unsigned shardSlot = 0;
+
+    int depth = 0; // false positive guard: not slot-named
+};

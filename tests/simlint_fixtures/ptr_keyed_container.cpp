@@ -1,0 +1,28 @@
+// Fixture for ptr-keyed-container: containers keyed or ordered by raw
+// pointer value iterate in allocation-address order. An explicit extra
+// template argument (comparator / hasher) opts out.
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Block;
+struct BlockIdLess;
+
+struct Registry
+{
+    std::map<Block *, int> byAddress;          // violation
+    std::set<const Block *> visited;           // violation
+    std::unordered_map<Block *, unsigned> hot; // violation
+
+    // simlint: allow(ptr-keyed-container): fixture: iteration order is
+    // never observed, only point lookups
+    std::map<Block *, int> suppressed;
+
+    // False positive guards: explicit comparator, pointer as mapped
+    // value (not key), and a non-keyed container.
+    std::map<Block *, int, BlockIdLess> ordered;
+    std::map<int, Block *> byId;
+    std::vector<Block *> list;
+};

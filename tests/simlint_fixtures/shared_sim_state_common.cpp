@@ -1,0 +1,33 @@
+// Fixture for shared-sim-state, cross-TU half. The test lints this file
+// under the synthetic path src/common/stats.cpp — outside the entry
+// directories — so findings here only appear through the call graph:
+// stepKernel() (src/sim/kernel.cpp) calls bumpHits() and recordSample().
+
+namespace fixture {
+
+int hitCounter = 0; // violation: referenced in reached bumpHits()
+
+int coldCounter = 0; // false positive guard: only orphanTouch() uses it
+
+void
+bumpHits()
+{
+    ++hitCounter;
+}
+
+void
+recordSample()
+{
+    static int memo = 0; // violation: local static, owner is reached
+    ++memo;
+}
+
+void
+orphanTouch()
+{
+    // Never called from a simulation entry point, so coldCounter stays
+    // invisible to the shard-isolation rule.
+    ++coldCounter;
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture for shared-sim-state. The test lints this file under the
+// synthetic path src/sim/kernel.cpp, so every function defined here is a
+// reachability root and every mutable here is entry-directory state.
+
+namespace fixture {
+
+int pendingEvents = 0; // violation: mutable state in an entry directory
+
+// simlint: allow(shared-sim-state): fixture: genuinely per-process
+int suppressedCounter = 0;
+
+const int kMaxEvents = 64; // false positive guard: const is fine
+
+void bumpHits();
+void recordSample();
+
+void
+stepKernel()
+{
+    ++pendingEvents;
+    ++suppressedCounter;
+    bumpHits();
+    recordSample();
+}
+
+} // namespace fixture

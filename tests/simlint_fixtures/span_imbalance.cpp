@@ -1,0 +1,21 @@
+// Fixture for span-imbalance: trace spans opened (`mark = tick`) with no
+// close (`mark = 0`) anywhere in this file. The balanced counterpart
+// lives in span_balanced.cpp and must stay silent.
+
+struct TraceContext
+{
+    unsigned long long mark;
+};
+
+void
+openWithoutClose(TraceContext &trace, unsigned long long now)
+{
+    trace.mark = now; // violation: never zeroed again
+}
+
+void
+suppressedOpen(TraceContext *trace, unsigned long long now)
+{
+    // simlint: allow(span-imbalance): fixture: the callee closes it
+    trace->mark = now;
+}

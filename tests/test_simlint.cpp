@@ -39,6 +39,16 @@ loadFixture(const std::string &name)
     return Source{name, text.str()};
 }
 
+/** Load a fixture but lint it under a synthetic repo path — the
+ *  shared-sim-state rule keys its entry-point roots off src/... paths. */
+Source
+loadFixtureAs(const std::string &name, const std::string &path)
+{
+    Source source = loadFixture(name);
+    source.path = path;
+    return source;
+}
+
 /** (file, line, rule) triples, sorted, for exact-set comparison. */
 using Triple = std::tuple<std::string, int, std::string>;
 
@@ -189,6 +199,173 @@ TEST(SimlintFixtures, CrossFileUnorderedIndex)
               (std::vector<Triple>{
                   {"user.cpp", 5, "unordered-iter"},
               }));
+}
+
+TEST(SimlintFixtures, SharedSimState)
+{
+    // mutable-global is switched off here to isolate the cross-TU rule;
+    // the repo's rules.toml documents the same precedence (shared-sim-
+    // state supersedes mutable-global inside the entry directories).
+    Config config;
+    std::string error;
+    ASSERT_TRUE(parseRulesConfig(
+        "[rules.mutable-global]\nseverity = \"off\"\n", config, error))
+        << error;
+
+    // Line 7: declared in an entry dir. Line 8/21 (stats.cpp): only
+    // findable through the kernel.cpp -> bumpHits()/recordSample() call
+    // edges. coldCounter (line 10) is referenced only by the unreached
+    // orphanTouch() and must stay silent; so must the suppressed and
+    // const globals.
+    EXPECT_EQ(
+        triples(simlint::lint(
+            {loadFixtureAs("shared_sim_state_kernel.cpp",
+                           "src/sim/kernel.cpp"),
+             loadFixtureAs("shared_sim_state_common.cpp",
+                           "src/common/stats.cpp")},
+            config)),
+        (std::vector<Triple>{
+            {"src/common/stats.cpp", 8, "shared-sim-state"},
+            {"src/common/stats.cpp", 21, "shared-sim-state"},
+            {"src/sim/kernel.cpp", 7, "shared-sim-state"},
+        }));
+}
+
+TEST(SimlintFixtures, SharedSimStateNeedsAReachableRoot)
+{
+    // The same common file linted without the kernel TU has no entry
+    // point reaching it: nothing may fire.
+    Config config;
+    std::string error;
+    ASSERT_TRUE(parseRulesConfig(
+        "[rules.mutable-global]\nseverity = \"off\"\n", config, error))
+        << error;
+    EXPECT_TRUE(triples(simlint::lint(
+                            {loadFixtureAs("shared_sim_state_common.cpp",
+                                           "src/common/stats.cpp")},
+                            config))
+                    .empty());
+}
+
+TEST(SimlintFixtures, PtrKeyedContainer)
+{
+    // Lines 15-17: map/set/unordered_map keyed by pointer. The explicit
+    // comparator (25), pointer-as-value (26), vector (27) and the
+    // suppressed declaration (21) stay silent.
+    EXPECT_EQ(lintFixture("ptr_keyed_container.cpp"),
+              (std::vector<Triple>{
+                  {"ptr_keyed_container.cpp", 15, "ptr-keyed-container"},
+                  {"ptr_keyed_container.cpp", 16, "ptr-keyed-container"},
+                  {"ptr_keyed_container.cpp", 17, "ptr-keyed-container"},
+              }));
+}
+
+TEST(SimlintFixtures, EventHandleMisuse)
+{
+    // Line 15: cancel through a moved-from handle. Line 30: raw int slot
+    // index. The revived handle (24), the suppressed shard index (34)
+    // and the un-slot-named member (36) stay silent.
+    EXPECT_EQ(lintFixture("event_handle_misuse.cpp"),
+              (std::vector<Triple>{
+                  {"event_handle_misuse.cpp", 15, "event-handle-misuse"},
+                  {"event_handle_misuse.cpp", 30, "event-handle-misuse"},
+              }));
+}
+
+TEST(SimlintFixtures, SpanImbalance)
+{
+    // Line 13: opened, never closed. Line 20 is suppressed.
+    EXPECT_EQ(lintFixture("span_imbalance.cpp"),
+              (std::vector<Triple>{
+                  {"span_imbalance.cpp", 13, "span-imbalance"},
+              }));
+    // Open + close in the same file: balanced, silent.
+    EXPECT_TRUE(lintFixture("span_balanced.cpp").empty());
+}
+
+TEST(SimlintFixtures, SpanClosedInIncludeNeighbourIsBalanced)
+{
+    // The close may live across the include edge (either direction);
+    // here the header closes what the including file opens.
+    const Source header{"trace_ctx.h",
+                        "struct TraceContext\n"
+                        "{\n"
+                        "    unsigned long long mark;\n"
+                        "};\n"
+                        "inline void\n"
+                        "closeSpan(TraceContext &trace)\n"
+                        "{\n"
+                        "    trace.mark = 0;\n"
+                        "}\n"};
+    const Source user{"user.cpp",
+                      "#include \"trace_ctx.h\"\n"
+                      "void\n"
+                      "openSpan(TraceContext &trace,\n"
+                      "         unsigned long long now)\n"
+                      "{\n"
+                      "    trace.mark = now;\n"
+                      "}\n"};
+    EXPECT_TRUE(triples(simlint::lint({header, user}, Config{})).empty());
+}
+
+TEST(SimlintDiff, OnlyFindingsNewSinceBaseSurvive)
+{
+    // The base has the same printf, just on a different line: diffing by
+    // (file, rule, offending line text) drops it, keeping only the
+    // naked-new that the "change" introduced.
+    const Source base{"a.cpp",
+                      "#include <cstdio>\n"
+                      "void f()\n"
+                      "{\n"
+                      "    printf(\"x\");\n"
+                      "}\n"};
+    const Source current{"a.cpp",
+                         "#include <cstdio>\n"
+                         "void f()\n"
+                         "{\n"
+                         "    int *p = new int(5);\n"
+                         "    (void)p;\n"
+                         "    printf(\"x\");\n"
+                         "}\n"};
+    const auto baseFindings = simlint::lint({base}, Config{});
+    const auto currentFindings = simlint::lint({current}, Config{});
+    EXPECT_EQ(triples(baseFindings),
+              (std::vector<Triple>{{"a.cpp", 4, "raw-io"}}));
+    const auto fresh = simlint::diffNewFindings(
+        currentFindings, {current}, baseFindings, {base});
+    EXPECT_EQ(triples(fresh),
+              (std::vector<Triple>{{"a.cpp", 4, "naked-new"}}));
+}
+
+TEST(SimlintDiff, FileAbsentFromBaseIsEntirelyNew)
+{
+    const Source current{"b.cpp",
+                         "#include <cstdio>\n"
+                         "void g() { printf(\"y\"); }\n"};
+    const auto findings = simlint::lint({current}, Config{});
+    const auto fresh =
+        simlint::diffNewFindings(findings, {current}, {}, {});
+    EXPECT_EQ(triples(fresh), triples(findings));
+    EXPECT_FALSE(fresh.empty());
+}
+
+TEST(SimlintReporters, SarifNamesRulesAndLocations)
+{
+    const auto findings =
+        simlint::lint({loadFixture("naked_new.cpp")}, Config{});
+    ASSERT_EQ(findings.size(), 1u);
+    const std::string sarif = simlint::renderSarif(findings);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"simlint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"naked-new\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"naked_new.cpp\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 14"), std::string::npos);
+    // Every known rule is declared in the driver's rule table, including
+    // the cross-TU ones.
+    for (const std::string &rule : simlint::allRules())
+        EXPECT_NE(sarif.find("{\"id\": \"" + rule + "\"}"),
+                  std::string::npos)
+            << rule;
 }
 
 TEST(SimlintConfig, SeverityAllowAndExclude)

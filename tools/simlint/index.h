@@ -1,0 +1,105 @@
+/**
+ * @file
+ * simlint repo-wide index: the cross-TU layer of the v2 engine.
+ *
+ * Built once per lint invocation over the *whole* source set, the index
+ * holds three structures the global rule family queries:
+ *
+ *  - a symbol index: every mutable namespace-scope variable, mutable
+ *    function-local `static`, and mutable `static` data member, with its
+ *    declaring file/line and (for function-locals) the enclosing
+ *    function; plus every function definition by name;
+ *  - an include graph: `#include "..."` edges resolved against the
+ *    source set by path-suffix match (system includes are ignored);
+ *  - an approximate call graph: name-based edges from each function
+ *    definition to every `identifier(` call inside its body. No overload
+ *    or receiver-type resolution — two functions sharing a name are
+ *    merged, which over-approximates reachability. For a safety analysis
+ *    over-approximation is the conservative direction: it can only turn
+ *    silence into a (suppressible) finding, never hide a real one.
+ *
+ * The shared-sim-state rule runs reachability over this graph: roots are
+ * all functions defined under the simulation entry directories, and any
+ * mutable state transitively reached is a finding at its declaration.
+ */
+
+#ifndef SMARTDS_TOOLS_SIMLINT_INDEX_H_
+#define SMARTDS_TOOLS_SIMLINT_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace simlint {
+
+/** One file of the lint set, stripped and tokenized. */
+struct FileUnit
+{
+    std::string path;
+    StrippedFile stripped;
+    std::vector<Token> tokens;
+};
+
+/** A mutable global / static discovered by the symbol pass. */
+struct MutableState
+{
+    enum class Kind
+    {
+        NamespaceVar,   ///< namespace-scope variable (incl. file statics)
+        FunctionStatic, ///< function-local `static`
+        ClassStatic,    ///< `static` data member
+    };
+
+    std::string name;
+    std::string file;
+    int line = 0;
+    Kind kind = Kind::NamespaceVar;
+    /** Enclosing function for FunctionStatic (empty otherwise). */
+    std::string owner;
+    /** Declared with the `static` keyword (vs. a bare namespace decl). */
+    bool staticKeyword = false;
+};
+
+/** One function definition (a body, not a mere declaration). */
+struct FunctionDef
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+    /** Callee names (`identifier(` inside the body), deduplicated. */
+    std::set<std::string> calls;
+    /** Names of indexed globals referenced anywhere in the body. */
+    std::set<std::string> globalRefs;
+};
+
+/** The whole-source-set index. */
+struct SymbolIndex
+{
+    std::vector<MutableState> mutables;
+    /** Function definitions grouped by (unqualified) name. */
+    std::map<std::string, std::vector<FunctionDef>> functions;
+    /** file -> paths (within the set) it directly includes. */
+    std::map<std::string, std::vector<std::string>> includes;
+    /** file -> paths (within the set) that directly include it. */
+    std::map<std::string, std::vector<std::string>> includedBy;
+};
+
+/** Build the index over @p units (two passes; see file comment). */
+SymbolIndex buildIndex(const std::vector<FileUnit> &units);
+
+/**
+ * Name-based reachability over the call graph: starting from every
+ * function defined in a file matching @p rootPred, follow call edges and
+ * return reached function names mapped to the root function each was
+ * first reached from (roots map to themselves).
+ */
+std::map<std::string, std::string>
+reachableFunctions(const SymbolIndex &index,
+                   const std::set<std::string> &rootFunctions);
+
+} // namespace simlint
+
+#endif // SMARTDS_TOOLS_SIMLINT_INDEX_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * simlint lexing layer: comment/string/preprocessor stripping that
+ * preserves (line, column) positions, suppression-comment parsing,
+ * `#include` target extraction, and a whitespace-insensitive tokenizer.
+ *
+ * Every rule in the v2 engine — local token rules and the cross-TU
+ * analyses alike — consumes the output of this layer, so the position
+ * guarantees here are what make finding line numbers exact.
+ */
+
+#ifndef SMARTDS_TOOLS_SIMLINT_LEXER_H_
+#define SMARTDS_TOOLS_SIMLINT_LEXER_H_
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simlint {
+
+inline bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+inline bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** @return @p s without leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** A parsed `simlint: allow(rule[, rule...])[: justification]` comment. */
+struct Suppression
+{
+    std::vector<std::string> rules;
+    bool justified = false;
+    bool standalone = false; ///< comment-only line: applies to next line
+};
+
+/**
+ * One file with comments, string literals and preprocessor lines blanked
+ * out (every remaining character keeps its original line and column),
+ * plus the suppression comments and quoted `#include` targets found
+ * while stripping.
+ */
+struct StrippedFile
+{
+    std::vector<std::string> raw;  ///< original lines
+    std::vector<std::string> code; ///< comments/strings/pp blanked
+    std::map<int, Suppression> suppressions; ///< keyed by 1-based line
+    /** Targets of `#include "..."` directives, in file order. Angle-
+     *  bracket includes are system headers and deliberately ignored. */
+    std::vector<std::string> includes;
+};
+
+/** Strip @p text (see StrippedFile). */
+StrippedFile stripFile(const std::string &text);
+
+/** One token of stripped code, tagged with its 1-based line. */
+struct Token
+{
+    std::string text;
+    int line = 0;
+
+    bool is(const char *s) const { return text == s; }
+    bool ident() const { return !text.empty() && isIdentStart(text[0]); }
+    bool number() const
+    {
+        return !text.empty() &&
+               std::isdigit(static_cast<unsigned char>(text[0]));
+    }
+    /** A floating-point literal: 1.5, .5f, 1e9, 0x1.8p3 — but not 1'000. */
+    bool floatLiteral() const;
+};
+
+/** Tokenize stripped code lines (identifiers, numbers, punctuation). */
+std::vector<Token> tokenize(const std::vector<std::string> &code);
+
+/** Index of the matching close for the opener at @p open, or npos. */
+std::size_t matchForward(const std::vector<Token> &t, std::size_t open,
+                         const char *openSym, const char *closeSym);
+
+} // namespace simlint
+
+#endif // SMARTDS_TOOLS_SIMLINT_LEXER_H_

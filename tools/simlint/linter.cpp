@@ -6,286 +6,47 @@
 #include <set>
 #include <sstream>
 
+#include "index.h"
+#include "lexer.h"
+
 namespace simlint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Small helpers
-// ---------------------------------------------------------------------------
+bool
+pathHasPrefix(std::string path, const std::string &prefix)
+{
+    if (path.rfind("./", 0) == 0)
+        path = path.substr(2);
+    if (path == prefix)
+        return true;
+    return path.size() > prefix.size() && path.rfind(prefix, 0) == 0 &&
+           (prefix.back() == '/' || path[prefix.size()] == '/');
+}
+
+/** The PDES shard-isolation gate: directories whose functions are the
+ *  entry points of the shared-sim-state reachability analysis. */
+const std::vector<std::string> &
+simEntryDirs()
+{
+    static const std::vector<std::string> dirs = {
+        "src/sim", "src/middletier", "src/net", "src/workload",
+    };
+    return dirs;
+}
 
 bool
-isIdentStart(char c)
+inSimEntryDir(const std::string &path)
 {
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string
-trim(const std::string &s)
-{
-    std::size_t b = 0, e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
-        ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
-        --e;
-    return s.substr(b, e - b);
-}
-
-// ---------------------------------------------------------------------------
-// Phase 1: strip comments / string literals / preprocessor lines, keeping
-// every remaining character at its original (line, column) position.
-// ---------------------------------------------------------------------------
-
-struct Suppression
-{
-    std::vector<std::string> rules;
-    bool justified = false;
-    bool standalone = false; ///< comment-only line: applies to next line
-};
-
-struct StrippedFile
-{
-    std::vector<std::string> raw;  ///< original lines
-    std::vector<std::string> code; ///< comments/strings/pp blanked
-    std::map<int, Suppression> suppressions; ///< keyed by 1-based line
-};
-
-/** Parse `simlint: allow(rule[, rule...])[: justification]` in @p comment. */
-bool
-parseSuppression(const std::string &comment, Suppression &out)
-{
-    const std::size_t mark = comment.find("simlint:");
-    if (mark == std::string::npos)
-        return false;
-    std::size_t p = comment.find("allow", mark);
-    if (p == std::string::npos)
-        return true; // malformed: "simlint:" with no allow(...)
-    p = comment.find('(', p);
-    const std::size_t close = comment.find(')', p == std::string::npos
-                                                    ? mark : p);
-    if (p == std::string::npos || close == std::string::npos)
-        return true; // malformed
-    std::string inside = comment.substr(p + 1, close - p - 1);
-    std::string rule;
-    std::istringstream list(inside);
-    while (std::getline(list, rule, ','))
-        if (!trim(rule).empty())
-            out.rules.push_back(trim(rule));
-    // Mandatory justification: a ':' after the ')' followed by text.
-    const std::size_t colon = comment.find(':', close);
-    if (colon != std::string::npos &&
-        !trim(comment.substr(colon + 1)).empty())
-        out.justified = true;
-    return true;
-}
-
-StrippedFile
-stripFile(const std::string &text)
-{
-    StrippedFile out;
-    {
-        std::string line;
-        std::istringstream in(text);
-        while (std::getline(in, line)) {
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            out.raw.push_back(line);
-        }
-    }
-    out.code.reserve(out.raw.size());
-
-    enum State { Code, Block };
-    State state = Code;
-    bool ppContinuation = false;
-    for (std::size_t li = 0; li < out.raw.size(); ++li) {
-        const std::string &src = out.raw[li];
-        std::string dst(src.size(), ' ');
-
-        // Preprocessor directives (and their backslash continuations)
-        // carry no scope or statements we want to lint structurally.
-        const std::string lead = trim(src);
-        const bool isPp = ppContinuation ||
-                          (state == Code && !lead.empty() && lead[0] == '#');
-        if (isPp) {
-            ppContinuation = !src.empty() && src.back() == '\\';
-            out.code.push_back(dst);
-            continue;
-        }
-
-        std::string comment; // accumulated // comment text on this line
-        for (std::size_t i = 0; i < src.size(); ++i) {
-            if (state == Block) {
-                if (src[i] == '*' && i + 1 < src.size() &&
-                    src[i + 1] == '/') {
-                    state = Code;
-                    ++i;
-                }
-                continue;
-            }
-            const char c = src[i];
-            if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-                comment = src.substr(i + 2);
-                break;
-            }
-            if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-                state = Block;
-                ++i;
-                continue;
-            }
-            if (c == '"' || c == '\'') {
-                // Raw strings: R"delim( ... )delim"
-                if (c == '"' && i > 0 && src[i - 1] == 'R') {
-                    const std::size_t open = src.find('(', i);
-                    if (open != std::string::npos) {
-                        const std::string delim =
-                            ")" + src.substr(i + 1, open - i - 1) + "\"";
-                        const std::size_t end = src.find(delim, open);
-                        i = end == std::string::npos
-                                ? src.size()
-                                : end + delim.size() - 1;
-                        continue;
-                    }
-                }
-                const char quote = c;
-                ++i;
-                while (i < src.size()) {
-                    if (src[i] == '\\')
-                        ++i;
-                    else if (src[i] == quote)
-                        break;
-                    ++i;
-                }
-                continue;
-            }
-            dst[i] = c;
-        }
-
-        if (!comment.empty()) {
-            Suppression sup;
-            if (parseSuppression(comment, sup)) {
-                sup.standalone = trim(dst).empty();
-                out.suppressions[static_cast<int>(li) + 1] = sup;
-            }
-        }
-        out.code.push_back(dst);
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Phase 2: tokenize the stripped code.
-// ---------------------------------------------------------------------------
-
-struct Token
-{
-    std::string text;
-    int line = 0; ///< 1-based
-
-    bool is(const char *s) const { return text == s; }
-    bool ident() const { return !text.empty() && isIdentStart(text[0]); }
-    bool number() const
-    {
-        return !text.empty() &&
-               std::isdigit(static_cast<unsigned char>(text[0]));
-    }
-    /** A floating-point literal: 1.5, .5f, 1e9, 0x1.8p3 — but not 1'000. */
-    bool
-    floatLiteral() const
-    {
-        if (!number())
-            return false;
-        if (text.size() > 1 && text[1] == 'x')
-            return text.find('.') != std::string::npos ||
-                   text.find('p') != std::string::npos ||
-                   text.find('P') != std::string::npos;
-        return text.find('.') != std::string::npos ||
-               text.find('e') != std::string::npos ||
-               text.find('E') != std::string::npos ||
-               text.back() == 'f' || text.back() == 'F';
-    }
-};
-
-std::vector<Token>
-tokenize(const std::vector<std::string> &code)
-{
-    std::vector<Token> out;
-    for (std::size_t li = 0; li < code.size(); ++li) {
-        const std::string &s = code[li];
-        const int line = static_cast<int>(li) + 1;
-        for (std::size_t i = 0; i < s.size();) {
-            const char c = s[i];
-            if (std::isspace(static_cast<unsigned char>(c))) {
-                ++i;
-                continue;
-            }
-            if (isIdentStart(c)) {
-                std::size_t j = i + 1;
-                while (j < s.size() && isIdentChar(s[j]))
-                    ++j;
-                out.push_back({s.substr(i, j - i), line});
-                i = j;
-                continue;
-            }
-            if (std::isdigit(static_cast<unsigned char>(c))) {
-                std::size_t j = i + 1;
-                while (j < s.size() &&
-                       (isIdentChar(s[j]) || s[j] == '.' || s[j] == '\'' ||
-                        ((s[j] == '+' || s[j] == '-') &&
-                         (s[j - 1] == 'e' || s[j - 1] == 'E' ||
-                          s[j - 1] == 'p' || s[j - 1] == 'P'))))
-                    ++j;
-                out.push_back({s.substr(i, j - i), line});
-                i = j;
-                continue;
-            }
-            // Multi-char punctuation the rules care about.
-            if (i + 1 < s.size()) {
-                const char n = s[i + 1];
-                if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
-                    (c == '[' && n == '[') || (c == ']' && n == ']')) {
-                    out.push_back({s.substr(i, 2), line});
-                    i += 2;
-                    continue;
-                }
-            }
-            out.push_back({std::string(1, c), line});
-            ++i;
-        }
-    }
-    return out;
-}
-
-/** Index of the matching close for the opener at @p open, or npos. */
-std::size_t
-matchForward(const std::vector<Token> &t, std::size_t open,
-             const char *openSym, const char *closeSym)
-{
-    int depth = 0;
-    for (std::size_t i = open; i < t.size(); ++i) {
-        if (t[i].is(openSym))
-            ++depth;
-        else if (t[i].is(closeSym) && --depth == 0)
-            return i;
-    }
-    return std::string::npos;
+    for (const std::string &dir : simEntryDirs())
+        if (pathHasPrefix(path, dir))
+            return true;
+    return false;
 }
 
 // ---------------------------------------------------------------------------
 // Rule engine plumbing
 // ---------------------------------------------------------------------------
-
-struct FileCtx
-{
-    const Source *source = nullptr;
-    StrippedFile stripped;
-    std::vector<Token> tokens;
-};
 
 struct Sink
 {
@@ -324,7 +85,7 @@ rawRandIdents()
 // --- wall-clock ------------------------------------------------------------
 
 void
-ruleWallClock(const FileCtx &ctx, const Sink &sink)
+ruleWallClock(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -348,7 +109,7 @@ ruleWallClock(const FileCtx &ctx, const Sink &sink)
 // --- raw-rand ---------------------------------------------------------------
 
 void
-ruleRawRand(const FileCtx &ctx, const Sink &sink)
+ruleRawRand(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -453,7 +214,7 @@ collectAliasVars(const std::vector<Token> &t, UnorderedIndex &index)
 }
 
 void
-ruleUnorderedIter(const FileCtx &ctx, const UnorderedIndex &index,
+ruleUnorderedIter(const FileUnit &ctx, const UnorderedIndex &index,
                   const Sink &sink)
 {
     const auto &t = ctx.tokens;
@@ -508,159 +269,344 @@ ruleUnorderedIter(const FileCtx &ctx, const UnorderedIndex &index,
     }
 }
 
-// --- mutable-global ---------------------------------------------------------
+// --- mutable-global (index-backed) -----------------------------------------
 
-bool
-spanHasConst(const std::vector<Token> &t, std::size_t b, std::size_t e)
-{
-    for (std::size_t j = b; j < e; ++j)
-        if (t[j].is("const") || t[j].is("constexpr") ||
-            t[j].is("constinit") || t[j].is("consteval"))
-            return true;
-    return false;
-}
-
-/** Whether [b,e) looks like a function declaration: `ident (` with no
- *  preceding `=` (an initializer call like `int x = f();` is not). */
-bool
-spanIsFunction(const std::vector<Token> &t, std::size_t b, std::size_t e)
-{
-    for (std::size_t j = b; j + 1 < e; ++j) {
-        if (t[j].is("="))
-            return false;
-        if ((t[j].ident() || t[j].is("]")) && t[j + 1].is("("))
-            return !t[j].is("alignas") && !t[j].is("decltype") &&
-                   !t[j].is("sizeof");
-    }
-    return false;
-}
-
+/**
+ * Per-file view of the cross-TU symbol pass: every mutable static /
+ * namespace-scope variable is a finding at its declaration. The
+ * shared-sim-state rule reports the same declarations when they are
+ * reachable from the simulation — rules.toml path-allows this rule
+ * inside the entry directories so the sharper rule supersedes it there.
+ */
 void
-ruleMutableGlobal(const FileCtx &ctx, const Sink &sink)
+ruleMutableGlobal(const SymbolIndex &index,
+                  std::map<std::string, std::vector<Finding>> &byFile)
+{
+    for (const MutableState &m : index.mutables) {
+        const std::string message =
+            m.staticKeyword
+                ? "mutable static '" + m.name + "' is shared state "
+                  "across Simulator instances; thread it through the "
+                  "owning object instead"
+                : "non-const global '" + m.name + "' breaks run-to-run "
+                  "determinism and concurrent sweeps; make it const or "
+                  "move it into the owning object";
+        byFile[m.file].push_back(
+            {m.file, m.line, "mutable-global", Severity::Error, message});
+    }
+}
+
+// --- shared-sim-state -------------------------------------------------------
+
+/**
+ * The PDES shard-isolation gate. Roots are all functions defined under
+ * the simulation entry directories; reachability follows the
+ * name-based call graph. A mutable static / global is a finding when it
+ * is (a) declared inside an entry directory, (b) a function-local
+ * static whose owning function is reached, or (c) a namespace/class
+ * static referenced inside any reached function. Name-based matching
+ * over-approximates — the conservative direction for a safety gate.
+ */
+void
+ruleSharedSimState(const SymbolIndex &index,
+                   std::map<std::string, std::vector<Finding>> &byFile)
+{
+    std::set<std::string> roots;
+    for (const auto &[name, defs] : index.functions)
+        for (const FunctionDef &def : defs)
+            if (inSimEntryDir(def.file))
+                roots.insert(name);
+    const std::map<std::string, std::string> reached =
+        reachableFunctions(index, roots);
+
+    // global name -> reached functions referencing it (deterministic
+    // order: functions map is name-sorted, defs keep file order).
+    std::map<std::string, std::vector<const FunctionDef *>> referencedBy;
+    for (const auto &[name, defs] : index.functions)
+        for (const FunctionDef &def : defs)
+            for (const std::string &g : def.globalRefs)
+                referencedBy[g].push_back(&def);
+
+    for (const MutableState &m : index.mutables) {
+        const bool inEntry = inSimEntryDir(m.file);
+        std::string via, root;
+        bool hit = inEntry;
+        if (!hit && m.kind == MutableState::Kind::FunctionStatic) {
+            const auto it = reached.find(m.owner);
+            if (!m.owner.empty() && it != reached.end()) {
+                hit = true;
+                via = m.owner;
+                root = it->second;
+            }
+        } else if (!hit) {
+            const auto refs = referencedBy.find(m.name);
+            if (refs != referencedBy.end()) {
+                for (const FunctionDef *def : refs->second) {
+                    const auto it = reached.find(def->name);
+                    if (it != reached.end()) {
+                        hit = true;
+                        via = def->name;
+                        root = it->second;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!hit)
+            continue;
+        const char *kindWord =
+            m.kind == MutableState::Kind::FunctionStatic
+                ? "function-local static"
+                : m.kind == MutableState::Kind::ClassStatic
+                      ? "static data member"
+                      : "namespace-scope state";
+        std::string message;
+        if (inEntry) {
+            message = "mutable " + std::string(kindWord) + " '" + m.name +
+                      "' is declared in a simulation entry directory; "
+                      "PDES shard isolation needs per-Simulator ownership "
+                      "— move it into the owning object, or suppress with "
+                      "a justification if it is genuinely per-process";
+        } else {
+            message = "mutable " + std::string(kindWord) + " '" + m.name +
+                      "' is transitively reachable from simulation entry "
+                      "point '" + root + "' via '" + via + "'; PDES "
+                      "shards cannot share it — key it per Simulator, or "
+                      "suppress with a justification if it is genuinely "
+                      "per-process";
+        }
+        byFile[m.file].push_back({m.file, m.line, "shared-sim-state",
+                                  Severity::Error, std::move(message)});
+    }
+}
+
+// --- ptr-keyed-container ----------------------------------------------------
+
+/**
+ * Containers keyed or ordered by raw pointer value iterate in
+ * allocation-address order, which varies with ASLR/allocator state run
+ * to run. An explicit extra template argument (comparator for ordered
+ * containers, hasher for unordered ones) opts out: the author has taken
+ * responsibility for determinism.
+ */
+void
+rulePtrKeyedContainer(const FileUnit &ctx, const Sink &sink)
+{
+    static const std::set<std::string> shortNames = {
+        "map", "set", "multimap", "multiset",
+    };
+    static const std::set<std::string> longNames = {
+        "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset",
+    };
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].ident() || !t[i + 1].is("<"))
+            continue;
+        const bool isShort = shortNames.count(t[i].text) != 0;
+        const bool isLong = longNames.count(t[i].text) != 0;
+        if (!isShort && !isLong)
+            continue;
+        // Bare `map`/`set` collide with local names; require `::map`.
+        if (isShort && (i == 0 || !t[i - 1].is("::")))
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "<", ">");
+        if (close == std::string::npos)
+            continue;
+        bool ptrInKey = false;
+        std::size_t args = 1;
+        int depth = 0;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (t[j].is("<") || t[j].is("("))
+                ++depth;
+            else if (t[j].is(">") || t[j].is(")"))
+                --depth;
+            else if (depth == 0 && t[j].is(","))
+                ++args;
+            else if (args == 1 && t[j].is("*"))
+                ptrInKey = true;
+        }
+        if (!ptrInKey)
+            continue;
+        const bool isMap = t[i].text.find("map") != std::string::npos;
+        const std::size_t defaultArgs = isMap ? 2 : 1;
+        if (args > defaultArgs)
+            continue; // explicit comparator / hasher supplied
+        sink.add(t[i].line, "ptr-keyed-container",
+                 "'" + t[i].text + "' keyed by pointer value; visit "
+                 "order follows allocation addresses and varies run to "
+                 "run — key by a stable id, or supply an explicit "
+                 "deterministic comparator");
+    }
+}
+
+// --- event-handle-misuse ----------------------------------------------------
+
+/**
+ * Two shapes of event-lifetime bug:
+ *  (a) cancelling (or querying) through a handle that was moved from —
+ *      the moved-from handle no longer names the live generation;
+ *  (b) storing a raw integer event slot index — slots are recycled, so
+ *      a stale index silently cancels an unrelated event. Only fires in
+ *      files that actually traffic in events (mention EventHandle or
+ *      schedule/scheduleAt).
+ */
+void
+ruleEventHandleMisuse(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
-    std::vector<char> scopes; // 'n' namespace, 'c' class, 'o' other
-    std::size_t stmtStart = 0;
-    int parenDepth = 0;
 
-    auto atNsScope = [&]() {
-        for (const char s : scopes)
-            if (s != 'n')
-                return false;
-        return true;
-    };
-    auto declEnd = [&](std::size_t from) {
-        int pd = 0;
-        for (std::size_t j = from; j < t.size(); ++j) {
-            if (t[j].is("("))
-                ++pd;
-            else if (t[j].is(")"))
-                --pd;
-            else if (pd == 0 &&
-                     (t[j].is(";") || t[j].is("{") || t[j].is("}")))
-                return j;
+    bool mentionsEvents = false;
+    for (const Token &tok : t) {
+        if (tok.is("EventHandle") || tok.is("schedule") ||
+            tok.is("scheduleAt")) {
+            mentionsEvents = true;
+            break;
         }
-        return t.size();
-    };
+    }
 
+    // (a) moved-from handle use. Track `std::move(name)` per brace
+    // depth; a reassignment revives the name, leaving the scope kills
+    // the record.
+    std::map<std::string, int> moved; // name -> brace depth at the move
+    int depth = 0;
     for (std::size_t i = 0; i < t.size(); ++i) {
-        if (t[i].is("("))
-            ++parenDepth;
-        else if (t[i].is(")"))
-            --parenDepth;
-        else if (t[i].is("{")) {
-            char kind = 'o';
-            bool sawEq = false;
-            for (std::size_t j = stmtStart; j < i; ++j) {
-                if (t[j].is("="))
-                    sawEq = true;
-                else if (t[j].is("namespace"))
-                    kind = 'n';
-                else if (!sawEq && (t[j].is("class") || t[j].is("struct") ||
-                                    t[j].is("union") || t[j].is("enum")))
-                    kind = 'c';
-            }
-            if (sawEq && kind != 'n')
-                kind = 'o'; // brace initializer, not a scope worth naming
-            scopes.push_back(kind);
-            stmtStart = i + 1;
-            continue;
-        } else if (t[i].is("}")) {
-            if (!scopes.empty())
-                scopes.pop_back();
-            stmtStart = i + 1;
-            continue;
-        } else if (t[i].is(";") && parenDepth == 0) {
-            stmtStart = i + 1;
+        if (t[i].is("{")) {
+            ++depth;
             continue;
         }
+        if (t[i].is("}")) {
+            --depth;
+            for (auto it = moved.begin(); it != moved.end();)
+                it = it->second > depth ? moved.erase(it) : std::next(it);
+            continue;
+        }
+        if (t[i].is("move") && i + 3 < t.size() && t[i + 1].is("(") &&
+            t[i + 2].ident() && t[i + 3].is(")")) {
+            moved[t[i + 2].text] = depth;
+            continue;
+        }
+        if (!t[i].ident() || !moved.count(t[i].text))
+            continue;
+        // `name = ...` (not `==`/`!=`) revives the handle.
+        if (i + 1 < t.size() && t[i + 1].is("=") &&
+            (i + 2 >= t.size() || !t[i + 2].is("=")) &&
+            (i == 0 || (!t[i - 1].is("=") && !t[i - 1].is("!") &&
+                        !t[i - 1].is("<") && !t[i - 1].is(">")))) {
+            moved.erase(t[i].text);
+            continue;
+        }
+        if (i + 2 < t.size() && t[i + 1].is(".") &&
+            (t[i + 2].is("cancel") || t[i + 2].is("pending"))) {
+            sink.add(t[i].line, "event-handle-misuse",
+                     "'" + t[i].text + "' was moved from; '" +
+                     t[i + 2].text + "()' through a moved-from "
+                     "EventHandle targets a dead generation — call it "
+                     "before the move, or use the handle it moved into");
+        }
+    }
 
-        // (a) `static` mutable state at any scope (function-local,
-        //     class-static data member, namespace scope).
-        if (t[i].is("static") && parenDepth == 0) {
-            const std::size_t end = declEnd(i);
-            if (!spanHasConst(t, i, end) && !spanIsFunction(t, i, end)) {
-                std::string name;
-                for (std::size_t j = i + 1; j < end; ++j) {
-                    if (t[j].is("=") || t[j].is("{"))
-                        break;
-                    if (t[j].ident())
-                        name = t[j].text;
-                }
-                if (!name.empty())
-                    sink.add(t[i].line, "mutable-global",
-                             "mutable static '" + name + "' is shared "
-                             "state across Simulator instances; thread "
-                             "it through the owning object instead");
-            }
-            // Resume just before the terminator so the brace/semicolon
-            // handlers above keep the scope stack balanced.
-            i = end == t.size() ? end : end - 1;
+    // (b) raw integer slot storage.
+    if (!mentionsEvents)
+        return;
+    static const std::set<std::string> intTypes = {
+        "int",      "unsigned", "long",     "short",
+        "int16_t",  "int32_t",  "int64_t",  "uint16_t",
+        "uint32_t", "uint64_t", "size_t",   "ptrdiff_t",
+    };
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!intTypes.count(t[i].text) || !t[i + 1].ident())
             continue;
-        }
+        if (i > 0 && (t[i - 1].is(".") || t[i - 1].is("->")))
+            continue;
+        std::string lower = t[i + 1].text;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (lower.find("slot") == std::string::npos)
+            continue;
+        sink.add(t[i + 1].line, "event-handle-misuse",
+                 "raw integer '" + t[i + 1].text + "' stores an event "
+                 "slot index; slots are recycled, so a stale index "
+                 "cancels an unrelated event — store the generation-"
+                 "counted sim::EventHandle instead");
+    }
+}
 
-        // (b) bare namespace-scope variable declarations.
-        if (i == stmtStart && atNsScope() && t[i].ident() &&
-            parenDepth == 0) {
-            static const std::set<std::string> skipLead = {
-                "using",  "typedef",  "namespace", "template", "extern",
-                "friend", "struct",   "class",     "union",    "enum",
-                "public", "private",  "protected", "operator",
-                "if",     "for",      "while",     "return",   "switch",
-            };
-            const std::size_t end = declEnd(i);
-            if (end < t.size() && t[end].is(";")) {
-                bool skip = skipLead.count(t[i].text) ||
-                            spanHasConst(t, i, end) ||
-                            spanIsFunction(t, i, end);
-                std::size_t idents = 0;
-                std::string name;
-                for (std::size_t j = i; j < end && !skip; ++j) {
-                    if (t[j].is("(") || t[j].is("operator") ||
-                        skipLead.count(t[j].text))
-                        skip = true;
-                    if (t[j].is("="))
-                        break;
-                    if (t[j].ident() && !t[j].is("std") && !t[j].is("inline"))
-                        ++idents, name = t[j].text;
-                }
-                if (!skip && idents >= 2)
-                    sink.add(t[i].line, "mutable-global",
-                             "non-const global '" + name + "' breaks "
-                             "run-to-run determinism and concurrent "
-                             "sweeps; make it const or move it into the "
-                             "owning object");
-                i = end - 1;
-                continue;
-            }
-        }
+// --- span-imbalance ---------------------------------------------------------
+
+struct SpanInfo
+{
+    std::vector<int> openLines; ///< `.mark = <nonzero>` sites
+    int closes = 0;             ///< `.mark = 0` sites
+};
+
+SpanInfo
+collectSpans(const std::vector<Token> &t)
+{
+    SpanInfo info;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (!(t[i].is(".") || t[i].is("->")) || !t[i + 1].is("mark") ||
+            !t[i + 2].is("="))
+            continue;
+        // `mark ==` is a comparison, not an open/close.
+        if (i + 3 < t.size() && t[i + 3].is("="))
+            continue;
+        if (i + 3 < t.size() && t[i + 3].is("0"))
+            ++info.closes;
+        else
+            info.openLines.push_back(t[i + 1].line);
+    }
+    return info;
+}
+
+/**
+ * A trace span is opened by writing a nonzero tick into a TraceContext
+ * `mark` and closed by zeroing it after Tracer::record(). An open with
+ * no close anywhere in the file or its direct include-graph neighbours
+ * leaks the span: the next record() on that context measures from the
+ * stale mark.
+ */
+void
+ruleSpanImbalance(const std::vector<FileUnit> &units,
+                  const SymbolIndex &index,
+                  std::map<std::string, std::vector<Finding>> &byFile)
+{
+    std::map<std::string, SpanInfo> spans;
+    for (const FileUnit &unit : units)
+        spans[unit.path] = collectSpans(unit.tokens);
+
+    for (const FileUnit &unit : units) {
+        const SpanInfo &own = spans[unit.path];
+        if (own.openLines.empty())
+            continue;
+        int closes = own.closes;
+        auto addNeighbours = [&](const std::map<std::string,
+                                                std::vector<std::string>>
+                                     &edges) {
+            const auto it = edges.find(unit.path);
+            if (it == edges.end())
+                return;
+            for (const std::string &n : it->second)
+                closes += spans[n].closes;
+        };
+        addNeighbours(index.includes);
+        addNeighbours(index.includedBy);
+        if (closes > 0)
+            continue;
+        for (const int line : own.openLines)
+            byFile[unit.path].push_back(
+                {unit.path, line, "span-imbalance", Severity::Error,
+                 "trace span opened here (`mark = tick`) but never "
+                 "closed (`mark = 0`) in this file or its direct "
+                 "includes; the next Tracer::record() on this context "
+                 "will measure from a stale mark"});
     }
 }
 
 // --- raw-io -----------------------------------------------------------------
 
 void
-ruleRawIo(const FileCtx &ctx, const Sink &sink)
+ruleRawIo(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -695,7 +641,7 @@ ruleRawIo(const FileCtx &ctx, const Sink &sink)
 // --- naked-new --------------------------------------------------------------
 
 void
-ruleNakedNew(const FileCtx &ctx, const Sink &sink)
+ruleNakedNew(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -758,7 +704,7 @@ spanHasFloatiness(const std::vector<Token> &t, std::size_t b, std::size_t e,
 }
 
 void
-ruleTickFloat(const FileCtx &ctx, const Sink &sink)
+ruleTickFloat(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -799,9 +745,9 @@ ruleTickFloat(const FileCtx &ctx, const Sink &sink)
 // --- missing-nodiscard ------------------------------------------------------
 
 void
-ruleMissingNodiscard(const FileCtx &ctx, const Sink &sink)
+ruleMissingNodiscard(const FileUnit &ctx, const Sink &sink)
 {
-    const std::string &path = *sink.path;
+    const std::string &path = ctx.path;
     if (path.size() < 2 || path.compare(path.size() - 2, 2, ".h") != 0)
         return; // declarations live in headers; definitions repeat them
     const auto &t = ctx.tokens;
@@ -841,7 +787,7 @@ ruleMissingNodiscard(const FileCtx &ctx, const Sink &sink)
  * block cache (sampleBlockPtr()/sampleBlockIndex() + BlockCodecCache).
  */
 void
-ruleBlockCopy(const FileCtx &ctx, const Sink &sink)
+ruleBlockCopy(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
@@ -866,7 +812,7 @@ ruleBlockCopy(const FileCtx &ctx, const Sink &sink)
  * the exact bounded rejection-inversion sampler.
  */
 void
-ruleZipfApprox(const FileCtx &ctx, const Sink &sink)
+ruleZipfApprox(const FileUnit &ctx, const Sink &sink)
 {
     const auto &t = ctx.tokens;
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
@@ -892,28 +838,15 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        "wall-clock",     "raw-rand",       "unordered-iter",
-        "mutable-global", "raw-io",         "naked-new",
-        "tick-float",     "missing-nodiscard", "block-copy",
-        "zipf-approx",    "bad-suppression",
+        "wall-clock",       "raw-rand",          "unordered-iter",
+        "mutable-global",   "shared-sim-state",  "ptr-keyed-container",
+        "event-handle-misuse", "span-imbalance",
+        "raw-io",           "naked-new",         "tick-float",
+        "missing-nodiscard", "block-copy",       "zipf-approx",
+        "bad-suppression",
     };
     return rules;
 }
-
-namespace {
-
-bool
-pathHasPrefix(std::string path, const std::string &prefix)
-{
-    if (path.rfind("./", 0) == 0)
-        path = path.substr(2);
-    if (path == prefix)
-        return true;
-    return path.size() > prefix.size() && path.rfind(prefix, 0) == 0 &&
-           (prefix.back() == '/' || path[prefix.size()] == '/');
-}
-
-} // namespace
 
 Severity
 Config::severityFor(const std::string &rule) const
@@ -1039,9 +972,9 @@ parseRulesConfig(const std::string &text, Config &config,
 std::vector<Finding>
 lint(const std::vector<Source> &sources, const Config &config)
 {
-    std::vector<FileCtx> ctxs;
-    ctxs.reserve(sources.size());
-    UnorderedIndex index;
+    std::vector<FileUnit> units;
+    units.reserve(sources.size());
+    UnorderedIndex uidx;
     for (const Source &src : sources) {
         bool excluded = false;
         for (const std::string &prefix : config.exclude)
@@ -1049,34 +982,47 @@ lint(const std::vector<Source> &sources, const Config &config)
                 excluded = true;
         if (excluded)
             continue;
-        FileCtx ctx;
-        ctx.source = &src;
-        ctx.stripped = stripFile(src.text);
-        ctx.tokens = tokenize(ctx.stripped.code);
-        collectUnorderedDecls(ctx.tokens, index);
-        ctxs.push_back(std::move(ctx));
+        FileUnit unit;
+        unit.path = src.path;
+        unit.stripped = stripFile(src.text);
+        unit.tokens = tokenize(unit.stripped.code);
+        collectUnorderedDecls(unit.tokens, uidx);
+        units.push_back(std::move(unit));
     }
-    for (const FileCtx &ctx : ctxs)
-        collectAliasVars(ctx.tokens, index);
+    for (const FileUnit &unit : units)
+        collectAliasVars(unit.tokens, uidx);
+    const SymbolIndex index = buildIndex(units);
+
+    // Raw findings, grouped by the file they are attributed to. Local
+    // rules only ever report into their own file; the cross-TU rules
+    // report at the declaration they flag, so suppressions and allow
+    // lists apply in the declaring file.
+    std::map<std::string, std::vector<Finding>> byFile;
+    for (const FileUnit &unit : units) {
+        const Sink sink{&unit.path, &byFile[unit.path]};
+        ruleWallClock(unit, sink);
+        ruleRawRand(unit, sink);
+        ruleUnorderedIter(unit, uidx, sink);
+        rulePtrKeyedContainer(unit, sink);
+        ruleEventHandleMisuse(unit, sink);
+        ruleRawIo(unit, sink);
+        ruleNakedNew(unit, sink);
+        ruleTickFloat(unit, sink);
+        ruleMissingNodiscard(unit, sink);
+        ruleBlockCopy(unit, sink);
+        ruleZipfApprox(unit, sink);
+    }
+    ruleMutableGlobal(index, byFile);
+    ruleSharedSimState(index, byFile);
+    ruleSpanImbalance(units, index, byFile);
 
     std::vector<Finding> findings;
-    for (const FileCtx &ctx : ctxs) {
-        std::vector<Finding> raw;
-        const Sink sink{&ctx.source->path, &raw};
-        ruleWallClock(ctx, sink);
-        ruleRawRand(ctx, sink);
-        ruleUnorderedIter(ctx, index, sink);
-        ruleMutableGlobal(ctx, sink);
-        ruleRawIo(ctx, sink);
-        ruleNakedNew(ctx, sink);
-        ruleTickFloat(ctx, sink);
-        ruleMissingNodiscard(ctx, sink);
-        ruleBlockCopy(ctx, sink);
-        ruleZipfApprox(ctx, sink);
+    for (const FileUnit &unit : units) {
+        std::vector<Finding> &raw = byFile[unit.path];
 
         // Validate suppressions and build the (line -> rules) map.
         std::map<int, std::set<std::string>> allowed;
-        for (const auto &[line, sup] : ctx.stripped.suppressions) {
+        for (const auto &[line, sup] : unit.stripped.suppressions) {
             // A standalone suppression comment covers the next statement
             // that holds code — from the first code line through the line
             // that closes it — so multi-line justification comments and
@@ -1084,7 +1030,7 @@ lint(const std::vector<Source> &sources, const Config &config)
             int target = line;
             int targetEnd = line;
             if (sup.standalone) {
-                const auto &code = ctx.stripped.code;
+                const auto &code = unit.stripped.code;
                 const int n = static_cast<int>(code.size());
                 int next = line; // `line` is 1-based; code[line] is next
                 while (next < n && trim(code[next]).empty())
@@ -1115,7 +1061,7 @@ lint(const std::vector<Source> &sources, const Config &config)
             }
             if (!ok)
                 raw.push_back(
-                    {ctx.source->path, line, "bad-suppression",
+                    {unit.path, line, "bad-suppression",
                      Severity::Error,
                      sup.rules.empty()
                          ? "malformed suppression; use `// simlint: "
@@ -1150,6 +1096,56 @@ lint(const std::vector<Source> &sources, const Config &config)
                   return a.rule < b.rule;
               });
     return findings;
+}
+
+namespace {
+
+/** Trimmed text of @p line (1-based) in @p text, or "" out of range. */
+std::string
+lineText(const std::string &text, int line)
+{
+    std::istringstream in(text);
+    std::string s;
+    for (int i = 0; i < line && std::getline(in, s); ++i)
+        ;
+    return trim(s);
+}
+
+} // namespace
+
+std::vector<Finding>
+diffNewFindings(const std::vector<Finding> &current,
+                const std::vector<Source> &currentSources,
+                const std::vector<Finding> &base,
+                const std::vector<Source> &baseSources)
+{
+    auto textOf = [](const std::vector<Source> &sources,
+                     const std::string &path) -> const std::string * {
+        for (const Source &src : sources)
+            if (src.path == path)
+                return &src.text;
+        return nullptr;
+    };
+    // Multiset of base findings keyed by (file, rule, offending line
+    // text) — line numbers shift under unrelated edits, text does not.
+    std::map<std::string, int> seen;
+    for (const Finding &f : base) {
+        const std::string *text = textOf(baseSources, f.file);
+        seen[f.file + "\x1f" + f.rule + "\x1f" +
+             (text ? lineText(*text, f.line) : "")]++;
+    }
+    std::vector<Finding> fresh;
+    for (const Finding &f : current) {
+        const std::string *text = textOf(currentSources, f.file);
+        const std::string key = f.file + "\x1f" + f.rule + "\x1f" +
+                                (text ? lineText(*text, f.line) : "");
+        const auto it = seen.find(key);
+        if (it != seen.end() && it->second > 0)
+            --it->second;
+        else
+            fresh.push_back(f);
+    }
+    return fresh;
 }
 
 std::string
@@ -1198,6 +1194,45 @@ renderJson(const std::vector<Finding> &findings)
         out += i + 1 < findings.size() ? ",\n" : "\n";
     }
     out += "]\n";
+    return out;
+}
+
+std::string
+renderSarif(const std::vector<Finding> &findings)
+{
+    std::string out =
+        "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [{\n"
+        "    \"tool\": {\"driver\": {\n"
+        "      \"name\": \"simlint\",\n"
+        "      \"informationUri\": \"README.md\",\n"
+        "      \"rules\": [\n";
+    const auto &rules = allRules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += "        {\"id\": \"" + jsonEscape(rules[i]) + "\"}";
+        out += i + 1 < rules.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n"
+           "    }},\n"
+           "    \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += "      {\"ruleId\": \"" + jsonEscape(f.rule) +
+               "\", \"level\": \"" +
+               (f.severity == Severity::Warn ? "warning" : "error") +
+               "\", \"message\": {\"text\": \"" + jsonEscape(f.message) +
+               "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" + jsonEscape(f.file) +
+               "\"}, \"region\": {\"startLine\": " +
+               std::to_string(f.line) + "}}}]}";
+        out += i + 1 < findings.size() ? ",\n" : "\n";
+    }
+    out += "    ]\n"
+           "  }]\n"
+           "}\n";
     return out;
 }
 

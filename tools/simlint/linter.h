@@ -5,33 +5,51 @@
  * A from-scratch token/heuristic-level C++ linter (no libclang) that
  * enforces the conventions the simulator's headline guarantees rest on:
  * byte-identical sweeps for any `--jobs N` and deterministic traces.
- * Each rule catches a bug class that previously had to be audited by
- * hand:
  *
- *  - wall-clock:         reading host time into simulation state
- *  - raw-rand:           rand()/std::random_device/<random> engines
- *                        instead of the seeded smartds::Rng
- *  - unordered-iter:     iterating std::unordered_{map,set} (hash-order
- *                        nondeterminism) anywhere results could depend
- *                        on visit order
- *  - mutable-global:     non-const globals / function-local mutable
- *                        `static` state (breaks concurrent SweepRunner
- *                        instances and run-to-run reproducibility)
- *  - raw-io:             printf/std::cout outside the logging module
- *                        and the bench harness (interleaves under -j)
- *  - naked-new:          owning `new` in the datapath (leak-prone; the
- *                        tree is smart-pointer / slab-pool based)
- *  - tick-float:         float/double arithmetic producing Tick values
- *                        (rounding may reorder events across platforms)
- *  - missing-nodiscard:  error-returning APIs (std::optional returns)
- *                        without [[nodiscard]]
- *  - bad-suppression:    a `// simlint: allow(...)` comment that names
- *                        an unknown rule or omits the justification
+ * The v2 engine has two layers. The lexing layer (lexer.h) strips and
+ * tokenizes each file preserving (line, column). Local rules run per
+ * file over those tokens; the cross-TU layer (index.h) additionally
+ * builds a repo-wide symbol index, include graph and approximate call
+ * graph that the global rule family queries. Each rule catches a bug
+ * class that previously had to be audited by hand:
+ *
+ *  - wall-clock:          reading host time into simulation state
+ *  - raw-rand:            rand()/std::random_device/<random> engines
+ *                         instead of the seeded smartds::Rng
+ *  - unordered-iter:      iterating std::unordered_{map,set} (hash-order
+ *                         nondeterminism) anywhere results could depend
+ *                         on visit order
+ *  - mutable-global:      non-const globals / function-local mutable
+ *                         `static` state (breaks concurrent SweepRunner
+ *                         instances and run-to-run reproducibility)
+ *  - shared-sim-state:    mutable namespace-scope or static-member state
+ *                         transitively reachable from a simulation entry
+ *                         directory (src/sim|middletier|net|workload) —
+ *                         the PDES shard-isolation gate; supersedes
+ *                         mutable-global inside those directories
+ *  - ptr-keyed-container: containers keyed or ordered by pointer value,
+ *                         whose visit order is address-dependent
+ *  - event-handle-misuse: raw event slot indices stored instead of the
+ *                         generation-counted sim::EventHandle, or
+ *                         cancelling via a moved-from handle
+ *  - span-imbalance:      a trace span opened (`.mark = tick`) with no
+ *                         matching close (`.mark = 0`) in the file or
+ *                         its direct include neighbours
+ *  - raw-io:              printf/std::cout outside the logging module
+ *                         and the bench harness (interleaves under -j)
+ *  - naked-new:           owning `new` in the datapath (leak-prone; the
+ *                         tree is smart-pointer / slab-pool based)
+ *  - tick-float:          float/double arithmetic producing Tick values
+ *                         (rounding may reorder events across platforms)
+ *  - missing-nodiscard:   error-returning APIs (std::optional returns)
+ *                         without [[nodiscard]]
+ *  - bad-suppression:     a `// simlint: allow(...)` comment that names
+ *                         an unknown rule or omits the justification
  *
  * Findings can be suppressed per line with
  *     // simlint: allow(rule-id): <mandatory justification>
  * either trailing the offending line or on a line of its own (then it
- * applies to the next line). Severity and per-rule allowed path
+ * applies to the next statement). Severity and per-rule allowed path
  * prefixes come from rules.toml (see parseRulesConfig()).
  */
 
@@ -100,20 +118,37 @@ bool parseRulesConfig(const std::string &text, Config &config,
                       std::string &error);
 
 /**
- * Lint @p sources under @p config. Two-pass: the first pass collects
- * identifiers declared with unordered container types anywhere in the
- * set (so iteration in a .cpp over a member declared in a .h is still
- * caught); the second applies every rule per file. Findings are sorted
- * by (file, line, rule).
+ * Lint @p sources under @p config. Local rules run per file; the
+ * cross-TU rules (shared-sim-state, span-imbalance, and the
+ * unordered-iter declaration index) run over a repo-wide symbol/include/
+ * call-graph index built from the whole set, with each finding
+ * attributed to the declaring file so suppressions and allow lists
+ * apply there. Findings are sorted by (file, line, rule).
  */
 std::vector<Finding> lint(const std::vector<Source> &sources,
                           const Config &config);
+
+/**
+ * Return the findings in @p current that are new relative to @p base
+ * (the same tree linted at a base revision). Findings are matched by
+ * (file, rule, trimmed source-line text) so unrelated edits that shift
+ * line numbers do not resurrect old findings; @p currentSources /
+ * @p baseSources supply the line text.
+ */
+std::vector<Finding>
+diffNewFindings(const std::vector<Finding> &current,
+                const std::vector<Source> &currentSources,
+                const std::vector<Finding> &base,
+                const std::vector<Source> &baseSources);
 
 /** Render findings as "file:line: severity[rule] message" lines. */
 std::string renderText(const std::vector<Finding> &findings);
 
 /** Render findings as a JSON array (stable key order). */
 std::string renderJson(const std::vector<Finding> &findings);
+
+/** Render findings as a SARIF 2.1.0 log (for CI code-scanning upload). */
+std::string renderSarif(const std::vector<Finding> &findings);
 
 } // namespace simlint
 

@@ -2,25 +2,43 @@
  * @file
  * simlint command-line driver.
  *
- *   simlint [--config rules.toml] [--root DIR] [--json] PATH...
+ *   simlint [--config rules.toml] [--root DIR] [--json]
+ *           [--sarif FILE] [--diff-base REV] [--perf-out FILE] PATH...
  *
  * Each PATH is a file or a directory (recursed for .h/.cpp, skipping
  * hidden and build* directories). Paths are reported relative to
  * --root (default: current directory) so rules.toml allow prefixes
  * like "bench/" match regardless of where the tool is invoked from.
  *
+ * --sarif FILE     additionally write the findings as SARIF 2.1.0
+ *                  (for CI code-scanning upload / inline annotations).
+ * --diff-base REV  lint the same files at git revision REV (via
+ *                  `git show`; --root must be the worktree root) and
+ *                  report/fail only on findings *introduced* since REV,
+ *                  so warn-severity rules can ratchet without a flag
+ *                  day.
+ * --perf-out FILE  append a bench_perf.jsonl-style record with the
+ *                  lint wall time and line throughput, so
+ *                  tools/perf_diff.py can gate lint-speed regressions.
+ *
  * Exit status: 0 = clean (or warnings only), 1 = error-severity
  * findings, 2 = usage / configuration problem.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include "linter.h"
 
@@ -87,11 +105,61 @@ relativeTo(const fs::path &path, const fs::path &root)
     return s;
 }
 
+/** `git show REV:path` under @p root; false if absent at that rev. */
+bool
+gitShow(const fs::path &root, const std::string &rev,
+        const std::string &relPath, std::string &out)
+{
+    const std::string cmd = "git -C '" + root.string() + "' show '" + rev +
+                            ":" + relPath + "' 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return false;
+    char buf[4096];
+    std::string text;
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        text.append(buf, n);
+    const int rc = pclose(pipe);
+    if (rc != 0)
+        return false;
+    out = std::move(text);
+    return true;
+}
+
+/** Append one bench_perf.jsonl record (O_APPEND single write, so
+ *  concurrent bench processes cannot interleave lines). */
+void
+appendPerfRecord(const std::string &path, std::size_t lines, double wallS)
+{
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    const double rssMb = static_cast<double>(ru.ru_maxrss) / 1024.0;
+    char rec[512];
+    std::snprintf(rec, sizeof rec,
+                  "{\"bench\":\"simlint_tree\",\"jobs\":1,"
+                  "\"smoke\":false,\"events\":%zu,\"wall_s\":%.6f,"
+                  "\"events_per_sec\":%.1f,\"peak_rss_mb\":%.1f,"
+                  "\"unix_time\":%lld}\n",
+                  lines, wallS, wallS > 0 ? lines / wallS : 0.0, rssMb,
+                  static_cast<long long>(std::time(nullptr)));
+    const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        std::fprintf(stderr, "simlint: cannot append to '%s'\n",
+                     path.c_str());
+        return;
+    }
+    const ssize_t ignored = write(fd, rec, std::strlen(rec));
+    (void)ignored;
+    close(fd);
+}
+
 int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--config rules.toml] [--root DIR] [--json] "
+                 "[--sarif FILE] [--diff-base REV] [--perf-out FILE] "
                  "[--list-rules] PATH...\n",
                  argv0);
     return 2;
@@ -105,6 +173,9 @@ main(int argc, char **argv)
     std::string configPath;
     fs::path root = fs::current_path();
     bool json = false;
+    std::string sarifPath;
+    std::string diffBase;
+    std::string perfOut;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -115,6 +186,12 @@ main(int argc, char **argv)
             configPath = argv[++i];
         } else if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
             root = argv[++i];
+        } else if (std::strcmp(arg, "--sarif") == 0 && i + 1 < argc) {
+            sarifPath = argv[++i];
+        } else if (std::strcmp(arg, "--diff-base") == 0 && i + 1 < argc) {
+            diffBase = argv[++i];
+        } else if (std::strcmp(arg, "--perf-out") == 0 && i + 1 < argc) {
+            perfOut = argv[++i];
         } else if (std::strcmp(arg, "--list-rules") == 0) {
             for (const std::string &rule : simlint::allRules())
                 std::printf("%s\n", rule.c_str());
@@ -156,6 +233,7 @@ main(int argc, char **argv)
 
     std::vector<simlint::Source> sources;
     sources.reserve(files.size());
+    std::size_t totalLines = 0;
     for (const fs::path &file : files) {
         simlint::Source src;
         src.path = relativeTo(file, root);
@@ -164,11 +242,45 @@ main(int argc, char **argv)
                          file.string().c_str());
             return 2;
         }
+        totalLines += static_cast<std::size_t>(
+            std::count(src.text.begin(), src.text.end(), '\n'));
         sources.push_back(std::move(src));
     }
 
-    const std::vector<simlint::Finding> findings =
-        simlint::lint(sources, config);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<simlint::Finding> findings = simlint::lint(sources, config);
+    const double wallS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!perfOut.empty())
+        appendPerfRecord(perfOut, totalLines, wallS);
+
+    if (!diffBase.empty()) {
+        std::vector<simlint::Source> baseSources;
+        baseSources.reserve(sources.size());
+        for (const simlint::Source &src : sources) {
+            std::string text;
+            if (gitShow(root, diffBase, src.path, text))
+                baseSources.push_back({src.path, std::move(text)});
+            // Absent at the base revision: a new file, so every finding
+            // in it is new.
+        }
+        const std::vector<simlint::Finding> baseFindings =
+            simlint::lint(baseSources, config);
+        findings = simlint::diffNewFindings(findings, sources,
+                                            baseFindings, baseSources);
+    }
+
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "simlint: cannot write '%s'\n",
+                         sarifPath.c_str());
+            return 2;
+        }
+        out << simlint::renderSarif(findings);
+    }
+
     if (json) {
         std::fputs(simlint::renderJson(findings).c_str(), stdout);
     } else {
@@ -176,8 +288,10 @@ main(int argc, char **argv)
         std::size_t errors = 0, warnings = 0;
         for (const simlint::Finding &f : findings)
             (f.severity == simlint::Severity::Error ? errors : warnings)++;
-        std::printf("simlint: %zu file(s), %zu error(s), %zu warning(s)\n",
-                    sources.size(), errors, warnings);
+        std::printf("simlint: %zu file(s), %zu error(s), %zu warning(s)%s\n",
+                    sources.size(), errors, warnings,
+                    diffBase.empty() ? ""
+                                     : " (new relative to --diff-base)");
     }
     for (const simlint::Finding &f : findings)
         if (f.severity == simlint::Severity::Error)
