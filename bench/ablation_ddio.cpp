@@ -59,6 +59,7 @@ main(int argc, char **argv)
         }
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Acc with and without DDIO, calm vs MLC pressure");

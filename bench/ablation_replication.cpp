@@ -54,6 +54,7 @@ main(int argc, char **argv)
         }
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table rep("Replication-factor sweep (SmartDS-1, effort 1)");

@@ -51,6 +51,7 @@ main(int argc, char **argv)
     const std::size_t sd4_index =
         runner.add(saturating(Design::SmartDs, 8, 4));
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     const auto &split_on = runner.result(split_on_index);

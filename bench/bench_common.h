@@ -68,6 +68,14 @@ traceSampleFlag()
     return every;
 }
 
+/** `--shards N` value (0 = flag not passed: legacy serial kernel). */
+inline unsigned &
+shardsFlag()
+{
+    static unsigned shards = 0;
+    return shards;
+}
+
 /**
  * Wall-clock stopwatch for bench-side speedup measurements. This header
  * is the only place the wall-clock lint rule allows: elapsed real time
@@ -129,6 +137,11 @@ sweep(std::initializer_list<T> full)
  * pass the rest through):
  *  - `--jobs N` / `--jobs=N`: worker threads for SweepRunner sweeps
  *    (default: hardware concurrency; 1 = serial, today's behaviour).
+ *  - `--shards N` / `--shards=N`: run every queued experiment on the
+ *    parallel PDES kernel with N executor shards and an auto-derived
+ *    timing-domain partition (see ExperimentConfig::timingDomains).
+ *    Results are byte-identical for any N at a fixed partition — this
+ *    knob trades wall-clock only.
  *  - `--smoke`: tiny run — sweep lists trimmed to their first point and
  *    experiment windows shrunk (see saturating()).
  *  - `--trace-out PATH` / `--trace-out=PATH`: enable per-request tracing
@@ -153,7 +166,7 @@ class Harness
 {
   public:
     Harness(int &argc, char **argv, std::string name)
-        : name_(std::move(name)), startEvents_(sim::totalEventsExecuted())
+        : name_(std::move(name))
     {
         int out = 1;
         for (int i = 1; i < argc; ++i) {
@@ -166,6 +179,10 @@ class Harness
                 jobs_ = parseJobs(argv[++i]);
             } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
                 jobs_ = parseJobs(arg + 7);
+            } else if (std::strcmp(arg, "--shards") == 0 && i + 1 < argc) {
+                shardsFlag() = parseShards(argv[++i]);
+            } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+                shardsFlag() = parseShards(arg + 9);
             } else if (std::strcmp(arg, "--trace-out") == 0 &&
                        i + 1 < argc) {
                 traceOutFlag() = argv[++i];
@@ -187,23 +204,38 @@ class Harness
     ~Harness()
     {
         const double wall = watch_.seconds();
-        const std::uint64_t events =
-            sim::totalEventsExecuted() - startEvents_;
+        const std::uint64_t events = events_;
         struct rusage usage;
         getrusage(RUSAGE_SELF, &usage);
         const double rss_mb =
             static_cast<double>(usage.ru_maxrss) / 1024.0; // Linux: KiB
 
-        char line[512];
+        // Per-domain totals make any speedup attributable: a lopsided
+        // partition shows up here before it shows up as a flat curve.
+        std::string domain_events = "[";
+        for (std::size_t d = 0; d < domainEvents_.size(); ++d) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%s%llu", d ? "," : "",
+                          static_cast<unsigned long long>(
+                              domainEvents_[d]));
+            domain_events += buf;
+        }
+        domain_events += "]";
+
+        char line[768];
         std::snprintf(
             line, sizeof(line),
             "{\"bench\":\"%s\",\"jobs\":%u,\"smoke\":%s,"
+            "\"shards\":%u,\"domains\":%u,"
             "\"events\":%llu,\"wall_s\":%.3f,\"events_per_sec\":%.0f,"
+            "\"cross_events\":%llu,\"domain_events\":%s,"
             "\"peak_rss_mb\":%.1f,\"unix_time\":%lld}",
             name_.c_str(), jobs_, smoke() ? "true" : "false",
+            shardsFlag() == 0 ? 1 : shardsFlag(), maxDomains_,
             static_cast<unsigned long long>(events), wall,
-            wall > 0.0 ? static_cast<double>(events) / wall : 0.0, rss_mb,
-            unixTime());
+            wall > 0.0 ? static_cast<double>(events) / wall : 0.0,
+            static_cast<unsigned long long>(crossEvents_),
+            domain_events.c_str(), rss_mb, unixTime());
 
         // One write() on an O_APPEND fd: several bench binaries running
         // under ctest -j append here concurrently, and buffered ofstream
@@ -218,6 +250,41 @@ class Harness
 
     /** Sweep worker threads (0 never returned; >= 1). */
     unsigned jobs() const { return jobs_; }
+
+    /** `--shards` value applied to experiment configs (>= 1). */
+    unsigned shards() const { return shardsFlag() == 0 ? 1 : shardsFlag(); }
+
+    // ---- event accounting (feeds the bench_perf record) -----------------
+    //
+    // The kernel no longer keeps a process-global executed counter (it
+    // was the last mutable global in src/sim), so each bench attributes
+    // its own events: noteSweep() after runner.run() for sweep benches,
+    // noteResult()/noteEvents() for benches that drive experiments or
+    // raw simulators by hand.
+
+    /** Account raw kernel events (micro-benches driving a Simulator). */
+    void noteEvents(std::uint64_t events) const { events_ += events; }
+
+    /** Account one experiment's events + PDES telemetry. */
+    void
+    noteResult(const workload::ExperimentResult &result) const
+    {
+        events_ += result.eventsExecuted;
+        crossEvents_ += result.crossChannelEvents;
+        maxDomains_ = std::max(maxDomains_, result.timingDomains);
+        if (domainEvents_.size() < result.domainEvents.size())
+            domainEvents_.resize(result.domainEvents.size(), 0);
+        for (std::size_t d = 0; d < result.domainEvents.size(); ++d)
+            domainEvents_[d] += result.domainEvents[d];
+    }
+
+    /** Account every run of a finished sweep. */
+    void
+    noteSweep(const workload::SweepRunner &runner) const
+    {
+        for (std::size_t i = 0; i < runner.size(); ++i)
+            noteResult(runner.result(i));
+    }
 
     bool smoke() const { return bench::smoke(); }
 
@@ -293,10 +360,16 @@ class Harness
         std::string csv = "run,design,state_hash\n";
         char buf[160];
         for (std::size_t i = 0; i < runner.size(); ++i) {
-            const workload::ExperimentConfig &config = runner.config(i);
+            workload::ExperimentConfig config = runner.config(i);
             const workload::ExperimentResult &swept = runner.result(i);
+            // Rerun on a single executor shard: a hash match is then a
+            // direct end-to-end proof that shards=N produced the exact
+            // event stream of shards=1 (the PDES determinism bar), on
+            // top of the run-to-run stability it always checked.
+            config.shards = 1;
             const workload::ExperimentResult rerun =
                 workload::runWriteExperiment(config);
+            noteResult(rerun);
             if (rerun.stateHash != swept.stateHash) {
                 const sim::DsanDivergence div = sim::compareDsanWindows(
                     swept.dsanWindows, rerun.dsanWindows);
@@ -346,10 +419,25 @@ class Harness
         return static_cast<unsigned>(value);
     }
 
+    static unsigned
+    parseShards(const char *text)
+    {
+        char *end = nullptr;
+        const long value = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || value < 1 || value > 256)
+            fatal("invalid --shards value '%s'", text);
+        return static_cast<unsigned>(value);
+    }
+
     std::string name_;
     unsigned jobs_ = workload::SweepRunner::defaultJobs();
     Stopwatch watch_;
-    std::uint64_t startEvents_;
+    // Mutable: benches account events through a const& harness, and the
+    // dsan pass (logically read-only) reruns experiments it must count.
+    mutable std::uint64_t events_ = 0;
+    mutable std::uint64_t crossEvents_ = 0;
+    mutable unsigned maxDomains_ = 1;
+    mutable std::vector<std::uint64_t> domainEvents_;
 };
 
 /** Saturating configuration (throughput measurements). */
@@ -375,6 +463,14 @@ saturating(middletier::Design design, unsigned cores, unsigned ports = 1)
     // `--dsan` hashes the event stream of every queued run (including in
     // non-checked builds, where hashing is otherwise off).
     config.dsan = dsanFlag();
+    // `--shards N` moves every run onto the PDES kernel: N executor
+    // threads over an auto-derived timing-domain partition. Without the
+    // flag the config keeps the legacy serial kernel, byte-identical to
+    // every run before the knob existed.
+    if (shardsFlag() > 0) {
+        config.shards = shardsFlag();
+        config.timingDomains = 0; // auto partition from the topology
+    }
     return config;
 }
 

@@ -72,6 +72,7 @@ main(int argc, char **argv)
                            runner.add(sd8_config)});
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Header split vs block size (saturating load)");

@@ -130,6 +130,7 @@ main(int argc, char **argv)
         domain_indices.push_back(runner.add(config));
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table churn("Durability policy vs crash churn (2 ms outages)");

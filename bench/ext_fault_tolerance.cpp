@@ -83,6 +83,7 @@ main(int argc, char **argv)
         quorum_indices.push_back(std::move(per_design));
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table crash("Crash rate vs goodput and tails");

@@ -68,6 +68,7 @@ main(int argc, char **argv)
         indices.push_back(std::move(per_design));
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Serving write requests beside maintenance");

@@ -51,6 +51,7 @@ main(int argc, char **argv)
         indices.push_back(std::move(per_design));
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Read/write mixes (saturating load)");

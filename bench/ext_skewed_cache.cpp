@@ -80,6 +80,7 @@ main(int argc, char **argv)
         }
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Zipf theta x cache capacity (70% reads)");

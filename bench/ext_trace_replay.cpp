@@ -36,6 +36,7 @@ struct Run
     double p99Us;
     double p999Us;
     bool finished;
+    std::uint64_t events;
 };
 
 Run
@@ -107,6 +108,7 @@ replay(Design design, double rate_per_second)
     r.finished = true;
     for (const auto &rep : replayers)
         r.finished = r.finished && rep->finished();
+    r.events = sim.eventsExecuted();
     return r;
 }
 
@@ -126,6 +128,7 @@ main(int argc, char **argv)
     for (double rate : smartds::bench::sweep({0.6e6, 1.0e6, 1.4e6})) {
         for (Design design : {Design::CpuOnly, Design::SmartDs}) {
             const Run r = replay(design, rate);
+            harness.noteEvents(r.events);
             table.row({middletier::designName(design),
                        fmt(r.offeredGbps, 1), fmt(r.avgUs, 1),
                        fmt(r.p99Us, 1), fmt(r.p999Us, 1)});

@@ -37,6 +37,8 @@ struct Point
 {
     double rdmaGbps;
     double mlcGBps;
+    /** Kernel events this pressure point executed (for bench_perf). */
+    std::uint64_t events;
 };
 
 Point
@@ -104,6 +106,7 @@ run(unsigned delay_cycles)
     const double seconds = toSeconds(window);
     p.rdmaGbps = toGbps(static_cast<double>(forwarded) / seconds);
     p.mlcGBps = (mlc.deliveredBytes() - mlc_start) / seconds / 1e9;
+    p.events = sim.eventsExecuted();
     return p;
 }
 
@@ -124,6 +127,7 @@ main(int argc, char **argv)
                   "rdma-vs-idle"});
 
     const Point idle = run(mem::MlcInjector::offDelay);
+    harness.noteEvents(idle.events);
     const std::vector<unsigned> delays =
         smartds::bench::sweep({1600u, 800u, 400u, 200u, 100u, 50u, 20u,
                                0u});
@@ -132,6 +136,7 @@ main(int argc, char **argv)
     double at_max = 1.0;
     for (unsigned delay : delays) {
         const Point p = run(delay);
+        harness.noteEvents(p.events);
         const double rel = p.rdmaGbps / idle.rdmaGbps;
         if (delay == 0)
             at_max = rel;

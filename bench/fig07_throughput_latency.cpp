@@ -81,6 +81,7 @@ main(int argc, char **argv)
     const std::size_t peak_sd = runner.add(saturating(Design::SmartDs, 2));
 
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
     harness.verifyDsan(runner);
 

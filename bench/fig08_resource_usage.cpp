@@ -74,6 +74,7 @@ main(int argc, char **argv)
         runner.add(saturating(Design::SmartDs, 2));
 
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table mem("Fig 8a - host memory bandwidth occupation (Gbps)");

@@ -64,6 +64,7 @@ main(int argc, char **argv)
         indices.push_back(std::move(per_design));
     }
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Fig 9 - write serving under MLC pressure");

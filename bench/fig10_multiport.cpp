@@ -52,6 +52,7 @@ main(int argc, char **argv)
     const std::size_t sd4_index =
         runner.add(saturating(Design::SmartDs, 8, 4));
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     Table table("Fig 10a-c - SmartDS port scaling");

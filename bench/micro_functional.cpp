@@ -78,6 +78,7 @@ main(int argc, char **argv)
         on_runner.add(functional(d, true));
     const Stopwatch on_watch;
     on_runner.run();
+    harness.noteSweep(on_runner);
     const double wall_on = on_watch.seconds();
 
     workload::SweepRunner off_runner(harness.jobs());
@@ -85,6 +86,7 @@ main(int argc, char **argv)
         off_runner.add(functional(d, false));
     const Stopwatch off_watch;
     off_runner.run();
+    harness.noteSweep(off_runner);
     const double wall_off = off_watch.seconds();
 
     Table table("Functional write serving (effort 8, 4 cores)");

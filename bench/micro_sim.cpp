@@ -29,6 +29,12 @@ namespace {
 // thread a counter through; atomic, bench-only telemetry
 std::atomic<std::uint64_t> newCalls{0};
 
+/** Kernel events the benchmark bodies executed (for bench_perf). */
+// simlint: allow(mutable-global): google-benchmark bodies are free
+// functions with no way to reach the Harness in main(); atomic,
+// bench-only telemetry accumulated for one noteEvents() call at exit
+std::atomic<std::uint64_t> simEvents{0};
+
 } // namespace
 
 // Counting global allocator: the header-encode benchmarks report an
@@ -74,6 +80,8 @@ eventScheduleAndRun(benchmark::State &state)
             sim.schedule(static_cast<Tick>(i) * 10_ns,
                          [&sink]() { ++sink; });
         sim.run();
+        simEvents.fetch_add(sim.eventsExecuted(),
+                            std::memory_order_relaxed);
         benchmark::DoNotOptimize(sink);
     }
     state.SetItemsProcessed(state.iterations() * 1000);
@@ -93,6 +101,8 @@ coroutineDelayChain(benchmark::State &state)
             }(sim, &sink));
         }
         sim.run();
+        simEvents.fetch_add(sim.eventsExecuted(),
+                            std::memory_order_relaxed);
         benchmark::DoNotOptimize(sink);
     }
     state.SetItemsProcessed(state.iterations() * 50 * 20);
@@ -108,6 +118,8 @@ bandwidthServerTransfers(benchmark::State &state)
         for (int i = 0; i < 1000; ++i)
             server.transfer(4096, [&done]() { ++done; });
         sim.run();
+        simEvents.fetch_add(sim.eventsExecuted(),
+                            std::memory_order_relaxed);
         benchmark::DoNotOptimize(done);
     }
     state.SetItemsProcessed(state.iterations() * 1000);
@@ -128,6 +140,8 @@ fairShareContendedTransfers(benchmark::State &state)
             fs[static_cast<std::size_t>(i) % flows]->transfer(
                 4096, [&done]() { ++done; });
         sim.run();
+        simEvents.fetch_add(sim.eventsExecuted(),
+                            std::memory_order_relaxed);
         benchmark::DoNotOptimize(done);
     }
     state.SetItemsProcessed(state.iterations() * 200);
@@ -215,5 +229,6 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    harness.noteEvents(simEvents.load(std::memory_order_relaxed));
     return 0;
 }

@@ -52,6 +52,7 @@ main(int argc, char **argv)
     const std::size_t cpu_index =
         runner.add(saturating(Design::CpuOnly, 48));
     runner.run();
+    harness.noteSweep(runner);
     harness.exportTraces(runner);
 
     // --- Part 1: measure one card (SmartDS-6) in simulation -------------

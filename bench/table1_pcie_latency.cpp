@@ -30,6 +30,7 @@ struct Sample
 {
     double h2dUs;
     double d2hUs;
+    std::uint64_t events;
 };
 
 Sample
@@ -92,7 +93,7 @@ run(bool heavy)
         if (!heavy)
             sim.run();
     }
-    return Sample{h2d.mean(), d2h.mean()};
+    return Sample{h2d.mean(), d2h.mean(), sim.eventsExecuted()};
 }
 
 } // namespace
@@ -108,6 +109,7 @@ main(int argc, char **argv)
 
     const Sample idle = run(false);
     const Sample heavy = run(true);
+    harness.noteEvents(idle.events + heavy.events);
 
     Table table("Table 1 - PCIe DMA latency");
     table.header({"", "H2D latency (us)", "D2H latency (us)"});

@@ -28,12 +28,38 @@ FaultInjector::profile(net::NodeId node)
 }
 
 void
+FaultInjector::attachCluster(sim::ClusterSim &cluster,
+                             std::map<net::NodeId, unsigned> node_domains)
+{
+    cluster_ = &cluster;
+    nodeDomain_ = std::move(node_domains);
+}
+
+unsigned
+FaultInjector::domainOf(net::NodeId node) const
+{
+    const auto it = nodeDomain_.find(node);
+    return it == nodeDomain_.end() ? sim_.domainIndex() : it->second;
+}
+
+sim::Simulator &
+FaultInjector::simFor(net::NodeId node)
+{
+    if (!cluster_)
+        return sim_;
+    return cluster_->domain(domainOf(node));
+}
+
+void
 FaultInjector::scheduleCrash(net::NodeId node, Tick at)
 {
     FaultProfile *p = profile(node);
-    sim_.scheduleAt(at, [this, p]() {
+    // Scheduled on the victim's own domain: the crash executes in the
+    // victim's shard, and the profile is only ever touched by the thread
+    // running that shard.
+    simFor(node).scheduleAt(at, [this, p]() {
         if (!p->crashed())
-            ++crashesInjected_;
+            crashesInjected_.fetch_add(1, std::memory_order_relaxed);
         p->crash();
     });
 }
@@ -42,7 +68,7 @@ void
 FaultInjector::scheduleRecovery(net::NodeId node, Tick at)
 {
     FaultProfile *p = profile(node);
-    sim_.scheduleAt(at, [p]() { p->recover(); });
+    simFor(node).scheduleAt(at, [p]() { p->recover(); });
 }
 
 void
@@ -50,7 +76,7 @@ FaultInjector::scheduleDegrade(net::NodeId node, Tick at,
                                double latency_factor, double bandwidth_factor)
 {
     FaultProfile *p = profile(node);
-    sim_.scheduleAt(at, [p, latency_factor, bandwidth_factor]() {
+    simFor(node).scheduleAt(at, [p, latency_factor, bandwidth_factor]() {
         p->degrade(latency_factor, bandwidth_factor);
     });
 }
@@ -59,7 +85,7 @@ void
 FaultInjector::scheduleRestore(net::NodeId node, Tick at)
 {
     FaultProfile *p = profile(node);
-    sim_.scheduleAt(at, [p]() { p->restore(); });
+    simFor(node).scheduleAt(at, [p]() { p->restore(); });
 }
 
 void
@@ -89,6 +115,39 @@ FaultInjector::scheduleDomainCrash(
     }
 }
 
+void
+FaultInjector::injectChurnCrash(FaultProfile *victim, Tick outage)
+{
+    if (!cluster_ || cluster_->domains() == 1) {
+        // Legacy single-domain path, bit-identical to before PDES.
+        victim->crash();
+        crashesInjected_.fetch_add(1, std::memory_order_relaxed);
+        sim_.schedule(
+            outage, [victim]() { victim->recover(); },
+            sim::EventTag::Maintenance);
+        return;
+    }
+    // PDES: the churn loop runs in the injector's home domain while the
+    // victim's profile belongs to another shard, so the transitions
+    // travel through the cluster's deterministic channels one lookahead
+    // out. Same-domain victims take the same delayed timeline so churn
+    // semantics don't depend on the domain layout more than they must.
+    const unsigned src = sim_.domainIndex();
+    const unsigned dst = domainOf(victim->node());
+    const Tick when = sim_.now() + cluster_->lookahead();
+    crashesInjected_.fetch_add(1, std::memory_order_relaxed);
+    auto crash = [victim]() { victim->crash(); };
+    auto recover = [victim]() { victim->recover(); };
+    if (dst == src) {
+        sim_.scheduleAt(when, crash, sim::EventTag::Maintenance);
+        sim_.scheduleAt(when + outage, recover, sim::EventTag::Maintenance);
+    } else {
+        cluster_->post(src, dst, when, crash, sim::EventTag::Maintenance);
+        cluster_->post(src, dst, when + outage, recover,
+                       sim::EventTag::Maintenance);
+    }
+}
+
 sim::Process
 FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
                      Tick outage)
@@ -97,6 +156,7 @@ FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
     // not depend on which node the churn happens to hit first.
     for (net::NodeId n : nodes)
         profile(n);
+    const bool pdes = cluster_ && cluster_->domains() > 1;
     while (running_) {
         // simlint: allow(tick-float): exponential jitter from the seeded
         // Rng; identical across runs of the same binary by construction
@@ -105,14 +165,25 @@ FaultInjector::churn(std::vector<net::NodeId> nodes, Tick mean_interval,
         co_await sim::delay(sim_, std::max<Tick>(1, wait));
         if (!running_)
             break;
-        FaultProfile *victim = profile(nodes[rng_.below(nodes.size())]);
-        if (victim->crashed())
+        const net::NodeId node = nodes[rng_.below(nodes.size())];
+        FaultProfile *victim = profile(node);
+        if (pdes) {
+            // Cross-shard crashed() would race with the victim's own
+            // shard; decide from local shadow bookkeeping instead. The
+            // shadow timeline is a deterministic function of the seeded
+            // rng, so every run (any shard count) skips the same draws.
+            const Tick recoverAt = sim_.now() + cluster_->lookahead() +
+                                   outage;
+            auto [it, fresh] = downUntil_.try_emplace(node, recoverAt);
+            if (!fresh) {
+                if (sim_.now() < it->second)
+                    continue; // still down per the shadow timeline
+                it->second = recoverAt;
+            }
+        } else if (victim->crashed()) {
             continue;
-        victim->crash();
-        ++crashesInjected_;
-        sim_.schedule(
-            outage, [victim]() { victim->recover(); },
-            sim::EventTag::Maintenance);
+        }
+        injectChurnCrash(victim, outage);
     }
 }
 

@@ -20,6 +20,7 @@
 #ifndef SMARTDS_FAULTS_FAULT_INJECTOR_H_
 #define SMARTDS_FAULTS_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "common/random.h"
 #include "common/time.h"
 #include "net/message.h"
+#include "sim/pdes.h"
 #include "sim/process.h"
 #include "sim/simulator.h"
 
@@ -163,6 +165,19 @@ class FaultInjector
     /** Get-or-create the profile for @p node. */
     FaultProfile *profile(net::NodeId node);
 
+    /**
+     * PDES mode: target a multi-domain cluster. One-shot schedules land
+     * on the victim node's own domain simulator (so a crash executes in
+     * the victim's shard and its profile is only ever touched by that
+     * shard's thread), and the churn loop — which runs in the injector's
+     * home domain — keeps shadow down/up bookkeeping locally and posts
+     * the actual transitions through the cluster's channels. @p
+     * node_domains maps every storage node to its timing domain (nodes
+     * absent from the map are assumed to share the injector's domain).
+     */
+    void attachCluster(sim::ClusterSim &cluster,
+                       std::map<net::NodeId, unsigned> node_domains);
+
     // --- one-shot schedules (absolute simulated time) ------------------
 
     void scheduleCrash(net::NodeId node, Tick at);
@@ -195,18 +210,39 @@ class FaultInjector
     /** Stop the churn loop (profiles keep their current state). */
     void stop() { running_ = false; }
 
-    std::uint64_t crashesInjected() const { return crashesInjected_; }
+    std::uint64_t
+    crashesInjected() const
+    {
+        return crashesInjected_.load(std::memory_order_relaxed);
+    }
     std::size_t crashedCount() const;
 
   private:
     sim::Process churn(std::vector<net::NodeId> nodes, Tick mean_interval,
                        Tick outage);
 
+    /** Timing domain @p node executes in (injector's own if unmapped). */
+    unsigned domainOf(net::NodeId node) const;
+
+    /** The simulator a one-shot fault for @p node must be scheduled on. */
+    sim::Simulator &simFor(net::NodeId node);
+
+    /** Churn-loop crash + recovery for @p victim (PDES-aware). */
+    void injectChurnCrash(FaultProfile *victim, Tick outage);
+
     sim::Simulator &sim_;
+    sim::ClusterSim *cluster_ = nullptr; ///< null outside PDES mode
+    std::map<net::NodeId, unsigned> nodeDomain_;
+    /** Churn shadow state: tick each node is (believed) down until. */
+    std::map<net::NodeId, Tick> downUntil_;
     std::uint64_t seed_;
     Rng rng_;
     bool running_ = false;
-    std::uint64_t crashesInjected_ = 0;
+    // Crash events execute in their victim's shard, so in PDES mode this
+    // counter is bumped from several worker threads; the sum is still
+    // deterministic (each crash event fires exactly once). Relaxed is
+    // enough — the rounds' mutex handshake orders reads after the run.
+    std::atomic<std::uint64_t> crashesInjected_{0};
     // Ordered map: iteration order (crashedCount) must be deterministic.
     std::map<net::NodeId, std::unique_ptr<FaultProfile>> profiles_;
 };

@@ -10,7 +10,7 @@ namespace smartds::net {
 Port::Port(sim::Simulator &sim, Fabric &fabric, std::string name, NodeId id,
            BytesPerSecond line_rate, Framing framing)
     : sim_(sim), fabric_(fabric), name_(std::move(name)), id_(id),
-      framing_(framing),
+      domain_(sim.domainIndex()), framing_(framing),
       tx_(sim, name_ + ".tx", line_rate),
       rx_(sim, name_ + ".rx", line_rate)
 {
@@ -59,8 +59,29 @@ Port::arrive(Message msg)
 }
 
 Fabric::Fabric(sim::Simulator &sim, Tick one_way_delay)
-    : sim_(sim), delay_(one_way_delay)
+    : sims_{&sim}, delay_(one_way_delay), tracers_(1, nullptr),
+      metrics_(1, nullptr)
 {
+}
+
+Fabric::Fabric(sim::ClusterSim &cluster, Tick one_way_delay)
+    : cluster_(&cluster), delay_(one_way_delay),
+      tracers_(cluster.domains(), nullptr),
+      metrics_(cluster.domains(), nullptr)
+{
+    // The cluster's lookahead is the minimum cross-domain link latency;
+    // a fabric with a smaller delay would let a message land inside a
+    // round horizon. Rejecting here makes "zero-lookahead link" a
+    // configuration error, not a runtime heisenbug.
+    if (cluster.domains() > 1 && delay_ < cluster.lookahead())
+        fatal("fabric one-way delay %llu is below the cluster lookahead "
+              "%llu (zero- or sub-lookahead links are not allowed across "
+              "timing domains)",
+              static_cast<unsigned long long>(delay_),
+              static_cast<unsigned long long>(cluster.lookahead()));
+    sims_.reserve(cluster.domains());
+    for (unsigned d = 0; d < cluster.domains(); ++d)
+        sims_.push_back(&cluster.domain(d));
 }
 
 Port *
@@ -68,8 +89,8 @@ Fabric::createPort(const std::string &name, BytesPerSecond line_rate,
                    Framing framing)
 {
     const NodeId id = nextId_++;
-    auto port = std::make_unique<Port>(sim_, *this, name, id, line_rate,
-                                       framing);
+    auto port = std::make_unique<Port>(simulator(), *this, name, id,
+                                       line_rate, framing);
     Port *raw = port.get();
     ports_.emplace(id, std::move(port));
     return raw;
@@ -91,7 +112,23 @@ Fabric::route(Message msg)
     if (it == ports_.end())
         fatal("message to unknown node id %u", msg.dst);
     Port *dst = it->second.get();
-    sim_.schedule(
+    const unsigned srcDomain = sim::currentDomain();
+    const unsigned dstDomain = dst->domainIndex();
+    if (cluster_ && dstDomain != srcDomain) {
+        // Cross-domain hop: hand the delivery to the cluster's channel.
+        // delay_ >= lookahead (checked at construction), so the arrival
+        // tick is always beyond the current round's horizon.
+        sim::Simulator &src = *sims_[srcDomain];
+        cluster_->post(
+            srcDomain, dstDomain, src.now() + delay_,
+            [dst, msg = std::move(msg)]() mutable {
+                dst->arrive(std::move(msg));
+            },
+            sim::EventTag::Net);
+        return;
+    }
+    // Same-domain (or standalone) hop: the legacy path, unchanged.
+    sims_[srcDomain]->schedule(
         delay_,
         [dst, msg = std::move(msg)]() mutable {
             dst->arrive(std::move(msg));

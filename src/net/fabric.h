@@ -28,6 +28,7 @@
 #include "common/units.h"
 #include "net/message.h"
 #include "sim/bandwidth_server.h"
+#include "sim/pdes.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
 
@@ -79,6 +80,9 @@ class Port
     NodeId id() const { return id_; }
     const std::string &name() const { return name_; }
 
+    /** Timing domain this port (and its node) executes in. */
+    unsigned domainIndex() const { return domain_; }
+
     /** Meters observing application bytes (excl. framing). */
     RateMeter &txMeter() { return txMeter_; }
     RateMeter &rxMeter() { return rxMeter_; }
@@ -96,6 +100,8 @@ class Port
     Fabric &fabric_;
     std::string name_;
     NodeId id_;
+    /** Captured from sim::currentDomain() at creation (see createPort). */
+    unsigned domain_;
     Framing framing_;
     sim::BandwidthServer tx_;
     sim::BandwidthServer rx_;
@@ -104,14 +110,34 @@ class Port
     Handler handler_;
 };
 
-/** The switch connecting all ports; non-blocking core. */
+/**
+ * The switch connecting all ports; non-blocking core.
+ *
+ * A fabric can span a single Simulator (the legacy, single-domain case)
+ * or a sim::ClusterSim, in which case each port belongs to the timing
+ * domain that was current when it was created, same-domain messages
+ * take the exact code path they always did, and cross-domain messages
+ * travel through the cluster's deterministic channels. The fabric's
+ * one-way delay is the lookahead that makes those channels safe, which
+ * is why a zero-delay fabric over multiple domains is rejected at
+ * construction (config) time.
+ */
 class Fabric
 {
   public:
     explicit Fabric(sim::Simulator &sim,
                     Tick one_way_delay = calibration::networkOneWayDelay);
 
-    /** Create a port with a fresh node id. */
+    /**
+     * Span a cluster: ports created under sim::DomainScope(d) — or from
+     * events executing in domain d — attach to domain d's simulator.
+     * Fatal if @p one_way_delay is below the cluster's lookahead (a
+     * cross-domain event could then land inside a round horizon).
+     */
+    explicit Fabric(sim::ClusterSim &cluster,
+                    Tick one_way_delay = calibration::networkOneWayDelay);
+
+    /** Create a port with a fresh node id, in the current domain. */
     Port *createPort(const std::string &name,
                      BytesPerSecond line_rate = calibration::lineRate100G,
                      Framing framing = Framing{});
@@ -120,17 +146,49 @@ class Fabric
     Port *port(NodeId id) const;
 
     Tick oneWayDelay() const { return delay_; }
-    sim::Simulator &simulator() { return sim_; }
+
+    /** The current timing domain's simulator (domain 0 when standalone). */
+    sim::Simulator &simulator() { return *sims_[sim::currentDomain()]; }
+
+    /** Number of timing domains this fabric spans (1 when standalone). */
+    unsigned domains() const { return static_cast<unsigned>(sims_.size()); }
 
     /**
      * Attach the run's tracer/metrics (owned by the experiment). Nearly
      * every component holds the fabric, so this is the discovery point for
-     * both; null (the default) disables all instrumentation.
+     * both; null (the default) disables all instrumentation. The plain
+     * setters install one instance for every domain (fine for
+     * single-domain runs); multi-domain experiments install one tracer
+     * and registry per domain so recording never crosses a shard.
      */
-    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
-    void setMetrics(trace::MetricsRegistry *metrics) { metrics_ = metrics; }
-    trace::Tracer *tracer() const { return tracer_; }
-    trace::MetricsRegistry *metrics() const { return metrics_; }
+    void
+    setTracer(trace::Tracer *tracer)
+    {
+        for (auto &t : tracers_)
+            t = tracer;
+    }
+    void
+    setMetrics(trace::MetricsRegistry *metrics)
+    {
+        for (auto &m : metrics_)
+            m = metrics;
+    }
+    void setDomainTracer(unsigned d, trace::Tracer *t) { tracers_[d] = t; }
+    void
+    setDomainMetrics(unsigned d, trace::MetricsRegistry *m)
+    {
+        metrics_[d] = m;
+    }
+
+    /** The current domain's tracer (null disables tracing). */
+    trace::Tracer *tracer() const { return tracers_[sim::currentDomain()]; }
+
+    /** The current domain's metrics registry. */
+    trace::MetricsRegistry *
+    metrics() const
+    {
+        return metrics_[sim::currentDomain()];
+    }
 
   private:
     friend class Port;
@@ -138,12 +196,13 @@ class Fabric
     /** Route @p msg from a sender's egress to the destination port. */
     void route(Message msg);
 
-    sim::Simulator &sim_;
+    std::vector<sim::Simulator *> sims_; ///< one per domain
+    sim::ClusterSim *cluster_ = nullptr; ///< null when standalone
     Tick delay_;
     NodeId nextId_ = 1;
     std::unordered_map<NodeId, std::unique_ptr<Port>> ports_;
-    trace::Tracer *tracer_ = nullptr;
-    trace::MetricsRegistry *metrics_ = nullptr;
+    std::vector<trace::Tracer *> tracers_;         ///< one slot per domain
+    std::vector<trace::MetricsRegistry *> metrics_; ///< one slot per domain
 };
 
 } // namespace smartds::net

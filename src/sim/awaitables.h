@@ -2,6 +2,10 @@
  * @file
  * Adapters that expose callback-style resources as awaitable Completions,
  * so coroutine request flows can compose them with co_await.
+ *
+ * Domain locality (PDES): every adapter takes the awaiting process's own
+ * Simulator and a resource living on that same simulator — awaiting
+ * never hops timing domains, so these helpers are shard-safe as-is.
  */
 
 #ifndef SMARTDS_SIM_AWAITABLES_H_

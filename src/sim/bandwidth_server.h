@@ -7,6 +7,12 @@
  * serialisation time, and a fixed pipeline latency. This models PCIe link
  * directions, Ethernet ports, compression engines and NVMe channels, where
  * FIFO order and store-and-forward timing are the right abstraction.
+ *
+ * Domain locality (PDES): a server schedules only on the Simulator it was
+ * constructed with, so each instance belongs wholly to one timing domain
+ * (its owning component's) and is only ever touched by that domain's
+ * executor shard. Cross-domain traffic reaches it via fabric messages,
+ * never by direct transfer() calls from another domain.
  */
 
 #ifndef SMARTDS_SIM_BANDWIDTH_SERVER_H_

@@ -18,6 +18,14 @@
  * Completion mirrors the asynchronous events returned by the SmartDS API
  * (Table 2 of the paper): it carries a 64-bit value (e.g. a byte count)
  * and wakes every awaiting process when complete() is called.
+ *
+ * Domain locality (PDES): a Process binds to exactly one Simulator — the
+ * one it was spawned on — and every resume it schedules lands back on
+ * that same heap. Under a multi-domain ClusterSim this means coroutines
+ * never cross timing domains: a component's request loops run entirely
+ * inside the component's own domain, and only fabric messages (which
+ * route through the lookahead-checked channels) leave it. Nothing here
+ * needed to change for sharded execution.
  */
 
 #ifndef SMARTDS_SIM_PROCESS_H_

@@ -1,6 +1,5 @@
 #include "sim/simulator.h"
 
-#include <atomic>
 #include <cstring>
 
 #include "common/checksum.h"
@@ -9,29 +8,36 @@ namespace smartds::sim {
 
 namespace {
 
-/** Tally of executed events flushed by every Simulator destructor. */
-// simlint: allow(shared-sim-state): per-process bench telemetry only
-// (events/sec in bench_perf.jsonl); atomic, write-only from simulations
-// and never read back into simulation state, so PDES shards cannot
-// observe each other through it
-std::atomic<std::uint64_t> globalExecuted{0};
+/** Timing domain the calling thread is executing; see currentDomain(). */
+// simlint: allow(shared-sim-state): thread-local by definition — each
+// PDES worker thread reads and writes only its own copy (set from the
+// domain it is executing), so shards cannot observe each other through
+// it; the single-domain default 0 reproduces the legacy behaviour
+thread_local unsigned tCurrentDomain = 0;
 
 } // namespace
 
-std::uint64_t
-totalEventsExecuted()
+unsigned
+currentDomain() noexcept
 {
-    return globalExecuted.load(std::memory_order_relaxed);
+    return tCurrentDomain;
 }
 
-Simulator::~Simulator()
+DomainScope::DomainScope(unsigned domain) noexcept
+    : saved_(tCurrentDomain)
 {
-    globalExecuted.fetch_add(executed_, std::memory_order_relaxed);
+    tCurrentDomain = domain;
+}
+
+DomainScope::~DomainScope()
+{
+    tCurrentDomain = saved_;
 }
 
 Tick
 Simulator::run()
 {
+    const DomainScope scope(domain_);
     while (step()) {
     }
     return now_;
@@ -99,6 +105,7 @@ compareDsanWindows(const std::vector<DsanWindow> &a,
 Tick
 Simulator::runUntil(Tick deadline)
 {
+    const DomainScope scope(domain_);
     while (true) {
         dropStaleTop();
         if (heap_.empty() || heap_.front().when() > deadline)

@@ -37,6 +37,34 @@ namespace smartds::sim {
 class Simulator;
 
 /**
+ * Index of the timing domain the calling thread is currently executing
+ * (or constructing components for). Defaults to 0 — the single-domain
+ * case — and is maintained by Simulator::run()/runUntil() from the
+ * simulator's own domain index, so any code running inside an event
+ * (fabric routing, tracer discovery) can ask which logical process it
+ * belongs to without threading a parameter through every layer.
+ */
+unsigned currentDomain() noexcept;
+
+/**
+ * RAII scope that pins currentDomain() for the calling thread. The
+ * experiment wiring uses it while *constructing* the components of a
+ * timing domain, so construction-time lookups (ports, tracers) resolve
+ * to the same domain the component will later execute in.
+ */
+class DomainScope
+{
+  public:
+    explicit DomainScope(unsigned domain) noexcept;
+    ~DomainScope();
+    DomainScope(const DomainScope &) = delete;
+    DomainScope &operator=(const DomainScope &) = delete;
+
+  private:
+    unsigned saved_;
+};
+
+/**
  * Move-only callable holder for event callbacks with a small-buffer
  * optimisation: callables up to inlineCapacity bytes are stored inside the
  * event record itself; larger ones fall back to a heap box. Implicitly
@@ -247,12 +275,38 @@ class Simulator
 {
   public:
     Simulator() = default;
-    ~Simulator();
+    ~Simulator() = default;
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
+
+    /** Returned by nextEventTick() when no live event is pending. */
+    static constexpr Tick kNoPendingEvent = ~Tick{0};
+
+    /**
+     * Tick of the earliest live pending event, or kNoPendingEvent when
+     * the queue holds none. Drops cancelled shells from the heap top as
+     * a side effect (they carry no information).
+     */
+    Tick
+    nextEventTick()
+    {
+        dropStaleTop();
+        return heap_.empty() ? kNoPendingEvent : heap_.front().when();
+    }
+
+    /**
+     * Timing domain this simulator belongs to (0 for standalone
+     * simulators; assigned by sim::ClusterSim for PDES shards). run()
+     * and runUntil() publish it through currentDomain() while events
+     * execute.
+     */
+    unsigned domainIndex() const { return domain_; }
+
+    /** Assign the timing-domain index (called once, by ClusterSim). */
+    void setDomainIndex(unsigned domain) { domain_ = domain; }
 
     /** Schedule @p fn to run @p delay ticks from now. */
     EventHandle
@@ -390,6 +444,13 @@ class Simulator
             flushWindow();
         return std::move(windows_);
     }
+
+    /**
+     * Seed so an empty run's hash is a recognizable nonzero value; also
+     * the seed ClusterSim folds per-domain digests under, so a merged
+     * multi-domain hash and a single-domain hash share a hash family.
+     */
+    static constexpr std::uint32_t kStateHashSeed = 0x534d4453u; // "SMDS"
 
   private:
     friend class EventHandle;
@@ -529,10 +590,8 @@ class Simulator
     /** Close the current dsan window (simulator.cpp). */
     void flushWindow();
 
-    /** Seed so an empty run's hash is a recognizable nonzero value. */
-    static constexpr std::uint32_t kStateHashSeed = 0x534d4453u; // "SMDS"
-
     Tick now_ = 0;
+    unsigned domain_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::vector<Event> pool_;
@@ -568,14 +627,6 @@ EventHandle::pending() const
 {
     return sim_ && sim_->live(slot_, gen_);
 }
-
-/**
- * Process-wide count of events executed by all destroyed Simulator
- * instances (each Simulator flushes its tally on destruction). The bench
- * harness reads this for the events/sec telemetry in
- * results/bench_perf.jsonl.
- */
-std::uint64_t totalEventsExecuted();
 
 } // namespace smartds::sim
 

@@ -119,6 +119,25 @@ Tracer::reset()
     stageCount_.assign(kStages, 0);
 }
 
+void
+Tracer::mergeFrom(Tracer &other)
+{
+    spans_.insert(spans_.end(),
+                  std::make_move_iterator(other.spans_.begin()),
+                  std::make_move_iterator(other.spans_.end()));
+    for (unsigned i = 0; i < kStages; ++i) {
+        stageHist_[i].merge(other.stageHist_[i]);
+        stageCount_[i] += other.stageCount_[i];
+    }
+#if SMARTDS_CHECKED_BUILD
+    // The merged span list is a domain-order concatenation, not a
+    // globally time-sorted stream; keep the invariant watermark at the
+    // max so a merged tracer could still legally record.
+    lastRecordedEnd_ = std::max(lastRecordedEnd_, other.lastRecordedEnd_);
+#endif
+    other.reset();
+}
+
 std::vector<StageStats>
 Tracer::breakdown() const
 {
@@ -143,6 +162,17 @@ LogHistogram &
 MetricsRegistry::histogram(const std::string &name)
 {
     return histograms_.try_emplace(name).first->second;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counters_[name].add(c.value());
+    for (const auto &[name, g] : other.gauges_)
+        gauges_[name].set(g.value());
+    for (const auto &[name, h] : other.histograms_)
+        histogram(name).merge(h);
 }
 
 std::vector<MetricsRegistry::Row>

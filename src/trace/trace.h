@@ -87,6 +87,16 @@ class Tracer
     /** Drop all spans and histograms (called at warmup end). */
     void reset();
 
+    /**
+     * Fold another tracer's recordings into this one: spans are
+     * appended, per-stage histograms and counts are summed. Multi-domain
+     * experiments keep one tracer per timing domain (recording never
+     * crosses a shard) and merge them here, in domain order, after the
+     * run — a deterministic reduction, so merged output is byte-stable.
+     * @p other is left empty.
+     */
+    void mergeFrom(Tracer &other);
+
     /** Per-stage breakdown of everything recorded since reset(). */
     std::vector<StageStats> breakdown() const;
 
@@ -143,6 +153,14 @@ class MetricsRegistry
     Counter &counter(const std::string &name) { return counters_[name]; }
     Gauge &gauge(const std::string &name) { return gauges_[name]; }
     LogHistogram &histogram(const std::string &name);
+
+    /**
+     * Fold another registry into this one: counters and histogram
+     * samples are summed; a gauge present in @p other overwrites the
+     * local value (gauges are last-writer-wins, and callers merge in
+     * domain order, so the reduction stays deterministic).
+     */
+    void mergeFrom(const MetricsRegistry &other);
 
     /** One enumerated instrument. */
     struct Row

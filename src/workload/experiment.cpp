@@ -17,6 +17,7 @@
 #include "middletier/multi_card_server.h"
 #include "middletier/smartds_server.h"
 #include "net/fabric.h"
+#include "sim/pdes.h"
 #include "sim/simulator.h"
 #include "storage/storage_server.h"
 #include "workload/vm_client.h"
@@ -88,33 +89,99 @@ autoClients(const ExperimentConfig &config)
     panic("unknown design");
 }
 
+/**
+ * Resolve the timing-domain count: 1 = legacy single-heap kernel, an
+ * explicit N >= 2, or (0 = auto) a topology-derived partition — domain 0
+ * for the middle tier and its services, domain 1 for the clients, and
+ * one domain per storage rack (capped so tiny pools do not fragment
+ * into one-node domains).
+ */
+unsigned
+resolveTimingDomains(const ExperimentConfig &config, unsigned n_storage)
+{
+    if (config.timingDomains == 1)
+        return 1;
+    if (config.timingDomains != 0)
+        return config.timingDomains;
+    const unsigned racks = config.failureDomains
+                               ? config.failureDomains
+                               : (n_storage + 7) / 8;
+    return 2 + std::min(racks, 16u);
+}
+
+/**
+ * Timing domain of storage node @p i under @p n_domains. Storage is
+ * spread by rack (failure domain) when a topology is configured, so a
+ * correlated rack crash lands in one shard; by node index otherwise.
+ */
+unsigned
+storageDomain(const ExperimentConfig &config, unsigned i,
+              unsigned n_domains)
+{
+    if (n_domains <= 1)
+        return 0;
+    if (n_domains == 2)
+        return 1;
+    const unsigned slots = n_domains - 2;
+    const unsigned rack =
+        config.failureDomains ? i % config.failureDomains : i;
+    return 2 + rack % slots;
+}
+
 } // namespace
 
 ExperimentResult
 runWriteExperiment(const ExperimentConfig &config)
 {
-    sim::Simulator sim;
+    const bool ec = config.replicationPolicy ==
+                    middletier::ReplicationPolicy::ErasureCode;
+
+    // Storage-pool size is needed up front: the auto timing-domain
+    // partition is derived from the topology.
+    unsigned n_storage = config.storageServers;
+    if (n_storage == 0)
+        n_storage = std::max<unsigned>(6, 6 * config.ports * config.cards);
+    if (ec)
+        n_storage = std::max(n_storage,
+                             config.ecDataShards + config.ecParityShards);
+
+    // --- Simulation kernel ------------------------------------------------
+    // One timing domain is the legacy serial kernel (ClusterSim
+    // delegates straight to its single Simulator, bit-identically);
+    // more partition the run into conservatively-synchronized shards
+    // whose lookahead is the fabric's one-way delay.
+    const unsigned n_domains = resolveTimingDomains(config, n_storage);
+    sim::ClusterSim cluster(n_domains, calibration::networkOneWayDelay);
+    cluster.setShards(std::max(1u, config.shards));
+    sim::Simulator &sim = cluster.domain(0);
     if (config.dsan) {
-        sim.enableStateHash(true);
-        sim.enableDsanWindows();
+        cluster.enableStateHash(true);
+        cluster.enableDsanWindows();
     }
-    net::Fabric fabric(sim);
+    net::Fabric fabric(cluster);
     mem::MemorySystem memory(sim, "host-mem", {});
 
     // Tracer + metrics are owned by this run and discovered through the
     // fabric; when traceSample is 0 no tracer is attached and the whole
-    // datapath instrumentation reduces to one null-pointer check.
-    std::unique_ptr<trace::Tracer> tracer;
-    std::unique_ptr<trace::MetricsRegistry> registry;
+    // datapath instrumentation reduces to one null-pointer check. One
+    // instance per timing domain, so recording never crosses a shard;
+    // domain 0's pair doubles as the post-run merge target.
+    std::vector<std::unique_ptr<trace::Tracer>> tracers;
+    std::vector<std::unique_ptr<trace::MetricsRegistry>> registries;
     if (config.traceSample > 0) {
         trace::Tracer::Config tc;
         tc.sampleEvery = config.traceSample;
         tc.keepEvents = config.traceEvents;
-        tracer = std::make_unique<trace::Tracer>(tc);
-        registry = std::make_unique<trace::MetricsRegistry>();
-        fabric.setTracer(tracer.get());
-        fabric.setMetrics(registry.get());
+        for (unsigned d = 0; d < n_domains; ++d) {
+            tracers.push_back(std::make_unique<trace::Tracer>(tc));
+            registries.push_back(
+                std::make_unique<trace::MetricsRegistry>());
+            fabric.setDomainTracer(d, tracers.back().get());
+            fabric.setDomainMetrics(d, registries.back().get());
+        }
     }
+    trace::Tracer *const tracer = tracers.empty() ? nullptr
+                                                  : tracers.front().get();
 
     const corpus::RatioSampler &ratios =
         cachedRatios(config.effort, config.blockBytes);
@@ -128,21 +195,15 @@ runWriteExperiment(const ExperimentConfig &config)
             functionalCorpus(), config.blockBytes, config.effort);
     }
 
-    const bool ec = config.replicationPolicy ==
-                    middletier::ReplicationPolicy::ErasureCode;
-
     // --- Storage pool ----------------------------------------------------
-    unsigned n_storage = config.storageServers;
-    if (n_storage == 0)
-        n_storage = std::max<unsigned>(6, 6 * config.ports * config.cards);
-    if (ec)
-        n_storage = std::max(n_storage,
-                             config.ecDataShards + config.ecParityShards);
     storage::StorageServer::Config storage_config;
     storage_config.functionalStore = config.functional;
     std::vector<std::unique_ptr<storage::StorageServer>> storage_pool;
     std::vector<net::NodeId> storage_nodes;
     for (unsigned i = 0; i < n_storage; ++i) {
+        // Constructed under the node's own timing domain, so its port
+        // (and every event it will ever schedule) lives in that shard.
+        const sim::DomainScope scope(storageDomain(config, i, n_domains));
         storage_pool.push_back(std::make_unique<storage::StorageServer>(
             fabric, "storage" + std::to_string(i), storage_config));
         storage_nodes.push_back(storage_pool.back()->nodeId());
@@ -153,6 +214,15 @@ runWriteExperiment(const ExperimentConfig &config)
     if (config.faultsEnabled()) {
         injector = std::make_unique<faults::FaultInjector>(sim,
                                                            config.faultSeed);
+        if (n_domains > 1) {
+            // Route each node's fault events to its own shard (and the
+            // churn loop's transitions through the cluster channels).
+            std::map<net::NodeId, unsigned> node_domains;
+            for (unsigned i = 0; i < n_storage; ++i)
+                node_domains[storage_nodes[i]] =
+                    storageDomain(config, i, n_domains);
+            injector->attachCluster(cluster, std::move(node_domains));
+        }
         for (unsigned i = 0; i < n_storage; ++i) {
             auto *profile = injector->profile(storage_nodes[i]);
             profile->setAckDropProbability(config.ackDropProbability);
@@ -303,7 +373,7 @@ runWriteExperiment(const ExperimentConfig &config)
     }
     if (maintenance) {
         if (tracer)
-            maintenance->setTracer(tracer.get());
+            maintenance->setTracer(tracer);
         server->setMaintenanceService(maintenance.get());
     }
 
@@ -322,6 +392,10 @@ runWriteExperiment(const ExperimentConfig &config)
     unsigned n_clients = config.clients ? config.clients
                                         : autoClients(config);
     std::vector<std::unique_ptr<VmClient>> clients;
+    // All clients share the tag counter and metrics block, so they must
+    // live in one timing domain: domain 1 when the partition has a
+    // dedicated client domain, the middle tier's otherwise.
+    const sim::DomainScope client_scope(n_domains >= 3 ? 1u : 0u);
     for (unsigned i = 0; i < n_clients; ++i) {
         VmClient::Config cc;
         const unsigned port = i % server->frontPorts();
@@ -360,10 +434,10 @@ runWriteExperiment(const ExperimentConfig &config)
     middletier::UsageProbes probes;
     server->addUsageProbes(probes);
 
-    sim.runUntil(config.warmup);
+    cluster.runUntil(config.warmup);
     metrics.latency.reset();
-    if (tracer)
-        tracer->reset(); // only the measured window feeds the breakdown
+    for (auto &t : tracers)
+        t->reset(); // only the measured window feeds the breakdown
     metrics.served.open(sim.now());
     std::vector<double> usage_start;
     usage_start.reserve(probes.probes.size());
@@ -371,7 +445,7 @@ runWriteExperiment(const ExperimentConfig &config)
         usage_start.push_back(p.cumulativeBytes());
     const double mlc_start = mlc ? mlc->deliveredBytes() : 0.0;
 
-    sim.runUntil(config.warmup + config.window);
+    cluster.runUntil(config.warmup + config.window);
     metrics.served.close(sim.now());
 
     ExperimentResult result;
@@ -428,10 +502,17 @@ runWriteExperiment(const ExperimentConfig &config)
     }
 
     if (tracer) {
+        // Fold the other domains' recordings into domain 0's pair, in
+        // domain order — a deterministic reduction, so the merged
+        // breakdown/spans/metrics are byte-stable across shard counts.
+        for (unsigned d = 1; d < n_domains; ++d) {
+            tracer->mergeFrom(*tracers[d]);
+            registries.front()->mergeFrom(*registries[d]);
+        }
         result.stages = tracer->breakdown();
         if (config.traceEvents)
             result.spans = tracer->takeSpans();
-        result.metrics = registry->rows();
+        result.metrics = registries.front()->rows();
         if (config.tracePrint && !result.stages.empty()) {
             Table table("Per-stage latency breakdown (sampled 1/" +
                         std::to_string(config.traceSample) + ")");
@@ -447,9 +528,16 @@ runWriteExperiment(const ExperimentConfig &config)
         fabric.setMetrics(nullptr);
     }
 
-    result.stateHash = sim.stateHashEnabled() ? sim.stateHash() : 0;
+    result.stateHash = sim.stateHashEnabled() ? cluster.stateHash() : 0;
     if (config.dsan)
-        result.dsanWindows = sim.takeDsanWindows();
+        result.dsanWindows = cluster.takeDsanWindows();
+
+    result.timingDomains = n_domains;
+    result.eventsExecuted = cluster.eventsExecuted();
+    result.domainEvents.reserve(n_domains);
+    for (unsigned d = 0; d < n_domains; ++d)
+        result.domainEvents.push_back(cluster.domainEventsExecuted(d));
+    result.crossChannelEvents = cluster.crossEventsPosted();
 
     // Stop the clients so the event queue can drain promptly.
     for (auto &c : clients)

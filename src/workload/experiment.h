@@ -56,6 +56,27 @@ struct ExperimentConfig
     /** Measured window length. */
     Tick window = 20 * ticksPerMillisecond;
 
+    // --- Parallel simulation (PDES) ---------------------------------------
+
+    /**
+     * Timing domains the cluster is partitioned into for conservative
+     * PDES: 1 (default) is the legacy single-heap kernel, byte-identical
+     * to every run before this knob existed; 0 derives a partition from
+     * the topology (middle tier, clients, storage spread by failure
+     * domain); N >= 2 asks for exactly N domains. Results are
+     * byte-identical for a fixed domain count regardless of `shards`.
+     */
+    unsigned timingDomains = 1;
+
+    /**
+     * Executor threads that advance the timing domains each lookahead
+     * round. Purely a wall-clock knob: shards = 1 runs the same rounds
+     * inline, and any value yields bit-identical results (the bar
+     * SweepRunner set; verified by the dsan state hash). Clamped to the
+     * domain count.
+     */
+    unsigned shards = 1;
+
     /** MLC injector inter-request delay in cycles (offDelay = no MLC). */
     unsigned mlcDelayCycles = mem::MlcInjector::offDelay;
 
@@ -346,12 +367,28 @@ struct ExperimentResult
      * Rolling xxHash32 over every dispatched event's (tick, seq, stage
      * tag). Identical configs must produce identical hashes regardless of
      * process layout; 0 when event hashing was off (non-checked build
-     * without the dsan knob).
+     * without the dsan knob). Multi-domain runs report the fold-merge of
+     * the per-domain hashes (in domain order) — still a pure function of
+     * the config, never of the shard count.
      */
     std::uint32_t stateHash = 0;
 
     /** Per-window digests of the event stream (when config.dsan). */
     std::vector<sim::DsanWindow> dsanWindows;
+
+    // --- PDES telemetry ---------------------------------------------------
+
+    /** Timing domains the run actually used (>= 1). */
+    unsigned timingDomains = 1;
+
+    /** Total simulator events executed (all domains). */
+    std::uint64_t eventsExecuted = 0;
+
+    /** Events executed per timing domain, in domain order. */
+    std::vector<std::uint64_t> domainEvents;
+
+    /** Events that crossed a domain boundary (merge-channel traffic). */
+    std::uint64_t crossChannelEvents = 0;
 };
 
 /** Run one write-serving experiment. */

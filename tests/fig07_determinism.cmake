@@ -14,7 +14,22 @@
 # throughput tables fails the test.
 #
 # Invoked by ctest as:
-#   cmake -DFIG07=<binary> -DWORKDIR=<scratch> -P fig07_determinism.cmake
+#   cmake -DFIG07=<binary> -DWORKDIR=<scratch> [-DSHARDS=N]
+#       -P fig07_determinism.cmake
+#
+# With SHARDS set, both runs execute on the parallel PDES kernel
+# (`--shards N`, auto timing-domain partition). The dsan pass inside the
+# binary then reruns every config on one shard, so a pass proves the
+# sharded sweep reproduced the serial event stream exactly — on top of
+# the cross-layout stability this test always checked.
+
+if(NOT DEFINED SHARDS)
+    set(SHARDS 0)
+endif()
+set(flags --smoke --dsan)
+if(SHARDS GREATER 0)
+    list(APPEND flags --shards ${SHARDS})
+endif()
 
 foreach(side A B)
     file(REMOVE_RECURSE ${WORKDIR}/${side})
@@ -25,13 +40,13 @@ string(REPEAT "x" 4096 padding)
 
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env MALLOC_PERTURB_=1 SMARTDS_ENV_PAD=a
-        ${FIG07} --smoke --dsan
+        ${FIG07} ${flags}
     WORKING_DIRECTORY ${WORKDIR}/A
     OUTPUT_FILE ${WORKDIR}/A/stdout.txt
     RESULT_VARIABLE rc_a)
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E env MALLOC_PERTURB_=254
-        SMARTDS_ENV_PAD=${padding} ${FIG07} --smoke --dsan
+        SMARTDS_ENV_PAD=${padding} ${FIG07} ${flags}
     WORKING_DIRECTORY ${WORKDIR}/B
     OUTPUT_FILE ${WORKDIR}/B/stdout.txt
     RESULT_VARIABLE rc_b)

@@ -1,0 +1,56 @@
+// simlint fixture: direct scheduling onto another timing domain's
+// simulator, bypassing the lookahead-checked cross-domain channels.
+#include <cstdint>
+
+namespace fx {
+
+using Tick = std::uint64_t;
+
+struct Simulator
+{
+    void scheduleAt(Tick, int);
+    void schedule(Tick, int);
+};
+
+struct ClusterSim
+{
+    Simulator &domain(unsigned d);
+    unsigned domains() const;
+    void post(unsigned, unsigned, Tick, int);
+};
+
+void
+bypassesChannels(ClusterSim &cluster)
+{
+    cluster.domain(2).scheduleAt(100, 1);
+}
+
+void
+bypassesViaPointer(ClusterSim *cluster)
+{
+    cluster->domain(1).schedule(10, 2);
+}
+
+void
+sanctionedPost(ClusterSim &cluster)
+{
+    // The channeled cross-domain send: does not fire.
+    cluster.post(0, 2, 100, 1);
+}
+
+Simulator &
+readOnlyAccess(ClusterSim &cluster)
+{
+    // Fetching a domain without scheduling on it: does not fire.
+    return cluster.domain(0);
+}
+
+void
+allowedSetup(ClusterSim &cluster)
+{
+    // simlint: allow(cross-shard-state): fixture exercises a justified
+    // suppression
+    cluster.domain(3).scheduleAt(0, 4);
+}
+
+} // namespace fx

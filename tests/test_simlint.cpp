@@ -161,6 +161,19 @@ TEST(SimlintFixtures, ZipfApprox)
               }));
 }
 
+TEST(SimlintFixtures, CrossShardState)
+{
+    // Line 25 schedules onto a fetched domain via `.`, line 31 via a
+    // pointer's `->`; the sanctioned ClusterSim::post() call, the
+    // read-only domain(d) fetch, and the justified suppression all
+    // stay silent.
+    EXPECT_EQ(lintFixture("cross_shard_state.cpp"),
+              (std::vector<Triple>{
+                  {"cross_shard_state.cpp", 25, "cross-shard-state"},
+                  {"cross_shard_state.cpp", 31, "cross-shard-state"},
+              }));
+}
+
 TEST(SimlintFixtures, Suppressions)
 {
     // Line 10: justified suppression silences the finding entirely.

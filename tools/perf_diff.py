@@ -6,10 +6,12 @@ Usage:
 
 Both files hold one JSON object per line, as written by the bench
 harness (bench/bench_common.h). Records are keyed by (bench, jobs,
-smoke); the last record per key wins, so append-only histories compare
-their most recent runs. Records without an "events_per_sec" field (for
-example micro_functional's cache_speedup telemetry) are informational
-and skipped.
+smoke, shards); the last record per key wins, so append-only histories
+compare their most recent runs. Records written before the PDES shards
+knob existed carry no "shards" field and default to 1, matching the
+legacy serial kernel the new harness reports as shards=1. Records
+without an "events_per_sec" field (for example micro_functional's
+cache_speedup telemetry) are informational and skipped.
 
 Exit status: 1 if any key common to both files regressed by more than
 the threshold, 0 otherwise — including when the files share no keys
@@ -22,7 +24,8 @@ import sys
 
 
 def load(path):
-    """Last record per (bench, jobs, smoke) key, skipping non-perf lines."""
+    """Last record per (bench, jobs, smoke, shards) key; non-perf lines
+    are skipped."""
     records = {}
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -40,6 +43,7 @@ def load(path):
                     record.get("bench", "?"),
                     record.get("jobs", 0),
                     record.get("smoke", False),
+                    record.get("shards", 1),
                 )
                 records[key] = record
     except OSError as error:
@@ -67,8 +71,8 @@ def main():
         return 0
 
     regressions = 0
-    print(f"{'bench':28} {'jobs':>4} {'smoke':>5} {'base ev/s':>12} "
-          f"{'curr ev/s':>12} {'ratio':>7}")
+    print(f"{'bench':28} {'jobs':>4} {'smoke':>5} {'shards':>6} "
+          f"{'base ev/s':>12} {'curr ev/s':>12} {'ratio':>7}")
     for key in common:
         base = baseline[key]["events_per_sec"]
         curr = current[key]["events_per_sec"]
@@ -77,9 +81,9 @@ def main():
         if base > 0 and ratio < 1.0 - args.threshold:
             flag = "  << REGRESSION"
             regressions += 1
-        bench, jobs, smoke = key
-        print(f"{bench:28} {jobs:>4} {str(smoke):>5} {base:>12.0f} "
-              f"{curr:>12.0f} {ratio:>6.2f}x{flag}")
+        bench, jobs, smoke, shards = key
+        print(f"{bench:28} {jobs:>4} {str(smoke):>5} {shards:>6} "
+              f"{base:>12.0f} {curr:>12.0f} {ratio:>6.2f}x{flag}")
 
     if regressions:
         print(f"perf_diff: {regressions} key(s) regressed more than "

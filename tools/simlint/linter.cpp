@@ -828,6 +828,45 @@ ruleZipfApprox(const FileUnit &ctx, const Sink &sink)
     }
 }
 
+// --- cross-shard-state ------------------------------------------------------
+
+/**
+ * Scheduling straight onto another timing domain's simulator —
+ * `cluster.domain(d).scheduleAt(...)` — bypasses the lookahead-checked
+ * cross-domain channels. The event lands without the (tick, srcDomain,
+ * seq) merge, so its position relative to genuinely channeled events
+ * depends on which shard got there first: results stop being invariant
+ * in the shard count, the property every PDES run is verified against.
+ * Cross-domain work must go through ClusterSim::post() (or ride a
+ * fabric message, which routes through post() itself).
+ */
+void
+ruleCrossShardState(const FileUnit &ctx, const Sink &sink)
+{
+    const auto &t = ctx.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].ident() || !t[i].is("domain"))
+            continue;
+        if (!t[i + 1].is("("))
+            continue;
+        const std::size_t close = matchForward(t, i + 1, "(", ")");
+        if (close == std::string::npos || close + 2 >= t.size())
+            continue;
+        if (!t[close + 1].is(".") && !t[close + 1].is("->"))
+            continue;
+        if (!t[close + 2].is("schedule") && !t[close + 2].is("scheduleAt"))
+            continue;
+        if (close + 3 >= t.size() || !t[close + 3].is("("))
+            continue;
+        sink.add(t[i].line, "cross-shard-state",
+                 "scheduling directly onto a timing domain fetched with "
+                 "domain(d) bypasses the lookahead-checked cross-domain "
+                 "channels; the event skips the (tick, srcDomain, seq) "
+                 "merge and results stop being shard-count invariant — "
+                 "use ClusterSim::post() (or a fabric message)");
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -843,7 +882,7 @@ allRules()
         "event-handle-misuse", "span-imbalance",
         "raw-io",           "naked-new",         "tick-float",
         "missing-nodiscard", "block-copy",       "zipf-approx",
-        "bad-suppression",
+        "cross-shard-state", "bad-suppression",
     };
     return rules;
 }
@@ -1011,6 +1050,7 @@ lint(const std::vector<Source> &sources, const Config &config)
         ruleMissingNodiscard(unit, sink);
         ruleBlockCopy(unit, sink);
         ruleZipfApprox(unit, sink);
+        ruleCrossShardState(unit, sink);
     }
     ruleMutableGlobal(index, byFile);
     ruleSharedSimState(index, byFile);
